@@ -1,0 +1,48 @@
+// E2 — Algorithm 1 reproduction: detect the DRAM address-mapping scheme and
+// measure the row-buffer hit / miss / conflict latencies on the GDDR
+// substrate by single-bit-flip latency probing (Sec. III-C2).
+//
+// Paper (Tesla K80): hit 352 ns, miss 742 ns, conflict 1008 ns; row bits
+// 8-21, column bits 30-32, other non-byte bits identify the bank.
+#include <cstdio>
+
+#include "tools/addrmap_detector.hpp"
+
+using namespace gpuhms;
+
+namespace {
+
+void print_bits(const char* label, const std::vector<int>& bits) {
+  std::printf("%-22s", label);
+  for (int b : bits) std::printf(" %d", b);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const GpuArch& arch = kepler_arch();
+  AddressMapDetector detector(arch, kepler_mapping(arch));
+  const auto r = detector.run();
+
+  std::printf("Algorithm 1: address-mapping detection via latency probing\n\n");
+  std::printf("measured latencies (cycles, 1 cycle == 1 ns):\n");
+  std::printf("  row-buffer hit      %6llu   (paper K80:  352 ns)\n",
+              static_cast<unsigned long long>(r.hit_latency));
+  std::printf("  row-buffer miss     %6llu   (paper K80:  742 ns)\n",
+              static_cast<unsigned long long>(r.miss_latency));
+  std::printf("  row conflict        %6llu   (paper K80: 1008 ns)\n",
+              static_cast<unsigned long long>(r.conflict_latency));
+  std::printf("  miss/hit variation  %5.0f%%   (paper: up to 110%%)\n\n",
+              100.0 * (static_cast<double>(r.miss_latency) /
+                           static_cast<double>(r.hit_latency) - 1.0));
+
+  std::printf("detected bit classification (second-access outcome):\n");
+  print_bits("  hit (column/byte):", r.column_bits);
+  print_bits("  conflict (row):", r.row_bits);
+  print_bits("  miss (bank/chan):", r.bank_bits);
+
+  std::printf("\nsubstrate ground truth: transaction bits 0-6, bank bits "
+              "7-13, column bits 14-17, row bits 18-33\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E3 — Fig. 4 reproduction: per-bank inter-arrival time distribution of DRAM
+// requests for spmv, md, and matrixMul (default placements) versus the
+// exponential distribution with the same mean, plus the coefficient of
+// variation c_a averaged over banks.
+//
+// Paper: the inter-arrival times do not always follow an exponential
+// distribution; average c_a = 1.11 / 2.22 / 1.72 (spmv / md / matrixMul) —
+// GPU arrivals are bursty (c_a > 1).
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+namespace {
+
+void analyze(const char* name, const KernelInfo& kernel) {
+  GpuSimulator sim(kepler_arch(), SimOptions{.record_interarrivals = true});
+  sim.run(kernel, DataPlacement::defaults(kernel));
+  const auto& per_bank = sim.interarrival_samples();
+
+  // c_a per bank (banks with >= 8 samples), plus a pooled histogram.
+  RunningStat ca_stat;
+  double pooled_mean = 0.0;
+  std::size_t pooled_n = 0;
+  for (const auto& samples : per_bank) {
+    if (samples.size() < 8) continue;
+    RunningStat s;
+    for (auto d : samples) s.add(static_cast<double>(d));
+    ca_stat.add(s.cov());
+    pooled_mean += s.mean() * static_cast<double>(samples.size());
+    pooled_n += samples.size();
+  }
+  if (pooled_n == 0) {
+    std::printf("%s: not enough DRAM traffic to analyze\n", name);
+    return;
+  }
+  pooled_mean /= static_cast<double>(pooled_n);
+
+  Histogram hist(0.0, pooled_mean * 4.0, 16);
+  for (const auto& samples : per_bank) {
+    for (auto d : samples) hist.add(static_cast<double>(d));
+  }
+
+  std::printf("%s: banks with traffic = %zu, mean interarrival = %.0f "
+              "cycles\n", name, ca_stat.count(), pooled_mean);
+  std::printf("  c_a over banks: mean %.2f, stddev %.2f %s\n",
+              ca_stat.mean(), ca_stat.stddev(),
+              ca_stat.mean() > 1.15 ? "(bursty, non-exponential)"
+                                    : "(near-exponential)");
+  std::printf("  %-22s %9s %12s\n", "interarrival bin", "measured",
+              "exponential");
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const double expo =
+        exponential_bin_mass(pooled_mean, hist.bin_lo(b), hist.bin_hi(b));
+    std::printf("  [%7.0f, %7.0f)    %8.4f %12.4f\n", hist.bin_lo(b),
+                hist.bin_hi(b), hist.density(b), expo);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4: DRAM request inter-arrival distributions vs the "
+              "exponential reference\n\n");
+  analyze("spmv (vector_kernel)", workloads::make_spmv());
+  analyze("md (compute_lj_force)", workloads::make_md());
+  // A larger matrix than the registry default so the working set spills
+  // L2 and produces enough DRAM traffic to histogram.
+  analyze("matrixMul", workloads::make_matrixmul(192, 16));
+  std::printf("paper shape: c_a varies widely across kernels and is far "
+              "above 1 for some (paper: 1.11 / 2.22 / 1.72 for spmv / md / "
+              "matrixMul) -- arrivals are not Markov, motivating G/G/1 "
+              "over M/M/1. Which kernel is burstiest depends on the "
+              "substrate; the heterogeneity and c_a > 1 are the result.\n");
+  return 0;
+}

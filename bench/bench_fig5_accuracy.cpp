@@ -1,0 +1,50 @@
+// E4 — Fig. 5 reproduction: predicted performance (normalized to measured)
+// for every evaluation placement test, our model vs the Sim et al. [7]
+// baseline it extends.
+//
+// Paper: our average error ~9.9%, improving on [7] by ~17.6% on average,
+// with the largest gains on replay-heavy (NN_C, SCAN_2) and row-buffer-
+// sensitive (Reduction_2) tests.
+#include <cstdio>
+
+#include "eval_common.hpp"
+
+using namespace gpuhms;
+using namespace gpuhms::bench;
+
+int main(int argc, char** argv) {
+  EvalHarness harness;
+
+  if (argc > 1 && std::string(argv[1]) == "--list") {
+    std::printf("evaluation placement tests (Table IV):\n");
+    for (const auto& c : harness.evaluation()) {
+      for (const auto& t : c.tests)
+        std::printf("  %-14s %-12s %s\n", t.id.c_str(), c.name.c_str(),
+                    t.description.c_str());
+    }
+    std::printf("training placements (Table IV):\n");
+    for (const auto& c : harness.training()) {
+      std::printf("  %-14s %-12s default\n", (c.name + "_0").c_str(),
+                  c.name.c_str());
+      for (const auto& t : c.tests)
+        std::printf("  %-14s %-12s %s\n", t.id.c_str(), c.name.c_str(),
+                    t.description.c_str());
+    }
+    return 0;
+  }
+
+  const auto ours = harness.run_variant(ModelOptions{});
+  const auto sim2012 = harness.run_sim2012();
+
+  print_comparison(
+      "Fig. 5: prediction accuracy, our model vs Sim et al. [7]",
+      {"our model", "Sim et al.[7]"}, {ours, sim2012});
+
+  const double e_ours = mean_abs_error(ours);
+  const double e_sim = mean_abs_error(sim2012);
+  std::printf("our avg error: %.1f%%  (paper: 9.9%%)\n", 100.0 * e_ours);
+  std::printf("[7] avg error: %.1f%%  -> improvement %.1f%% "
+              "(paper: 17.6%% avg improvement)\n",
+              100.0 * e_sim, 100.0 * (e_sim - e_ours));
+  return 0;
+}

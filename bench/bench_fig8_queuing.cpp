@@ -1,0 +1,47 @@
+// E7 — Fig. 8 reproduction (ablation): with instruction counting in place,
+// add the G/G/1 queuing model under an even bank distribution, then the
+// detected address mapping (= our full model).
+//
+// Paper: queuing with even distribution improves accuracy by ~31% over the
+// baseline; the address mapping adds a further ~8.1%.
+#include <cstdio>
+
+#include "eval_common.hpp"
+
+using namespace gpuhms;
+using namespace gpuhms::bench;
+
+int main() {
+  EvalHarness harness;
+
+  ModelOptions inst_only = ModelOptions::baseline();
+  inst_only.detailed_instruction_counting = true;
+
+  ModelOptions queuing_even = inst_only;
+  queuing_even.queuing_model = true;
+  queuing_even.row_buffer_model = true;
+  queuing_even.address_mapping = false;  // even distribution of requests
+
+  const ModelOptions full;  // everything on
+
+  const auto rows_inst = harness.run_variant(inst_only);
+  const auto rows_even = harness.run_variant(queuing_even);
+  const auto rows_full = harness.run_variant(full);
+
+  print_comparison(
+      "Fig. 8: impact of the queuing model (instruction counting in place)",
+      {"+inst only", "+queue(even)", "our model"},
+      {rows_inst, rows_even, rows_full});
+
+  // Baseline reference for the paper's "vs baseline" phrasing.
+  const double eb = mean_abs_error(harness.run_variant(ModelOptions::baseline()));
+  const double ei = mean_abs_error(rows_inst);
+  const double ee = mean_abs_error(rows_even);
+  const double ef = mean_abs_error(rows_full);
+  (void)ei;
+  std::printf("queuing (even distribution) relative improvement vs "
+              "baseline: %.1f%% (paper: ~31%%)\n", 100.0 * (eb - ee) / eb);
+  std::printf("address mapping further relative improvement:            "
+              " %.1f%% (paper: ~8.1%%)\n", 100.0 * (ee - ef) / ee);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E8 — Fig. 9 reproduction (ablation): the queuing model alone (with address
+// mapping, without detailed instruction counting) vs the baseline and the
+// full model.
+//
+// Paper: queuing alone improves accuracy by ~13.8% on average; layering the
+// other techniques on top adds ~25.3%; the two techniques combined beat the
+// baseline by ~39.1% — more than the sum of their separate gains.
+#include <cstdio>
+
+#include "eval_common.hpp"
+
+using namespace gpuhms;
+using namespace gpuhms::bench;
+
+int main() {
+  EvalHarness harness;
+
+  const ModelOptions baseline = ModelOptions::baseline();
+
+  ModelOptions queue_only = baseline;
+  queue_only.queuing_model = true;
+  queue_only.row_buffer_model = true;
+  queue_only.address_mapping = true;  // mapping considered, per Fig. 9
+
+  const ModelOptions full;
+
+  const auto rows_base = harness.run_variant(baseline);
+  const auto rows_queue = harness.run_variant(queue_only);
+  const auto rows_full = harness.run_variant(full);
+
+  print_comparison("Fig. 9: impact of the queuing model alone",
+                   {"baseline", "+queuing", "our model"},
+                   {rows_base, rows_queue, rows_full});
+
+  const double eb = mean_abs_error(rows_base);
+  const double eq = mean_abs_error(rows_queue);
+  const double ef = mean_abs_error(rows_full);
+  std::printf("relative improvement, queuing alone:        %.1f%% "
+              "(paper: ~13.8%%)\n", 100.0 * (eb - eq) / eb);
+  std::printf("relative improvement, rest on top:          %.1f%% "
+              "(paper: ~25.3%%)\n", 100.0 * (eq - ef) / eq);
+  std::printf("relative improvement, combined vs baseline: %.1f%% "
+              "(paper: ~39.1%%, more than the sum of the parts)\n",
+              100.0 * (eb - ef) / eb);
+  return 0;
+}

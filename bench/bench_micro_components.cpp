@@ -1,0 +1,118 @@
+// E11 — component microbenchmarks (google-benchmark): throughput of the hot
+// paths every experiment leans on — cache simulation, DRAM timing, address
+// decoding, coalescing, trace materialization, and a full simulator run.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+#include "dram/gddr.hpp"
+#include "model/queuing.hpp"
+#include "model/trace_analysis.hpp"
+#include "sim/coalesce.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace gpuhms;
+
+void BM_CacheAccess(benchmark::State& state) {
+  SetAssocCache cache(l2_config(kepler_arch()));
+  Rng rng(1);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.next_below(1ull << 24);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_AddressDecode(benchmark::State& state) {
+  const auto m = kepler_mapping(kepler_arch());
+  Rng rng(2);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.next_below(1ull << 33);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.decode(addrs[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressDecode);
+
+void BM_GddrAccess(benchmark::State& state) {
+  GddrSystem gddr(kepler_arch(), kepler_mapping(kepler_arch()));
+  Rng rng(3);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gddr.access((rng.next_below(1ull << 24)) * 128, t));
+    t += 2;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GddrAccess);
+
+void BM_CoalesceWarp(benchmark::State& state) {
+  const int stride = static_cast<int>(state.range(0));
+  TraceOp op;
+  op.cls = OpClass::Load;
+  op.active_mask = 0xffffffffu;
+  for (int l = 0; l < kWarpSize; ++l)
+    op.addr[static_cast<std::size_t>(l)] = l * stride;
+  std::vector<std::uint64_t> lines;
+  for (auto _ : state) {
+    coalesce_lines(op, 128, lines);
+    benchmark::DoNotOptimize(lines.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoalesceWarp)->Arg(4)->Arg(128)->Arg(512);
+
+void BM_KingmanDelay(benchmark::State& state) {
+  GG1Bank b;
+  b.tau_a = 120.0;
+  b.sigma_a = 200.0;
+  b.tau_s = 60.0;
+  b.sigma_s = 45.0;
+  b.lambda = 1.0 / 120.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kingman_queue_delay(b));
+  }
+}
+BENCHMARK(BM_KingmanDelay);
+
+void BM_TraceMaterialize(benchmark::State& state) {
+  const KernelInfo k = workloads::make_vecadd(1 << 12);
+  const auto p = DataPlacement::defaults(k);
+  const TraceMaterializer mat(k, p, kepler_arch());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mat.generate(0, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_TraceMaterialize);
+
+void BM_SimulateVecadd(benchmark::State& state) {
+  const KernelInfo k = workloads::make_vecadd(1 << state.range(0));
+  const auto p = DataPlacement::defaults(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(k, p));
+  }
+}
+BENCHMARK(BM_SimulateVecadd)->Arg(12)->Arg(14);
+
+void BM_AnalyzeTrace(benchmark::State& state) {
+  const KernelInfo k = workloads::make_vecadd(1 << 13);
+  const auto p = DataPlacement::defaults(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_trace(k, p, kepler_arch()));
+  }
+}
+BENCHMARK(BM_AnalyzeTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

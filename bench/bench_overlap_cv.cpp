@@ -1,0 +1,102 @@
+// Extension bench — leave-one-benchmark-out cross-validation of the
+// T_overlap model (Eq. 11). The paper argues the event-*ratio* features make
+// the model "independent of applications"; LOBO-CV quantifies that: train on
+// the Table IV suite minus one benchmark, evaluate the full pipeline on the
+// held-out benchmark's placements, and compare against training on
+// everything (the optimistic bound) and against no overlap model at all.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "model/predictor.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+namespace {
+
+struct Case {
+  const workloads::BenchmarkCase* bench;
+  std::vector<MeasuredCase> measured;  // sample + tests
+};
+
+double bench_error(const workloads::BenchmarkCase& c,
+                   const std::vector<MeasuredCase>& measured,
+                   const ToverlapModel& overlap) {
+  Predictor pred(c.kernel, kepler_arch(), ModelOptions{}, overlap);
+  pred.set_sample(c.sample, measured.front().measured);
+  double err = 0.0;
+  int n = 0;
+  for (std::size_t i = 1; i < measured.size(); ++i) {
+    const double m = static_cast<double>(measured[i].measured.cycles);
+    err += std::abs(
+        pred.predict(measured[i].placement).total_cycles / m - 1.0);
+    ++n;
+  }
+  return n ? err / n : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const GpuArch& arch = kepler_arch();
+  const std::vector<workloads::BenchmarkCase> suite =
+      workloads::training_suite();
+
+  // Measure every placement once.
+  std::vector<Case> cases;
+  for (const auto& c : suite) {
+    Case cc;
+    cc.bench = &c;
+    cc.measured.push_back({&c.kernel, c.sample,
+                           simulate(c.kernel, c.sample, arch)});
+    for (const auto& t : c.tests) {
+      cc.measured.push_back({&c.kernel, t.placement,
+                             simulate(c.kernel, t.placement, arch)});
+    }
+    cases.push_back(std::move(cc));
+  }
+
+  std::printf("Leave-one-benchmark-out cross-validation of the Eq. 11 "
+              "overlap model (training suite)\n\n");
+  std::printf("%-14s %6s %12s %12s %12s\n", "held out", "tests", "untrained",
+              "LOBO-CV", "train-on-all");
+
+  const ToverlapModel none;  // untrained: zero overlap
+  double cv_sum = 0.0, all_sum = 0.0, none_sum = 0.0;
+  int counted = 0;
+  for (std::size_t held = 0; held < cases.size(); ++held) {
+    if (cases[held].measured.size() < 2) continue;  // no target placements
+    std::vector<MeasuredCase> train_cv, train_all;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      for (const auto& m : cases[i].measured) {
+        train_all.push_back(m);
+        if (i != held) train_cv.push_back(m);
+      }
+    }
+    const ToverlapModel cv = train_overlap_model_measured(train_cv, arch);
+    const ToverlapModel all = train_overlap_model_measured(train_all, arch);
+
+    const double e_none = bench_error(*cases[held].bench,
+                                      cases[held].measured, none);
+    const double e_cv = bench_error(*cases[held].bench,
+                                    cases[held].measured, cv);
+    const double e_all = bench_error(*cases[held].bench,
+                                     cases[held].measured, all);
+    std::printf("%-14s %6zu %11.1f%% %11.1f%% %11.1f%%\n",
+                cases[held].bench->name.c_str(),
+                cases[held].measured.size() - 1, 100.0 * e_none,
+                100.0 * e_cv, 100.0 * e_all);
+    none_sum += e_none;
+    cv_sum += e_cv;
+    all_sum += e_all;
+    ++counted;
+  }
+  std::printf("%-14s %6s %11.1f%% %11.1f%% %11.1f%%\n", "mean", "",
+              100.0 * none_sum / counted, 100.0 * cv_sum / counted,
+              100.0 * all_sum / counted);
+  std::printf("\nA LOBO-CV error close to the train-on-all error means the "
+              "event-ratio features generalize across applications, as the "
+              "paper claims for Eq. 11.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension bench — scheduler-mismatch robustness: the analytical model's
+// trace analysis interleaves warps round-robin, but real SMs run greedy-
+// then-oldest (GTO) schedulers. Re-measure the evaluation suite on a GTO
+// substrate while the model keeps its round-robin assumption, and compare
+// accuracy. A modest degradation means the paper's methodology does not
+// silently depend on knowing the scheduler.
+#include <cstdio>
+#include <vector>
+
+#include "model/predictor.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+namespace {
+
+double eval_error(WarpScheduler sched) {
+  const GpuArch& arch = kepler_arch();
+  SimOptions sim_opts;
+  sim_opts.scheduler = sched;
+
+  // Train the overlap model against measurements from the SAME substrate
+  // (the paper trains against the machine it predicts for).
+  std::vector<workloads::BenchmarkCase> training = workloads::training_suite();
+  std::vector<MeasuredCase> cases;
+  for (const auto& c : training) {
+    GpuSimulator sim(arch, sim_opts);
+    cases.push_back({&c.kernel, c.sample, sim.run(c.kernel, c.sample)});
+    for (const auto& t : c.tests) {
+      cases.push_back({&c.kernel, t.placement, sim.run(c.kernel, t.placement)});
+    }
+  }
+  const ToverlapModel overlap =
+      train_overlap_model_measured(cases, arch, ModelOptions{});
+
+  double err = 0.0;
+  int n = 0;
+  for (const auto& c : workloads::evaluation_suite()) {
+    GpuSimulator sim(arch, sim_opts);
+    Predictor pred(c.kernel, arch, ModelOptions{}, overlap);
+    pred.set_sample(c.sample, sim.run(c.kernel, c.sample));
+    for (const auto& t : c.tests) {
+      const double m = static_cast<double>(sim.run(c.kernel, t.placement).cycles);
+      err += std::abs(pred.predict(t.placement).total_cycles / m - 1.0);
+      ++n;
+    }
+  }
+  return err / n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scheduler robustness: model (round-robin trace analysis) vs "
+              "substrate scheduler\n\n");
+  const double rr = eval_error(WarpScheduler::RoundRobin);
+  std::printf("substrate = loose round-robin:  avg |error| %.1f%%\n",
+              100.0 * rr);
+  const double gto = eval_error(WarpScheduler::Gto);
+  std::printf("substrate = greedy-then-oldest: avg |error| %.1f%%\n",
+              100.0 * gto);
+  std::printf("\nThe model never sees the scheduler choice; a bounded gap "
+              "shows the methodology tolerates scheduler mismatch (the "
+              "paper's K80 scheduler is undocumented).\n");
+  return 0;
+}

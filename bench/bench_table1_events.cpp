@@ -1,0 +1,51 @@
+// E1 — Table I reproduction: cosine similarity between the execution-time
+// vector and each performance-event vector across the data placements of the
+// Sec. II-B benchmarks (cfd, convolution, md, matrixMul, spmv, transpose).
+// Events below the 0.94 threshold print as N/A, as in the paper.
+#include <cstdio>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "tools/event_selector.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+int main() {
+  std::printf("Table I: cosine similarity of representative performance "
+              "events vs execution time\n");
+  std::printf("(threshold 0.94; N/A = below threshold, as in the paper)\n\n");
+
+  const std::vector<std::string> events = {
+      "issue_slots", "inst_issued", "inst_integer", "ldst_issued",
+      "l2_transactions"};
+  std::printf("%-12s", "GPU kernel");
+  for (const auto& e : events) std::printf(" %16s", e.c_str());
+  std::printf("\n");
+
+  for (const auto& c : workloads::event_screening_suite()) {
+    // Run the sample placement plus every placement test (Table IV set).
+    std::vector<SimResult> runs;
+    runs.push_back(simulate(c.kernel, c.sample));
+    for (const auto& t : c.tests)
+      runs.push_back(simulate(c.kernel, t.placement));
+    const auto screen = screen_events(runs, 0.94);
+
+    std::printf("%-12s", c.name.c_str());
+    for (const auto& e : events) {
+      const double s = screen.similarity.count(e) ? screen.similarity.at(e)
+                                                  : 0.0;
+      if (s >= screen.threshold) {
+        std::printf(" %16.3f", s);
+      } else {
+        std::printf(" %13s(%.2f)", "N/A", s);
+      }
+    }
+    std::printf("   [%zu placements]\n", runs.size());
+  }
+
+  std::printf("\npaper shape: issue_slots / inst_issued / inst_integer / "
+              "ldst_issued / L2 transactions correlate strongly (>0.94) for "
+              "most kernels, with per-kernel N/A cells.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "eval_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace gpuhms::bench {
+
+namespace {
+
+std::string key_of(const workloads::BenchmarkCase& c,
+                   const DataPlacement& p) {
+  return c.name + "|" + p.to_string();
+}
+
+}  // namespace
+
+EvalHarness::EvalHarness()
+    : training_(workloads::training_suite()),
+      evaluation_(workloads::evaluation_suite()) {}
+
+const GpuArch& EvalHarness::arch() const { return kepler_arch(); }
+
+const SimResult& EvalHarness::measure(const workloads::BenchmarkCase& c,
+                                      const DataPlacement& p) {
+  const std::string key = key_of(c, p);
+  auto it = measured_.find(key);
+  if (it == measured_.end()) {
+    it = measured_.emplace(key, simulate(c.kernel, p, arch())).first;
+  }
+  return it->second;
+}
+
+std::string options_key(const ModelOptions& o) {
+  std::string k;
+  k += o.detailed_instruction_counting ? 'I' : '-';
+  k += !o.queuing_model ? '-'
+       : o.queue_discipline == QueueDiscipline::GG1 ? 'Q' : 'M';
+  k += o.address_mapping ? 'A' : '-';
+  k += o.row_buffer_model ? 'R' : '-';
+  return k;
+}
+
+ToverlapModel EvalHarness::train_overlap(const ModelOptions& options) {
+  const std::string key = options_key(options);
+  auto it = overlap_cache_.find(key);
+  if (it != overlap_cache_.end()) return it->second;
+
+  std::vector<MeasuredCase> cases;
+  for (const auto& c : training_) {
+    cases.push_back({&c.kernel, c.sample, measure(c, c.sample)});
+    for (const auto& t : c.tests) {
+      cases.push_back({&c.kernel, t.placement, measure(c, t.placement)});
+    }
+  }
+  ToverlapModel model = train_overlap_model_measured(cases, arch(), options);
+  overlap_cache_.emplace(key, model);
+  return model;
+}
+
+std::vector<Row> EvalHarness::run_variant(const ModelOptions& options) {
+  const ToverlapModel overlap = train_overlap(options);
+  std::vector<Row> rows;
+  for (const auto& c : evaluation_) {
+    Predictor pred(c.kernel, arch(), options, overlap);
+    pred.set_sample(c.sample, measure(c, c.sample));
+    for (const auto& t : c.tests) {
+      Row r;
+      r.id = t.id;
+      r.benchmark = c.name;
+      r.measured = static_cast<double>(measure(c, t.placement).cycles);
+      r.predicted = pred.predict(t.placement).total_cycles;
+      rows.push_back(r);
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> EvalHarness::run_sim2012() {
+  std::vector<Row> rows;
+  for (const auto& c : evaluation_) {
+    Sim2012Predictor pred(c.kernel, arch());
+    pred.set_sample(c.sample, measure(c, c.sample));
+    for (const auto& t : c.tests) {
+      Row r;
+      r.id = t.id;
+      r.benchmark = c.name;
+      r.measured = static_cast<double>(measure(c, t.placement).cycles);
+      r.predicted = pred.predict(t.placement).total_cycles;
+      rows.push_back(r);
+    }
+  }
+  return rows;
+}
+
+double mean_abs_error(const std::vector<Row>& rows) {
+  if (rows.empty()) return 0.0;
+  double e = 0.0;
+  for (const auto& r : rows) e += r.abs_error();
+  return e / static_cast<double>(rows.size());
+}
+
+void print_comparison(const std::string& title,
+                      const std::vector<std::string>& variant_names,
+                      const std::vector<std::vector<Row>>& variants) {
+  GPUHMS_CHECK(!variants.empty());
+  for (const auto& v : variants)
+    GPUHMS_CHECK(v.size() == variants[0].size());
+
+  std::printf("%s\n", title.c_str());
+  std::printf("(predicted time normalized to measured; 1.00 = exact)\n\n");
+  std::printf("%-14s %12s", "test", "measured");
+  for (const auto& name : variant_names) std::printf(" %14s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < variants[0].size(); ++i) {
+    std::printf("%-14s %12.0f", variants[0][i].id.c_str(),
+                variants[0][i].measured);
+    for (const auto& v : variants) std::printf(" %14.3f", v[i].normalized());
+    std::printf("\n");
+  }
+  std::printf("%-14s %12s", "avg |error|", "");
+  for (const auto& v : variants)
+    std::printf(" %13.1f%%", 100.0 * mean_abs_error(v));
+  std::printf("\n\n");
+}
+
+}  // namespace gpuhms::bench

@@ -1,0 +1,71 @@
+// Shared harness for the evaluation benches (Fig. 5-9 of the paper): owns
+// the Table IV suites, memoizes simulator measurements so the model variants
+// under comparison score against identical ground truth, trains the
+// T_overlap model per variant, and formats the normalized-performance tables
+// the paper plots.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/sim2012.hpp"
+#include "model/predictor.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::bench {
+
+struct Row {
+  std::string id;           // e.g. "NN_C"
+  std::string benchmark;    // e.g. "neuralnet"
+  double measured = 0.0;    // simulated "hardware" cycles
+  double predicted = 0.0;   // model cycles
+  double normalized() const { return predicted / measured; }
+  double abs_error() const { return std::abs(normalized() - 1.0); }
+};
+
+class EvalHarness {
+ public:
+  EvalHarness();
+
+  const GpuArch& arch() const;
+
+  // Simulate (memoized) a placement of a benchmark.
+  const SimResult& measure(const workloads::BenchmarkCase& c,
+                           const DataPlacement& p);
+
+  // Train the Eq. 11 overlap model on the Table IV training suite under the
+  // given model options (the options matter: ablated variants analyze their
+  // training events the same way they will analyze the targets).
+  ToverlapModel train_overlap(const ModelOptions& options);
+
+  // Run one variant of our model over every evaluation test.
+  std::vector<Row> run_variant(const ModelOptions& options);
+  // Run the Sim et al. [7] baseline over every evaluation test.
+  std::vector<Row> run_sim2012();
+
+  const std::vector<workloads::BenchmarkCase>& evaluation() const {
+    return evaluation_;
+  }
+  const std::vector<workloads::BenchmarkCase>& training() const {
+    return training_;
+  }
+
+ private:
+  std::vector<workloads::BenchmarkCase> training_;
+  std::vector<workloads::BenchmarkCase> evaluation_;
+  std::map<std::string, SimResult> measured_;
+  std::map<std::string, ToverlapModel> overlap_cache_;  // keyed by options
+};
+
+double mean_abs_error(const std::vector<Row>& rows);
+
+// Prints one aligned table: a column of measured-normalized predictions per
+// variant plus the per-variant average error footer.
+void print_comparison(const std::string& title,
+                      const std::vector<std::string>& variant_names,
+                      const std::vector<std::vector<Row>>& variants);
+
+std::string options_key(const ModelOptions& o);
+
+}  // namespace gpuhms::bench

@@ -1,0 +1,30 @@
+// Generates a Markdown placement report for a benchmark — the deliverable a
+// performance engineer would attach to a review.
+//
+// Usage: ./examples/generate_report [benchmark] > report.md
+#include <iostream>
+
+#include "tools/report.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "stencil2d";
+  const auto bench = workloads::get_benchmark(name);
+
+  // Train the overlap model on the training suite (excluding this kernel).
+  std::vector<workloads::BenchmarkCase> training = workloads::training_suite();
+  std::vector<TrainingCase> cases;
+  for (const auto& c : training) {
+    if (c.name == name) continue;
+    cases.push_back({&c.kernel, c.sample});
+    for (const auto& t : c.tests) cases.push_back({&c.kernel, t.placement});
+  }
+  const ToverlapModel overlap = train_overlap_model(cases, kepler_arch());
+
+  Predictor predictor(bench.kernel, kepler_arch(), ModelOptions{}, overlap);
+  predictor.profile_sample(bench.sample);
+  write_placement_report(std::cout, predictor);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: predict the performance of every placement of the vecAdd
+// kernel's two input vectors (the paper's Fig. 2 example) from a single
+// profiled run of the default (global) placement, and compare against the
+// simulated "measured" time of each placement.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/porple.hpp"
+#include "model/predictor.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+int main() {
+  const GpuArch& arch = kepler_arch();
+  const KernelInfo kernel = workloads::make_vecadd();
+  const DataPlacement sample = DataPlacement::defaults(kernel);
+
+  std::printf("kernel: %s  (%lld blocks x %d threads)\n", kernel.name.c_str(),
+              static_cast<long long>(kernel.num_blocks),
+              kernel.threads_per_block);
+  std::printf("arrays:");
+  for (const auto& a : kernel.arrays) std::printf(" %s", a.name.c_str());
+  std::printf("\n\n");
+
+  // 1. Profile the sample placement once (paper: nvprof on the K80;
+  //    here: the simulator substrate).
+  Predictor predictor(kernel, arch);
+  predictor.profile_sample(sample);
+  std::printf("sample placement %s measured: %llu cycles\n\n",
+              sample.to_string().c_str(),
+              static_cast<unsigned long long>(predictor.sample_result().cycles));
+
+  // 2. Predict every placement of the input arrays a and b.
+  const int ia = kernel.array_index("a");
+  const int ib = kernel.array_index("b");
+  std::printf("%-12s %12s %12s %10s\n", "placement", "predicted", "measured",
+              "pred/meas");
+  for (MemSpace sa : legal_spaces(kernel, ia, arch)) {
+    for (MemSpace sb : legal_spaces(kernel, ib, arch)) {
+      DataPlacement p = sample.with(ia, sa).with(ib, sb);
+      const Prediction pred = predictor.predict(p);
+      const SimResult meas = simulate(kernel, p, arch);
+      std::printf("%-12s %12.0f %12llu %10.3f\n", p.to_string().c_str(),
+                  pred.total_cycles,
+                  static_cast<unsigned long long>(meas.cycles),
+                  pred.total_cycles / static_cast<double>(meas.cycles));
+    }
+  }
+  return 0;
+}

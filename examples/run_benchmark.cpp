@@ -1,0 +1,127 @@
+// CLI runner: simulate and/or predict any registered benchmark under any
+// placement given on the command line — the "downstream user" entry point.
+//
+// Usage:
+//   run_benchmark <name>                      # list arrays + legal spaces
+//   run_benchmark <name> <placement>          # simulate, e.g. "G,S,T"
+//   run_benchmark <name> <sample> <target>    # profile sample, predict target
+//
+// Placement strings use the Table IV codes (G, S, C, T, 2T), one per array
+// in declaration order.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/predictor.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+namespace {
+
+std::optional<DataPlacement> parse_placement(const KernelInfo& k,
+                                             const std::string& str) {
+  auto p = DataPlacement::from_string(k, str);
+  if (!p) {
+    std::fprintf(stderr,
+                 "bad placement '%s' (expected %zu comma-separated codes "
+                 "from G,S,C,T,2T)\n", str.c_str(), k.arrays.size());
+    return std::nullopt;
+  }
+  if (const auto err = validate_placement(k, *p, kepler_arch())) {
+    std::fprintf(stderr, "illegal placement: %s\n", err->c_str());
+    return std::nullopt;
+  }
+  return p;
+}
+
+void describe(const workloads::BenchmarkCase& c) {
+  std::printf("%s: %lld blocks x %d threads, arrays:\n", c.name.c_str(),
+              static_cast<long long>(c.kernel.num_blocks),
+              c.kernel.threads_per_block);
+  for (std::size_t i = 0; i < c.kernel.arrays.size(); ++i) {
+    const auto& a = c.kernel.arrays[i];
+    std::printf("  [%zu] %-24s %8zu x %s%s  default=%s  legal:",
+                i, a.name.c_str(), a.elems,
+                std::string(to_string(a.dtype)).c_str(),
+                a.written ? " (written)" : "",
+                std::string(short_code(a.default_space)).c_str());
+    for (MemSpace s :
+         legal_spaces(c.kernel, static_cast<int>(i), kepler_arch())) {
+      std::printf(" %s", std::string(short_code(s)).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("placement tests from the paper:\n");
+  for (const auto& t : c.tests) {
+    std::printf("  %-14s %s -> %s\n", t.id.c_str(), t.description.c_str(),
+                t.placement.to_string().c_str());
+  }
+}
+
+void report(const char* tag, const SimResult& r) {
+  const auto& c = r.counters;
+  std::printf("%s: %llu cycles\n", tag,
+              static_cast<unsigned long long>(r.cycles));
+  std::printf("  inst executed/issued     %12llu / %llu (replays %llu)\n",
+              static_cast<unsigned long long>(c.inst_executed),
+              static_cast<unsigned long long>(c.inst_issued),
+              static_cast<unsigned long long>(c.replays_total()));
+  std::printf("  L2 transactions/misses   %12llu / %llu\n",
+              static_cast<unsigned long long>(c.l2_transactions),
+              static_cast<unsigned long long>(c.l2_misses));
+  std::printf("  DRAM requests             %12llu (row hit/miss/conflict "
+              "%llu/%llu/%llu)\n",
+              static_cast<unsigned long long>(c.dram_requests),
+              static_cast<unsigned long long>(r.dram.row_hits()),
+              static_cast<unsigned long long>(r.dram.row_misses()),
+              static_cast<unsigned long long>(r.dram.row_conflicts()));
+  std::printf("  avg DRAM latency          %12.0f (queue %0.f)\n",
+              r.dram.avg_latency(), r.dram.avg_queue_delay());
+  std::printf("  shared requests/conflicts %12llu / %llu\n",
+              static_cast<unsigned long long>(c.shared_requests),
+              static_cast<unsigned long long>(c.shared_bank_conflicts));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <benchmark> [placement] [target-placement]\n"
+                 "benchmarks: bfs fft neuralnet reduction scan sort stencil2d"
+                 " md5hash s3d convolution md matrixmul spmv transpose cfd"
+                 " triad qtc\n", argv[0]);
+    return 2;
+  }
+  const auto bench = workloads::get_benchmark(argv[1]);
+  if (argc == 2) {
+    describe(bench);
+    return 0;
+  }
+
+  const auto sample = parse_placement(bench.kernel, argv[2]);
+  if (!sample) return 2;
+  const SimResult r = simulate(bench.kernel, *sample);
+  report(("simulated " + sample->to_string()).c_str(), r);
+
+  if (argc >= 4) {
+    const auto target = parse_placement(bench.kernel, argv[3]);
+    if (!target) return 2;
+    Predictor pred(bench.kernel, kepler_arch());
+    pred.set_sample(*sample, r);
+    const Prediction p = pred.predict(*target);
+    const SimResult rt = simulate(bench.kernel, *target);
+    std::printf("\npredicted %s from sample %s: %.0f cycles "
+                "(T_comp %.0f, T_mem %.0f, T_overlap %.0f)\n",
+                target->to_string().c_str(), sample->to_string().c_str(),
+                p.total_cycles, p.t_comp, p.t_mem, p.t_overlap);
+    report(("simulated " + target->to_string()).c_str(), rt);
+    std::printf("\nprediction / measured = %.3f (untrained overlap model; "
+                "see examples/overlap_training)\n",
+                p.total_cycles / static_cast<double>(rt.cycles));
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "arch/gpu_arch.hpp"
+
+namespace gpuhms {
+
+const GpuArch& kepler_arch() {
+  static const GpuArch arch{};
+  return arch;
+}
+
+const GpuArch& fermi_arch() {
+  static const GpuArch arch = [] {
+    GpuArch a;
+    a.num_sms = 14;            // GF110-like SM count
+    a.max_warps_per_sm = 48;
+    a.max_blocks_per_sm = 8;
+    a.l2_capacity = 768 * 1024;
+    a.shared_capacity = 48 * 1024;
+    a.tex_cache_capacity = 12 * 1024;
+    a.dram_channels = 8;       // power-of-two field; see dram_channels note
+    a.dram.row_hit_service = 44;
+    a.dram.row_miss_service = 520;
+    a.dram.row_conflict_service = 840;
+    a.dram.pipeline_lat = 380;
+    a.cache_hit_lat = 200;
+    return a;
+  }();
+  return arch;
+}
+
+}  // namespace gpuhms

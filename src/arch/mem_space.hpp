@@ -1,0 +1,78 @@
+// The programmable memory spaces of a Kepler-class GPU (Sec. II-A of the
+// paper). These are the placement options the models reason about.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace gpuhms {
+
+enum class MemSpace : int {
+  Global = 0,
+  Shared = 1,
+  Constant = 2,
+  Texture1D = 3,
+  Texture2D = 4,
+};
+
+inline constexpr int kNumMemSpaces = 5;
+
+inline constexpr std::array<MemSpace, kNumMemSpaces> kAllMemSpaces = {
+    MemSpace::Global, MemSpace::Shared, MemSpace::Constant,
+    MemSpace::Texture1D, MemSpace::Texture2D};
+
+constexpr std::string_view to_string(MemSpace s) {
+  switch (s) {
+    case MemSpace::Global: return "global";
+    case MemSpace::Shared: return "shared";
+    case MemSpace::Constant: return "constant";
+    case MemSpace::Texture1D: return "texture1d";
+    case MemSpace::Texture2D: return "texture2d";
+  }
+  return "?";
+}
+
+// Single-letter code used in Table IV of the paper (G, S, C, T, 2T).
+constexpr std::string_view short_code(MemSpace s) {
+  switch (s) {
+    case MemSpace::Global: return "G";
+    case MemSpace::Shared: return "S";
+    case MemSpace::Constant: return "C";
+    case MemSpace::Texture1D: return "T";
+    case MemSpace::Texture2D: return "2T";
+  }
+  return "?";
+}
+
+// Global / constant / texture live in off-chip GDDR behind L2; shared is
+// on-chip SRAM per SM.
+constexpr bool is_offchip(MemSpace s) { return s != MemSpace::Shared; }
+
+constexpr bool is_texture(MemSpace s) {
+  return s == MemSpace::Texture1D || s == MemSpace::Texture2D;
+}
+
+// Writability from device code: constant and texture memories are read-only
+// within a kernel, so arrays the kernel stores to cannot be placed there.
+constexpr bool is_device_writable(MemSpace s) {
+  return s == MemSpace::Global || s == MemSpace::Shared;
+}
+
+// Element data types the addressing-mode analysis distinguishes
+// (Sec. III-B enumerates f32, f64, i32).
+enum class DType : int { F32 = 0, F64 = 1, I32 = 2 };
+
+constexpr std::size_t dtype_size(DType t) {
+  return t == DType::F64 ? 8 : 4;
+}
+
+constexpr std::string_view to_string(DType t) {
+  switch (t) {
+    case DType::F32: return "f32";
+    case DType::F64: return "f64";
+    case DType::I32: return "i32";
+  }
+  return "?";
+}
+
+}  // namespace gpuhms

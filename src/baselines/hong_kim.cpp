@@ -1,0 +1,33 @@
+#include "baselines/hong_kim.hpp"
+
+#include <algorithm>
+
+namespace gpuhms {
+
+double hong_kim_cycles(const HongKimInputs& in) {
+  const double n = std::max(1.0, in.n_warps);
+  const double mem_insts = std::max(0.0, in.mem_insts_per_warp);
+  if (mem_insts < 1e-9) {
+    // Pure compute: warps execute back to back on the SM.
+    return in.comp_cycles_per_warp * n;
+  }
+  const double comp_per_period = in.comp_cycles_per_warp / mem_insts;
+  const double mwp = std::max(1.0, in.mwp);
+  const double cwp = std::max(1.0, in.cwp);
+
+  if (n < mwp && n < cwp) {
+    // Not enough warps to hide anything: latency fully exposed per period.
+    return mem_insts * (in.mem_lat + comp_per_period * n);
+  }
+  if (cwp >= mwp) {
+    // Memory bound: the memory system is the bottleneck; requests of the N
+    // warps are serviced MWP at a time.
+    return mem_insts * in.mem_lat * n / mwp +
+           comp_per_period * (mwp - 1.0);
+  }
+  // Compute bound: computation of N warps covers the memory latency except
+  // for the first exposed period.
+  return in.comp_cycles_per_warp * n + in.mem_lat;
+}
+
+}  // namespace gpuhms

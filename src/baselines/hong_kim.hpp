@@ -1,0 +1,24 @@
+// Hong & Kim's analytical GPU execution-time model (ISCA'09 [6]): MWP/CWP
+// case analysis. Used directly as a baseline and as the overlap formulation
+// inside the Sim et al. [7] baseline (the paper notes [7] uses the CWP/MWP
+// formulation where our model uses the trained Eq. 11).
+#pragma once
+
+#include "arch/gpu_arch.hpp"
+#include "model/warp_parallelism.hpp"
+
+namespace gpuhms {
+
+struct HongKimInputs {
+  double comp_cycles_per_warp = 0.0;  // non-memory execution cycles per warp
+  double mem_insts_per_warp = 0.0;    // memory requests per warp
+  double mem_lat = 1.0;               // average latency per request
+  double n_warps = 1.0;               // resident warps per SM
+  double mwp = 1.0;
+  double cwp = 1.0;
+};
+
+// Per-SM execution cycles under the MWP/CWP case analysis.
+double hong_kim_cycles(const HongKimInputs& in);
+
+}  // namespace gpuhms

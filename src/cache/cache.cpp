@@ -1,0 +1,68 @@
+#include "cache/cache.hpp"
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg)
+    : cfg_(cfg), num_sets_(cfg.num_sets()) {
+  GPUHMS_CHECK_MSG(num_sets_ > 0, "cache too small for its associativity");
+  GPUHMS_CHECK(cfg.line_size > 0 && (cfg.line_size & (cfg.line_size - 1)) == 0);
+  lines_.resize(num_sets_ * static_cast<std::size_t>(cfg_.ways));
+}
+
+bool SetAssocCache::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t line_addr = addr / cfg_.line_size;
+  const std::size_t set = set_of(line_addr);
+  Line* base = &lines_[set * static_cast<std::size_t>(cfg_.ways)];
+  Line* victim = base;
+  for (int w = 0; w < cfg_.ways; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == line_addr) {
+      ln.lru = tick_;
+      ln.dirty = ln.dirty || is_write;
+      return true;
+    }
+    if (!victim->valid) continue;        // keep an invalid victim if found
+    if (!ln.valid || ln.lru < victim->lru) victim = &ln;
+  }
+  ++stats_.misses;
+  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  victim->valid = true;
+  victim->tag = line_addr;
+  victim->lru = tick_;
+  victim->dirty = is_write;
+  return false;
+}
+
+bool SetAssocCache::probe(std::uint64_t addr) const {
+  const std::uint64_t line_addr = addr / cfg_.line_size;
+  const std::size_t set = set_of(line_addr);
+  const Line* base = &lines_[set * static_cast<std::size_t>(cfg_.ways)];
+  for (int w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == line_addr) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::reset() {
+  for (auto& ln : lines_) ln = Line{};
+  tick_ = 0;
+  stats_ = CacheStats{};
+}
+
+CacheConfig l2_config(const GpuArch& a) {
+  return CacheConfig{a.l2_capacity, a.cache_line, a.l2_ways};
+}
+
+CacheConfig const_cache_config(const GpuArch& a) {
+  return CacheConfig{a.const_cache_capacity, a.cache_line, a.const_cache_ways};
+}
+
+CacheConfig tex_cache_config(const GpuArch& a) {
+  return CacheConfig{a.tex_cache_capacity, a.cache_line, a.tex_cache_ways};
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,73 @@
+// Set-associative LRU cache, the GPGPU-Sim-style cache model the paper's
+// framework builds on (Sec. IV). The same class backs both the timing
+// simulator's caches and the analytical model's trace-order cache analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+
+namespace gpuhms {
+
+struct CacheConfig {
+  std::size_t capacity = 128 * 1024;
+  std::size_t line_size = 128;
+  int ways = 8;
+
+  std::size_t num_sets() const {
+    return capacity / (line_size * static_cast<std::size_t>(ways));
+  }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  std::uint64_t hits() const { return accesses - misses; }
+  double miss_ratio() const {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  // Access a byte address; returns true on hit. On a write miss the line is
+  // allocated (write-allocate, write-back).
+  bool access(std::uint64_t addr, bool is_write = false);
+  // Hit check without state change (used in tests).
+  bool probe(std::uint64_t addr) const;
+  void reset();
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-use stamp
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_of(std::uint64_t line_addr) const {
+    return static_cast<std::size_t>(line_addr % num_sets_);
+  }
+
+  CacheConfig cfg_;
+  std::size_t num_sets_;
+  std::vector<Line> lines_;  // num_sets * ways, set-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+// Cache configurations derived from the architecture description.
+CacheConfig l2_config(const GpuArch& a);
+CacheConfig const_cache_config(const GpuArch& a);
+CacheConfig tex_cache_config(const GpuArch& a);
+
+}  // namespace gpuhms

@@ -1,0 +1,31 @@
+#include "cache/texture_layout.hpp"
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+std::uint64_t block_linear_offset(const ArrayDecl& arr, std::int64_t elem,
+                                  const TextureTileShape& tile) {
+  GPUHMS_CHECK(elem >= 0 && static_cast<std::size_t>(elem) < arr.elems);
+  GPUHMS_CHECK_MSG(arr.width > 0, "block-linear layout needs a 2-D shape");
+  const std::uint64_t esize = arr.elem_size();
+  const std::uint64_t x = static_cast<std::uint64_t>(elem) % arr.width;
+  const std::uint64_t y = static_cast<std::uint64_t>(elem) / arr.width;
+  const std::uint64_t bx = x * esize;  // byte column
+  const std::uint64_t row_bytes = arr.width * esize;
+  const std::uint64_t tiles_per_row = (row_bytes + tile.tile_w - 1) / tile.tile_w;
+  const std::uint64_t tx = bx / tile.tile_w;
+  const std::uint64_t ty = y / tile.tile_h;
+  const std::uint64_t ox = bx % tile.tile_w;
+  const std::uint64_t oy = y % tile.tile_h;
+  const std::uint64_t tile_bytes =
+      static_cast<std::uint64_t>(tile.tile_w) * tile.tile_h;
+  return (ty * tiles_per_row + tx) * tile_bytes + oy * tile.tile_w + ox;
+}
+
+std::uint64_t pitch_linear_offset(const ArrayDecl& arr, std::int64_t elem) {
+  GPUHMS_CHECK(elem >= 0 && static_cast<std::size_t>(elem) < arr.elems);
+  return static_cast<std::uint64_t>(elem) * arr.elem_size();
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,32 @@
+// 2-D texture block-linear layout.
+//
+// The texture path's "2D spatial locality" (Sec. I of the paper) comes from
+// storing 2-D arrays in tiles so that a 2-D neighborhood shares cache lines.
+// We model the layout explicitly: a (x, y) element coordinate maps to a byte
+// offset inside fixed-size tiles, and the texture/L2 caches operate on the
+// resulting addresses. 1-D textures and all other spaces are pitch-linear.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/array.hpp"
+
+namespace gpuhms {
+
+struct TextureTileShape {
+  // Tile footprint in bytes: tile_w bytes wide, tile_h rows tall -> one tile
+  // spans tile_w * tile_h contiguous bytes (512 B = 4 cache sectors by
+  // default, matching the locality granularity of NVIDIA block-linear).
+  std::uint32_t tile_w = 64;
+  std::uint32_t tile_h = 8;
+};
+
+// Byte offset of element `elem` of `arr` within a block-linear image of the
+// array (elem is the flattened row-major index; arr.width defines rows).
+std::uint64_t block_linear_offset(const ArrayDecl& arr, std::int64_t elem,
+                                  const TextureTileShape& tile = {});
+
+// Pitch-linear offset (plain elem * elem_size), for symmetry.
+std::uint64_t pitch_linear_offset(const ArrayDecl& arr, std::int64_t elem);
+
+}  // namespace gpuhms

@@ -1,0 +1,30 @@
+// Lightweight runtime checking used across gpuhms.
+//
+// GPUHMS_CHECK aborts with a message on violation; it is kept enabled in all
+// build types because the library is a research tool where silent state
+// corruption is far more expensive than the branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpuhms {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "gpuhms: check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg && msg[0] ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace gpuhms
+
+#define GPUHMS_CHECK(expr)                                             \
+  do {                                                                 \
+    if (!(expr)) ::gpuhms::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GPUHMS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) ::gpuhms::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

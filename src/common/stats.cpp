@@ -1,0 +1,145 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::cov() const {
+  return mean() != 0.0 ? stddev() / mean() : 0.0;
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  RunningStat st;
+  for (double x : xs) st.add(x);
+  return st.stddev();
+}
+
+double cosine_similarity(std::span<const double> a,
+                         std::span<const double> b) {
+  GPUHMS_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  GPUHMS_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  const double ma = mean(a), mb = mean(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    dot += da * db;
+    na += da * da;
+    nb += db * db;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+namespace {
+
+// Fractional ranks (1-based, ties share the average rank).
+std::vector<double> ranks_of(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  GPUHMS_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const auto ra = ranks_of(a);
+  const auto rb = ranks_of(b);
+  return pearson(ra, rb);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  GPUHMS_CHECK(bins > 0 && hi > lo);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::density(std::size_t i) const {
+  return total_ ? static_cast<double>(counts_[i]) / static_cast<double>(total_)
+                : 0.0;
+}
+
+double exponential_bin_mass(double mean, double lo, double hi) {
+  if (mean <= 0.0) return 0.0;
+  const double lam = 1.0 / mean;
+  const double a = lo <= 0.0 ? 1.0 : std::exp(-lam * lo);
+  const double b = std::exp(-lam * hi);
+  return a - b;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,73 @@
+// Statistics helpers used by the queuing model (coefficients of variation),
+// the event selector (cosine similarity, Sec. II-B of the paper), and the
+// evaluation harnesses (error summaries, histograms for Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpuhms {
+
+// Single-pass accumulator for mean / variance (Welford). Suitable for the
+// long per-bank inter-arrival streams where storing samples is wasteful.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Population variance/stddev: the queuing model treats the observed request
+  // stream as the full population of the kernel run, not a sample.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  // Coefficient of variation sigma/mean; 0 when mean == 0.
+  double cov() const;
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+// Cosine similarity of two equal-length vectors, in [-1, 1]; for the
+// non-negative event/time vectors of Sec. II-B the range is [0, 1].
+// Returns 0 if either vector is all zeros.
+double cosine_similarity(std::span<const double> a, std::span<const double> b);
+
+// Pearson correlation, used in tests as a cross-check on event selection.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+// Used to grade placement *orderings*: a model that mispredicts absolute
+// times but ranks placements correctly is still a perfect advisor.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// edge bins. Used to reproduce the Fig. 4 inter-arrival distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+  std::size_t total() const { return total_; }
+  // Fraction of samples in bin i (0 if empty histogram).
+  double density(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Probability mass an exponential distribution with the given mean places on
+// [lo, hi); reference curve for Fig. 4.
+double exponential_bin_mass(double mean, double lo, double hi);
+
+}  // namespace gpuhms

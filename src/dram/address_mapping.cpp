@@ -1,0 +1,62 @@
+#include "dram/address_mapping.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+std::uint64_t extract_bits(std::uint64_t addr,
+                           const std::vector<int>& positions) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    v |= ((addr >> positions[i]) & 1ull) << i;
+  }
+  return v;
+}
+
+AddressMapping::AddressMapping(Fields f) : fields_(std::move(f)) {
+  GPUHMS_CHECK(fields_.num_banks > 0);
+  GPUHMS_CHECK(!fields_.row_bits.empty());
+  int hi = fields_.transaction_bits - 1;
+  auto check_group = [&](const std::vector<int>& g) {
+    for (int b : g) {
+      GPUHMS_CHECK_MSG(b >= fields_.transaction_bits,
+                       "field bit overlaps transaction offset");
+      hi = std::max(hi, b);
+    }
+  };
+  check_group(fields_.bank_bits);
+  check_group(fields_.column_bits);
+  check_group(fields_.row_bits);
+  // No role may be assigned twice.
+  std::vector<int> all;
+  for (const auto* g : {&fields_.bank_bits, &fields_.column_bits,
+                        &fields_.row_bits})
+    all.insert(all.end(), g->begin(), g->end());
+  std::sort(all.begin(), all.end());
+  GPUHMS_CHECK_MSG(std::adjacent_find(all.begin(), all.end()) == all.end(),
+                   "address bit assigned to two roles");
+  usable_bits_ = hi + 1;
+}
+
+AddressMapping::Decoded AddressMapping::decode(std::uint64_t addr) const {
+  Decoded d;
+  d.bank = static_cast<int>(extract_bits(addr, fields_.bank_bits) %
+                            static_cast<std::uint64_t>(fields_.num_banks));
+  d.row = extract_bits(addr, fields_.row_bits);
+  d.column = extract_bits(addr, fields_.column_bits);
+  return d;
+}
+
+AddressMapping kepler_mapping(const GpuArch& arch) {
+  AddressMapping::Fields f;
+  f.transaction_bits = 7;
+  f.bank_bits = {7, 8, 9, 10, 11, 12, 13};
+  f.column_bits = {14, 15, 16, 17};
+  f.row_bits = {18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33};
+  f.num_banks = arch.total_banks();
+  return AddressMapping(std::move(f));
+}
+
+}  // namespace gpuhms

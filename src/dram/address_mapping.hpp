@@ -1,0 +1,62 @@
+// DRAM address-mapping scheme (Sec. III-C2).
+//
+// The mapping resolves a physical byte address into (bank, row, column).
+// Which bits play which role determines how memory requests distribute over
+// banks and whether consecutive requests hit open rows — exactly what
+// Algorithm 1 of the paper detects on real hardware and what the queuing
+// model consumes. The mapping here is fully configurable so the detector can
+// be property-tested against randomized schemes; the default mirrors a
+// Kepler-class GDDR5 layout (6 channels x 16 banks, 2 KiB row per bank,
+// channel/bank interleaving right above the 128 B transaction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+
+namespace gpuhms {
+
+class AddressMapping {
+ public:
+  struct Fields {
+    // Bit positions (byte-address bit indices) for each role. Bits below
+    // `transaction_bits` address bytes within one DRAM transaction.
+    int transaction_bits = 7;  // 128 B transactions
+    std::vector<int> bank_bits;    // folded modulo num_banks
+    std::vector<int> column_bits;  // column within the open row
+    std::vector<int> row_bits;     // row within the bank
+    int num_banks = 96;
+  };
+
+  explicit AddressMapping(Fields f);
+
+  struct Decoded {
+    int bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t column = 0;
+  };
+  Decoded decode(std::uint64_t addr) const;
+
+  int num_banks() const { return fields_.num_banks; }
+  const Fields& fields() const { return fields_; }
+
+  // Highest classified bit + 1; addresses must stay below 1 << usable_bits()
+  // (the allocator guarantees this) so every relevant bit has a role.
+  int usable_bits() const { return usable_bits_; }
+
+ private:
+  Fields fields_;
+  int usable_bits_;
+  std::uint64_t bank_mask_ = 0, column_mask_ = 0, row_mask_ = 0;
+};
+
+// Kepler-like default: transaction bits 0-6, bank-select bits 7-13
+// (7 bits folded % 96 -> single-bit flips always change the bank), column
+// bits 14-17 (16 x 128 B = 2 KiB row), row bits 18-33.
+AddressMapping kepler_mapping(const GpuArch& arch);
+
+// Extract the bits of `addr` at `positions` (low position = LSB of result).
+std::uint64_t extract_bits(std::uint64_t addr, const std::vector<int>& positions);
+
+}  // namespace gpuhms

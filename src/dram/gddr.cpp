@@ -1,0 +1,121 @@
+#include "dram/gddr.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+std::uint64_t DramStats::row_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& b : banks) n += b.row_hits;
+  return n;
+}
+
+std::uint64_t DramStats::row_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& b : banks) n += b.row_misses;
+  return n;
+}
+
+std::uint64_t DramStats::row_conflicts() const {
+  std::uint64_t n = 0;
+  for (const auto& b : banks) n += b.row_conflicts;
+  return n;
+}
+
+double DramStats::avg_latency() const {
+  return total_requests ? static_cast<double>(latency_sum) /
+                              static_cast<double>(total_requests)
+                        : 0.0;
+}
+
+double DramStats::avg_queue_delay() const {
+  std::uint64_t d = 0;
+  for (const auto& b : banks) d += b.queue_delay_sum;
+  return total_requests
+             ? static_cast<double>(d) / static_cast<double>(total_requests)
+             : 0.0;
+}
+
+GddrSystem::GddrSystem(const GpuArch& arch, AddressMapping mapping,
+                       bool record_interarrival_samples)
+    : arch_(&arch), map_(std::move(mapping)),
+      record_samples_(record_interarrival_samples) {
+  banks_.resize(static_cast<std::size_t>(map_.num_banks()));
+  stats_.banks.resize(banks_.size());
+  if (record_samples_) samples_.resize(banks_.size());
+}
+
+std::uint64_t GddrSystem::access(std::uint64_t addr, std::uint64_t issue_time,
+                                 bool is_write) {
+  (void)is_write;  // writes occupy the bank identically in this model
+  GPUHMS_CHECK_MSG(issue_time >= last_issue_,
+                   "DRAM accesses must arrive in nondecreasing time order");
+  last_issue_ = issue_time;
+
+  const DramTiming& t = arch_->dram;
+  const std::uint64_t front = t.pipeline_lat / 2;
+  const std::uint64_t back = t.pipeline_lat - front;
+
+  const auto d = map_.decode(addr);
+  Bank& bank = banks_[static_cast<std::size_t>(d.bank)];
+  BankStats& bs = stats_.banks[static_cast<std::size_t>(d.bank)];
+
+  const std::uint64_t arrival = issue_time + front;
+  if (bank.seen_arrival) {
+    const std::uint64_t delta = arrival - bank.last_arrival;
+    bs.interarrival.add(static_cast<double>(delta));
+    if (record_samples_)
+      samples_[static_cast<std::size_t>(d.bank)].push_back(delta);
+  }
+  bank.last_arrival = arrival;
+  bank.seen_arrival = true;
+  ++bs.arrivals;
+
+  const std::uint64_t start = std::max(arrival, bank.busy_until);
+  std::uint64_t service;
+  if (!bank.row_open) {
+    service = t.row_miss_service;
+    ++bs.row_misses;
+  } else if (bank.open_row == d.row) {
+    service = t.row_hit_service;
+    ++bs.row_hits;
+  } else {
+    service = t.row_conflict_service;
+    ++bs.row_conflicts;
+  }
+  if (t.page_policy == PagePolicy::Open) {
+    bank.row_open = true;
+    bank.open_row = d.row;
+  } else {
+    // Closed page: auto-precharge after the access; the next request always
+    // pays the activation (row-miss) service.
+    bank.row_open = false;
+  }
+  bank.busy_until = start + service;
+  bs.queue_delay_sum += start - arrival;
+  bs.busy_cycles += service;
+
+  const std::uint64_t completion = start + service + back;
+  ++stats_.total_requests;
+  stats_.latency_sum += completion - issue_time;
+  return completion;
+}
+
+RowOutcome GddrSystem::peek_outcome(std::uint64_t addr) const {
+  const auto d = map_.decode(addr);
+  const Bank& bank = banks_[static_cast<std::size_t>(d.bank)];
+  if (!bank.row_open) return RowOutcome::Miss;
+  return bank.open_row == d.row ? RowOutcome::Hit : RowOutcome::Conflict;
+}
+
+void GddrSystem::reset() {
+  std::fill(banks_.begin(), banks_.end(), Bank{});
+  stats_ = DramStats{};
+  stats_.banks.resize(banks_.size());
+  for (auto& s : samples_) s.clear();
+  last_issue_ = 0;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,82 @@
+// Banked GDDR5 timing model: per-bank FCFS queues, row buffers, and the
+// hit / miss / conflict service times of Sec. III-C of the paper. This is the
+// substrate whose behaviour the analytical G/G/1 queuing model approximates
+// and whose mapping Algorithm 1 detects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "common/stats.hpp"
+#include "dram/address_mapping.hpp"
+
+namespace gpuhms {
+
+enum class RowOutcome : int { Hit = 0, Miss = 1, Conflict = 2 };
+
+struct BankStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;    // closed-row activation
+  std::uint64_t row_conflicts = 0; // open different row: writeback + activate
+  std::uint64_t queue_delay_sum = 0;
+  std::uint64_t busy_cycles = 0;
+  RunningStat interarrival;  // cycles between consecutive arrivals
+};
+
+struct DramStats {
+  std::vector<BankStats> banks;
+  std::uint64_t total_requests = 0;
+  std::uint64_t latency_sum = 0;  // end-to-end, for measured AMAT
+
+  std::uint64_t row_hits() const;
+  std::uint64_t row_misses() const;
+  std::uint64_t row_conflicts() const;
+  double avg_latency() const;
+  double avg_queue_delay() const;
+};
+
+class GddrSystem {
+ public:
+  GddrSystem(const GpuArch& arch, AddressMapping mapping,
+             bool record_interarrival_samples = false);
+
+  // Issue a transaction at `issue_time` (SM-side clock). Returns the cycle
+  // the data is back at the requester. Calls must have nondecreasing
+  // issue_time (FCFS arrival order); the timing simulator guarantees this by
+  // processing events in global time order.
+  std::uint64_t access(std::uint64_t addr, std::uint64_t issue_time,
+                       bool is_write = false);
+
+  // Row-buffer outcome the *next* access to `addr` would see (no state
+  // change). Used by trace-order analysis and tests.
+  RowOutcome peek_outcome(std::uint64_t addr) const;
+
+  const AddressMapping& mapping() const { return map_; }
+  const DramStats& stats() const { return stats_; }
+  // Raw inter-arrival samples per bank (only when recording was enabled).
+  const std::vector<std::vector<std::uint64_t>>& interarrival_samples() const {
+    return samples_;
+  }
+  void reset();
+
+ private:
+  struct Bank {
+    std::uint64_t busy_until = 0;
+    std::uint64_t open_row = 0;
+    bool row_open = false;
+    std::uint64_t last_arrival = 0;
+    bool seen_arrival = false;
+  };
+
+  const GpuArch* arch_;
+  AddressMapping map_;
+  bool record_samples_;
+  std::vector<Bank> banks_;
+  DramStats stats_;
+  std::vector<std::vector<std::uint64_t>> samples_;
+  std::uint64_t last_issue_ = 0;
+};
+
+}  // namespace gpuhms

@@ -1,0 +1,27 @@
+#include "isa/addressing.hpp"
+
+namespace gpuhms {
+
+int addr_calc_instructions(MemSpace space, DType dtype) {
+  (void)dtype;  // the enumerated common types all share counts on Kepler:
+                // the IMAD pair / single SHL absorb the element-size scale.
+  switch (space) {
+    case MemSpace::Global: return 2;     // IMAD + IMAD.HI.X (Fig. 2a)
+    case MemSpace::Texture1D: return 0;  // index used directly (Fig. 2b)
+    case MemSpace::Constant: return 1;   // SHL (Fig. 2c)
+    case MemSpace::Shared: return 1;     // SHL (Fig. 2d)
+    case MemSpace::Texture2D: return 2;  // x/y coordinate derivation
+  }
+  return 0;
+}
+
+int addr_calc_instructions_2d(MemSpace space, DType dtype) {
+  // When the kernel already maintains 2-D coordinates, the 2-D texture fetch
+  // consumes them directly; everything else must flatten (one extra IMAD).
+  switch (space) {
+    case MemSpace::Texture2D: return 0;
+    default: return addr_calc_instructions(space, dtype) + 1;
+  }
+}
+
+}  // namespace gpuhms

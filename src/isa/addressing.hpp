@@ -1,0 +1,30 @@
+// Addressing-mode model (Sec. III-B, Fig. 2).
+//
+// Referencing an array element by its index costs a memory-space-dependent
+// number of integer instructions before the load/store:
+//   * global    — register-indirect: 64-bit effective address built with two
+//                 32-bit IMADs (2 instructions),
+//   * 1D texture — the element index feeds tex1Dfetch directly (0),
+//   * constant  — indexed absolute: one SHL to scale the index (1),
+//   * shared    — indexed absolute: one SHL (1),
+//   * 2D texture — x/y coordinates derived from the linear index: one integer
+//                 instruction pair is modeled (2) since SASS materializes a
+//                 div/mod or uses precomputed strides.
+// The counts vary with element width: 8-byte elements on global memory still
+// need 2 instructions (IMAD pair); constant/shared still need the single
+// scaling instruction.
+#pragma once
+
+#include "arch/mem_space.hpp"
+
+namespace gpuhms {
+
+// Number of integer addressing instructions to reference one element of a
+// 1-D array of the given type from the given space.
+int addr_calc_instructions(MemSpace space, DType dtype);
+
+// Same, for an array accessed through 2-D coordinates (only meaningful when
+// the DSL kernel addresses via a flattened index).
+int addr_calc_instructions_2d(MemSpace space, DType dtype);
+
+}  // namespace gpuhms

@@ -1,0 +1,96 @@
+// SASS-class instruction abstraction.
+//
+// Kernels in the DSL (src/kernel) emit warp-level operations; the trace
+// materializer (src/trace) lowers array references into addressing-mode
+// instructions plus a load/store with per-lane byte addresses, mirroring the
+// SASS sequences the paper analyzes in Fig. 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "arch/mem_space.hpp"
+
+namespace gpuhms {
+
+inline constexpr int kWarpSize = 32;
+
+enum class OpClass : std::uint8_t {
+  IAlu,     // integer ALU (IMAD/SHL/IADD...); addressing instructions land here
+  FAlu,     // single-precision FP (FFMA/FADD/FMUL)
+  DAlu,     // double-precision FP; issues over 2 cycles (replay cause 5)
+  Sfu,      // special function (rsqrt, sin...)
+  Load,     // memory load, space given by WarpOp::space
+  Store,    // memory store
+  Sync,     // __syncthreads()
+};
+
+constexpr std::string_view to_string(OpClass c) {
+  switch (c) {
+    case OpClass::IAlu: return "ialu";
+    case OpClass::FAlu: return "falu";
+    case OpClass::DAlu: return "dalu";
+    case OpClass::Sfu: return "sfu";
+    case OpClass::Load: return "load";
+    case OpClass::Store: return "store";
+    case OpClass::Sync: return "sync";
+  }
+  return "?";
+}
+
+constexpr bool is_memory(OpClass c) {
+  return c == OpClass::Load || c == OpClass::Store;
+}
+
+// Per-lane element index; kInactiveLane marks predicated-off lanes.
+inline constexpr std::int64_t kInactiveLane = -1;
+using LaneIdx = std::array<std::int64_t, kWarpSize>;
+
+// DSL-level operation recorded per warp (pre-lowering): memory ops carry the
+// referenced array and per-lane *element indices*; compute ops carry a
+// repeat count.
+struct DslOp {
+  OpClass cls = OpClass::IAlu;
+  std::int16_t array = -1;   // index into KernelInfo::arrays for Load/Store
+  std::uint16_t count = 1;   // repeat count for compute ops
+  bool uses_prev = false;    // consumes the previous op's result (RAW dep)
+  LaneIdx idx{};             // element indices (memory ops only)
+};
+
+// Lowered (materialized) operation consumed by the simulator and the model's
+// trace analysis: memory ops carry per-lane *byte addresses* in the placed
+// memory space.
+struct TraceOp {
+  OpClass cls = OpClass::IAlu;
+  MemSpace space = MemSpace::Global;  // memory ops only
+  std::int16_t array = -1;            // -1 for synthetic ops (staging copies)
+  bool uses_prev = false;
+  bool is_addr_calc = false;  // IAlu inserted by addressing-mode lowering
+  std::uint32_t active_mask = 0;
+  std::array<std::int64_t, kWarpSize> addr{};  // byte addresses; lanes w/ bit off: ignore
+};
+
+constexpr int popcount32(std::uint32_t m) {
+  int n = 0;
+  while (m) {
+    m &= m - 1;
+    ++n;
+  }
+  return n;
+}
+
+// Replay causes (Sec. III-B list (1)-(10)). Causes 1-4 depend on where the
+// target data object lives and are re-derived per placement; 5-10 are assumed
+// placement-invariant by the model (and the simulator generates 5 natively
+// via DAlu issue timing).
+enum class ReplayCause : int {
+  GlobalAddressDivergence = 1,
+  ConstantCacheMiss = 2,
+  ConstantAddressDivergence = 3,
+  SharedBankConflict = 4,
+  DoubleIssue = 5,
+  Other = 6,  // causes 6-10 aggregated
+};
+
+}  // namespace gpuhms

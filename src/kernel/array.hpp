@@ -1,0 +1,37 @@
+// Array declarations: the data objects whose placement the models optimize.
+// The paper (like PORPLE) restricts itself to data arrays, the dominant GPU
+// data structure (Sec. II-A).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "arch/mem_space.hpp"
+
+namespace gpuhms {
+
+struct ArrayDecl {
+  std::string name;
+  DType dtype = DType::F32;
+  std::size_t elems = 0;
+  // Elements per row when the array has a natural 2-D interpretation
+  // (enables the Texture2D placement and its block-linear locality); 0 = 1-D.
+  std::size_t width = 0;
+  // The kernel stores to this array (restricts placement to writable spaces).
+  bool written = false;
+  // When staged into shared memory, the number of elements each thread block
+  // actually needs (its tile/slice). 0 means the whole array must fit.
+  std::size_t shared_slice_elems = 0;
+  // The placement the benchmark ships with (the paper's "sample placement").
+  MemSpace default_space = MemSpace::Global;
+
+  std::size_t elem_size() const { return dtype_size(dtype); }
+  std::size_t bytes() const { return elems * elem_size(); }
+  std::size_t shared_slice_bytes() const {
+    const std::size_t e = shared_slice_elems ? shared_slice_elems : elems;
+    return e * elem_size();
+  }
+  std::size_t height() const { return width ? (elems + width - 1) / width : 1; }
+};
+
+}  // namespace gpuhms

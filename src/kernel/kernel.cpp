@@ -1,0 +1,39 @@
+#include "kernel/kernel.hpp"
+
+namespace gpuhms {
+
+int KernelInfo::array_index(std::string_view name_) const {
+  for (std::size_t i = 0; i < arrays.size(); ++i)
+    if (arrays[i].name == name_) return static_cast<int>(i);
+  GPUHMS_CHECK_MSG(false, "unknown array name");
+  return -1;
+}
+
+const ArrayDecl& KernelInfo::array(std::string_view name_) const {
+  return arrays[static_cast<std::size_t>(array_index(name_))];
+}
+
+void for_each_warp(
+    const KernelInfo& k, std::int64_t block_begin, std::int64_t block_end,
+    const std::function<void(const WarpCtx&, std::vector<DslOp>&&)>& sink) {
+  GPUHMS_CHECK(k.fn != nullptr);
+  GPUHMS_CHECK(0 <= block_begin && block_begin <= block_end &&
+               block_end <= k.num_blocks);
+  const int wpb = k.warps_per_block();
+  for (std::int64_t b = block_begin; b < block_end; ++b) {
+    for (int w = 0; w < wpb; ++w) {
+      WarpCtx ctx;
+      ctx.block = b;
+      ctx.warp_in_block = w;
+      ctx.threads_per_block = k.threads_per_block;
+      ctx.num_blocks = k.num_blocks;
+      const int remaining = k.threads_per_block - w * kWarpSize;
+      ctx.lanes_active = remaining >= kWarpSize ? kWarpSize : remaining;
+      WarpEmitter em(ctx);
+      k.fn(em, ctx);
+      sink(ctx, em.take());
+    }
+  }
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,128 @@
+#include "kernel/placement.hpp"
+
+#include <sstream>
+
+namespace gpuhms {
+
+DataPlacement DataPlacement::defaults(const KernelInfo& k) {
+  std::vector<MemSpace> s;
+  s.reserve(k.arrays.size());
+  for (const auto& a : k.arrays) s.push_back(a.default_space);
+  return DataPlacement(std::move(s));
+}
+
+std::optional<DataPlacement> DataPlacement::from_string(const KernelInfo& k,
+                                                        std::string_view str) {
+  std::vector<MemSpace> spaces;
+  std::size_t pos = 0;
+  while (pos <= str.size()) {
+    const std::size_t comma = str.find(',', pos);
+    const std::string_view code = str.substr(
+        pos, comma == std::string_view::npos ? str.size() - pos : comma - pos);
+    bool found = false;
+    for (MemSpace s : kAllMemSpaces) {
+      if (code == short_code(s)) {
+        spaces.push_back(s);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  if (spaces.size() != k.arrays.size()) return std::nullopt;
+  return DataPlacement(std::move(spaces));
+}
+
+DataPlacement DataPlacement::with(int array, MemSpace s) const {
+  DataPlacement p = *this;
+  p.set(array, s);
+  return p;
+}
+
+std::string DataPlacement::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < spaces_.size(); ++i) {
+    if (i) os << ',';
+    os << short_code(spaces_[i]);
+  }
+  return os.str();
+}
+
+std::string DataPlacement::describe_vs(const DataPlacement& base,
+                                       const KernelInfo& k) const {
+  GPUHMS_CHECK(base.size() == size() && k.arrays.size() == size());
+  std::ostringstream os;
+  bool any = false;
+  for (std::size_t i = 0; i < spaces_.size(); ++i) {
+    if (spaces_[i] == base.spaces_[i]) continue;
+    if (any) os << ", ";
+    os << k.arrays[i].name << '(' << short_code(base.spaces_[i]) << "->"
+       << short_code(spaces_[i]) << ')';
+    any = true;
+  }
+  return any ? os.str() : std::string("default");
+}
+
+std::optional<std::string> validate_placement(const KernelInfo& k,
+                                              const DataPlacement& p,
+                                              const GpuArch& arch) {
+  GPUHMS_CHECK(p.size() == k.arrays.size());
+  std::size_t const_bytes = 0;
+  std::size_t shared_bytes = 0;
+  for (std::size_t i = 0; i < k.arrays.size(); ++i) {
+    const ArrayDecl& a = k.arrays[i];
+    const MemSpace s = p.of(static_cast<int>(i));
+    if (a.written && !is_device_writable(s))
+      return a.name + ": written arrays cannot be placed in read-only " +
+             std::string(to_string(s));
+    if (s == MemSpace::Texture2D && a.width == 0)
+      return a.name + ": texture2d placement needs a 2-D shape (width)";
+    if (s == MemSpace::Constant) const_bytes += a.bytes();
+    if (s == MemSpace::Shared) shared_bytes += a.shared_slice_bytes();
+  }
+  if (const_bytes > arch.constant_capacity)
+    return "constant memory capacity exceeded";
+  if (shared_bytes > arch.shared_capacity)
+    return "shared memory capacity (per block) exceeded";
+  return std::nullopt;
+}
+
+std::vector<MemSpace> legal_spaces(const KernelInfo& k, int array,
+                                   const GpuArch& arch) {
+  std::vector<MemSpace> out;
+  const DataPlacement base = DataPlacement::defaults(k);
+  for (MemSpace s : kAllMemSpaces) {
+    if (!validate_placement(k, base.with(array, s), arch)) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<DataPlacement> enumerate_placements(const KernelInfo& k,
+                                                const GpuArch& arch,
+                                                std::size_t cap) {
+  std::vector<DataPlacement> out;
+  const std::size_t n = k.arrays.size();
+  std::vector<std::size_t> cursor(n, 0);
+  while (true) {
+    std::vector<MemSpace> spaces(n);
+    for (std::size_t i = 0; i < n; ++i)
+      spaces[i] = kAllMemSpaces[cursor[i]];
+    DataPlacement p(std::move(spaces));
+    if (!validate_placement(k, p, arch)) {
+      out.push_back(std::move(p));
+      if (out.size() >= cap) return out;
+    }
+    // Odometer increment.
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+      if (++cursor[i] < kAllMemSpaces.size()) break;
+      cursor[i] = 0;
+    }
+    if (i == n) break;
+  }
+  return out;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,86 @@
+#include "math/linreg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  GPUHMS_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  GPUHMS_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::optional<std::vector<double>> solve_linear(Matrix a,
+                                                std::vector<double> b) {
+  const std::size_t n = a.rows();
+  GPUHMS_CHECK(a.cols() == n && b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a.at(pivot, col)) < 1e-12) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a.at(ri, c) * x[c];
+    x[ri] = s / a.at(ri, ri);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> least_squares(const Matrix& x,
+                                                 std::span<const double> y,
+                                                 double lambda) {
+  const std::size_t n = x.rows(), p = x.cols();
+  GPUHMS_CHECK(y.size() == n);
+  GPUHMS_CHECK(p > 0);
+  // Normal equations: (X^T X + lambda I) beta = X^T y.
+  Matrix xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      const double xa = x.at(i, a);
+      if (xa == 0.0) continue;
+      xty[a] += xa * y[i];
+      for (std::size_t b = a; b < p; ++b) xtx.at(a, b) += xa * x.at(i, b);
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a) {
+    xtx.at(a, a) += lambda;
+    for (std::size_t b = 0; b < a; ++b) xtx.at(a, b) = xtx.at(b, a);
+  }
+  return solve_linear(std::move(xtx), std::move(xty));
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  GPUHMS_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,47 @@
+// Small dense linear-algebra kit: Gaussian elimination and (ridge-regularized)
+// ordinary least squares. Used to train the T_overlap empirical model
+// (Eq. 11 of the paper) from the Table IV training placements.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace gpuhms {
+
+// Row-major dense matrix, minimal surface for our needs.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b by Gaussian elimination with partial pivoting.
+// Returns nullopt when A is (numerically) singular.
+std::optional<std::vector<double>> solve_linear(Matrix a,
+                                                std::vector<double> b);
+
+// Ordinary least squares with optional ridge term:
+//   beta = argmin ||X beta - y||^2 + lambda ||beta||^2
+// X is n x p (n samples as rows), y has n entries. The intercept, if wanted,
+// must be provided as a constant-1 column of X (the T_overlap model's "c").
+// Returns nullopt when the normal equations are singular (e.g. collinear
+// features with lambda == 0).
+std::optional<std::vector<double>> least_squares(const Matrix& x,
+                                                 std::span<const double> y,
+                                                 double lambda = 0.0);
+
+// Convenience: y_hat = X beta for a single row of features.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace gpuhms

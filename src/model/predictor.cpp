@@ -1,0 +1,208 @@
+#include "model/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+namespace {
+
+AnalysisOptions analysis_options(const ModelOptions& o) {
+  AnalysisOptions a;
+  a.even_bank_distribution = !o.address_mapping;
+  return a;
+}
+
+TmemOptions tmem_options(const ModelOptions& o) {
+  TmemOptions t;
+  t.queuing_model = o.queuing_model;
+  t.row_buffer_model = o.row_buffer_model;
+  t.discipline = o.queue_discipline;
+  return t;
+}
+
+double compute_itilp(const PlacementEvents& ev, double n_warps,
+                     const GpuArch& arch) {
+  const double itilp_max =
+      static_cast<double>(arch.avg_inst_lat) /
+      (static_cast<double>(arch.warp_size) /
+       static_cast<double>(arch.simd_width));
+  return std::max(1.0, std::min(ev.ilp * std::max(1.0, n_warps), itilp_max));
+}
+
+}  // namespace
+
+Predictor::Predictor(const KernelInfo& kernel, const GpuArch& arch,
+                     ModelOptions options, ToverlapModel overlap)
+    : kernel_(&kernel), arch_(&arch), options_(options),
+      overlap_(std::move(overlap)) {}
+
+void Predictor::profile_sample(const DataPlacement& sample) {
+  set_sample(sample, simulate(*kernel_, sample, *arch_));
+}
+
+void Predictor::set_sample(const DataPlacement& sample,
+                           const SimResult& measured) {
+  sample_ = sample;
+  sample_result_ = measured;
+  sample_ev_ = analyze_trace(*kernel_, sample, *arch_,
+                             analysis_options(options_));
+  anchor_scale_.reset();
+}
+
+const SimResult& Predictor::sample_result() const {
+  GPUHMS_CHECK_MSG(sample_result_.has_value(), "no sample profiled");
+  return *sample_result_;
+}
+
+const DataPlacement& Predictor::sample_placement() const {
+  GPUHMS_CHECK_MSG(sample_.has_value(), "no sample profiled");
+  return *sample_;
+}
+
+Prediction Predictor::predict_from_events(
+    const PlacementEvents& target_ev) const {
+  GPUHMS_CHECK_MSG(sample_result_.has_value(),
+                   "profile_sample/set_sample must be called first");
+  const ProfileCounters& sc = sample_result_->counters;
+  const double total_warps =
+      static_cast<double>(std::max<std::uint64_t>(1, sc.total_warps));
+  const int active_sms = std::max(1, sc.active_sms);
+  // Occupancy under the *target* placement (shared staging costs warps).
+  const double n_warps = std::max(1.0, target_ev.warps_per_sm);
+
+  Prediction p;
+
+  // Issued instructions (Sec. III-B / Eq. 3).
+  InstructionCountOptions ico;
+  ico.detailed_counting = options_.detailed_instruction_counting;
+  p.inst = estimate_issued_instructions(sc, *sample_ev_, target_ev,
+                                        sc.total_warps, ico);
+
+  // Instruction-tick -> cycle calibration from the sample run.
+  const double tick_to_cycles =
+      static_cast<double>(sample_result_->cycles) /
+      std::max(1.0, static_cast<double>(sample_ev_->trace_ticks));
+
+  // T_mem (Eq. 4-10).
+  TmemInputs tin;
+  tin.events = &target_ev;
+  tin.total_warps = total_warps;
+  tin.active_sms = active_sms;
+  tin.n_warps_per_sm = n_warps;
+  tin.issued_per_warp = p.inst.issued_per_warp;
+  tin.tick_to_cycles = tick_to_cycles;
+  const TmemResult tm = tmem(tin, *arch_, tmem_options(options_));
+  p.t_mem = tm.t_mem;
+  p.amat = tm.amat;
+  p.dram_lat = tm.dram_lat;
+
+  // T_comp (Eq. 2). W_serial is placement-invariant and absorbed by the
+  // sample anchoring / the T_overlap regression constant.
+  TcompInputs cin;
+  cin.inst = p.inst;
+  cin.total_warps = total_warps;
+  cin.active_sms = active_sms;
+  cin.itilp = compute_itilp(target_ev, n_warps, *arch_);
+  cin.w_serial = 0.0;
+  p.t_comp = tcomp(cin, *arch_);
+
+  // T_overlap (Eq. 11-12). The upper bound keeps the overlap physical: it
+  // cannot exceed the smaller of the two overlapped components.
+  p.overlap_ratio = overlap_.overlap_ratio(target_ev, n_warps);
+  p.t_overlap = std::clamp(p.overlap_ratio * p.t_mem,
+                           -0.25 * (p.t_comp + p.t_mem),
+                           std::min(p.t_comp, p.t_mem));
+
+  p.raw_cycles = std::max(1.0, p.t_comp + p.t_mem - p.t_overlap);
+  p.total_cycles = p.raw_cycles;
+  return p;
+}
+
+Prediction Predictor::predict(const DataPlacement& target) const {
+  const PlacementEvents target_ev =
+      analyze_trace(*kernel_, target, *arch_, analysis_options(options_));
+  Prediction p = predict_from_events(target_ev);
+
+  if (options_.anchor_to_sample) {
+    if (!anchor_scale_.has_value()) {
+      const Prediction self = predict_from_events(*sample_ev_);
+      anchor_scale_ = static_cast<double>(sample_result_->cycles) /
+                      std::max(1.0, self.raw_cycles);
+    }
+    p.total_cycles = p.raw_cycles * *anchor_scale_;
+  }
+  return p;
+}
+
+ToverlapModel train_overlap_model_measured(std::span<const MeasuredCase> cases,
+                                           const GpuArch& arch,
+                                           const ModelOptions& options,
+                                           double ridge) {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (const MeasuredCase& c : cases) {
+    GPUHMS_CHECK(c.kernel != nullptr);
+    const SimResult& measured = c.measured;
+    const PlacementEvents ev = analyze_trace(*c.kernel, c.placement, arch,
+                                             analysis_options(options));
+    const ProfileCounters& sc = measured.counters;
+    const double total_warps =
+        static_cast<double>(std::max<std::uint64_t>(1, sc.total_warps));
+    const int active_sms = std::max(1, sc.active_sms);
+    const double n_warps = std::max(1.0, ev.warps_per_sm);
+    const double tick_to_cycles =
+        static_cast<double>(measured.cycles) /
+        std::max(1.0, static_cast<double>(ev.trace_ticks));
+
+    // The training case is its own sample: issued instructions are measured.
+    InstructionEstimate inst;
+    inst.executed_total = static_cast<double>(sc.inst_executed);
+    inst.replays_total = static_cast<double>(sc.replays_total());
+    inst.issued_total = inst.executed_total + inst.replays_total;
+    inst.issued_per_warp = inst.issued_total / total_warps;
+
+    TmemInputs tin;
+    tin.events = &ev;
+    tin.total_warps = total_warps;
+    tin.active_sms = active_sms;
+    tin.n_warps_per_sm = n_warps;
+    tin.issued_per_warp = inst.issued_per_warp;
+    tin.tick_to_cycles = tick_to_cycles;
+    const TmemResult tm = tmem(tin, arch, tmem_options(options));
+
+    TcompInputs cin;
+    cin.inst = inst;
+    cin.total_warps = total_warps;
+    cin.active_sms = active_sms;
+    cin.itilp = compute_itilp(ev, n_warps, arch);
+    const double tc = tcomp(cin, arch);
+
+    if (tm.t_mem <= 0.0) continue;
+    const double y = std::clamp(
+        (tc + tm.t_mem - static_cast<double>(measured.cycles)) / tm.t_mem,
+        -1.0, 1.5);
+    xs.push_back(ToverlapModel::features(ev, n_warps));
+    ys.push_back(y);
+  }
+  ToverlapModel model;
+  if (!xs.empty()) model.train(xs, ys, ridge);
+  return model;
+}
+
+ToverlapModel train_overlap_model(std::span<const TrainingCase> cases,
+                                  const GpuArch& arch,
+                                  const ModelOptions& options, double ridge) {
+  std::vector<MeasuredCase> measured;
+  measured.reserve(cases.size());
+  for (const TrainingCase& c : cases) {
+    GPUHMS_CHECK(c.kernel != nullptr);
+    measured.push_back(
+        {c.kernel, c.placement, simulate(*c.kernel, c.placement, arch)});
+  }
+  return train_overlap_model_measured(measured, arch, options, ridge);
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,118 @@
+// End-to-end prediction framework (Sec. IV): given a kernel, profile one
+// *sample* placement (here: run the simulator substrate, standing in for an
+// nvprof run on the K80) and predict the execution time of any *target*
+// placement via T = T_comp + T_mem - T_overlap (Eq. 1).
+//
+// ModelOptions toggles reproduce the paper's ablations:
+//   * detailed_instruction_counting  — Fig. 7 (addressing mode + Eq. 3 replays)
+//   * queuing_model                  — Fig. 8/9 (G/G/1 vs constant latency)
+//   * address_mapping                — Fig. 8 (detected map vs even spread)
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "kernel/placement.hpp"
+#include "model/instruction_counter.hpp"
+#include "model/tcomp.hpp"
+#include "model/tmem.hpp"
+#include "model/toverlap.hpp"
+#include "sim/simulator.hpp"
+
+namespace gpuhms {
+
+struct ModelOptions {
+  bool detailed_instruction_counting = true;
+  bool queuing_model = true;
+  bool address_mapping = true;
+  bool row_buffer_model = true;
+  // Queue discipline for the DRAM model; MM1 exists to reproduce the
+  // paper's argument that Markovian queues misfit GPU arrival processes.
+  QueueDiscipline queue_discipline = QueueDiscipline::GG1;
+  // Anchor predictions on the sample's measured/predicted ratio — this is
+  // the "quantified correlation" use of the sample placement.
+  bool anchor_to_sample = true;
+
+  // The paper's "baseline" configuration of Sec. V-B.
+  static ModelOptions baseline() {
+    ModelOptions o;
+    o.detailed_instruction_counting = false;
+    o.queuing_model = false;
+    o.address_mapping = false;
+    o.row_buffer_model = false;
+    return o;
+  }
+};
+
+struct Prediction {
+  double t_comp = 0.0;
+  double t_mem = 0.0;
+  double t_overlap = 0.0;
+  double total_cycles = 0.0;  // anchored when the option is on
+  double raw_cycles = 0.0;    // before anchoring
+  double amat = 0.0;
+  double dram_lat = 0.0;
+  double overlap_ratio = 0.0;
+  InstructionEstimate inst;
+};
+
+class Predictor {
+ public:
+  Predictor(const KernelInfo& kernel, const GpuArch& arch,
+            ModelOptions options = {}, ToverlapModel overlap = {});
+
+  // Run the simulator substrate on the sample placement ("measure" it).
+  void profile_sample(const DataPlacement& sample);
+  // Inject an existing measurement instead.
+  void set_sample(const DataPlacement& sample, const SimResult& measured);
+
+  Prediction predict(const DataPlacement& target) const;
+
+  const SimResult& sample_result() const;
+  const DataPlacement& sample_placement() const;
+  const KernelInfo& kernel() const { return *kernel_; }
+  const ModelOptions& options() const { return options_; }
+
+ private:
+  Prediction predict_from_events(const PlacementEvents& target_ev) const;
+
+  const KernelInfo* kernel_;
+  const GpuArch* arch_;
+  ModelOptions options_;
+  ToverlapModel overlap_;
+
+  std::optional<DataPlacement> sample_;
+  std::optional<SimResult> sample_result_;
+  std::optional<PlacementEvents> sample_ev_;
+  mutable std::optional<double> anchor_scale_;
+};
+
+// --- T_overlap training ------------------------------------------------------
+struct TrainingCase {
+  const KernelInfo* kernel = nullptr;
+  DataPlacement placement;
+};
+
+// A training case together with its (already collected) measurement, so a
+// harness comparing several model variants can simulate each placement once.
+struct MeasuredCase {
+  const KernelInfo* kernel = nullptr;
+  DataPlacement placement;
+  SimResult measured;
+};
+
+// Computes the measured overlap ratio y = (T_comp + T_mem - T_measured) /
+// T_mem against the analytical T_comp/T_mem of each placement and fits
+// Eq. 11 by ridge regression.
+ToverlapModel train_overlap_model_measured(std::span<const MeasuredCase> cases,
+                                           const GpuArch& arch,
+                                           const ModelOptions& options = {},
+                                           double ridge = 1e-3);
+
+// Convenience: runs every training case on the simulator substrate first.
+ToverlapModel train_overlap_model(std::span<const TrainingCase> cases,
+                                  const GpuArch& arch,
+                                  const ModelOptions& options = {},
+                                  double ridge = 1e-3);
+
+}  // namespace gpuhms

@@ -1,0 +1,101 @@
+#include "model/queuing.hpp"
+
+#include <algorithm>
+
+namespace gpuhms {
+
+double kingman_queue_delay(const GG1Bank& bank, double rho_max) {
+  if (bank.tau_a <= 0.0 || bank.tau_s <= 0.0) return 0.0;
+  const double rho = std::min(bank.rho(), rho_max);
+  const double variability = (bank.ca() + bank.cs()) / 2.0;
+  return variability * (rho / (1.0 - rho)) * bank.tau_a;
+}
+
+double mm1_queue_delay(const GG1Bank& bank, double rho_max) {
+  if (bank.tau_a <= 0.0 || bank.tau_s <= 0.0) return 0.0;
+  const double rho = std::min(bank.rho(), rho_max);
+  return (rho / (1.0 - rho)) * bank.tau_s;
+}
+
+std::vector<GG1Bank> build_bank_inputs(const PlacementEvents& ev,
+                                       double tick_to_cycles) {
+  std::vector<GG1Bank> out;
+  out.reserve(ev.banks.size());
+  for (const BankStream& s : ev.banks) {
+    GG1Bank b;
+    if (s.count > 0) {
+      b.tau_a = s.interarrival.mean() * tick_to_cycles;
+      b.sigma_a = s.interarrival.stddev() * tick_to_cycles;
+      b.tau_s = s.service.mean();
+      b.sigma_s = s.service.stddev();
+      b.lambda = b.tau_a > 0.0 ? 1.0 / b.tau_a : 0.0;
+      // A bank touched once has no inter-arrival sample; treat it as
+      // unloaded (no queuing).
+      if (s.interarrival.count() == 0) {
+        b.tau_a = 0.0;
+        b.sigma_a = 0.0;
+        b.lambda = 0.0;
+      }
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename DelayFn>
+QueuingResult aggregate_banks(const std::vector<GG1Bank>& banks,
+                              double rho_max, DelayFn&& delay) {
+  QueuingResult r;
+  double weight_sum = 0.0;
+  for (const GG1Bank& b : banks) {
+    if (b.tau_s <= 0.0) continue;
+    // Banks with a single request contribute their service time with a
+    // nominal weight so sparse kernels still produce a latency.
+    const double w = b.lambda > 0.0 ? b.lambda : 1e-9;
+    const double wq = delay(b, rho_max);
+    r.dram_lat += w * (wq + b.tau_s);
+    r.avg_queue_delay += w * wq;
+    r.avg_service += w * b.tau_s;
+    weight_sum += w;
+  }
+  if (weight_sum > 0.0) {
+    r.dram_lat /= weight_sum;
+    r.avg_queue_delay /= weight_sum;
+    r.avg_service /= weight_sum;
+  }
+  return r;
+}
+
+}  // namespace
+
+QueuingResult dram_latency_gg1(const std::vector<GG1Bank>& banks,
+                               double rho_max) {
+  return aggregate_banks(banks, rho_max, [](const GG1Bank& b, double rm) {
+    return kingman_queue_delay(b, rm);
+  });
+}
+
+QueuingResult dram_latency_mm1(const std::vector<GG1Bank>& banks,
+                               double rho_max) {
+  return aggregate_banks(banks, rho_max, [](const GG1Bank& b, double rm) {
+    return mm1_queue_delay(b, rm);
+  });
+}
+
+double dram_latency_constant(const PlacementEvents& ev, const GpuArch& arch) {
+  const double total = static_cast<double>(ev.row_hits + ev.row_misses +
+                                           ev.row_conflicts);
+  if (total == 0.0) {
+    return static_cast<double>(arch.dram.row_miss_service);
+  }
+  const double hit_r = static_cast<double>(ev.row_hits) / total;
+  const double miss_r = static_cast<double>(ev.row_misses) / total;
+  const double conf_r = static_cast<double>(ev.row_conflicts) / total;
+  return hit_r * static_cast<double>(arch.dram.row_hit_service) +
+         miss_r * static_cast<double>(arch.dram.row_miss_service) +
+         conf_r * static_cast<double>(arch.dram.row_conflict_service);
+}
+
+}  // namespace gpuhms

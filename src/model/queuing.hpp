@@ -1,0 +1,72 @@
+// G/G/1 queuing model of the banked GDDR memory system (Sec. III-C3).
+//
+// Each memory bank is a server with a general arrival process and a general
+// service process (service times cluster on the row-buffer hit / miss /
+// conflict latencies, arrivals are bursty on GPUs — c_a up to ~2.2 in the
+// paper's GPGPU-Sim study). The average queuing delay uses Kingman's
+// approximation exactly as the paper writes it (Eq. 9):
+//
+//     W_q ≈ ((c_a + c_s) / 2) * (rho / (1 - rho)) * tau_a
+//
+// (Note: the paper's form uses c, not c^2, and tau_a; since rho*tau_a =
+// tau_s this matches the textbook heavy-traffic form up to the variability
+// exponent. We implement the paper's equation.)
+#pragma once
+
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "model/trace_analysis.hpp"
+
+namespace gpuhms {
+
+struct GG1Bank {
+  double tau_a = 0.0;    // mean inter-arrival time (cycles)
+  double sigma_a = 0.0;  // stddev of inter-arrival time
+  double tau_s = 0.0;    // mean service time (cycles)
+  double sigma_s = 0.0;  // stddev of service time
+  double lambda = 0.0;   // arrival rate (1 / tau_a)
+
+  double ca() const { return tau_a > 0.0 ? sigma_a / tau_a : 0.0; }
+  double cs() const { return tau_s > 0.0 ? sigma_s / tau_s : 0.0; }
+  double rho() const { return tau_a > 0.0 ? tau_s / tau_a : 0.0; }
+};
+
+// Kingman's approximation (paper Eq. 9). rho is clamped to rho_max: a bank
+// driven at or beyond saturation has unbounded G/G/1 delay, while the real
+// system throttles arrivals through finite warp counts.
+double kingman_queue_delay(const GG1Bank& bank, double rho_max = 0.95);
+
+// The Markovian alternative the paper argues *against* (Sec. III-C3): an
+// M/M/1 queue, W_q = (rho / (1 - rho)) * tau_s, which assumes exponential
+// arrivals and service — i.e. ignores the measured variability entirely.
+// Kept for the comparison bench that reproduces the paper's argument.
+double mm1_queue_delay(const GG1Bank& bank, double rho_max = 0.95);
+
+struct QueuingResult {
+  double dram_lat = 0.0;        // Eq. 7: lambda-weighted per-bank latency
+  double avg_queue_delay = 0.0; // lambda-weighted W_q
+  double avg_service = 0.0;     // lambda-weighted service time (Eq. 8 aggregate)
+};
+
+// Builds per-bank G/G/1 inputs from the trace analysis bank streams.
+// `tick_to_cycles` converts the analysis instruction-slot clock into cycles
+// (calibrated from the sample placement: measured time / trace ticks).
+std::vector<GG1Bank> build_bank_inputs(const PlacementEvents& ev,
+                                       double tick_to_cycles);
+
+// Eq. 6/7: per-bank latency = W_q + service, aggregated over banks weighted
+// by arrival rate.
+QueuingResult dram_latency_gg1(const std::vector<GG1Bank>& banks,
+                               double rho_max = 0.95);
+
+// Same aggregation with M/M/1 per-bank delays.
+QueuingResult dram_latency_mm1(const std::vector<GG1Bank>& banks,
+                               double rho_max = 0.95);
+
+// The constant-latency alternative the ablations compare against
+// (Sec. V-B / Fig. 9 "no queuing model"): unloaded average service by
+// row-buffer outcome mix, no queuing delay (Eq. 8 only).
+double dram_latency_constant(const PlacementEvents& ev, const GpuArch& arch);
+
+}  // namespace gpuhms

@@ -1,0 +1,73 @@
+#include "model/search.hpp"
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+SearchResult search_exhaustive(const Predictor& predictor, std::size_t cap) {
+  const KernelInfo& k = predictor.kernel();
+  const GpuArch& arch = kepler_arch();
+  const auto space = enumerate_placements(k, arch, cap);
+  GPUHMS_CHECK(!space.empty());
+  SearchResult best;
+  for (const auto& p : space) {
+    const double cycles = predictor.predict(p).total_cycles;
+    ++best.evaluated;
+    if (best.evaluated == 1 || cycles < best.predicted_cycles) {
+      best.placement = p;
+      best.predicted_cycles = cycles;
+    }
+  }
+  return best;
+}
+
+SearchResult search_greedy(const Predictor& predictor, int max_sweeps) {
+  const KernelInfo& k = predictor.kernel();
+  const GpuArch& arch = kepler_arch();
+  SearchResult r;
+  r.placement = predictor.sample_placement();
+  r.predicted_cycles = predictor.predict(r.placement).total_cycles;
+  ++r.evaluated;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool changed = false;
+    for (std::size_t a = 0; a < k.arrays.size(); ++a) {
+      const int array = static_cast<int>(a);
+      for (MemSpace s : kAllMemSpaces) {
+        if (s == r.placement.of(array)) continue;
+        const DataPlacement candidate = r.placement.with(array, s);
+        if (validate_placement(k, candidate, arch)) continue;
+        const double cycles = predictor.predict(candidate).total_cycles;
+        ++r.evaluated;
+        if (cycles < r.predicted_cycles) {
+          r.placement = candidate;
+          r.predicted_cycles = cycles;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return r;
+}
+
+OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
+                           std::size_t cap) {
+  const auto space = enumerate_placements(kernel, arch, cap);
+  GPUHMS_CHECK(!space.empty());
+  OracleResult r;
+  for (const auto& p : space) {
+    const std::uint64_t cycles = simulate(kernel, p, arch).cycles;
+    ++r.simulated;
+    if (r.simulated == 1 || cycles < r.best_cycles) {
+      r.best = p;
+      r.best_cycles = cycles;
+    }
+    if (r.simulated == 1 || cycles > r.worst_cycles) {
+      r.worst = p;
+      r.worst_cycles = cycles;
+    }
+  }
+  return r;
+}
+
+}  // namespace gpuhms

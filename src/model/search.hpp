@@ -1,0 +1,44 @@
+// Placement search: the optimization layer the paper motivates — the m^n
+// placement space is too large to implement-and-measure, so search it with
+// the predictor instead. Exhaustive search scores every legal placement;
+// greedy coordinate descent handles kernels whose space is too large even to
+// *predict* exhaustively. An oracle (simulate everything) provides ground
+// truth for evaluating search quality.
+#pragma once
+
+#include <cstdint>
+
+#include "model/predictor.hpp"
+
+namespace gpuhms {
+
+struct SearchResult {
+  DataPlacement placement;
+  double predicted_cycles = 0.0;
+  std::size_t evaluated = 0;  // placements scored by the predictor
+};
+
+// Scores every legal placement (up to `cap`) with the predictor.
+// The predictor must already have a profiled sample.
+SearchResult search_exhaustive(const Predictor& predictor,
+                               std::size_t cap = 4096);
+
+// Coordinate descent: sweep the arrays repeatedly, moving each to its best
+// space with the others fixed, until a full sweep changes nothing (or
+// max_sweeps is hit). Evaluates O(n_arrays x n_spaces x sweeps) placements.
+SearchResult search_greedy(const Predictor& predictor, int max_sweeps = 4);
+
+struct OracleResult {
+  DataPlacement best;
+  std::uint64_t best_cycles = 0;
+  DataPlacement worst;
+  std::uint64_t worst_cycles = 0;
+  std::size_t simulated = 0;
+};
+
+// Ground truth: simulate every legal placement (up to `cap`). Expensive —
+// for evaluation harnesses only.
+OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
+                           std::size_t cap = 4096);
+
+}  // namespace gpuhms

@@ -1,0 +1,18 @@
+#include "model/tcomp.hpp"
+
+#include <algorithm>
+
+namespace gpuhms {
+
+double tcomp(const TcompInputs& in, const GpuArch& arch) {
+  const double insts_per_sm = in.inst.issued_per_warp * in.total_warps /
+                              std::max(1, in.active_sms);
+  // Eq. 13: cycles per issued instruction. ITILP >= avg_inst_lat means the
+  // pipeline is saturated and one instruction retires per slot.
+  const double throughput =
+      std::max(1.0, static_cast<double>(arch.avg_inst_lat) /
+                        std::max(1.0, in.itilp));
+  return insts_per_sm * throughput + in.w_serial;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,23 @@
+// T_comp: computation cost of a data placement (Sec. III-B, Eq. 2/13-16).
+#pragma once
+
+#include "arch/gpu_arch.hpp"
+#include "model/instruction_counter.hpp"
+#include "model/warp_parallelism.hpp"
+
+namespace gpuhms {
+
+struct TcompInputs {
+  InstructionEstimate inst;     // issued instructions (Sec. III-B)
+  double total_warps = 1.0;
+  int active_sms = 1;
+  double itilp = 1.0;           // from compute_warp_parallelism
+  double w_serial = 0.0;        // Eq. 16 — assumed placement-invariant,
+                                // profiled on the sample placement
+};
+
+// Eq. 2: (#inst x #total_warps / #active_SMs) x effective_throughput
+//        + W_serial,  with effective_throughput = avg_inst_lat / ITILP.
+double tcomp(const TcompInputs& in, const GpuArch& arch);
+
+}  // namespace gpuhms

@@ -1,0 +1,78 @@
+#include "model/tmem.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+TmemResult tmem(const TmemInputs& in, const GpuArch& arch,
+                const TmemOptions& opts) {
+  GPUHMS_CHECK(in.events != nullptr);
+  const PlacementEvents& ev = *in.events;
+  TmemResult r;
+
+  // --- DRAM latency (Sec. III-C) -------------------------------------------
+  if (opts.queuing_model) {
+    const auto banks = build_bank_inputs(ev, in.tick_to_cycles);
+    const QueuingResult q = opts.discipline == QueueDiscipline::GG1
+                                ? dram_latency_gg1(banks, opts.rho_max)
+                                : dram_latency_mm1(banks, opts.rho_max);
+    r.dram_lat = q.dram_lat;
+    r.queue_delay = q.avg_queue_delay;
+  } else if (opts.row_buffer_model) {
+    r.dram_lat = dram_latency_constant(ev, arch);
+  } else {
+    // Prior work's constant, microbenchmark-style latency.
+    r.dram_lat = static_cast<double>(arch.dram.row_miss_service);
+  }
+  // The bank service time excludes the fixed controller/interconnect
+  // pipeline; requests always pay it on top.
+  r.dram_lat += static_cast<double>(arch.dram.pipeline_lat);
+
+  // --- AMAT (Eq. 5) ---------------------------------------------------------
+  // Computed over the latency-bound (load) traffic: stores retire through
+  // write buffers without stalling warps on this substrate, but they still
+  // occupy banks and so already shaped the queuing DRAM latency above.
+  const double offchip = static_cast<double>(ev.offchip_load_transactions);
+  const double shared = static_cast<double>(ev.shared_load_requests);
+  const double total = std::max(1.0, offchip + shared);
+  r.miss_ratio = static_cast<double>(ev.dram_load_requests) / total;
+  r.shmem_ratio = shared / total;
+  // Eq. 5, with the cache hit latency charged to the off-chip fraction of
+  // the requests: shared-memory accesses never enter the cache hierarchy,
+  // so charging them hit_lat (the literal reading of the equation) would
+  // systematically overprice shared-heavy placements.
+  r.amat = r.dram_lat * r.miss_ratio +
+           static_cast<double>(arch.cache_hit_lat) * (1.0 - r.shmem_ratio) +
+           static_cast<double>(arch.shared_lat) * r.shmem_ratio;
+
+  // --- Effective memory requests per SM (Eq. 17) -----------------------------
+  const double loads = static_cast<double>(
+      std::max<std::uint64_t>(1, ev.load_insts));
+  const double mem_per_warp = loads / std::max(1.0, in.total_warps);
+  const double trans_per_mem = (offchip + shared) / loads;
+
+  WarpParallelismInputs win;
+  win.n_warps = in.n_warps_per_sm;
+  win.issued_per_warp = in.issued_per_warp;
+  win.mem_insts_per_warp = mem_per_warp;
+  win.transactions_per_mem = trans_per_mem;
+  win.mem_lat = r.amat;
+  win.mlp = ev.mlp;
+  win.ilp = ev.ilp;
+  win.unloaded_service = dram_latency_constant(ev, arch);
+  win.dram_per_mem = static_cast<double>(ev.dram_load_requests) / loads;
+  win.active_sms = in.active_sms;
+  win.total_banks = arch.total_banks();
+  const WarpParallelism wp = compute_warp_parallelism(win, arch);
+
+  r.effective_requests_per_sm =
+      loads / std::max(1, in.active_sms) / std::max(1.0, wp.itmlp);
+
+  // Eq. 4.
+  r.t_mem = r.effective_requests_per_sm * r.amat;
+  return r;
+}
+
+}  // namespace gpuhms

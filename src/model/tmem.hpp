@@ -1,0 +1,58 @@
+// T_mem: memory cost of a data placement (Sec. III-C, Eq. 4-10).
+//
+// The distinguishing ingredients versus prior models:
+//   * DRAM latency is NOT a constant — it comes from per-bank G/G/1 queues
+//     (Kingman, Eq. 9) over the request distribution derived from the
+//     detected address mapping, with service times classified by row-buffer
+//     outcome (Eq. 8);
+//   * AMAT (Eq. 5) combines the L2-miss-weighted DRAM latency, the uniform
+//     cache hit latency, and the shared-memory fraction.
+#pragma once
+
+#include "arch/gpu_arch.hpp"
+#include "model/queuing.hpp"
+#include "model/trace_analysis.hpp"
+#include "model/warp_parallelism.hpp"
+
+namespace gpuhms {
+
+enum class QueueDiscipline {
+  GG1,  // Kingman, the paper's choice
+  MM1,  // Markovian alternative (for the Sec. III-C3 comparison)
+};
+
+struct TmemOptions {
+  // Ablations: without the queuing model, DRAM latency degenerates to the
+  // unloaded (microbenchmark) constant, as prior work assumes.
+  bool queuing_model = true;
+  // Without row-buffer modeling the constant is the unloaded row-miss
+  // latency; with it (but no queue) the Eq. 8 outcome mix is used.
+  bool row_buffer_model = true;
+  QueueDiscipline discipline = QueueDiscipline::GG1;
+  double rho_max = 0.95;
+};
+
+struct TmemResult {
+  double t_mem = 0.0;
+  double amat = 0.0;          // Eq. 5
+  double dram_lat = 0.0;      // Eq. 7 (or the constant fallback)
+  double queue_delay = 0.0;
+  double miss_ratio = 0.0;    // DRAM requests / off-chip+shared requests
+  double shmem_ratio = 0.0;
+  double effective_requests_per_sm = 0.0;  // Eq. 17
+};
+
+struct TmemInputs {
+  const PlacementEvents* events = nullptr;
+  double total_warps = 1.0;
+  int active_sms = 1;
+  double n_warps_per_sm = 1.0;
+  double issued_per_warp = 1.0;   // for MWP/CWP (Appendix)
+  // Converts analysis instruction ticks to cycles (sample-calibrated).
+  double tick_to_cycles = 1.0;
+};
+
+TmemResult tmem(const TmemInputs& in, const GpuArch& arch,
+                const TmemOptions& opts = {});
+
+}  // namespace gpuhms

@@ -1,0 +1,55 @@
+#include "model/toverlap.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "math/linreg.hpp"
+
+namespace gpuhms {
+
+std::vector<double> ToverlapModel::features(const PlacementEvents& ev,
+                                            double warps_per_sm) {
+  const double r = std::max(1.0, ev.total_mem_events());
+  std::vector<double> x(kNumFeatures, 0.0);
+  x[0] = static_cast<double>(ev.l2_misses + ev.global_transactions) / r;
+  x[1] = static_cast<double>(ev.const_misses + ev.const_requests) / r;
+  x[2] = static_cast<double>(ev.tex_misses + ev.tex_requests) / r;
+  x[3] = static_cast<double>(ev.shared_conflicts + ev.shared_requests) / r;
+  x[4] = static_cast<double>(ev.row_misses + ev.row_conflicts) / r;
+  x[5] = warps_per_sm / 64.0;  // scaled to the Kepler resident-warp limit
+  x[6] = 1.0;
+  return x;
+}
+
+bool ToverlapModel::train(const std::vector<std::vector<double>>& xs,
+                          std::span<const double> ys, double ridge) {
+  GPUHMS_CHECK(xs.size() == ys.size());
+  GPUHMS_CHECK(!xs.empty());
+  Matrix m(xs.size(), kNumFeatures);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    GPUHMS_CHECK(xs[i].size() == kNumFeatures);
+    for (std::size_t j = 0; j < kNumFeatures; ++j) m.at(i, j) = xs[i][j];
+  }
+  auto beta = least_squares(m, ys, ridge);
+  if (!beta) return false;
+  coef_ = std::move(*beta);
+  trained_ = true;
+  return true;
+}
+
+void ToverlapModel::set_coefficients(std::vector<double> coef) {
+  GPUHMS_CHECK(coef.size() == kNumFeatures);
+  coef_ = std::move(coef);
+  trained_ = true;
+}
+
+double ToverlapModel::overlap_ratio(const PlacementEvents& ev,
+                                    double warps_per_sm) const {
+  const auto x = features(ev, warps_per_sm);
+  const double ratio = dot(x, coef_);
+  // Overlap cannot exceed T_mem itself and a (mildly) negative ratio lets
+  // the regression absorb model underestimation on the training set.
+  return std::clamp(ratio, -0.5, 1.0);
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,46 @@
+// T_overlap: empirical model of computation/memory overlap (Sec. III-D,
+// Eq. 11-12).
+//
+// T_overlap_ratio is a linear function of memory-event *ratios* — one term
+// group per memory space (requests + misses/conflicts), a row-buffer term,
+// the resident warp count, and a constant — trained by linear regression on
+// a set of placements (Table IV training suite). Predicting uses the events
+// from the target placement's trace analysis:  T_overlap = ratio x T_mem.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/trace_analysis.hpp"
+
+namespace gpuhms {
+
+class ToverlapModel {
+ public:
+  static constexpr std::size_t kNumFeatures = 7;
+
+  // Feature vector of Eq. 11: [e_g, e_c, e_t, e_s, e_r, #warps, 1], where
+  // e_* are event counts normalized by total memory events.
+  static std::vector<double> features(const PlacementEvents& ev,
+                                      double warps_per_sm);
+
+  // Train coefficients by ridge-regularized least squares on
+  // (features, measured overlap ratio) pairs. Returns false (and keeps the
+  // previous coefficients) when the system is singular.
+  bool train(const std::vector<std::vector<double>>& xs,
+             std::span<const double> ys, double ridge = 1e-3);
+
+  bool trained() const { return trained_; }
+  const std::vector<double>& coefficients() const { return coef_; }
+  void set_coefficients(std::vector<double> coef);
+
+  // Predicted T_overlap_ratio, clamped to a physically meaningful range.
+  double overlap_ratio(const PlacementEvents& ev, double warps_per_sm) const;
+
+ private:
+  std::vector<double> coef_ = std::vector<double>(kNumFeatures, 0.0);
+  bool trained_ = false;
+};
+
+}  // namespace gpuhms

@@ -1,0 +1,229 @@
+#include "model/trace_analysis.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "common/check.hpp"
+#include "sim/coalesce.hpp"
+
+namespace gpuhms {
+
+namespace {
+
+// Per-bank row-buffer state machine (analysis order, no timing).
+struct BankRow {
+  std::uint64_t open_row = 0;
+  bool row_open = false;
+  std::uint64_t last_tick = 0;
+  bool seen = false;
+};
+
+struct Analyzer {
+  Analyzer(const KernelInfo& k, const DataPlacement& p, const GpuArch& a,
+           const AnalysisOptions& o)
+      : arch(a), opts(o), mat(k, p, a), mapping(kepler_mapping(a)),
+        l2(l2_config(a)) {
+    const int nb = mapping.num_banks();
+    rows.resize(static_cast<std::size_t>(nb));
+    ev.banks.resize(static_cast<std::size_t>(nb));
+    const_caches.reserve(static_cast<std::size_t>(a.num_sms));
+    tex_caches.reserve(static_cast<std::size_t>(a.num_sms));
+    for (int s = 0; s < a.num_sms; ++s) {
+      const_caches.push_back(std::make_unique<SetAssocCache>(const_cache_config(a)));
+      tex_caches.push_back(std::make_unique<SetAssocCache>(tex_cache_config(a)));
+    }
+  }
+
+  void dram_request(std::uint64_t line_addr, bool is_store) {
+    ++ev.dram_requests;
+    if (!is_store) ++ev.dram_load_requests;
+    int bank;
+    std::uint64_t row;
+    const auto d = mapping.decode(line_addr);
+    row = d.row;
+    if (opts.even_bank_distribution) {
+      bank = static_cast<int>(rr_bank++ % static_cast<std::uint64_t>(
+                                               mapping.num_banks()));
+    } else {
+      bank = d.bank;
+    }
+    BankRow& b = rows[static_cast<std::size_t>(bank)];
+    BankStream& s = ev.banks[static_cast<std::size_t>(bank)];
+    std::uint64_t service;
+    if (!b.row_open) {
+      service = arch.dram.row_miss_service;
+      ++ev.row_misses;
+    } else if (b.open_row == row) {
+      service = arch.dram.row_hit_service;
+      ++ev.row_hits;
+    } else {
+      service = arch.dram.row_conflict_service;
+      ++ev.row_conflicts;
+    }
+    if (arch.dram.page_policy == PagePolicy::Open) {
+      b.row_open = true;
+      b.open_row = row;
+    } else {
+      b.row_open = false;  // closed page: auto-precharge
+    }
+    if (b.seen) s.interarrival.add(static_cast<double>(tick - b.last_tick));
+    b.seen = true;
+    b.last_tick = tick;
+    s.service.add(static_cast<double>(service));
+    ++s.count;
+  }
+
+  void mem_op(const TraceOp& op, int sm) {
+    ++ev.mem_insts;
+    const bool is_store = op.cls == OpClass::Store;
+    if (!is_store) ++ev.load_insts;
+    if (op.active_mask == 0) return;  // predicated off: issues, touches nothing
+    switch (op.space) {
+      case MemSpace::Global: {
+        coalesce_lines(op, arch.cache_line, lines);
+        ++ev.global_requests;
+        ev.global_transactions += lines.size();
+        ev.replay_global_divergence += lines.size() - 1;
+        if (!is_store) ev.offchip_load_transactions += lines.size();
+        for (std::uint64_t line : lines) {
+          ++ev.l2_transactions;
+          if (!l2.access(line, is_store)) {
+            ++ev.l2_misses;
+            dram_request(line, is_store);
+          }
+        }
+        break;
+      }
+      case MemSpace::Texture1D:
+      case MemSpace::Texture2D: {
+        coalesce_lines(op, arch.cache_line, lines);
+        ++ev.tex_requests;
+        ev.tex_transactions += lines.size();
+        ev.offchip_load_transactions += lines.size();
+        for (std::uint64_t line : lines) {
+          if (tex_caches[static_cast<std::size_t>(sm)]->access(line, false))
+            continue;
+          ++ev.tex_misses;
+          ++ev.l2_transactions;
+          if (!l2.access(line, false)) {
+            ++ev.l2_misses;
+            dram_request(line, false);
+          }
+        }
+        break;
+      }
+      case MemSpace::Constant: {
+        coalesce_lines(op, arch.cache_line, lines);
+        const int div = distinct_words(op);
+        ++ev.const_requests;
+        ev.replay_const_divergence += static_cast<std::uint64_t>(div - 1);
+        ev.offchip_load_transactions += lines.size();
+        for (std::uint64_t line : lines) {
+          if (const_caches[static_cast<std::size_t>(sm)]->access(line, false))
+            continue;
+          ++ev.const_misses;
+          ++ev.replay_const_miss;
+          ++ev.l2_transactions;
+          if (!l2.access(line, false)) {
+            ++ev.l2_misses;
+            dram_request(line, false);
+          }
+        }
+        break;
+      }
+      case MemSpace::Shared: {
+        const int degree = shared_conflict_degree(op, arch.shared_banks);
+        ++ev.shared_requests;
+        if (!is_store) ++ev.shared_load_requests;
+        ev.shared_conflicts += static_cast<std::uint64_t>(degree - 1);
+        ev.replay_shared_conflict += static_cast<std::uint64_t>(degree - 1);
+        break;
+      }
+    }
+  }
+
+  void run() {
+    const KernelInfo& k = mat.kernel();
+    const int blocks_per_sm = mat.layout().blocks_per_sm(arch);
+    ev.warps_per_sm = mat.layout().warps_per_sm(arch);
+    const std::int64_t wave_blocks =
+        static_cast<std::int64_t>(arch.num_sms) * blocks_per_sm;
+
+    std::uint64_t dep_breaks = 0;       // ops consuming their predecessor
+    std::uint64_t mem_chain_breaks = 0; // mem ops followed by a dependent op
+
+    for (std::int64_t wave = 0; wave * wave_blocks < k.num_blocks; ++wave) {
+      const std::int64_t b0 = wave * wave_blocks;
+      const std::int64_t b1 = std::min(k.num_blocks, b0 + wave_blocks);
+      auto traces = mat.generate(b0, b1);
+      // Round-robin, one op per warp per turn, mirroring the schedulers.
+      std::vector<std::size_t> pcs(traces.size(), 0);
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (std::size_t w = 0; w < traces.size(); ++w) {
+          const auto& ops = traces[w].ops;
+          std::size_t& pc = pcs[w];
+          if (pc >= ops.size()) continue;
+          progress = true;
+          const TraceOp& op = ops[pc];
+          const int sm = static_cast<int>(traces[w].ctx.block %
+                                          static_cast<std::int64_t>(arch.num_sms));
+          ++tick;
+          ++ev.insts_executed;
+          if (op.uses_prev) ++dep_breaks;
+          switch (op.cls) {
+            case OpClass::Load:
+            case OpClass::Store:
+              mem_op(op, sm);
+              if (pc + 1 < ops.size() && ops[pc + 1].uses_prev)
+                ++mem_chain_breaks;
+              break;
+            case OpClass::Sync:
+              ++ev.sync_insts;
+              break;
+            default:
+              if (op.is_addr_calc) ++ev.addr_calc_insts;
+              break;
+          }
+          ++pc;
+        }
+      }
+    }
+
+    ev.trace_ticks = tick;
+    ev.ilp = static_cast<double>(ev.insts_executed) /
+             static_cast<double>(std::max<std::uint64_t>(1, dep_breaks));
+    ev.mlp = static_cast<double>(std::max<std::uint64_t>(1, ev.mem_insts)) /
+             static_cast<double>(std::max<std::uint64_t>(1, mem_chain_breaks));
+    ev.mlp = std::clamp(ev.mlp, 1.0, 8.0);
+    ev.ilp = std::clamp(ev.ilp, 1.0, 16.0);
+  }
+
+  const GpuArch& arch;
+  AnalysisOptions opts;
+  TraceMaterializer mat;
+  AddressMapping mapping;
+  SetAssocCache l2;
+  std::vector<std::unique_ptr<SetAssocCache>> const_caches;
+  std::vector<std::unique_ptr<SetAssocCache>> tex_caches;
+  std::vector<BankRow> rows;
+  std::vector<std::uint64_t> lines;
+  PlacementEvents ev;
+  std::uint64_t tick = 0;
+  std::uint64_t rr_bank = 0;
+};
+
+}  // namespace
+
+PlacementEvents analyze_trace(const KernelInfo& kernel,
+                              const DataPlacement& placement,
+                              const GpuArch& arch,
+                              const AnalysisOptions& opts) {
+  Analyzer an(kernel, placement, arch, opts);
+  an.run();
+  return std::move(an.ev);
+}
+
+}  // namespace gpuhms

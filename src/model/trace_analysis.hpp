@@ -1,0 +1,103 @@
+// Model-side trace analysis (Sec. IV of the paper).
+//
+// Replays the materialized trace of a (kernel, placement) pair through
+// GPGPU-Sim-style cache models and a row-buffer state machine — *without*
+// timing — to produce everything the analytical models need:
+//   * executed-instruction and addressing-instruction counts (Sec. III-B),
+//   * replay counts for causes (1)-(4) (Eq. 3),
+//   * per-space request/miss events (T_overlap features, Eq. 11),
+//   * per-bank arrival and service statistics for the G/G/1 queuing model
+//     (Sec. III-C3) — inter-arrival times measured on an instruction-slot
+//     clock, as the paper approximates, and service times classified by
+//     row-buffer outcome (Eq. 8),
+//   * ILP / MLP estimates for the Appendix equations (Eq. 13-19).
+//
+// Warps are interleaved round-robin within resident waves that mirror the
+// simulator's block-to-SM assignment, so the arrival process seen by the
+// banks approximates the hardware interleaving.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dram/address_mapping.hpp"
+#include "sim/counters.hpp"
+#include "trace/generator.hpp"
+
+namespace gpuhms {
+
+struct AnalysisOptions {
+  // Ablation (Fig. 8): ignore the detected address mapping and spread DRAM
+  // requests round-robin over banks.
+  bool even_bank_distribution = false;
+};
+
+struct BankStream {
+  RunningStat interarrival;  // instruction-slot clock deltas
+  RunningStat service;       // cycles, from row-buffer classification
+  std::uint64_t count = 0;
+};
+
+struct PlacementEvents {
+  // --- instruction profile (totals over the whole kernel) ------------------
+  std::uint64_t insts_executed = 0;   // all lowered warp instructions
+  std::uint64_t addr_calc_insts = 0;  // addressing-mode IALUs (Sec. III-B)
+  std::uint64_t mem_insts = 0;        // warp-level loads+stores
+  std::uint64_t load_insts = 0;       // warp-level loads (latency-bound)
+  std::uint64_t sync_insts = 0;
+
+  // --- replay estimates, causes (1)-(4) ------------------------------------
+  std::uint64_t replay_global_divergence = 0;
+  std::uint64_t replay_const_miss = 0;
+  std::uint64_t replay_const_divergence = 0;
+  std::uint64_t replay_shared_conflict = 0;
+  std::uint64_t replays_1_4() const {
+    return replay_global_divergence + replay_const_miss +
+           replay_const_divergence + replay_shared_conflict;
+  }
+
+  // --- per-space memory events ---------------------------------------------
+  std::uint64_t global_requests = 0, global_transactions = 0;
+  std::uint64_t l2_transactions = 0, l2_misses = 0;
+  std::uint64_t const_requests = 0, const_misses = 0;
+  std::uint64_t tex_requests = 0, tex_transactions = 0, tex_misses = 0;
+  std::uint64_t shared_requests = 0, shared_conflicts = 0;
+  std::uint64_t dram_requests = 0;
+  std::uint64_t row_hits = 0, row_misses = 0, row_conflicts = 0;
+  // Load-side splits: the substrate's stores retire through write buffers
+  // without stalling warps, so T_mem's effective-request count and AMAT mix
+  // are computed over loads (stores still load the banks and queues).
+  std::uint64_t offchip_load_transactions = 0;
+  std::uint64_t shared_load_requests = 0;
+  std::uint64_t dram_load_requests = 0;
+
+  // --- queuing inputs -------------------------------------------------------
+  std::vector<BankStream> banks;
+  std::uint64_t trace_ticks = 0;  // total instruction-slot clock span
+
+  // --- parallelism estimates ------------------------------------------------
+  double ilp = 1.0;  // independent-run length of the instruction stream
+  double mlp = 1.0;  // consecutive outstanding memory requests per warp
+  // Resident warps per SM under THIS placement (occupancy: shared-memory
+  // staging can shrink it) — the `w` term of Eq. 11 and the N of Eq. 14/18.
+  double warps_per_sm = 1.0;
+
+  // Total off-chip + shared warp-level requests; denominator for the
+  // event-ratio features of Eq. 11.
+  double total_mem_events() const {
+    return static_cast<double>(global_transactions + const_requests +
+                               tex_requests + shared_requests);
+  }
+
+  double offchip_transactions() const {
+    return static_cast<double>(global_transactions + tex_transactions +
+                               const_requests);
+  }
+};
+
+PlacementEvents analyze_trace(const KernelInfo& kernel,
+                              const DataPlacement& placement,
+                              const GpuArch& arch,
+                              const AnalysisOptions& opts = {});
+
+}  // namespace gpuhms

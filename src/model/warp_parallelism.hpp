@@ -1,0 +1,80 @@
+// MWP / CWP / ITMLP / ITILP formulation (paper Appendix, Eq. 13-19, after
+// Hong & Kim [6] and Sim et al. [7]), shared by our T_comp/T_mem models and
+// the baseline reimplementations.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/gpu_arch.hpp"
+
+namespace gpuhms {
+
+struct WarpParallelismInputs {
+  double n_warps = 1.0;              // resident warps per SM
+  double issued_per_warp = 1.0;      // issue slots per warp (whole kernel)
+  double mem_insts_per_warp = 0.0;   // warp-level memory instructions
+  double transactions_per_mem = 1.0; // avg transactions per memory inst
+  double mem_lat = 1.0;              // AMAT seen by a request (cycles)
+  double mlp = 1.0;                  // per-warp memory-level parallelism
+  double ilp = 1.0;                  // per-warp instruction-level parallelism
+  double unloaded_service = 400.0;   // avg unloaded DRAM service (cycles)
+  // DRAM requests per memory instruction (only misses stress the DRAM
+  // bandwidth; cache-served transactions go through the LSU/L2 ports).
+  double dram_per_mem = 1.0;
+  int active_sms = 1;
+  int total_banks = 96;
+};
+
+struct WarpParallelism {
+  double mwp = 1.0;          // memory warp parallelism
+  double cwp = 1.0;          // computation warp parallelism
+  double mwp_peak_bw = 1.0;  // bandwidth cap on MWP
+  double itmlp = 1.0;        // Eq. 18
+  double itilp = 1.0;        // Eq. 14
+};
+
+inline WarpParallelism compute_warp_parallelism(
+    const WarpParallelismInputs& in, const GpuArch& arch) {
+  WarpParallelism out;
+  const double n = std::max(1.0, in.n_warps);
+  const double mem_per_warp = std::max(1e-9, in.mem_insts_per_warp);
+
+  // Issue slots between two consecutive memory instructions of one warp.
+  const double comp_cycles = std::max(1.0, in.issued_per_warp / mem_per_warp);
+  const double mem_cycles = std::max(1.0, in.mem_lat);
+
+  // Departure delay: back-to-back requests are spaced by their coalesced
+  // transaction count (one transaction per cycle through the LSU).
+  const double departure = std::max(1.0, in.transactions_per_mem);
+  const double mwp_no_bw = mem_cycles / departure;
+
+  // Bandwidth cap: the DRAM fabric sustains total_banks / service *DRAM*
+  // requests per cycle, shared by the active SMs (Hong & Kim's MWP_peak_bw
+  // rewritten in our units). Only the fraction of a memory instruction's
+  // transactions that miss into DRAM presses on this limit — cache-served
+  // traffic flows through the far wider LSU/L2 ports.
+  const double peak_dram_per_cycle =
+      static_cast<double>(in.total_banks) /
+      std::max(1.0, in.unloaded_service);
+  const double per_sm_bw =
+      peak_dram_per_cycle / std::max(1, in.active_sms);
+  out.mwp_peak_bw =
+      std::max(1.0, per_sm_bw * mem_cycles / std::max(1e-3, in.dram_per_mem));
+
+  out.mwp = std::max(1.0, std::min({mwp_no_bw, out.mwp_peak_bw, n}));
+  out.cwp = std::max(1.0, std::min((mem_cycles + comp_cycles) / comp_cycles, n));
+
+  // Eq. 19 / 18.
+  const double mwp_cp = std::min(std::max(1.0, out.cwp - 1.0), out.mwp);
+  out.itmlp = std::max(1.0, std::min(in.mlp * mwp_cp, out.mwp_peak_bw));
+
+  // Eq. 14 / 15 (warp_size == SIMD width: one slot issues a full warp).
+  const double itilp_max =
+      static_cast<double>(arch.avg_inst_lat) /
+      (static_cast<double>(arch.warp_size) / static_cast<double>(arch.simd_width));
+  out.itilp = std::max(1.0, std::min(in.ilp * n, itilp_max));
+  return out;
+}
+
+}  // namespace gpuhms

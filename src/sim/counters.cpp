@@ -1,0 +1,32 @@
+#include "sim/counters.hpp"
+
+namespace gpuhms {
+
+std::map<std::string, double> ProfileCounters::as_event_map() const {
+  std::map<std::string, double> m;
+  auto put = [&](const char* k, double v) { m[k] = v; };
+  put("inst_executed", static_cast<double>(inst_executed));
+  put("inst_issued", static_cast<double>(inst_issued));
+  put("issue_slots", static_cast<double>(issue_slots));
+  put("inst_integer", static_cast<double>(inst_integer));
+  put("inst_fp32", static_cast<double>(inst_fp32));
+  put("inst_fp64", static_cast<double>(inst_fp64));
+  put("ldst_executed", static_cast<double>(ldst_executed));
+  put("ldst_issued", static_cast<double>(ldst_issued));
+  put("global_transactions", static_cast<double>(global_transactions));
+  put("l2_transactions", static_cast<double>(l2_transactions));
+  put("l2_misses", static_cast<double>(l2_misses));
+  put("const_requests", static_cast<double>(const_requests));
+  put("const_cache_misses", static_cast<double>(const_cache_misses));
+  put("tex_requests", static_cast<double>(tex_requests));
+  put("tex_cache_misses", static_cast<double>(tex_cache_misses));
+  put("shared_requests", static_cast<double>(shared_requests));
+  put("shared_bank_conflicts", static_cast<double>(shared_bank_conflicts));
+  put("dram_requests", static_cast<double>(dram_requests));
+  put("replays_total", static_cast<double>(replays_total()));
+  put("mem_stall_cycles", static_cast<double>(mem_stall_cycles));
+  put("comp_stall_cycles", static_cast<double>(comp_stall_cycles));
+  return m;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,432 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cache/cache.hpp"
+#include "common/check.hpp"
+#include "sim/coalesce.hpp"
+
+namespace gpuhms {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+struct WarpState {
+  const std::vector<TraceOp>* ops = nullptr;
+  std::size_t pc = 0;
+  std::uint64_t issue_free = 0;       // issue port availability for this warp
+  std::uint64_t last_completion = 0;  // completion of the last issued op
+  bool last_was_mem = false;
+  bool at_sync = false;
+  bool done = false;
+  int block_slot = -1;
+
+  bool finished() const { return done; }
+  // Earliest cycle the next op may issue (kInf while parked at a barrier).
+  std::uint64_t gate() const {
+    if (done) return kInf;
+    if (at_sync) return kInf;
+    const TraceOp& op = (*ops)[pc];
+    return op.uses_prev ? std::max(issue_free, last_completion) : issue_free;
+  }
+};
+
+struct BlockSlot {
+  std::int64_t block_id = -1;
+  std::vector<WarpTrace> traces;
+  int warps_total = 0;
+  int warps_done = 0;
+  std::vector<int> warp_ids;  // indices into Sm::warps
+  bool active = false;
+};
+
+struct Sm {
+  std::uint64_t time = 0;
+  std::vector<WarpState> warps;
+  std::vector<BlockSlot> slots;
+  int rr = 0;                  // round-robin scheduling cursor
+  std::int64_t next_block = 0; // next block id in this SM's static stride
+  bool drained = false;
+  std::unique_ptr<SetAssocCache> const_cache;
+  std::unique_ptr<SetAssocCache> tex_cache;
+};
+
+class Engine {
+ public:
+  Engine(const GpuArch& arch, const TraceMaterializer& mat, SimOptions opts)
+      : arch_(arch), mat_(mat), opts_(opts),
+        gddr_(arch, kepler_mapping(arch), opts.record_interarrivals),
+        l2_(l2_config(arch)) {}
+
+  SimResult run();
+  std::vector<std::vector<std::uint64_t>> take_samples() {
+    return gddr_.interarrival_samples();
+  }
+
+ private:
+  void load_block(Sm& sm, int slot_idx, std::int64_t block_id);
+  void refill(Sm& sm, int slot_idx);
+  bool try_issue(Sm& sm, std::uint64_t t);
+  std::uint64_t issue_mem(Sm& sm, const TraceOp& op, std::uint64_t t,
+                          std::uint64_t& slots);
+  void release_sync_if_ready(Sm& sm, int slot_idx, std::uint64_t t);
+  void advance_stalled(Sm& sm);
+
+  const GpuArch& arch_;
+  const TraceMaterializer& mat_;
+  SimOptions opts_;
+  GddrSystem gddr_;
+  SetAssocCache l2_;
+  std::vector<Sm> sms_;
+  ProfileCounters c_;
+  std::uint64_t finish_time_ = 0;
+  std::vector<std::uint64_t> lines_;  // coalescing scratch
+};
+
+void Engine::load_block(Sm& sm, int slot_idx, std::int64_t block_id) {
+  BlockSlot& slot = sm.slots[static_cast<std::size_t>(slot_idx)];
+  slot.block_id = block_id;
+  slot.traces = mat_.generate(block_id, block_id + 1);
+  slot.warps_total = static_cast<int>(slot.traces.size());
+  slot.warps_done = 0;
+  slot.active = true;
+  const std::uint64_t now = sm.time;
+  for (std::size_t w = 0; w < slot.traces.size(); ++w) {
+    WarpState& ws = sm.warps[static_cast<std::size_t>(slot.warp_ids[w])];
+    ws = WarpState{};
+    ws.ops = &slot.traces[w].ops;
+    ws.issue_free = now;
+    ws.block_slot = slot_idx;
+    if (ws.ops->empty()) {
+      ws.done = true;
+      ++slot.warps_done;
+    }
+  }
+  if (slot.warps_done == slot.warps_total) slot.active = false;
+}
+
+void Engine::refill(Sm& sm, int slot_idx) {
+  if (sm.next_block < mat_.kernel().num_blocks) {
+    const std::int64_t b = sm.next_block;
+    sm.next_block += arch_.num_sms;
+    load_block(sm, slot_idx, b);
+  } else {
+    sm.slots[static_cast<std::size_t>(slot_idx)].active = false;
+    sm.slots[static_cast<std::size_t>(slot_idx)].block_id = -1;
+  }
+}
+
+void Engine::release_sync_if_ready(Sm& sm, int slot_idx, std::uint64_t t) {
+  BlockSlot& slot = sm.slots[static_cast<std::size_t>(slot_idx)];
+  int parked_or_done = 0;
+  for (int wid : slot.warp_ids) {
+    const WarpState& ws = sm.warps[static_cast<std::size_t>(wid)];
+    if (ws.done || ws.at_sync) ++parked_or_done;
+  }
+  if (parked_or_done < slot.warps_total) return;
+  for (int wid : slot.warp_ids) {
+    WarpState& ws = sm.warps[static_cast<std::size_t>(wid)];
+    if (ws.at_sync) {
+      ws.at_sync = false;
+      ws.issue_free = std::max(ws.issue_free, t + 1);
+    }
+  }
+}
+
+// Handles one memory op issued at t: forms transactions, walks the cache
+// hierarchy, books counters/replays, and returns the data-ready time.
+std::uint64_t Engine::issue_mem(Sm& sm, const TraceOp& op, std::uint64_t t,
+                                std::uint64_t& slots) {
+  const bool is_store = op.cls == OpClass::Store;
+  const std::uint64_t dram_issue = t + arch_.cache_hit_lat;
+  std::uint64_t completion = t + 1;
+  ++c_.ldst_executed;
+
+  // Fully predicated-off memory instructions still issue but touch nothing.
+  if (op.active_mask == 0) return completion;
+
+  switch (op.space) {
+    case MemSpace::Global: {
+      coalesce_lines(op, arch_.cache_line, lines_);
+      const auto n = static_cast<std::uint64_t>(lines_.size());
+      ++c_.global_requests;
+      c_.global_transactions += n;
+      c_.replay_global_divergence += n - 1;
+      slots += n - 1;
+      for (std::uint64_t line : lines_) {
+        ++c_.l2_transactions;
+        if (!l2_.access(line, is_store)) {
+          ++c_.l2_misses;
+          ++c_.dram_requests;
+          const std::uint64_t done = gddr_.access(line, dram_issue, is_store);
+          if (!is_store) completion = std::max(completion, done);
+        } else if (!is_store) {
+          completion = std::max(completion, t + arch_.cache_hit_lat);
+        }
+      }
+      break;
+    }
+    case MemSpace::Texture1D:
+    case MemSpace::Texture2D: {
+      coalesce_lines(op, arch_.cache_line, lines_);
+      ++c_.tex_requests;
+      c_.tex_transactions += lines_.size();
+      for (std::uint64_t line : lines_) {
+        if (sm.tex_cache->access(line, false)) {
+          completion = std::max(completion, t + arch_.tex_cache_hit_lat);
+          continue;
+        }
+        ++c_.tex_cache_misses;
+        ++c_.l2_transactions;
+        if (!l2_.access(line, false)) {
+          ++c_.l2_misses;
+          ++c_.dram_requests;
+          completion = std::max(completion, gddr_.access(line, dram_issue, false));
+        } else {
+          completion = std::max(completion, t + arch_.cache_hit_lat);
+        }
+      }
+      break;
+    }
+    case MemSpace::Constant: {
+      coalesce_lines(op, arch_.cache_line, lines_);
+      const int div = distinct_words(op);
+      ++c_.const_requests;
+      c_.replay_const_divergence += static_cast<std::uint64_t>(div - 1);
+      slots += static_cast<std::uint64_t>(div - 1);
+      for (std::uint64_t line : lines_) {
+        if (sm.const_cache->access(line, false)) {
+          completion = std::max(completion, t + arch_.const_cache_hit_lat);
+          continue;
+        }
+        ++c_.const_cache_misses;
+        ++c_.replay_const_miss;
+        ++slots;
+        ++c_.l2_transactions;
+        if (!l2_.access(line, false)) {
+          ++c_.l2_misses;
+          ++c_.dram_requests;
+          completion = std::max(completion, gddr_.access(line, dram_issue, false));
+        } else {
+          completion = std::max(completion, t + arch_.cache_hit_lat);
+        }
+      }
+      break;
+    }
+    case MemSpace::Shared: {
+      const int degree = shared_conflict_degree(op, arch_.shared_banks);
+      ++c_.shared_requests;
+      c_.shared_bank_conflicts += static_cast<std::uint64_t>(degree - 1);
+      c_.replay_shared_conflict += static_cast<std::uint64_t>(degree - 1);
+      slots += static_cast<std::uint64_t>(degree - 1);
+      if (!is_store) {
+        completion = t + arch_.shared_lat +
+                     static_cast<std::uint64_t>(degree - 1) *
+                         arch_.shared_conflict_penalty;
+      }
+      break;
+    }
+  }
+  if (is_store) completion = t + 1;  // stores retire through the write path
+  return completion;
+}
+
+bool Engine::try_issue(Sm& sm, std::uint64_t t) {
+  const int n = static_cast<int>(sm.warps.size());
+  const bool gto = opts_.scheduler == WarpScheduler::Gto;
+  // Round-robin rotates past the last issuer; GTO sticks with the current
+  // warp (sm.rr) while it is ready, falling back to the oldest ready warp
+  // (k = 1..n probes indices 0..n-1 in age order).
+  const int candidates = gto ? n + 1 : n;
+  for (int k = 0; k < candidates; ++k) {
+    const int wi = gto ? (k == 0 ? sm.rr : k - 1) : (sm.rr + k) % n;
+    if (gto && k > 0 && wi == sm.rr) continue;
+    WarpState& ws = sm.warps[static_cast<std::size_t>(wi)];
+    if (ws.block_slot < 0 || ws.gate() > t) continue;
+    sm.rr = gto ? wi : (wi + 1) % n;
+
+    const TraceOp& op = (*ws.ops)[ws.pc];
+    std::uint64_t slots = 1;
+    std::uint64_t completion = t + 1;
+    bool was_mem = false;
+
+    switch (op.cls) {
+      case OpClass::IAlu:
+        ++c_.inst_integer;
+        completion = t + arch_.ialu_lat;
+        break;
+      case OpClass::FAlu:
+        ++c_.inst_fp32;
+        completion = t + arch_.falu_lat;
+        break;
+      case OpClass::DAlu:
+        ++c_.inst_fp64;
+        ++c_.replay_double_issue;  // issues over 2 cycles (cause 5)
+        ++slots;
+        completion = t + arch_.dalu_lat;
+        break;
+      case OpClass::Sfu:
+        ++c_.inst_sfu;
+        completion = t + arch_.sfu_lat;
+        break;
+      case OpClass::Sync:
+        ws.at_sync = true;
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        completion = issue_mem(sm, op, t, slots);
+        was_mem = op.cls == OpClass::Load;
+        c_.ldst_issued += slots;
+        break;
+    }
+
+    ++c_.inst_executed;
+    c_.inst_issued += slots;
+    c_.issue_slots += slots;
+    c_.busy_issue_cycles += slots;
+
+    ws.pc += 1;
+    ws.issue_free = t + slots;
+    if (op.cls != OpClass::Sync) {
+      ws.last_completion = completion;
+      ws.last_was_mem = was_mem;
+      finish_time_ = std::max(finish_time_, completion);
+    }
+    if (ws.pc >= ws.ops->size()) {
+      ws.done = true;
+      BlockSlot& slot = sm.slots[static_cast<std::size_t>(ws.block_slot)];
+      ++slot.warps_done;
+      if (slot.warps_done == slot.warps_total) {
+        const int slot_idx = ws.block_slot;
+        slot.active = false;
+        sm.time = t + slots;  // refill sees a consistent clock
+        refill(sm, slot_idx);
+      } else {
+        release_sync_if_ready(sm, ws.block_slot, t);
+      }
+    } else if (op.cls == OpClass::Sync) {
+      release_sync_if_ready(sm, ws.block_slot, t);
+    }
+    sm.time = std::max(sm.time, t + slots);
+    return true;
+  }
+  return false;
+}
+
+// No warp was ready at sm.time: jump to the earliest gate and book the
+// stall cycles by cause.
+void Engine::advance_stalled(Sm& sm) {
+  std::uint64_t best = kInf;
+  const WarpState* blocker = nullptr;
+  bool any_alive = false;
+  for (const WarpState& ws : sm.warps) {
+    if (ws.block_slot < 0 || ws.done) continue;
+    any_alive = true;
+    const std::uint64_t g = ws.gate();
+    if (g < best) {
+      best = g;
+      blocker = &ws;
+    }
+  }
+  if (!any_alive) {
+    sm.drained = true;
+    return;
+  }
+  GPUHMS_CHECK_MSG(best != kInf, "scheduler deadlock (barrier not released)");
+  GPUHMS_CHECK(best > sm.time);
+  const std::uint64_t stall = best - sm.time;
+  if (blocker->last_was_mem) {
+    c_.mem_stall_cycles += stall;
+  } else {
+    c_.comp_stall_cycles += stall;
+  }
+  sm.time = best;
+}
+
+SimResult Engine::run() {
+  const KernelInfo& k = mat_.kernel();
+  const int wpb = k.warps_per_block();
+  GPUHMS_CHECK(wpb >= 1);
+  // Occupancy is placement-dependent: staging into shared memory limits the
+  // blocks an SM can host.
+  const int blocks_per_sm = mat_.layout().blocks_per_sm(arch_);
+
+  sms_.clear();
+  sms_.resize(static_cast<std::size_t>(arch_.num_sms));
+  for (int s = 0; s < arch_.num_sms; ++s) {
+    Sm& sm = sms_[static_cast<std::size_t>(s)];
+    sm.const_cache = std::make_unique<SetAssocCache>(const_cache_config(arch_));
+    sm.tex_cache = std::make_unique<SetAssocCache>(tex_cache_config(arch_));
+    sm.warps.resize(static_cast<std::size_t>(blocks_per_sm * wpb));
+    sm.slots.resize(static_cast<std::size_t>(blocks_per_sm));
+    for (int b = 0; b < blocks_per_sm; ++b) {
+      BlockSlot& slot = sm.slots[static_cast<std::size_t>(b)];
+      slot.warp_ids.resize(static_cast<std::size_t>(wpb));
+      for (int w = 0; w < wpb; ++w)
+        slot.warp_ids[static_cast<std::size_t>(w)] = b * wpb + w;
+    }
+    sm.next_block = s;
+    for (int b = 0; b < blocks_per_sm; ++b) refill(sm, b);
+  }
+
+  // Global loop: always step the SM with the smallest clock so shared
+  // structures (L2, DRAM queues) observe accesses in time order.
+  while (true) {
+    Sm* next = nullptr;
+    for (Sm& sm : sms_) {
+      if (sm.drained) continue;
+      bool has_work = false;
+      for (const BlockSlot& slot : sm.slots) has_work = has_work || slot.active;
+      if (!has_work) {
+        sm.drained = true;
+        continue;
+      }
+      if (!next || sm.time < next->time) next = &sm;
+    }
+    if (!next) break;
+    if (!try_issue(*next, next->time)) advance_stalled(*next);
+  }
+
+  SimResult r;
+  for (const Sm& sm : sms_) finish_time_ = std::max(finish_time_, sm.time);
+  r.cycles = finish_time_;
+  c_.total_warps = static_cast<std::uint64_t>(k.total_warps());
+  c_.active_sms = static_cast<int>(
+      std::min<std::int64_t>(arch_.num_sms, k.num_blocks));
+  c_.warps_per_sm =
+      std::min<double>(static_cast<double>(blocks_per_sm * wpb),
+                       static_cast<double>(k.num_blocks) * wpb /
+                           std::max(1, c_.active_sms));
+  r.counters = c_;
+  r.dram = gddr_.stats();
+  return r;
+}
+
+}  // namespace
+
+GpuSimulator::GpuSimulator(const GpuArch& arch, SimOptions opts)
+    : arch_(&arch), opts_(opts) {}
+
+SimResult GpuSimulator::run(const KernelInfo& kernel,
+                            const DataPlacement& placement) {
+  TraceMaterializer mat(kernel, placement, *arch_);
+  Engine engine(*arch_, mat, opts_);
+  SimResult r = engine.run();
+  last_samples_ = engine.take_samples();
+  return r;
+}
+
+const std::vector<std::vector<std::uint64_t>>&
+GpuSimulator::interarrival_samples() const {
+  return last_samples_;
+}
+
+SimResult simulate(const KernelInfo& kernel, const DataPlacement& placement,
+                   const GpuArch& arch) {
+  GpuSimulator sim(arch);
+  return sim.run(kernel, placement);
+}
+
+}  // namespace gpuhms

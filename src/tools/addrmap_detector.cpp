@@ -1,0 +1,73 @@
+#include "tools/addrmap_detector.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+AddressMapDetector::AddressMapDetector(const GpuArch& arch,
+                                       AddressMapping mapping, int max_bit,
+                                       int trials, std::uint64_t seed)
+    : arch_(&arch), mapping_(std::move(mapping)), max_bit_(max_bit),
+      trials_(trials), rng_(seed) {
+  GPUHMS_CHECK(max_bit_ > 0 && max_bit_ <= 63);
+  GPUHMS_CHECK(trials_ >= 1);
+}
+
+AddressMapDetection AddressMapDetector::run() {
+  // Latency of the *second* access per (bit, trial): majority vote per bit.
+  std::vector<std::uint64_t> bit_latency(static_cast<std::size_t>(max_bit_));
+  const std::uint64_t addr_mask =
+      (max_bit_ >= 63 ? ~0ull : (1ull << max_bit_) - 1);
+
+  for (int bit = 0; bit < max_bit_; ++bit) {
+    std::map<std::uint64_t, int> votes;
+    for (int trial = 0; trial < trials_; ++trial) {
+      // A fresh, idle memory system per probe: banks precharged, no queue.
+      GddrSystem gddr(*arch_, mapping_);
+      std::uint64_t base = rng_.next_u64() & addr_mask;
+      base &= ~(1ull << bit);
+      // First access: cold -> always a row miss; spaced so nothing queues.
+      const std::uint64_t t0 = 0;
+      (void)gddr.access(base, t0);
+      const std::uint64_t t1 = 1u << 20;  // far past any service time
+      const std::uint64_t done = gddr.access(base ^ (1ull << bit), t1);
+      ++votes[done - t1];
+    }
+    auto best = votes.begin();
+    for (auto it = votes.begin(); it != votes.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    bit_latency[static_cast<std::size_t>(bit)] = best->first;
+  }
+
+  // Cluster the observed latencies into (up to) three groups.
+  std::vector<std::uint64_t> levels(bit_latency);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  GPUHMS_CHECK_MSG(levels.size() <= 3,
+                   "expected at most three latency levels (hit/miss/conflict)");
+
+  AddressMapDetection out;
+  out.hit_latency = levels.front();
+  out.conflict_latency = levels.back();
+  // The miss level is whichever remains; with fewer than three observed
+  // levels (degenerate mappings), fall back to the extremes.
+  out.miss_latency = levels.size() == 3 ? levels[1] : levels.front();
+
+  for (int bit = 0; bit < max_bit_; ++bit) {
+    const std::uint64_t lat = bit_latency[static_cast<std::size_t>(bit)];
+    if (lat == out.hit_latency) {
+      out.column_bits.push_back(bit);
+    } else if (lat == out.conflict_latency && levels.size() >= 2) {
+      out.row_bits.push_back(bit);
+    } else {
+      out.bank_bits.push_back(bit);
+    }
+  }
+  return out;
+}
+
+}  // namespace gpuhms

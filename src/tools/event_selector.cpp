@@ -1,0 +1,45 @@
+#include "tools/event_selector.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace gpuhms {
+
+EventScreen screen_events(const std::vector<SimResult>& runs,
+                          double threshold) {
+  GPUHMS_CHECK_MSG(runs.size() >= 2, "need at least two placements to screen");
+  EventScreen out;
+  out.threshold = threshold;
+
+  std::vector<double> time_vec;
+  time_vec.reserve(runs.size());
+  for (const SimResult& r : runs)
+    time_vec.push_back(static_cast<double>(r.cycles));
+
+  // Union of event names across runs.
+  std::map<std::string, std::vector<double>> event_vecs;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (const auto& [name, value] : runs[i].counters.as_event_map()) {
+      auto& v = event_vecs[name];
+      v.resize(runs.size(), 0.0);
+      v[i] = value;
+    }
+  }
+
+  for (const auto& [name, vec] : event_vecs) {
+    out.similarity[name] = cosine_similarity(vec, time_vec);
+  }
+
+  for (const auto& [name, sim] : out.similarity) {
+    if (sim >= threshold) out.selected.push_back(name);
+  }
+  std::sort(out.selected.begin(), out.selected.end(),
+            [&](const std::string& a, const std::string& b) {
+              return out.similarity.at(a) > out.similarity.at(b);
+            });
+  return out;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,26 @@
+// Performance-event screening (Sec. II-B): given runs of a kernel under N
+// data placements, compute the cosine similarity between the execution-time
+// vector and every performance-event vector, and select events above the
+// paper's 0.94 threshold as modeling indicators (Table I).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/counters.hpp"
+
+namespace gpuhms {
+
+struct EventScreen {
+  // Cosine similarity per event name (events absent in a run count as 0).
+  std::map<std::string, double> similarity;
+  // Events with similarity >= threshold, sorted descending by similarity.
+  std::vector<std::string> selected;
+  double threshold = 0.94;
+};
+
+EventScreen screen_events(const std::vector<SimResult>& runs,
+                          double threshold = 0.94);
+
+}  // namespace gpuhms

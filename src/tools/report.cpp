@@ -1,0 +1,97 @@
+#include "tools/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+namespace {
+
+struct Scored {
+  DataPlacement placement;
+  Prediction prediction;
+};
+
+}  // namespace
+
+void write_placement_report(std::ostream& os, const Predictor& predictor,
+                            const ReportOptions& opts) {
+  const KernelInfo& k = predictor.kernel();
+  const GpuArch& arch = kepler_arch();
+  const DataPlacement& sample = predictor.sample_placement();
+  const SimResult& profile = predictor.sample_result();
+
+  os << "# Placement report: " << k.name << "\n\n";
+  os << "Kernel: " << k.num_blocks << " blocks x " << k.threads_per_block
+     << " threads (" << k.total_warps() << " warps)\n\n";
+
+  os << "## Arrays\n\n";
+  os << "| array | elements | type | written | default |\n";
+  os << "|---|---|---|---|---|\n";
+  for (const auto& a : k.arrays) {
+    os << "| " << a.name << " | " << a.elems << " | " << to_string(a.dtype)
+       << " | " << (a.written ? "yes" : "no") << " | "
+       << short_code(a.default_space) << " |\n";
+  }
+
+  os << "\n## Profiled sample placement\n\n";
+  os << "Placement `" << sample.to_string() << "`: **" << profile.cycles
+     << " cycles** measured.\n";
+  const auto& c = profile.counters;
+  os << "Issued " << c.inst_issued << " instructions (" << c.replays_total()
+     << " replays), " << c.dram_requests << " DRAM requests ("
+     << profile.dram.row_hits() << " row hits / " << profile.dram.row_misses()
+     << " misses / " << profile.dram.row_conflicts() << " conflicts), "
+     << c.shared_bank_conflicts << " shared bank conflicts.\n";
+
+  // Explore and rank.
+  const auto space = enumerate_placements(k, arch, opts.max_placements);
+  std::vector<Scored> scored;
+  scored.reserve(space.size());
+  for (const auto& p : space) {
+    scored.push_back({p, predictor.predict(p)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.prediction.total_cycles < b.prediction.total_cycles;
+  });
+
+  os << "\n## Ranked placements (" << scored.size() << " explored, top "
+     << std::min(opts.table_rows, scored.size()) << " shown)\n\n";
+  os << "| # | placement | predicted | vs sample | T_comp | T_mem | "
+        "T_overlap | change |\n";
+  os << "|---|---|---|---|---|---|---|---|\n";
+  const double sample_cycles = static_cast<double>(profile.cycles);
+  char buf[64];
+  for (std::size_t i = 0; i < std::min(opts.table_rows, scored.size()); ++i) {
+    const auto& s = scored[i];
+    std::snprintf(buf, sizeof buf, "%.2fx",
+                  sample_cycles / s.prediction.total_cycles);
+    os << "| " << i + 1 << " | `" << s.placement.to_string() << "` | "
+       << static_cast<long long>(s.prediction.total_cycles) << " | " << buf
+       << " | " << static_cast<long long>(s.prediction.t_comp) << " | "
+       << static_cast<long long>(s.prediction.t_mem) << " | "
+       << static_cast<long long>(s.prediction.t_overlap) << " | "
+       << s.placement.describe_vs(sample, k) << " |\n";
+  }
+
+  GPUHMS_CHECK(!scored.empty());
+  const Scored& best = scored.front();
+  os << "\n## Recommendation\n\n";
+  os << "Place `" << best.placement.to_string() << "` ("
+     << best.placement.describe_vs(sample, k) << "), predicted "
+     << static_cast<long long>(best.prediction.total_cycles) << " cycles.\n";
+  if (opts.validate_top_choice) {
+    const SimResult validated = simulate(k, best.placement, arch);
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  best.prediction.total_cycles /
+                      static_cast<double>(validated.cycles));
+    os << "Validation run: " << validated.cycles
+       << " cycles measured (predicted/measured = " << buf << ").\n";
+  }
+}
+
+}  // namespace gpuhms

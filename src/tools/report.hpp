@@ -1,0 +1,26 @@
+// Report generation: renders a full placement-advice report for a kernel as
+// Markdown — the artifact a performance engineer would hand off. Contains
+// the kernel summary, the profiled sample, a ranked table of every explored
+// placement with component breakdowns, and the event profile of the
+// recommended placement.
+#pragma once
+
+#include <iosfwd>
+
+#include "model/predictor.hpp"
+
+namespace gpuhms {
+
+struct ReportOptions {
+  std::size_t max_placements = 128;  // exploration cap
+  std::size_t table_rows = 15;       // placements shown in the ranking table
+  // Also simulate the top recommendation to show predicted-vs-measured
+  // (costs one substrate run).
+  bool validate_top_choice = true;
+};
+
+// Writes the Markdown report. The predictor must have a profiled sample.
+void write_placement_report(std::ostream& os, const Predictor& predictor,
+                            const ReportOptions& opts = {});
+
+}  // namespace gpuhms

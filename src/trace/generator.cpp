@@ -1,0 +1,186 @@
+#include "trace/generator.hpp"
+
+#include "common/check.hpp"
+#include "isa/addressing.hpp"
+
+namespace gpuhms {
+
+std::uint32_t active_mask_of(const LaneIdx& idx) {
+  std::uint32_t m = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (idx[static_cast<std::size_t>(l)] != kInactiveLane)
+      m |= 1u << l;
+  }
+  return m;
+}
+
+TraceMaterializer::TraceMaterializer(const KernelInfo& kernel,
+                                     const DataPlacement& placement,
+                                     const GpuArch& arch)
+    : kernel_(&kernel), placement_(placement), arch_(&arch),
+      layout_(kernel, placement_, arch) {
+  const auto err = validate_placement(kernel, placement_, arch);
+  GPUHMS_CHECK_MSG(!err.has_value(), err ? err->c_str() : "");
+  for (std::size_t i = 0; i < kernel.arrays.size(); ++i) {
+    if (placement_.of(static_cast<int>(i)) == MemSpace::Shared &&
+        kernel.arrays[i].default_space != MemSpace::Shared) {
+      staged_arrays_.push_back(static_cast<int>(i));
+    }
+  }
+}
+
+void TraceMaterializer::lower_mem(const WarpCtx& ctx, const DslOp& op,
+                                  std::vector<TraceOp>& out) const {
+  const int array = op.array;
+  GPUHMS_CHECK(array >= 0 &&
+               static_cast<std::size_t>(array) < kernel_->arrays.size());
+  const ArrayDecl& arr = kernel_->arrays[static_cast<std::size_t>(array)];
+  const MemSpace space = placement_.of(array);
+
+  // Addressing-mode instructions (Fig. 2 of the paper).
+  const int addr_insts = addr_calc_instructions(space, arr.dtype);
+  for (int i = 0; i < addr_insts; ++i) {
+    TraceOp a;
+    a.cls = OpClass::IAlu;
+    a.is_addr_calc = true;
+    a.uses_prev = false;
+    a.active_mask = active_mask_of(op.idx);
+    out.push_back(a);
+  }
+
+  TraceOp m;
+  m.cls = op.cls;
+  m.space = space;
+  m.array = static_cast<std::int16_t>(array);
+  // The load consumes the computed address when one was materialized;
+  // otherwise it keeps the DSL dependency.
+  m.uses_prev = addr_insts > 0 ? true : op.uses_prev;
+  m.active_mask = active_mask_of(op.idx);
+  for (int l = 0; l < kWarpSize; ++l) {
+    const std::int64_t e = op.idx[static_cast<std::size_t>(l)];
+    if (e == kInactiveLane) {
+      m.addr[static_cast<std::size_t>(l)] = -1;
+      continue;
+    }
+    const std::uint64_t addr = space == MemSpace::Shared
+                                   ? layout_.shared_addr(array, e)
+                                   : layout_.device_addr(array, e);
+    m.addr[static_cast<std::size_t>(l)] = static_cast<std::int64_t>(addr);
+  }
+  (void)ctx;
+  out.push_back(m);
+}
+
+void TraceMaterializer::lower(const WarpCtx& ctx,
+                              const std::vector<DslOp>& ops,
+                              std::vector<TraceOp>& out) const {
+  for (const DslOp& op : ops) {
+    switch (op.cls) {
+      case OpClass::Load:
+      case OpClass::Store:
+        lower_mem(ctx, op, out);
+        break;
+      case OpClass::Sync: {
+        TraceOp t;
+        t.cls = OpClass::Sync;
+        t.active_mask = 0xffffffffu;
+        out.push_back(t);
+        break;
+      }
+      default: {
+        for (int i = 0; i < op.count; ++i) {
+          TraceOp t;
+          t.cls = op.cls;
+          t.uses_prev = i == 0 && op.uses_prev;
+          t.active_mask = 0xffffffffu;
+          out.push_back(t);
+        }
+      }
+    }
+  }
+}
+
+void TraceMaterializer::staging_preamble(const WarpCtx& ctx,
+                                         std::vector<TraceOp>& out) const {
+  if (staged_arrays_.empty()) return;
+  const int wpb = kernel_->warps_per_block();
+  const std::int64_t lanes_per_block =
+      static_cast<std::int64_t>(wpb) * kWarpSize;
+  for (int array : staged_arrays_) {
+    const ArrayDecl& arr = kernel_->arrays[static_cast<std::size_t>(array)];
+    const std::int64_t slice = layout_.shared_slice_elems(array);
+    const std::int64_t start = layout_.shared_slice_start(array, ctx.block);
+    const std::int64_t iters =
+        (slice + lanes_per_block - 1) / lanes_per_block;
+    for (std::int64_t it = 0; it < iters; ++it) {
+      const std::int64_t base =
+          it * lanes_per_block + ctx.warp_in_block * kWarpSize;
+      // Global load of the chunk (coalesced) ...
+      TraceOp ld;
+      ld.cls = OpClass::Load;
+      ld.space = MemSpace::Global;
+      ld.array = static_cast<std::int16_t>(array);
+      ld.uses_prev = false;
+      TraceOp st;
+      st.cls = OpClass::Store;
+      st.space = MemSpace::Shared;
+      st.array = static_cast<std::int16_t>(array);
+      st.uses_prev = true;  // stores the just-loaded value
+      std::uint32_t mask = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        const std::int64_t local = base + l;
+        if (local >= slice) {
+          ld.addr[static_cast<std::size_t>(l)] = -1;
+          st.addr[static_cast<std::size_t>(l)] = -1;
+          continue;
+        }
+        mask |= 1u << l;
+        const std::int64_t global_elem =
+            (start + local) % static_cast<std::int64_t>(arr.elems);
+        ld.addr[static_cast<std::size_t>(l)] = static_cast<std::int64_t>(
+            layout_.device_base(array) +
+            pitch_linear_offset(arr, global_elem));
+        st.addr[static_cast<std::size_t>(l)] = static_cast<std::int64_t>(
+            layout_.shared_offset(array) +
+            static_cast<std::uint64_t>(local) * arr.elem_size());
+      }
+      if (mask == 0) continue;
+      ld.active_mask = mask;
+      st.active_mask = mask;
+      // Global addressing for the load (register indirect, 2 IMADs).
+      for (int i = 0; i < addr_calc_instructions(MemSpace::Global, arr.dtype);
+           ++i) {
+        TraceOp a;
+        a.cls = OpClass::IAlu;
+        a.is_addr_calc = true;
+        a.active_mask = mask;
+        out.push_back(a);
+      }
+      ld.uses_prev = true;
+      out.push_back(ld);
+      out.push_back(st);
+    }
+  }
+  TraceOp sync;
+  sync.cls = OpClass::Sync;
+  sync.active_mask = 0xffffffffu;
+  out.push_back(sync);
+}
+
+std::vector<WarpTrace> TraceMaterializer::generate(
+    std::int64_t block_begin, std::int64_t block_end) const {
+  std::vector<WarpTrace> traces;
+  traces.reserve(static_cast<std::size_t>(
+      (block_end - block_begin) * kernel_->warps_per_block()));
+  for_each_warp(*kernel_, block_begin, block_end,
+                [&](const WarpCtx& ctx, std::vector<DslOp>&& ops) {
+                  WarpTrace wt;
+                  wt.ctx = ctx;
+                  staging_preamble(ctx, wt.ops);
+                  lower(ctx, ops, wt.ops);
+                  traces.push_back(std::move(wt));
+                });
+  return traces;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,60 @@
+// Placement-aware trace materialization.
+//
+// This is the reproduction of the paper's SASSI-based instruction/memory
+// trace generator plus the trace rewriting step of Sec. IV: DSL ops are
+// lowered into SASS-class TraceOps for a concrete data placement —
+// addressing-mode integer instructions are inserted per Sec. III-B, element
+// indices become byte addresses in the placed space, and arrays staged into
+// shared memory get their one-time copy-in preamble (Sec. III-B's
+// "initialization phase").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/allocation.hpp"
+
+namespace gpuhms {
+
+struct WarpTrace {
+  WarpCtx ctx;
+  std::vector<TraceOp> ops;
+};
+
+class TraceMaterializer {
+ public:
+  TraceMaterializer(const KernelInfo& kernel, const DataPlacement& placement,
+                    const GpuArch& arch);
+
+  const MemoryLayout& layout() const { return layout_; }
+  const KernelInfo& kernel() const { return *kernel_; }
+  const DataPlacement& placement() const { return placement_; }
+
+  // Lower one warp's recorded DSL stream. Appends to `out`.
+  void lower(const WarpCtx& ctx, const std::vector<DslOp>& ops,
+             std::vector<TraceOp>& out) const;
+
+  // Copy-in preamble executed by warp `ctx.warp_in_block` of its block for
+  // every array moved into shared memory; ends with a Sync when nonempty.
+  void staging_preamble(const WarpCtx& ctx, std::vector<TraceOp>& out) const;
+
+  // Full trace (staging + lowered body) for every warp of the block range.
+  std::vector<WarpTrace> generate(std::int64_t block_begin,
+                                  std::int64_t block_end) const;
+
+ private:
+  void lower_mem(const WarpCtx& ctx, const DslOp& op,
+                 std::vector<TraceOp>& out) const;
+
+  const KernelInfo* kernel_;
+  DataPlacement placement_;
+  const GpuArch* arch_;
+  MemoryLayout layout_;
+  // Arrays needing the copy-in preamble (placed shared, default off-chip).
+  std::vector<int> staged_arrays_;
+};
+
+// Active-lane mask for a LaneIdx.
+std::uint32_t active_mask_of(const LaneIdx& idx);
+
+}  // namespace gpuhms

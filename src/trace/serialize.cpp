@@ -1,0 +1,146 @@
+#include "trace/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+namespace {
+
+const char* class_name(OpClass c) { return to_string(c).data(); }
+
+std::optional<OpClass> parse_class(const std::string& s) {
+  for (OpClass c : {OpClass::IAlu, OpClass::FAlu, OpClass::DAlu, OpClass::Sfu,
+                    OpClass::Load, OpClass::Store, OpClass::Sync}) {
+    if (s == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<MemSpace> parse_space(const std::string& s) {
+  for (MemSpace m : kAllMemSpaces) {
+    if (s == to_string(m)) return m;
+  }
+  return std::nullopt;
+}
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const KernelInfo& kernel,
+                 const std::vector<WarpTrace>& warps) {
+  os << "# gpuhms trace v1\n";
+  os << "kernel " << kernel.name << ' ' << kernel.num_blocks << ' '
+     << kernel.threads_per_block << '\n';
+  for (const WarpTrace& wt : warps) {
+    os << "warp " << wt.ctx.block << ' ' << wt.ctx.warp_in_block << ' '
+       << wt.ctx.lanes_active << '\n';
+    for (const TraceOp& op : wt.ops) {
+      os << "op " << class_name(op.cls) << ' ' << to_string(op.space) << ' '
+         << op.array << ' ' << (op.uses_prev ? 1 : 0) << ' '
+         << (op.is_addr_calc ? 1 : 0) << ' ' << std::hex << op.active_mask
+         << std::dec;
+      if (is_memory(op.cls)) {
+        for (int l = 0; l < kWarpSize; ++l)
+          os << ' ' << op.addr[static_cast<std::size_t>(l)];
+      }
+      os << '\n';
+    }
+  }
+}
+
+void write_trace(std::ostream& os, const TraceMaterializer& mat,
+                 std::int64_t block_begin, std::int64_t block_end) {
+  write_trace(os, mat.kernel(), mat.generate(block_begin, block_end));
+}
+
+std::optional<SerializedTrace> read_trace(std::istream& is,
+                                          std::string* error) {
+  SerializedTrace out;
+  bool have_kernel = false;
+  WarpTrace* current = nullptr;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    const std::string where = " at line " + std::to_string(lineno);
+    if (tag == "kernel") {
+      if (have_kernel) {
+        fail(error, "duplicate kernel header" + where);
+        return std::nullopt;
+      }
+      ls >> out.kernel_name >> out.num_blocks >> out.threads_per_block;
+      if (!ls) {
+        fail(error, "malformed kernel header" + where);
+        return std::nullopt;
+      }
+      have_kernel = true;
+    } else if (tag == "warp") {
+      if (!have_kernel) {
+        fail(error, "warp before kernel header" + where);
+        return std::nullopt;
+      }
+      WarpTrace wt;
+      ls >> wt.ctx.block >> wt.ctx.warp_in_block >> wt.ctx.lanes_active;
+      if (!ls) {
+        fail(error, "malformed warp header" + where);
+        return std::nullopt;
+      }
+      wt.ctx.threads_per_block = out.threads_per_block;
+      wt.ctx.num_blocks = out.num_blocks;
+      out.warps.push_back(std::move(wt));
+      current = &out.warps.back();
+    } else if (tag == "op") {
+      if (!current) {
+        fail(error, "op before warp header" + where);
+        return std::nullopt;
+      }
+      std::string cls_s, space_s;
+      int uses_prev = 0, addr_calc = 0;
+      TraceOp op;
+      ls >> cls_s >> space_s >> op.array >> uses_prev >> addr_calc >>
+          std::hex >> op.active_mask >> std::dec;
+      const auto cls = parse_class(cls_s);
+      const auto space = parse_space(space_s);
+      if (!ls || !cls || !space) {
+        fail(error, "malformed op record" + where);
+        return std::nullopt;
+      }
+      op.cls = *cls;
+      op.space = *space;
+      op.uses_prev = uses_prev != 0;
+      op.is_addr_calc = addr_calc != 0;
+      if (is_memory(op.cls)) {
+        for (int l = 0; l < kWarpSize; ++l) {
+          ls >> op.addr[static_cast<std::size_t>(l)];
+        }
+        if (!ls) {
+          fail(error, "memory op missing lane addresses" + where);
+          return std::nullopt;
+        }
+      }
+      current->ops.push_back(op);
+    } else {
+      fail(error, "unknown record tag '" + tag + "'" + where);
+      return std::nullopt;
+    }
+  }
+  if (!have_kernel) {
+    fail(error, "no kernel header found");
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace gpuhms

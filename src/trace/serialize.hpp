@@ -1,0 +1,43 @@
+// Trace serialization: a line-oriented text format for materialized warp
+// traces, the artifact SASSI would write to disk in the paper's toolchain.
+// Lets users inspect lowered traces, diff placements, or feed traces to
+// external analysis without relinking against the library.
+//
+// Format (one record per line):
+//   kernel <name> <num_blocks> <threads_per_block>
+//   warp <block> <warp_in_block> <lanes_active>
+//   op <class> <space> <array> <uses_prev> <is_addr_calc> <active_mask_hex>
+//      [addr0 addr1 ... addr31]        (addresses only for memory ops)
+// Comments start with '#'. Round-trips exactly through read_trace.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hpp"
+
+namespace gpuhms {
+
+struct SerializedTrace {
+  std::string kernel_name;
+  std::int64_t num_blocks = 0;
+  int threads_per_block = 0;
+  std::vector<WarpTrace> warps;
+};
+
+// Writes the traces of [block_begin, block_end) produced by `mat`.
+void write_trace(std::ostream& os, const TraceMaterializer& mat,
+                 std::int64_t block_begin, std::int64_t block_end);
+
+// Writes pre-generated warp traces under a kernel header.
+void write_trace(std::ostream& os, const KernelInfo& kernel,
+                 const std::vector<WarpTrace>& warps);
+
+// Parses a trace written by write_trace. Returns nullopt on malformed
+// input (with a best-effort error message in *error when provided).
+std::optional<SerializedTrace> read_trace(std::istream& is,
+                                          std::string* error = nullptr);
+
+}  // namespace gpuhms

@@ -1,0 +1,97 @@
+// SHOC bfs (BFS_kernel_warp): per-vertex edge-list traversal of a frontier;
+// edge offsets read per vertex, edge destinations streamed, level updates
+// scattered. The evaluation test moves edgeArray to 1-D texture.
+#include "workloads/workloads.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_bfs(int nodes, int avg_degree, std::uint64_t seed) {
+  KernelInfo k;
+  k.name = "bfs";
+  k.threads_per_block = 128;
+  k.num_blocks = (nodes + k.threads_per_block - 1) / k.threads_per_block;
+
+  auto offsets = std::make_shared<std::vector<std::int64_t>>();
+  auto dests = std::make_shared<std::vector<std::int64_t>>();
+  auto on_frontier = std::make_shared<std::vector<bool>>();
+  Rng rng(seed);
+  offsets->push_back(0);
+  on_frontier->resize(static_cast<std::size_t>(nodes));
+  for (int v = 0; v < nodes; ++v) {
+    (*on_frontier)[static_cast<std::size_t>(v)] = rng.next_bool(0.35);
+    const int deg = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(2 * avg_degree + 1)));
+    for (int e = 0; e < deg; ++e) {
+      dests->push_back(static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(nodes))));
+    }
+    offsets->push_back(static_cast<std::int64_t>(dests->size()));
+  }
+
+  ArrayDecl edge{.name = "edgeArray", .dtype = DType::I32,
+                 .elems = static_cast<std::size_t>(nodes + 1), .width = 256};
+  ArrayDecl edge_aux{.name = "edgeArrayAux", .dtype = DType::I32,
+                     .elems = dests->size(), .width = 256};
+  ArrayDecl levels{.name = "levels", .dtype = DType::I32,
+                   .elems = static_cast<std::size_t>(nodes), .written = true};
+  k.arrays = {edge, edge_aux, levels};
+
+  const int iedge = 0, iaux = 1, ilev = 2;
+  k.fn = [nodes, offsets, dests, on_frontier, iedge, iaux, ilev](
+             WarpEmitter& em, const WarpCtx& ctx) {
+    if (ctx.thread_id(0) >= nodes) return;
+    auto vertex = [&](int l) { return ctx.thread_id(l); };
+    // Level check for every vertex.
+    em.load(ilev, em.by_lane([&](int l) {
+      const std::int64_t v = vertex(l);
+      return v < nodes ? v : kInactiveLane;
+    }));
+    em.ialu(1, /*uses_prev=*/true);
+    // Frontier vertices read their offsets (predicated lanes).
+    auto active = [&](int l) {
+      const std::int64_t v = vertex(l);
+      return v < nodes && (*on_frontier)[static_cast<std::size_t>(v)];
+    };
+    em.load(iedge, em.by_lane([&](int l) {
+      return active(l) ? vertex(l) : kInactiveLane;
+    }));
+    em.load(iedge, em.by_lane([&](int l) {
+      return active(l) ? vertex(l) + 1 : kInactiveLane;
+    }));
+    // Walk the edges; the warp iterates to the longest active list.
+    std::int64_t max_deg = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!active(l)) continue;
+      const std::int64_t v = vertex(l);
+      max_deg = std::max(max_deg,
+                         (*offsets)[static_cast<std::size_t>(v) + 1] -
+                             (*offsets)[static_cast<std::size_t>(v)]);
+    }
+    for (std::int64_t e = 0; e < max_deg; ++e) {
+      em.load(iaux, em.by_lane([&](int l) {
+        if (!active(l)) return kInactiveLane;
+        const std::int64_t v = vertex(l);
+        const std::int64_t b = (*offsets)[static_cast<std::size_t>(v)];
+        return b + e < (*offsets)[static_cast<std::size_t>(v) + 1]
+                   ? b + e
+                   : kInactiveLane;
+      }));
+      // Scattered level update of the destination vertex.
+      em.store(ilev, em.by_lane([&](int l) {
+        if (!active(l)) return kInactiveLane;
+        const std::int64_t v = vertex(l);
+        const std::int64_t b = (*offsets)[static_cast<std::size_t>(v)];
+        if (b + e >= (*offsets)[static_cast<std::size_t>(v) + 1])
+          return kInactiveLane;
+        return (*dests)[static_cast<std::size_t>(b + e)];
+      }), /*uses_prev=*/true);
+    }
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,107 @@
+// Rodinia/SDK cfd (cuda_compute_flux): per-element flux computation that
+// gathers the five conserved variables of each surrounding element through
+// an unstructured connectivity — divergent reads of `variables`, the array
+// the training test moves to 1-D texture.
+#include "workloads/workloads.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_cfd(int nelr, std::uint64_t seed) {
+  KernelInfo k;
+  k.name = "cfd";
+  k.threads_per_block = 128;
+  k.num_blocks = (nelr + k.threads_per_block - 1) / k.threads_per_block;
+  constexpr int kNeighbors = 4;
+  constexpr int kVars = 5;
+
+  auto nbrs = std::make_shared<std::vector<std::int64_t>>();
+  nbrs->resize(static_cast<std::size_t>(nelr) * kNeighbors);
+  Rng rng(seed);
+  for (int i = 0; i < nelr; ++i) {
+    for (int j = 0; j < kNeighbors; ++j) {
+      std::int64_t nb = rng.next_bool(0.8)
+                            ? i + static_cast<std::int64_t>(rng.next_below(32)) - 16
+                            : static_cast<std::int64_t>(rng.next_below(
+                                  static_cast<std::uint64_t>(nelr)));
+      if (nb < 0) nb = 0;
+      if (nb >= nelr) nb = nelr - 1;
+      (*nbrs)[static_cast<std::size_t>(i) * kNeighbors + j] = nb;
+    }
+  }
+
+  ArrayDecl variables{.name = "variables", .dtype = DType::F32,
+                      .elems = static_cast<std::size_t>(nelr) * kVars,
+                      .width = 256};
+  ArrayDecl esurr{.name = "elements_surrounding_elements",
+                  .dtype = DType::I32,
+                  .elems = nbrs->size(), .width = 256};
+  ArrayDecl normals{.name = "normals", .dtype = DType::F32,
+                    .elems = static_cast<std::size_t>(nelr) * kNeighbors * 3,
+                    .width = 256};
+  ArrayDecl fluxes{.name = "fluxes", .dtype = DType::F32,
+                   .elems = static_cast<std::size_t>(nelr) * kVars,
+                   .written = true};
+  k.arrays = {variables, esurr, normals, fluxes};
+
+  const int ivar = 0, iesurr = 1, inorm = 2, iflux = 3;
+  const std::int64_t n = nelr;
+  k.fn = [n, nbrs, ivar, iesurr, inorm, iflux](WarpEmitter& em,
+                                               const WarpCtx& ctx) {
+    if (ctx.thread_id(0) >= n) return;
+    auto elem = [&](int l) {
+      const std::int64_t i = ctx.thread_id(l);
+      return i < n ? i : kInactiveLane;
+    };
+    // Own variables (density, momentum, energy): struct-of-arrays reads.
+    for (int v = 0; v < 5; ++v) {
+      em.load(ivar, em.by_lane([&](int l) {
+        const std::int64_t i = elem(l);
+        return i == kInactiveLane ? kInactiveLane
+                                  : static_cast<std::int64_t>(v) * n + i;
+      }));
+    }
+    em.falu(8, /*uses_prev=*/true);  // velocity, pressure, speed of sound
+    em.sfu(1, /*uses_prev=*/true);
+    for (int j = 0; j < 4; ++j) {
+      em.load(iesurr, em.by_lane([&](int l) {
+        const std::int64_t i = elem(l);
+        return i == kInactiveLane ? kInactiveLane
+                                  : i * 4 + j;
+      }));
+      for (int c = 0; c < 3; ++c) {
+        em.load(inorm, em.by_lane([&](int l) {
+          const std::int64_t i = elem(l);
+          return i == kInactiveLane
+                     ? kInactiveLane
+                     : (i * 4 + j) * 3 + c;
+        }));
+      }
+      // Gather the neighbor's five variables: divergent.
+      for (int v = 0; v < 5; ++v) {
+        em.load(ivar, em.by_lane([&](int l) {
+          const std::int64_t i = elem(l);
+          if (i == kInactiveLane) return kInactiveLane;
+          const std::int64_t nb =
+              (*nbrs)[static_cast<std::size_t>(i) * 4 +
+                      static_cast<std::size_t>(j)];
+          return static_cast<std::int64_t>(v) * n + nb;
+        }), /*uses_prev=*/v == 0);
+      }
+      em.falu(12, /*uses_prev=*/true);  // flux contribution
+    }
+    for (int v = 0; v < 5; ++v) {
+      em.store(iflux, em.by_lane([&](int l) {
+        const std::int64_t i = elem(l);
+        return i == kInactiveLane ? kInactiveLane
+                                  : static_cast<std::int64_t>(v) * n + i;
+      }), /*uses_prev=*/v == 0);
+    }
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,90 @@
+// CUDA SDK convolutionSeparable: the row pass (convo1 in the paper's
+// Table I) slides a horizontal window; the column pass (convo2) slides a
+// vertical one, turning the source reads into width-strided accesses whose
+// 2-D locality the texture placements change materially. The filter taps
+// (c_Kernel) default to constant memory, as in the SDK. Training benchmark
+// in Table IV.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_convolution(int width, int height, int radius) {
+  KernelInfo k;
+  k.name = "convolution";
+  k.threads_per_block = 128;
+  const std::int64_t pixels = static_cast<std::int64_t>(width) * height;
+  k.num_blocks = (pixels + k.threads_per_block - 1) / k.threads_per_block;
+
+  ArrayDecl src{.name = "d_Src", .dtype = DType::F32,
+                .elems = static_cast<std::size_t>(pixels),
+                .width = static_cast<std::size_t>(width)};
+  ArrayDecl taps{.name = "c_Kernel", .dtype = DType::F32,
+                 .elems = static_cast<std::size_t>(2 * radius + 1),
+                 .shared_slice_elems = static_cast<std::size_t>(2 * radius + 1),
+                 .default_space = MemSpace::Constant};
+  ArrayDecl dst{.name = "d_Dst", .dtype = DType::F32,
+                .elems = static_cast<std::size_t>(pixels), .written = true};
+  k.arrays = {src, taps, dst};
+
+  const int isrc = 0, itaps = 1, idst = 2;
+  k.fn = [width, pixels, radius, isrc, itaps, idst](WarpEmitter& em,
+                                                    const WarpCtx& ctx) {
+    auto pixel = [&](int l) { return ctx.thread_id(l); };
+    if (pixel(0) >= pixels) return;
+    em.ialu(2);  // x/y decomposition
+    for (int t = -radius; t <= radius; ++t) {
+      // Clamped horizontal window: overlapping, well-coalesced reads.
+      em.load(isrc, em.by_lane([&](int l) {
+        const std::int64_t p = pixel(l);
+        if (p >= pixels) return kInactiveLane;
+        const std::int64_t y = p / width;
+        std::int64_t x = p % width + t;
+        if (x < 0) x = 0;
+        if (x >= width) x = width - 1;
+        return y * width + x;
+      }));
+      // Filter tap: same element for the whole warp (broadcast).
+      em.load(itaps, em.bcast(t + radius));
+      em.falu(1, /*uses_prev=*/true);  // fma
+    }
+    em.store(idst, em.by_lane([&](int l) {
+      const std::int64_t p = pixel(l);
+      return p < pixels ? p : kInactiveLane;
+    }), /*uses_prev=*/true);
+  };
+  return k;
+}
+
+KernelInfo make_convolution_cols(int width, int height, int radius) {
+  KernelInfo k = make_convolution(width, height, radius);
+  k.name = "convolution_cols";
+  const int isrc = 0, itaps = 1, idst = 2;
+  const std::int64_t pixels = static_cast<std::int64_t>(width) * height;
+  k.fn = [width, height, pixels, radius, isrc, itaps, idst](
+             WarpEmitter& em, const WarpCtx& ctx) {
+    auto pixel = [&](int l) { return ctx.thread_id(l); };
+    if (pixel(0) >= pixels) return;
+    em.ialu(2);
+    for (int t = -radius; t <= radius; ++t) {
+      // Clamped vertical window: width-strided reads across rows.
+      em.load(isrc, em.by_lane([&](int l) {
+        const std::int64_t p = pixel(l);
+        if (p >= pixels) return kInactiveLane;
+        const std::int64_t x = p % width;
+        std::int64_t y = p / width + t;
+        if (y < 0) y = 0;
+        if (y >= height) y = height - 1;
+        return y * width + x;
+      }));
+      em.load(itaps, em.bcast(t + radius));
+      em.falu(1, /*uses_prev=*/true);
+    }
+    em.store(idst, em.by_lane([&](int l) {
+      const std::int64_t p = pixel(l);
+      return p < pixels ? p : kInactiveLane;
+    }), /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,81 @@
+// SHOC fft (FFT512_device): each block transforms a 512-point batch staged
+// in shared memory; the butterfly passes use power-of-two strides, which
+// makes the shared accesses bank-conflict-rich. The evaluation test moves
+// smem to global memory (fft_1, S->G), trading bank-conflict replays for
+// global divergence replays — the instruction-counting stress case of
+// Fig. 7.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_fft(int batches) {
+  KernelInfo k;
+  k.name = "fft";
+  k.threads_per_block = 64;  // 64 threads x 8 points each = 512
+  k.num_blocks = batches;
+  constexpr int kPoints = 512;
+  constexpr int kPerThread = 8;
+
+  ArrayDecl work{.name = "work", .dtype = DType::F32,
+                 .elems = static_cast<std::size_t>(kPoints) *
+                          static_cast<std::size_t>(batches),
+                 .width = kPoints, .written = true};
+  ArrayDecl smem{.name = "smem", .dtype = DType::F32,
+                 .elems = static_cast<std::size_t>(kPoints) *
+                          static_cast<std::size_t>(batches),
+                 .written = true,
+                 .shared_slice_elems = kPoints,
+                 .default_space = MemSpace::Shared};
+  k.arrays = {work, smem};
+
+  const int iwork = 0, ismem = 1;
+  const int tpb = k.threads_per_block;
+  k.fn = [tpb, iwork, ismem](WarpEmitter& em, const WarpCtx& ctx) {
+    auto tid = [&](int l) { return ctx.warp_in_block * kWarpSize + l; };
+    const std::int64_t batch_base = ctx.block * kPoints;
+    // Load the batch from global (coalesced) and stage it.
+    for (int p = 0; p < kPerThread; ++p) {
+      em.load(iwork, em.by_lane([&](int l) {
+        return batch_base + p * tpb + tid(l);
+      }));
+      em.store(ismem, em.by_lane([&](int l) {
+        return batch_base + p * tpb + tid(l);
+      }), /*uses_prev=*/true);
+    }
+    em.sync();
+    // Three radix-8 passes: strided shared reads/writes + butterflies.
+    for (int pass = 0; pass < 3; ++pass) {
+      const int stride = 1 << (3 * pass);  // 1, 8, 64
+      for (int p = 0; p < kPerThread; ++p) {
+        em.load(ismem, em.by_lane([&](int l) {
+          const int t = tid(l);
+          return batch_base +
+                 static_cast<std::int64_t>((t * kPerThread + p) * stride) %
+                     kPoints;
+        }));
+      }
+      em.falu(12, /*uses_prev=*/true);  // radix-8 butterfly + twiddles
+      em.sfu(2, /*uses_prev=*/true);
+      for (int p = 0; p < kPerThread; ++p) {
+        em.store(ismem, em.by_lane([&](int l) {
+          const int t = tid(l);
+          return batch_base +
+                 static_cast<std::int64_t>((t + p * tpb) * stride) % kPoints;
+        }), /*uses_prev=*/p == 0);
+      }
+      em.sync();
+    }
+    // Write the result back.
+    for (int p = 0; p < kPerThread; ++p) {
+      em.load(ismem, em.by_lane([&](int l) {
+        return batch_base + p * tpb + tid(l);
+      }));
+      em.store(iwork, em.by_lane([&](int l) {
+        return batch_base + p * tpb + tid(l);
+      }), /*uses_prev=*/true);
+    }
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,91 @@
+// SHOC md (Lennard-Jones force, compute_lj_force): per-atom neighbor-list
+// traversal with position gathers — the paper's canonical bursty kernel
+// (c_a ~ 2.2). Positions default to 1-D texture as in SHOC.
+#include "workloads/workloads.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_md(int natoms, int neighbors, std::uint64_t seed) {
+  KernelInfo k;
+  k.name = "md";
+  k.threads_per_block = 128;
+  k.num_blocks = (natoms + k.threads_per_block - 1) / k.threads_per_block;
+
+  // Neighbor lists: mostly spatially local with a random tail, stored
+  // neighbor-major (j * natoms + i) as in SHOC.
+  auto neigh = std::make_shared<std::vector<std::int64_t>>();
+  neigh->resize(static_cast<std::size_t>(natoms) * neighbors);
+  Rng rng(seed);
+  for (int i = 0; i < natoms; ++i) {
+    for (int j = 0; j < neighbors; ++j) {
+      std::int64_t nb = rng.next_bool(0.7)
+                            ? i + static_cast<std::int64_t>(rng.next_below(96)) - 48
+                            : static_cast<std::int64_t>(rng.next_below(
+                                  static_cast<std::uint64_t>(natoms)));
+      if (nb < 0) nb = 0;
+      if (nb >= natoms) nb = natoms - 1;
+      (*neigh)[static_cast<std::size_t>(j) * natoms + i] = nb;
+    }
+  }
+
+  ArrayDecl position{.name = "d_position", .dtype = DType::F32,
+                     .elems = static_cast<std::size_t>(natoms) * 4,
+                     .width = 256,
+                     .default_space = MemSpace::Texture1D};
+  ArrayDecl neigh_arr{.name = "neighList", .dtype = DType::I32,
+                      .elems = neigh->size(), .width = 256};
+  ArrayDecl force{.name = "d_force", .dtype = DType::F32,
+                  .elems = static_cast<std::size_t>(natoms) * 4,
+                  .written = true};
+  k.arrays = {position, neigh_arr, force};
+
+  const int ipos = 0, ineigh = 1, iforce = 2;
+  k.fn = [natoms, neighbors, neigh, ipos, ineigh, iforce](
+             WarpEmitter& em, const WarpCtx& ctx) {
+    auto atom = [&](int l) { return ctx.thread_id(l); };
+    const std::int64_t first = atom(0);
+    if (first >= natoms) return;
+    // Own position (x,y,z).
+    for (int c = 0; c < 3; ++c) {
+      em.load(ipos, em.by_lane([&](int l) {
+        const std::int64_t i = atom(l);
+        return i < natoms ? i * 4 + c : kInactiveLane;
+      }));
+    }
+    for (int j = 0; j < neighbors; ++j) {
+      // neighList[j * natoms + i]: coalesced.
+      em.load(ineigh, em.by_lane([&](int l) {
+        const std::int64_t i = atom(l);
+        return i < natoms ? static_cast<std::int64_t>(j) * natoms + i
+                          : kInactiveLane;
+      }));
+      // Gather the neighbor position (x,y,z): divergent.
+      for (int c = 0; c < 3; ++c) {
+        em.load(ipos, em.by_lane([&](int l) {
+          const std::int64_t i = atom(l);
+          if (i >= natoms) return kInactiveLane;
+          const std::int64_t nb =
+              (*neigh)[static_cast<std::size_t>(j) * natoms + i];
+          return nb * 4 + c;
+        }), /*uses_prev=*/c == 0);
+      }
+      // r^2, LJ terms.
+      em.falu(6, /*uses_prev=*/true);
+      em.sfu(1, /*uses_prev=*/true);
+      em.falu(3, /*uses_prev=*/true);
+    }
+    for (int c = 0; c < 3; ++c) {
+      em.store(iforce, em.by_lane([&](int l) {
+        const std::int64_t i = atom(l);
+        return i < natoms ? i * 4 + c : kInactiveLane;
+      }), /*uses_prev=*/c == 0);
+    }
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,41 @@
+// SHOC md5hash (FindKeyWithDigest): almost pure integer compute with long
+// dependency chains; only the tiny foundKey result array touches memory.
+// The evaluation test moves foundKey to shared memory (G->S).
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_md5hash(int keys) {
+  KernelInfo k;
+  k.name = "md5hash";
+  k.threads_per_block = 128;
+  k.num_blocks = (keys + k.threads_per_block - 1) / k.threads_per_block;
+
+  ArrayDecl found{.name = "foundKey", .dtype = DType::I32, .elems = 8,
+                  .written = true, .shared_slice_elems = 8};
+  k.arrays = {found};
+
+  const int ifound = 0;
+  const std::int64_t total = keys;
+  k.fn = [total, ifound](WarpEmitter& em, const WarpCtx& ctx) {
+    if (ctx.thread_id(0) >= total) return;
+    // Four MD5 rounds x 16 steps, each a short dependent integer chain.
+    for (int round = 0; round < 4; ++round) {
+      for (int step = 0; step < 16; ++step) {
+        em.ialu(3, /*uses_prev=*/true);
+        em.ialu(1);
+      }
+    }
+    // Digest comparison; the (rare) match writes the key.
+    em.ialu(4, /*uses_prev=*/true);
+    em.store(ifound, em.by_lane([&](int l) {
+      // A single lane in the whole grid reports the found key.
+      return ctx.block == 0 && ctx.warp_in_block == 0 && l == 0
+                 ? 0
+                 : kInactiveLane;
+    }));
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,64 @@
+// SHOC neuralnet (kernelFeedForward1): every output neuron walks the input
+// vector, reading input[i] as a warp-wide broadcast and weights[i*out + j]
+// coalesced. Fig. 6 of the paper ranks five placements of `weights`
+// (G, C, S, T, 2T): constant suffers indexed-divergence replays (NN_C),
+// shared pays the staging copy (NN_S) — the cases PORPLE mis-ranks.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_neuralnet(int inputs, int outputs, int batch) {
+  KernelInfo k;
+  k.name = "neuralnet";
+  k.threads_per_block = 128;
+  const std::int64_t jobs = static_cast<std::int64_t>(outputs) * batch;
+  k.num_blocks = (jobs + k.threads_per_block - 1) / k.threads_per_block;
+
+  ArrayDecl weights{.name = "weights", .dtype = DType::F32,
+                    .elems = static_cast<std::size_t>(inputs) *
+                             static_cast<std::size_t>(outputs),
+                    .width = static_cast<std::size_t>(outputs)};
+  // The whole weight matrix must be resident per block when staged.
+  weights.shared_slice_elems = weights.elems;
+  ArrayDecl input{.name = "input", .dtype = DType::F32,
+                  .elems = static_cast<std::size_t>(inputs) *
+                           static_cast<std::size_t>(batch),
+                  .width = static_cast<std::size_t>(inputs)};
+  ArrayDecl output{.name = "output", .dtype = DType::F32,
+                   .elems = static_cast<std::size_t>(jobs), .written = true};
+  k.arrays = {weights, input, output};
+
+  const int iw = 0, iin = 1, iout = 2;
+  k.fn = [inputs, outputs, jobs, iw, iin, iout](WarpEmitter& em,
+                                                const WarpCtx& ctx) {
+    if (ctx.thread_id(0) >= jobs) return;
+    // thread -> (sample, neuron j); consecutive threads take consecutive j.
+    auto neuron = [&](int l) { return ctx.thread_id(l) % outputs; };
+    auto sample = [&](int l) { return ctx.thread_id(l) / outputs; };
+    em.ialu(2);
+    for (int i = 0; i < inputs; ++i) {
+      // input[sample][i]: one word for the warp (broadcast) in the common
+      // case where the warp stays within a sample.
+      em.load(iin, em.by_lane([&](int l) {
+        const std::int64_t t = ctx.thread_id(l);
+        return t < jobs ? sample(l) * inputs + i : kInactiveLane;
+      }));
+      // weights[i][j]: coalesced over j — but 32 distinct words, which is
+      // what breaks the constant placement.
+      em.load(iw, em.by_lane([&](int l) {
+        const std::int64_t t = ctx.thread_id(l);
+        return t < jobs ? static_cast<std::int64_t>(i) * outputs + neuron(l)
+                        : kInactiveLane;
+      }));
+      em.falu(1, /*uses_prev=*/true);
+    }
+    em.sfu(1, /*uses_prev=*/true);  // sigmoid
+    em.store(iout, em.by_lane([&](int l) {
+      const std::int64_t t = ctx.thread_id(l);
+      return t < jobs ? t : kInactiveLane;
+    }), /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

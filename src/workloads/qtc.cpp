@@ -1,0 +1,62 @@
+// SHOC QTC (quality threshold clustering): each thread scans rows of the
+// pairwise distance matrix — a 2-D read pattern, which is why the training
+// test views distance_matrix as a 2-D texture (G->2T).
+#include "workloads/workloads.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_qtc(int points, int checks, std::uint64_t seed) {
+  KernelInfo k;
+  k.name = "qtc";
+  k.threads_per_block = 128;
+  k.num_blocks = (points + k.threads_per_block - 1) / k.threads_per_block;
+
+  // Candidate rows each thread examines (deterministic scatter).
+  auto rows = std::make_shared<std::vector<std::int64_t>>();
+  rows->resize(static_cast<std::size_t>(points) * checks);
+  Rng rng(seed);
+  for (auto& r : *rows)
+    r = static_cast<std::int64_t>(rng.next_below(
+        static_cast<std::uint64_t>(points)));
+
+  ArrayDecl dist{.name = "distance_matrix_txt", .dtype = DType::F32,
+                 .elems = static_cast<std::size_t>(points) *
+                          static_cast<std::size_t>(points),
+                 .width = static_cast<std::size_t>(points)};
+  ArrayDecl membership{.name = "membership", .dtype = DType::I32,
+                       .elems = static_cast<std::size_t>(points),
+                       .written = true};
+  k.arrays = {dist, membership};
+
+  const int idist = 0, imem = 1;
+  const std::int64_t n = points;
+  k.fn = [n, checks, rows, idist, imem](WarpEmitter& em, const WarpCtx& ctx) {
+    if (ctx.thread_id(0) >= n) return;
+    auto point = [&](int l) {
+      const std::int64_t i = ctx.thread_id(l);
+      return i < n ? i : kInactiveLane;
+    };
+    for (int c = 0; c < checks; ++c) {
+      // distance_matrix[row_c(thread)][thread]: each lane reads its own
+      // column of a (scattered) row.
+      em.load(idist, em.by_lane([&](int l) {
+        const std::int64_t i = point(l);
+        if (i == kInactiveLane) return kInactiveLane;
+        const std::int64_t r =
+            (*rows)[static_cast<std::size_t>(i) * checks +
+                    static_cast<std::size_t>(c)];
+        return r * n + i;
+      }));
+      em.falu(2, /*uses_prev=*/true);  // threshold compare + accumulate
+    }
+    em.ialu(2, /*uses_prev=*/true);
+    em.store(imem, em.by_lane(point), /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

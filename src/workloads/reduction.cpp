@@ -1,0 +1,71 @@
+// SHOC reduction: grid-stride global loads into a per-block shared buffer,
+// then a tree reduction over shared memory with barriers. The evaluation
+// test moves sdata to global memory (S->G), multiplying off-chip traffic —
+// the Reduction_2 case whose row-buffer misses Fig. 5 highlights.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_reduction(std::int64_t n) {
+  KernelInfo k;
+  k.name = "reduction";
+  k.threads_per_block = 256;
+  const int grid_stride_loads = 4;
+  k.num_blocks = n / (k.threads_per_block * grid_stride_loads);
+  if (k.num_blocks < 1) k.num_blocks = 1;
+
+  ArrayDecl idata{.name = "g_idata", .dtype = DType::F32,
+                  .elems = static_cast<std::size_t>(n), .width = 256};
+  ArrayDecl sdata{.name = "sdata", .dtype = DType::F32,
+                  .elems = static_cast<std::size_t>(k.threads_per_block) *
+                           static_cast<std::size_t>(k.num_blocks),
+                  .written = true,
+                  .shared_slice_elems =
+                      static_cast<std::size_t>(k.threads_per_block),
+                  .default_space = MemSpace::Shared};
+  ArrayDecl odata{.name = "g_odata", .dtype = DType::F32,
+                  .elems = static_cast<std::size_t>(k.num_blocks),
+                  .written = true};
+  k.arrays = {idata, sdata, odata};
+
+  const int iin = 0, ish = 1, iout = 2;
+  const int tpb = k.threads_per_block;
+  const std::int64_t blocks = k.num_blocks;
+  k.fn = [n, tpb, blocks, grid_stride_loads, iin, ish, iout](
+             WarpEmitter& em, const WarpCtx& ctx) {
+    auto tid = [&](int l) { return ctx.warp_in_block * kWarpSize + l; };
+    // Grid-stride accumulation.
+    for (int g = 0; g < grid_stride_loads; ++g) {
+      em.load(iin, em.by_lane([&](int l) {
+        const std::int64_t i =
+            (static_cast<std::int64_t>(g) * blocks + ctx.block) * tpb + tid(l);
+        return i < n ? i : kInactiveLane;
+      }));
+      em.falu(1, /*uses_prev=*/true);
+    }
+    // sdata[tid] = sum (block-local index).
+    em.store(ish, em.by_lane([&](int l) {
+      return ctx.block * tpb + tid(l);
+    }), /*uses_prev=*/true);
+    em.sync();
+    // Tree reduction.
+    for (int s = tpb / 2; s >= 1; s /= 2) {
+      em.load(ish, em.by_lane([&](int l) {
+        const int t = tid(l);
+        return t < s ? ctx.block * tpb + t + s : kInactiveLane;
+      }));
+      em.falu(1, /*uses_prev=*/true);
+      em.store(ish, em.by_lane([&](int l) {
+        const int t = tid(l);
+        return t < s ? ctx.block * tpb + t : kInactiveLane;
+      }), /*uses_prev=*/true);
+      em.sync();
+    }
+    em.store(iout, em.by_lane([&](int l) {
+      return tid(l) == 0 ? ctx.block : kInactiveLane;
+    }));
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,67 @@
+// SHOC S3D (gr_base): per-cell chemistry rates — species-strided reads of
+// pressure/temperature (gpu_p) and mass fractions (gpu_y) with heavy
+// transcendental compute. Evaluation tests move gpu_p and/or gpu_y to 1-D
+// texture (S3D_1..3 in Fig. 5).
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_s3d(int cells, int species) {
+  KernelInfo k;
+  k.name = "s3d";
+  k.threads_per_block = 128;
+  k.num_blocks = (cells + k.threads_per_block - 1) / k.threads_per_block;
+
+  ArrayDecl p{.name = "gpu_p", .dtype = DType::F32,
+              .elems = static_cast<std::size_t>(cells) * 2, .width = 256};
+  ArrayDecl y{.name = "gpu_y", .dtype = DType::F32,
+              .elems = static_cast<std::size_t>(cells) *
+                       static_cast<std::size_t>(species),
+              .width = 256};
+  ArrayDecl rf{.name = "gpu_rf", .dtype = DType::F32,
+               .elems = static_cast<std::size_t>(cells) *
+                        static_cast<std::size_t>(species),
+               .written = true};
+  k.arrays = {p, y, rf};
+
+  const int ip = 0, iy = 1, irf = 2;
+  const std::int64_t n = cells;
+  k.fn = [n, species, ip, iy, irf](WarpEmitter& em, const WarpCtx& ctx) {
+    if (ctx.thread_id(0) >= n) return;
+    auto cell = [&](int l) {
+      const std::int64_t i = ctx.thread_id(l);
+      return i < n ? i : kInactiveLane;
+    };
+    // Pressure and temperature.
+    em.load(ip, em.by_lane(cell));
+    em.load(ip, em.by_lane([&](int l) {
+      const std::int64_t i = cell(l);
+      return i == kInactiveLane ? kInactiveLane : i + n;
+    }));
+    em.sfu(2, /*uses_prev=*/true);  // log/exp of temperature
+    for (int s = 0; s < species; ++s) {
+      // Mass fraction of species s: species-strided but coalesced per load.
+      em.load(iy, em.by_lane([&](int l) {
+        const std::int64_t i = cell(l);
+        return i == kInactiveLane
+                   ? kInactiveLane
+                   : static_cast<std::int64_t>(s) * n + i;
+      }));
+      // Arrhenius terms: S3D's chemistry is double precision, so the rate
+      // math issues over two cycles (replay cause 5 of Sec. III-B).
+      em.dalu(2, /*uses_prev=*/true);
+      em.sfu(1, /*uses_prev=*/true);
+      em.dalu(1, /*uses_prev=*/true);
+      em.falu(2, /*uses_prev=*/true);
+      em.store(irf, em.by_lane([&](int l) {
+        const std::int64_t i = cell(l);
+        return i == kInactiveLane
+                   ? kInactiveLane
+                   : static_cast<std::int64_t>(s) * n + i;
+      }), /*uses_prev=*/true);
+    }
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

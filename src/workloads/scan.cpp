@@ -1,0 +1,65 @@
+// SHOC scan (reduce phase): block-wise reduction of the input followed by a
+// shared-memory scan of partial sums. The evaluation test views g_idata as a
+// 2-D texture (G->2T).
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_scan(std::int64_t n) {
+  KernelInfo k;
+  k.name = "scan";
+  k.threads_per_block = 256;
+  k.num_blocks = n / (k.threads_per_block * 2);
+  if (k.num_blocks < 1) k.num_blocks = 1;
+
+  ArrayDecl idata{.name = "g_idata", .dtype = DType::F32,
+                  .elems = static_cast<std::size_t>(n), .width = 128};
+  ArrayDecl s_block{.name = "s_block", .dtype = DType::F32,
+                    .elems = static_cast<std::size_t>(k.threads_per_block) *
+                             static_cast<std::size_t>(k.num_blocks),
+                    .written = true,
+                    .shared_slice_elems =
+                        static_cast<std::size_t>(k.threads_per_block),
+                    .default_space = MemSpace::Shared};
+  ArrayDecl osums{.name = "g_osums", .dtype = DType::F32,
+                  .elems = static_cast<std::size_t>(k.num_blocks),
+                  .written = true};
+  k.arrays = {idata, s_block, osums};
+
+  const int iin = 0, ish = 1, iout = 2;
+  const int tpb = k.threads_per_block;
+  k.fn = [n, tpb, iin, ish, iout](WarpEmitter& em, const WarpCtx& ctx) {
+    auto tid = [&](int l) { return ctx.warp_in_block * kWarpSize + l; };
+    const std::int64_t base = ctx.block * tpb * 2;
+    for (int half = 0; half < 2; ++half) {
+      em.load(iin, em.by_lane([&](int l) {
+        const std::int64_t i = base + half * tpb + tid(l);
+        return i < n ? i : kInactiveLane;
+      }));
+      em.falu(1, /*uses_prev=*/true);
+    }
+    em.store(ish, em.by_lane([&](int l) {
+      return ctx.block * tpb + tid(l);
+    }), /*uses_prev=*/true);
+    em.sync();
+    // Kogge-Stone style scan over shared memory.
+    for (int d = 1; d < tpb; d *= 2) {
+      em.load(ish, em.by_lane([&](int l) {
+        const int t = tid(l);
+        return t >= d ? ctx.block * tpb + t - d : kInactiveLane;
+      }));
+      em.falu(1, /*uses_prev=*/true);
+      em.store(ish, em.by_lane([&](int l) {
+        const int t = tid(l);
+        return t >= d ? ctx.block * tpb + t : kInactiveLane;
+      }), /*uses_prev=*/true);
+      em.sync();
+    }
+    em.store(iout, em.by_lane([&](int l) {
+      return tid(l) == tpb - 1 ? ctx.block : kInactiveLane;
+    }));
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

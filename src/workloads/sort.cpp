@@ -1,0 +1,70 @@
+// SHOC sort (radix reorderData step): keys are read coalesced and written
+// scattered according to their radix digit; per-block digit offsets live in
+// shared memory (sBlockOffsets, the S->G evaluation test).
+#include "workloads/workloads.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_sort(std::int64_t n, std::uint64_t seed) {
+  KernelInfo k;
+  k.name = "sort";
+  k.threads_per_block = 256;
+  k.num_blocks = n / k.threads_per_block;
+  if (k.num_blocks < 1) k.num_blocks = 1;
+  constexpr int kRadix = 16;
+
+  // Deterministic digit per key (drives the scatter destinations).
+  auto digits = std::make_shared<std::vector<int>>();
+  digits->resize(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  for (auto& d : *digits) d = static_cast<int>(rng.next_below(kRadix));
+
+  ArrayDecl keys_in{.name = "keysIn", .dtype = DType::I32,
+                    .elems = static_cast<std::size_t>(n), .width = 256};
+  ArrayDecl keys_out{.name = "keysOut", .dtype = DType::I32,
+                     .elems = static_cast<std::size_t>(n), .written = true};
+  ArrayDecl offsets{.name = "sBlockOffsets", .dtype = DType::I32,
+                    .elems = static_cast<std::size_t>(kRadix) *
+                             static_cast<std::size_t>(k.num_blocks),
+                    .written = true,
+                    .shared_slice_elems = kRadix,
+                    .default_space = MemSpace::Shared};
+  k.arrays = {keys_in, keys_out, offsets};
+
+  const int iin = 0, iout = 1, ioff = 2;
+  const int tpb = k.threads_per_block;
+  const std::int64_t total = n;
+  k.fn = [digits, total, tpb, iin, iout, ioff](WarpEmitter& em,
+                                               const WarpCtx& ctx) {
+    auto key = [&](int l) { return ctx.block * tpb + ctx.warp_in_block * kWarpSize + l; };
+    if (key(0) >= total) return;
+    em.load(iin, em.by_lane([&](int l) {
+      const std::int64_t i = key(l);
+      return i < total ? i : kInactiveLane;
+    }));
+    em.ialu(3, /*uses_prev=*/true);  // digit extraction
+    // Per-digit offset lookup (few distinct words -> broadcast-ish).
+    em.load(ioff, em.by_lane([&](int l) {
+      const std::int64_t i = key(l);
+      if (i >= total) return kInactiveLane;
+      return ctx.block * 16 + (*digits)[static_cast<std::size_t>(i)];
+    }), /*uses_prev=*/true);
+    em.ialu(1, /*uses_prev=*/true);
+    // Scatter: destination ordered by digit, spread across the output.
+    em.store(iout, em.by_lane([&](int l) {
+      const std::int64_t i = key(l);
+      if (i >= total) return kInactiveLane;
+      const int d = (*digits)[static_cast<std::size_t>(i)];
+      const std::int64_t bucket = total / 16;
+      return (static_cast<std::int64_t>(d) * bucket + i / 16) %
+             total;
+    }), /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,172 @@
+// SHOC spmv (CSR vector kernel): one warp per row; val/cols stream within a
+// row, the source vector is gathered through 1-D texture by default. The
+// gather produces the divergent, bursty DRAM traffic the paper's queuing
+// study highlights.
+#include "workloads/workloads.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_spmv(int rows, int avg_nnz_per_row, std::uint64_t seed) {
+  KernelInfo k;
+  k.name = "spmv";
+  k.threads_per_block = 128;
+  const int warps_per_block = k.threads_per_block / kWarpSize;
+  k.num_blocks = (rows + warps_per_block - 1) / warps_per_block;
+
+  // Deterministic CSR structure: row lengths jitter around the average and
+  // column indices mix local banding with random scatter.
+  auto row_ptr = std::make_shared<std::vector<std::int64_t>>();
+  auto cols = std::make_shared<std::vector<std::int64_t>>();
+  Rng rng(seed);
+  row_ptr->push_back(0);
+  for (int r = 0; r < rows; ++r) {
+    const int nnz = avg_nnz_per_row / 2 +
+                    static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(avg_nnz_per_row)));
+    for (int j = 0; j < nnz; ++j) {
+      const bool local = rng.next_bool(0.6);
+      std::int64_t c = local ? (r + static_cast<std::int64_t>(
+                                        rng.next_below(64)) - 32)
+                             : static_cast<std::int64_t>(
+                                   rng.next_below(static_cast<std::uint64_t>(rows)));
+      if (c < 0) c = 0;
+      if (c >= rows) c = rows - 1;
+      cols->push_back(c);
+    }
+    row_ptr->push_back(static_cast<std::int64_t>(cols->size()));
+  }
+  const std::size_t nnz_total = cols->size();
+
+  ArrayDecl val{.name = "val", .dtype = DType::F32, .elems = nnz_total,
+                .width = 256};
+  ArrayDecl col_arr{.name = "cols", .dtype = DType::I32, .elems = nnz_total,
+                    .width = 256};
+  ArrayDecl rowd{.name = "rowDelimiters", .dtype = DType::I32,
+                 .elems = static_cast<std::size_t>(rows + 1),
+                 .shared_slice_elems =
+                     static_cast<std::size_t>(warps_per_block + 1)};
+  ArrayDecl vec{.name = "d_vec", .dtype = DType::F32,
+                .elems = static_cast<std::size_t>(rows), .width = 256,
+                .default_space = MemSpace::Texture1D};
+  ArrayDecl out{.name = "out", .dtype = DType::F32,
+                .elems = static_cast<std::size_t>(rows), .written = true};
+  k.arrays = {val, col_arr, rowd, vec, out};
+
+  const int ival = 0, icols = 1, irowd = 2, ivec = 3, iout = 4;
+  k.fn = [rows, row_ptr, cols, warps_per_block, ival, icols, irowd, ivec,
+          iout](WarpEmitter& em, const WarpCtx& ctx) {
+    const std::int64_t row =
+        ctx.block * warps_per_block + ctx.warp_in_block;
+    if (row >= rows) return;
+    // Row delimiters: two broadcast loads.
+    em.load(irowd, em.bcast(row));
+    em.load(irowd, em.bcast(row + 1));
+    em.ialu(2, /*uses_prev=*/true);
+    const std::int64_t begin = (*row_ptr)[static_cast<std::size_t>(row)];
+    const std::int64_t end = (*row_ptr)[static_cast<std::size_t>(row) + 1];
+    for (std::int64_t j = begin; j < end; j += kWarpSize) {
+      const std::int64_t chunk_end = std::min<std::int64_t>(j + kWarpSize, end);
+      auto in_chunk = [&](int l) {
+        return j + l < chunk_end ? j + l : kInactiveLane;
+      };
+      em.load(icols, em.by_lane(in_chunk));
+      em.load(ival, em.by_lane(in_chunk));
+      // Gather: vec[cols[j+l]] — the divergent access.
+      em.load(ivec, em.by_lane([&](int l) {
+        return j + l < chunk_end
+                   ? (*cols)[static_cast<std::size_t>(j + l)]
+                   : kInactiveLane;
+      }), /*uses_prev=*/true);
+      em.falu(1, /*uses_prev=*/true);  // product + partial sum
+    }
+    // Warp reduction and the final store by lane 0.
+    em.falu(5, /*uses_prev=*/true);
+    em.store(iout, em.by_lane([&](int l) {
+      return l == 0 ? row : kInactiveLane;
+    }));
+  };
+  return k;
+}
+
+KernelInfo make_spmv_scalar(int rows, int avg_nnz_per_row,
+                            std::uint64_t seed) {
+  // Scalar CSR kernel: one *thread* per row. Each lane walks its own row,
+  // so val/cols reads diverge across the warp (the classic scalar-vs-vector
+  // CSR trade-off) — a placement-study subject in its own right, and a
+  // harsher coalescing regime than the vector kernel above.
+  KernelInfo k = make_spmv(rows, avg_nnz_per_row, seed);
+  k.name = "spmv_scalar";
+  k.num_blocks = (rows + k.threads_per_block - 1) / k.threads_per_block;
+
+  // Rebuild the same CSR structure (same seed) for the closure.
+  auto row_ptr = std::make_shared<std::vector<std::int64_t>>();
+  auto cols = std::make_shared<std::vector<std::int64_t>>();
+  Rng rng(seed);
+  row_ptr->push_back(0);
+  for (int r = 0; r < rows; ++r) {
+    const int nnz = avg_nnz_per_row / 2 +
+                    static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(avg_nnz_per_row)));
+    for (int j = 0; j < nnz; ++j) {
+      const bool local = rng.next_bool(0.6);
+      std::int64_t c = local ? (r + static_cast<std::int64_t>(
+                                        rng.next_below(64)) - 32)
+                             : static_cast<std::int64_t>(
+                                   rng.next_below(static_cast<std::uint64_t>(rows)));
+      if (c < 0) c = 0;
+      if (c >= rows) c = rows - 1;
+      cols->push_back(c);
+    }
+    row_ptr->push_back(static_cast<std::int64_t>(cols->size()));
+  }
+
+  const int ival = 0, icols = 1, irowd = 2, ivec = 3, iout = 4;
+  k.fn = [rows, row_ptr, cols, ival, icols, irowd, ivec, iout](
+             WarpEmitter& em, const WarpCtx& ctx) {
+    auto row_of = [&](int l) { return ctx.thread_id(l); };
+    if (row_of(0) >= rows) return;
+    auto active = [&](int l) { return row_of(l) < rows; };
+    // Row delimiters: consecutive rows -> coalesced.
+    em.load(irowd, em.by_lane([&](int l) {
+      return active(l) ? row_of(l) : kInactiveLane;
+    }));
+    em.load(irowd, em.by_lane([&](int l) {
+      return active(l) ? row_of(l) + 1 : kInactiveLane;
+    }));
+    em.ialu(2, /*uses_prev=*/true);
+    // Each lane walks its own row: iterate to the warp's longest row.
+    std::int64_t max_nnz = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!active(l)) continue;
+      const auto r = static_cast<std::size_t>(row_of(l));
+      max_nnz = std::max(max_nnz, (*row_ptr)[r + 1] - (*row_ptr)[r]);
+    }
+    for (std::int64_t j = 0; j < max_nnz; ++j) {
+      auto elem = [&](int l) -> std::int64_t {
+        if (!active(l)) return kInactiveLane;
+        const auto r = static_cast<std::size_t>(row_of(l));
+        const std::int64_t b = (*row_ptr)[r];
+        return b + j < (*row_ptr)[r + 1] ? b + j : kInactiveLane;
+      };
+      em.load(icols, em.by_lane(elem));  // divergent: lanes in distant rows
+      em.load(ival, em.by_lane(elem));
+      em.load(ivec, em.by_lane([&](int l) {
+        const std::int64_t e = elem(l);
+        return e == kInactiveLane ? kInactiveLane
+                                  : (*cols)[static_cast<std::size_t>(e)];
+      }), /*uses_prev=*/true);
+      em.falu(1, /*uses_prev=*/true);
+    }
+    em.store(iout, em.by_lane([&](int l) {
+      return active(l) ? row_of(l) : kInactiveLane;
+    }), /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,51 @@
+// SHOC stencil2d: 9-point stencil over a 2-D grid; the vertical neighbors
+// make the access pattern 2-D, so the texture placements (the StencilKernel
+// data(G->T) evaluation test) change the caching behaviour materially.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_stencil2d(int width, int height) {
+  KernelInfo k;
+  k.name = "stencil2d";
+  k.threads_per_block = 128;
+  const std::int64_t pixels = static_cast<std::int64_t>(width) * height;
+  k.num_blocks = (pixels + k.threads_per_block - 1) / k.threads_per_block;
+
+  ArrayDecl data{.name = "data", .dtype = DType::F32,
+                 .elems = static_cast<std::size_t>(pixels),
+                 .width = static_cast<std::size_t>(width)};
+  ArrayDecl out{.name = "newData", .dtype = DType::F32,
+                .elems = static_cast<std::size_t>(pixels), .written = true};
+  k.arrays = {data, out};
+
+  const int iin = 0, iout = 1;
+  k.fn = [width, height, pixels, iin, iout](WarpEmitter& em,
+                                            const WarpCtx& ctx) {
+    if (ctx.thread_id(0) >= pixels) return;
+    em.ialu(2);  // x/y decomposition
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        em.load(iin, em.by_lane([&](int l) {
+          const std::int64_t p = ctx.thread_id(l);
+          if (p >= pixels) return kInactiveLane;
+          std::int64_t x = p % width + dx;
+          std::int64_t y = p / width + dy;
+          if (x < 0) x = 0;
+          if (x >= width) x = width - 1;
+          if (y < 0) y = 0;
+          if (y >= height) y = height - 1;
+          return y * width + x;
+        }));
+        em.falu(1, /*uses_prev=*/true);
+      }
+    }
+    em.store(iout, em.by_lane([&](int l) {
+      const std::int64_t p = ctx.thread_id(l);
+      return p < pixels ? p : kInactiveLane;
+    }), /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

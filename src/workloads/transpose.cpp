@@ -1,0 +1,42 @@
+// CUDA SDK transpose (naive): coalesced reads, fully strided writes — the
+// write divergence and its row-buffer conflicts are what the placement of
+// idata/odata modulates. Training benchmark in Table IV.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_transpose(int n) {
+  KernelInfo k;
+  k.name = "transpose";
+  k.threads_per_block = 128;
+  const std::int64_t elems = static_cast<std::int64_t>(n) * n;
+  k.num_blocks = (elems + k.threads_per_block - 1) / k.threads_per_block;
+
+  ArrayDecl idata{.name = "idata", .dtype = DType::F32,
+                  .elems = static_cast<std::size_t>(elems),
+                  .width = static_cast<std::size_t>(n)};
+  ArrayDecl odata = idata;
+  odata.name = "odata";
+  odata.written = true;
+  k.arrays = {idata, odata};
+
+  const int iin = 0, iout = 1;
+  k.fn = [n, elems, iin, iout](WarpEmitter& em, const WarpCtx& ctx) {
+    if (ctx.thread_id(0) >= elems) return;
+    em.ialu(2);  // x/y index math
+    em.load(iin, em.by_lane([&](int l) {
+      const std::int64_t p = ctx.thread_id(l);
+      return p < elems ? p : kInactiveLane;
+    }));
+    // odata[x][y] = idata[y][x]: stride-n writes.
+    em.store(iout, em.by_lane([&](int l) {
+      const std::int64_t p = ctx.thread_id(l);
+      if (p >= elems) return kInactiveLane;
+      const std::int64_t x = p % n, y = p / n;
+      return x * n + y;
+    }), /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

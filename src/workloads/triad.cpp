@@ -1,0 +1,40 @@
+// SHOC triad: the STREAM kernel A = B * s + C; pure streaming bandwidth.
+// The training test moves B into shared memory — the staging copy makes that
+// placement strictly worse, a useful signal for the overlap model.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_triad(std::int64_t n) {
+  KernelInfo k;
+  k.name = "triad";
+  k.threads_per_block = 128;
+  k.num_blocks = (n + k.threads_per_block - 1) / k.threads_per_block;
+
+  ArrayDecl b{.name = "B", .dtype = DType::F32,
+              .elems = static_cast<std::size_t>(n), .width = 256,
+              .shared_slice_elems =
+                  static_cast<std::size_t>(k.threads_per_block)};
+  ArrayDecl c = b;
+  c.name = "C";
+  ArrayDecl a = b;
+  a.name = "A";
+  a.written = true;
+  k.arrays = {a, b, c};
+
+  const int ia = 0, ib = 1, ic = 2;
+  k.fn = [n, ia, ib, ic](WarpEmitter& em, const WarpCtx& ctx) {
+    const auto idx = em.by_lane([&](int l) {
+      const std::int64_t i = ctx.thread_id(l);
+      return i < n ? i : kInactiveLane;
+    });
+    em.ialu(1);
+    em.load(ib, idx);
+    em.load(ic, idx);
+    em.falu(1, /*uses_prev=*/true);
+    em.store(ia, idx, /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,41 @@
+// Vector addition v = a + b — the paper's running example (Fig. 2), whose
+// four placements of a/b exhibit the addressing-mode differences of
+// Sec. III-B. Also the quickstart kernel.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_vecadd(std::int64_t n) {
+  KernelInfo k;
+  k.name = "vecadd";
+  k.threads_per_block = 128;
+  k.num_blocks = (n + k.threads_per_block - 1) / k.threads_per_block;
+
+  ArrayDecl a{.name = "a", .dtype = DType::F32,
+              .elems = static_cast<std::size_t>(n), .width = 256};
+  ArrayDecl b = a;
+  b.name = "b";
+  ArrayDecl v = a;
+  v.name = "v";
+  v.written = true;
+  // When staged into shared, each block only needs its own slice.
+  a.shared_slice_elems = static_cast<std::size_t>(k.threads_per_block);
+  b.shared_slice_elems = a.shared_slice_elems;
+  k.arrays = {a, b, v};
+
+  const int ia = 0, ib = 1, iv = 2;
+  k.fn = [n, ia, ib, iv](WarpEmitter& em, const WarpCtx& ctx) {
+    const auto idx = em.by_lane([&](int l) {
+      const std::int64_t id = ctx.thread_id(l);
+      return id < n ? id : kInactiveLane;
+    });
+    em.ialu(1);            // id = blockIdx.x*blockDim.x + threadIdx.x
+    em.load(ia, idx);
+    em.load(ib, idx);
+    em.falu(1, /*uses_prev=*/true);  // a[id] + b[id]
+    em.store(iv, idx, /*uses_prev=*/true);
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -1,0 +1,114 @@
+#include "dram/address_mapping.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gpuhms {
+namespace {
+
+TEST(ExtractBits, Basics) {
+  EXPECT_EQ(extract_bits(0b101100, {2, 3, 5}), 0b111u);
+  EXPECT_EQ(extract_bits(0xff, {}), 0u);
+  EXPECT_EQ(extract_bits(1ull << 40, {40}), 1u);
+}
+
+TEST(KeplerMapping, FieldLayout) {
+  const auto m = kepler_mapping(kepler_arch());
+  EXPECT_EQ(m.num_banks(), 128);
+  EXPECT_EQ(m.fields().transaction_bits, 7);
+  EXPECT_EQ(m.usable_bits(), 34);
+}
+
+TEST(KeplerMapping, SequentialLinesSweepBanks) {
+  const auto m = kepler_mapping(kepler_arch());
+  std::set<int> banks;
+  for (std::uint64_t line = 0; line < 128; ++line) {
+    banks.insert(m.decode(line * 128).bank);
+  }
+  EXPECT_EQ(banks.size(), 128u);  // full bank-level parallelism on streams
+}
+
+TEST(KeplerMapping, SameRowWithinColumnSpan) {
+  const auto m = kepler_mapping(kepler_arch());
+  // Two addresses differing only in column bits: same bank, same row.
+  const std::uint64_t a = 0x12340000;
+  const std::uint64_t b = a ^ (1ull << 15);
+  EXPECT_EQ(m.decode(a).bank, m.decode(b).bank);
+  EXPECT_EQ(m.decode(a).row, m.decode(b).row);
+  EXPECT_NE(m.decode(a).column, m.decode(b).column);
+}
+
+TEST(KeplerMapping, RowBitsChangeRowOnly) {
+  const auto m = kepler_mapping(kepler_arch());
+  const std::uint64_t a = 0x00ac3f80;
+  const std::uint64_t b = a ^ (1ull << 20);
+  EXPECT_EQ(m.decode(a).bank, m.decode(b).bank);
+  EXPECT_NE(m.decode(a).row, m.decode(b).row);
+}
+
+TEST(KeplerMapping, BankBitsChangeBank) {
+  const auto m = kepler_mapping(kepler_arch());
+  for (int bit : {7, 8, 9, 10, 11, 12, 13}) {
+    const std::uint64_t a = 0x00ac3f80;
+    const std::uint64_t b = a ^ (1ull << bit);
+    EXPECT_NE(m.decode(a).bank, m.decode(b).bank) << "bit " << bit;
+  }
+}
+
+TEST(KeplerMapping, TransactionBitsAreNeutral) {
+  const auto m = kepler_mapping(kepler_arch());
+  for (int bit = 0; bit < 7; ++bit) {
+    const std::uint64_t a = 0x00ac3f80;
+    const std::uint64_t b = a ^ (1ull << bit);
+    EXPECT_EQ(m.decode(a).bank, m.decode(b).bank);
+    EXPECT_EQ(m.decode(a).row, m.decode(b).row);
+    EXPECT_EQ(m.decode(a).column, m.decode(b).column);
+  }
+}
+
+TEST(AddressMapping, RejectsOverlappingRoles) {
+  AddressMapping::Fields f;
+  f.transaction_bits = 4;
+  f.bank_bits = {4, 5};
+  f.column_bits = {5, 6};  // bit 5 doubly assigned
+  f.row_bits = {7, 8};
+  f.num_banks = 4;
+  EXPECT_DEATH(AddressMapping{std::move(f)}, "two roles");
+}
+
+TEST(AddressMapping, RejectsBitsInsideTransaction) {
+  AddressMapping::Fields f;
+  f.transaction_bits = 7;
+  f.bank_bits = {3};  // inside the transaction offset
+  f.column_bits = {14};
+  f.row_bits = {18};
+  f.num_banks = 2;
+  EXPECT_DEATH(AddressMapping{std::move(f)}, "transaction");
+}
+
+TEST(AddressMapping, DecodeStableUnderRandomizedFields) {
+  // Property: decode() only depends on the classified bits — flipping an
+  // unclassified (higher) bit changes nothing.
+  Rng rng(21);
+  AddressMapping::Fields f;
+  f.transaction_bits = 6;
+  f.bank_bits = {6, 9, 12};
+  f.column_bits = {7, 10};
+  f.row_bits = {8, 11, 13, 14};
+  f.num_banks = 8;
+  const AddressMapping m(std::move(f));
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next_below(1ull << 15);
+    const auto d1 = m.decode(a);
+    const auto d2 = m.decode(a ^ (1ull << 40));
+    EXPECT_EQ(d1.bank, d2.bank);
+    EXPECT_EQ(d1.row, d2.row);
+    EXPECT_EQ(d1.column, d2.column);
+  }
+}
+
+}  // namespace
+}  // namespace gpuhms

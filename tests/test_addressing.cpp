@@ -1,0 +1,53 @@
+#include "isa/addressing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuhms {
+namespace {
+
+// Sec. III-B: "the numbers of instructions required to calculate the address
+// of a 1D-array element are 2, 0, 1, 1 for global, 1D texture, constant, and
+// shared memories".
+TEST(Addressing, PaperCountsForF32) {
+  EXPECT_EQ(addr_calc_instructions(MemSpace::Global, DType::F32), 2);
+  EXPECT_EQ(addr_calc_instructions(MemSpace::Texture1D, DType::F32), 0);
+  EXPECT_EQ(addr_calc_instructions(MemSpace::Constant, DType::F32), 1);
+  EXPECT_EQ(addr_calc_instructions(MemSpace::Shared, DType::F32), 1);
+}
+
+// A parameterized sweep: counts are stable across the enumerated data types
+// (the IMAD pair / SHL absorb the element-size scale on Kepler).
+class AddressingDtype : public ::testing::TestWithParam<DType> {};
+
+TEST_P(AddressingDtype, CountsIndependentOfType) {
+  const DType t = GetParam();
+  EXPECT_EQ(addr_calc_instructions(MemSpace::Global, t), 2);
+  EXPECT_EQ(addr_calc_instructions(MemSpace::Texture1D, t), 0);
+  EXPECT_EQ(addr_calc_instructions(MemSpace::Constant, t), 1);
+  EXPECT_EQ(addr_calc_instructions(MemSpace::Shared, t), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, AddressingDtype,
+                         ::testing::Values(DType::F32, DType::F64, DType::I32));
+
+TEST(Addressing, TwoDTextureCoordinatePath) {
+  // With native 2-D coordinates the texture unit needs no index math, while
+  // every other space must flatten the coordinates first.
+  EXPECT_EQ(addr_calc_instructions_2d(MemSpace::Texture2D, DType::F32), 0);
+  EXPECT_GT(addr_calc_instructions_2d(MemSpace::Global, DType::F32),
+            addr_calc_instructions(MemSpace::Global, DType::F32));
+}
+
+TEST(Addressing, OrderingMatchesFigure2) {
+  // texture <= constant == shared < global (for 1-D indexing).
+  const auto g = addr_calc_instructions(MemSpace::Global, DType::F32);
+  const auto t = addr_calc_instructions(MemSpace::Texture1D, DType::F32);
+  const auto c = addr_calc_instructions(MemSpace::Constant, DType::F32);
+  const auto s = addr_calc_instructions(MemSpace::Shared, DType::F32);
+  EXPECT_LT(t, c);
+  EXPECT_EQ(c, s);
+  EXPECT_LT(s, g);
+}
+
+}  // namespace
+}  // namespace gpuhms

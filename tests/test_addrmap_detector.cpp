@@ -1,0 +1,84 @@
+#include "tools/addrmap_detector.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace gpuhms {
+namespace {
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(AddrMapDetector, RecoversKeplerMapping) {
+  const GpuArch& arch = kepler_arch();
+  AddressMapDetector det(arch, kepler_mapping(arch));
+  const auto r = det.run();
+
+  // Latencies reproduce the Sec. III-C2 measurements (352 / 742 / 1008).
+  EXPECT_EQ(r.hit_latency, arch.unloaded_row_hit());
+  EXPECT_EQ(r.miss_latency, arch.unloaded_row_miss());
+  EXPECT_EQ(r.conflict_latency, arch.unloaded_row_conflict());
+
+  // Column group = true column bits plus the intra-transaction bits.
+  for (int bit : {14, 15, 16, 17}) EXPECT_TRUE(contains(r.column_bits, bit));
+  for (int bit = 0; bit < 7; ++bit) EXPECT_TRUE(contains(r.column_bits, bit));
+  // Row bits.
+  for (int bit = 18; bit < 34; ++bit) EXPECT_TRUE(contains(r.row_bits, bit));
+  // Bank bits.
+  for (int bit : {7, 8, 9, 10, 11, 12, 13}) EXPECT_TRUE(contains(r.bank_bits, bit));
+
+  EXPECT_EQ(r.column_bits.size() + r.row_bits.size() + r.bank_bits.size(),
+            34u);
+}
+
+// Property test: the detector recovers *randomized* bit-field mappings too —
+// the paper's Algorithm 1 is mapping-agnostic.
+struct MappingSpec {
+  std::vector<int> bank, column, row;
+  const char* name;
+};
+
+class DetectorRoundTrip : public ::testing::TestWithParam<MappingSpec> {};
+
+TEST_P(DetectorRoundTrip, RecoversConfiguredFields) {
+  const auto& spec = GetParam();
+  AddressMapping::Fields f;
+  f.transaction_bits = 7;
+  f.bank_bits = spec.bank;
+  f.column_bits = spec.column;
+  f.row_bits = spec.row;
+  f.num_banks = 1 << spec.bank.size();
+  const int max_bit =
+      1 + std::max({*std::max_element(spec.bank.begin(), spec.bank.end()),
+                    *std::max_element(spec.column.begin(), spec.column.end()),
+                    *std::max_element(spec.row.begin(), spec.row.end())});
+  AddressMapDetector det(kepler_arch(), AddressMapping(std::move(f)), max_bit);
+  const auto r = det.run();
+  for (int b : spec.column) EXPECT_TRUE(contains(r.column_bits, b));
+  for (int b : spec.row) EXPECT_TRUE(contains(r.row_bits, b));
+  for (int b : spec.bank) EXPECT_TRUE(contains(r.bank_bits, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mappings, DetectorRoundTrip,
+    ::testing::Values(
+        MappingSpec{{7, 8, 9}, {10, 11}, {12, 13, 14}, "low_banks"},
+        MappingSpec{{10, 11, 12}, {7, 8, 9}, {13, 14, 15, 16}, "low_columns"},
+        MappingSpec{{8, 12, 16}, {9, 13}, {7, 10, 11, 14, 15}, "interleaved"},
+        MappingSpec{{7}, {8}, {9}, "minimal"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(AddrMapDetector, DeterministicAcrossSeeds) {
+  // Classification must not depend on the probe's random bases.
+  const GpuArch& arch = kepler_arch();
+  const auto r1 = AddressMapDetector(arch, kepler_mapping(arch), 34, 5, 1).run();
+  const auto r2 = AddressMapDetector(arch, kepler_mapping(arch), 34, 5, 999).run();
+  EXPECT_EQ(r1.column_bits, r2.column_bits);
+  EXPECT_EQ(r1.row_bits, r2.row_bits);
+  EXPECT_EQ(r1.bank_bits, r2.bank_bits);
+}
+
+}  // namespace
+}  // namespace gpuhms

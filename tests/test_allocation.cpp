@@ -1,0 +1,124 @@
+#include "trace/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/address_mapping.hpp"
+
+namespace gpuhms {
+namespace {
+
+KernelInfo demo_kernel() {
+  KernelInfo k;
+  k.name = "demo";
+  k.num_blocks = 4;
+  k.threads_per_block = 128;
+  k.arrays = {
+      ArrayDecl{.name = "a", .dtype = DType::F32, .elems = 4096, .width = 64,
+                .shared_slice_elems = 128},
+      ArrayDecl{.name = "b", .dtype = DType::F64, .elems = 1024},
+      ArrayDecl{.name = "c", .dtype = DType::F32, .elems = 4096,
+                .written = true},
+  };
+  k.fn = [](WarpEmitter&, const WarpCtx&) {};
+  return k;
+}
+
+TEST(MemoryLayout, DeviceBasesAreDisjointAndOrdered) {
+  const KernelInfo k = demo_kernel();
+  const auto p = DataPlacement::defaults(k);
+  const MemoryLayout layout(k, p, kepler_arch());
+  EXPECT_LT(layout.device_base(0) + k.arrays[0].bytes(),
+            layout.device_base(1) + 1);
+  EXPECT_LT(layout.device_base(1) + k.arrays[1].bytes(),
+            layout.device_base(2) + 1);
+  EXPECT_GT(layout.device_base(0), 0u);
+}
+
+TEST(MemoryLayout, DeviceAddressesStableAcrossOffchipPlacements) {
+  // Sec. III-E: moving between off-chip spaces keeps addresses.
+  const KernelInfo k = demo_kernel();
+  const auto p1 = DataPlacement::defaults(k);
+  const auto p2 = p1.with(0, MemSpace::Constant).with(1, MemSpace::Texture1D);
+  const MemoryLayout l1(k, p1, kepler_arch());
+  const MemoryLayout l2(k, p2, kepler_arch());
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_EQ(l1.device_base(a), l2.device_base(a));
+  }
+  EXPECT_EQ(l1.device_addr(0, 100), l2.device_addr(0, 100));
+}
+
+TEST(MemoryLayout, Texture2DUsesBlockLinear) {
+  const KernelInfo k = demo_kernel();
+  const auto pitch = DataPlacement::defaults(k);
+  const auto bl = pitch.with(0, MemSpace::Texture2D);
+  const MemoryLayout l1(k, pitch, kepler_arch());
+  const MemoryLayout l2(k, bl, kepler_arch());
+  EXPECT_EQ(l1.device_addr(0, 0), l2.device_addr(0, 0));
+  // Element (0, 1) = index 64: pitch-linear offset 256, block-linear 64.
+  EXPECT_EQ(l1.device_addr(0, 64) - l1.device_base(0), 256u);
+  EXPECT_EQ(l2.device_addr(0, 64) - l2.device_base(0), 64u);
+}
+
+TEST(MemoryLayout, SharedOffsetsOnlyForSharedArrays) {
+  const KernelInfo k = demo_kernel();
+  const auto p = DataPlacement::defaults(k).with(0, MemSpace::Shared);
+  const MemoryLayout layout(k, p, kepler_arch());
+  EXPECT_TRUE(layout.in_shared(0));
+  EXPECT_FALSE(layout.in_shared(1));
+  EXPECT_EQ(layout.shared_offset(0), 0u);
+  EXPECT_EQ(layout.total_shared_bytes(), 512u);  // 128 elems x 4 B, aligned
+}
+
+TEST(MemoryLayout, MultipleSharedArraysPackWithAlignment) {
+  KernelInfo k = demo_kernel();
+  k.arrays[2].shared_slice_elems = 33;  // 132 B -> padded to 256
+  const auto p = DataPlacement::defaults(k)
+                     .with(0, MemSpace::Shared)
+                     .with(2, MemSpace::Shared);
+  const MemoryLayout layout(k, p, kepler_arch());
+  EXPECT_EQ(layout.shared_offset(0), 0u);
+  EXPECT_EQ(layout.shared_offset(2), 512u);
+  EXPECT_EQ(layout.total_shared_bytes(), 512u + 256u);
+}
+
+TEST(MemoryLayout, SharedSliceModuloIndexing) {
+  const KernelInfo k = demo_kernel();
+  const auto p = DataPlacement::defaults(k).with(0, MemSpace::Shared);
+  const MemoryLayout layout(k, p, kepler_arch());
+  EXPECT_EQ(layout.shared_slice_elems(0), 128);
+  // Global element 128*3 + 5 maps to slice-local element 5.
+  EXPECT_EQ(layout.shared_addr(0, 128 * 3 + 5),
+            layout.shared_offset(0) + 5 * 4);
+}
+
+TEST(MemoryLayout, SharedSliceStartPartitionedVsReplicated) {
+  KernelInfo k = demo_kernel();
+  const auto p = DataPlacement::defaults(k).with(0, MemSpace::Shared);
+  {
+    const MemoryLayout layout(k, p, kepler_arch());
+    EXPECT_EQ(layout.shared_slice_start(0, 0), 0);
+    EXPECT_EQ(layout.shared_slice_start(0, 3), 3 * 128);
+  }
+  k.arrays[0].shared_slice_elems = 0;  // whole array replicated per block
+  {
+    const auto p2 = DataPlacement::defaults(k).with(0, MemSpace::Shared);
+    const MemoryLayout layout(k, p2, kepler_arch());
+    EXPECT_EQ(layout.shared_slice_start(0, 3), 0);
+    EXPECT_EQ(layout.shared_slice_elems(0), 4096);
+  }
+}
+
+TEST(MemoryLayout, BankStaggerSpreadsBases) {
+  const KernelInfo k = demo_kernel();
+  const auto p = DataPlacement::defaults(k);
+  const MemoryLayout layout(k, p, kepler_arch());
+  const auto m = kepler_mapping(kepler_arch());
+  // Consecutive arrays start in different banks even with aligned sizes.
+  EXPECT_NE(m.decode(layout.device_base(0)).bank,
+            m.decode(layout.device_base(1)).bank);
+  EXPECT_NE(m.decode(layout.device_base(1)).bank,
+            m.decode(layout.device_base(2)).bank);
+}
+
+}  // namespace
+}  // namespace gpuhms

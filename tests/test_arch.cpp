@@ -1,0 +1,72 @@
+#include "arch/gpu_arch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuhms {
+namespace {
+
+TEST(MemSpace, Properties) {
+  EXPECT_TRUE(is_offchip(MemSpace::Global));
+  EXPECT_TRUE(is_offchip(MemSpace::Constant));
+  EXPECT_TRUE(is_offchip(MemSpace::Texture1D));
+  EXPECT_TRUE(is_offchip(MemSpace::Texture2D));
+  EXPECT_FALSE(is_offchip(MemSpace::Shared));
+
+  EXPECT_TRUE(is_texture(MemSpace::Texture1D));
+  EXPECT_TRUE(is_texture(MemSpace::Texture2D));
+  EXPECT_FALSE(is_texture(MemSpace::Global));
+
+  EXPECT_TRUE(is_device_writable(MemSpace::Global));
+  EXPECT_TRUE(is_device_writable(MemSpace::Shared));
+  EXPECT_FALSE(is_device_writable(MemSpace::Constant));
+  EXPECT_FALSE(is_device_writable(MemSpace::Texture1D));
+  EXPECT_FALSE(is_device_writable(MemSpace::Texture2D));
+}
+
+TEST(MemSpace, ShortCodesMatchTableIV) {
+  EXPECT_EQ(short_code(MemSpace::Global), "G");
+  EXPECT_EQ(short_code(MemSpace::Shared), "S");
+  EXPECT_EQ(short_code(MemSpace::Constant), "C");
+  EXPECT_EQ(short_code(MemSpace::Texture1D), "T");
+  EXPECT_EQ(short_code(MemSpace::Texture2D), "2T");
+}
+
+TEST(DType, Sizes) {
+  EXPECT_EQ(dtype_size(DType::F32), 4u);
+  EXPECT_EQ(dtype_size(DType::F64), 8u);
+  EXPECT_EQ(dtype_size(DType::I32), 4u);
+}
+
+TEST(GpuArch, KeplerDefaults) {
+  const GpuArch& a = kepler_arch();
+  EXPECT_EQ(a.num_sms, 13);
+  EXPECT_EQ(a.warp_size, 32);
+  EXPECT_EQ(a.total_banks(), a.dram_channels * a.banks_per_channel);
+  EXPECT_EQ(a.total_banks(), 128);
+}
+
+TEST(GpuArch, UnloadedLatencyOrdering) {
+  // The hit < miss < conflict ordering is what Algorithm 1 exploits; the
+  // magnitudes mirror the paper's 352/742/1008 ns K80 measurements.
+  const GpuArch& a = kepler_arch();
+  EXPECT_LT(a.unloaded_row_hit(), a.unloaded_row_miss());
+  EXPECT_LT(a.unloaded_row_miss(), a.unloaded_row_conflict());
+  EXPECT_EQ(a.unloaded_row_hit(), 352u);
+  EXPECT_EQ(a.unloaded_row_miss(), 742u);
+  EXPECT_EQ(a.unloaded_row_conflict(), 1008u);
+  // The paper reports up to 110% hit-to-miss latency variation.
+  const double variation =
+      static_cast<double>(a.unloaded_row_miss()) /
+          static_cast<double>(a.unloaded_row_hit()) - 1.0;
+  EXPECT_NEAR(variation, 1.10, 0.05);
+}
+
+TEST(GpuArch, CacheConfigsDivideEvenly) {
+  const GpuArch& a = kepler_arch();
+  EXPECT_EQ(a.l2_capacity % (a.cache_line * a.l2_ways), 0u);
+  EXPECT_EQ(a.const_cache_capacity % (a.cache_line * a.const_cache_ways), 0u);
+  EXPECT_EQ(a.tex_cache_capacity % (a.cache_line * a.tex_cache_ways), 0u);
+}
+
+}  // namespace
+}  // namespace gpuhms

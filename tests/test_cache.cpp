@@ -1,0 +1,124 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gpuhms {
+namespace {
+
+CacheConfig small_cache(int ways = 2, std::size_t lines_total = 8) {
+  return CacheConfig{lines_total * 128, 128, ways};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache c(small_cache());
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1040));  // same 128 B line
+  EXPECT_EQ(c.stats().accesses, 3u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way cache: fill a set with A, B; touch A; insert C -> B evicted.
+  SetAssocCache c(small_cache(2, 8));  // 4 sets
+  const std::uint64_t set_stride = 4 * 128;
+  const std::uint64_t A = 0, B = set_stride, C = 2 * set_stride;
+  EXPECT_FALSE(c.access(A));
+  EXPECT_FALSE(c.access(B));
+  EXPECT_TRUE(c.access(A));   // A most recent
+  EXPECT_FALSE(c.access(C));  // evicts B
+  EXPECT_TRUE(c.probe(A));
+  EXPECT_FALSE(c.probe(B));
+  EXPECT_TRUE(c.probe(C));
+}
+
+TEST(Cache, WritebackCountsDirtyEvictions) {
+  SetAssocCache c(small_cache(1, 4));  // direct-mapped, 4 sets
+  const std::uint64_t set_stride = 4 * 128;
+  EXPECT_FALSE(c.access(0, /*is_write=*/true));
+  EXPECT_FALSE(c.access(set_stride, false));  // evicts dirty line 0
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  EXPECT_FALSE(c.access(2 * set_stride, false));  // evicts clean line
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  SetAssocCache c(small_cache(1, 4));
+  const std::uint64_t set_stride = 4 * 128;
+  c.access(0, false);
+  c.access(0, true);  // hit, dirties
+  c.access(set_stride, false);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, ResetClearsEverything) {
+  SetAssocCache c(small_cache());
+  c.access(0x1000);
+  c.reset();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(Cache, CapacityWorkingSetFullyCached) {
+  // A working set exactly the cache size misses once per line and then
+  // always hits under LRU with a sequential sweep per set.
+  const CacheConfig cfg = small_cache(4, 32);  // 8 sets x 4 ways
+  SetAssocCache c(cfg);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < 32; ++i) c.access(i * cfg.line_size);
+  }
+  EXPECT_EQ(c.stats().misses, 32u);
+  EXPECT_EQ(c.stats().accesses, 96u);
+}
+
+TEST(Cache, ThrashingWorkingSetMissesEveryTime) {
+  // Working set = ways+1 lines in one set -> LRU thrashes on a cyclic sweep.
+  const CacheConfig cfg = small_cache(2, 8);  // 4 sets
+  SetAssocCache c(cfg);
+  const std::uint64_t set_stride = 4 * 128;
+  for (int pass = 0; pass < 5; ++pass) {
+    for (std::uint64_t i = 0; i < 3; ++i) c.access(i * set_stride);
+  }
+  EXPECT_EQ(c.stats().misses, c.stats().accesses);
+}
+
+TEST(Cache, MissRatioStats) {
+  SetAssocCache c(small_cache());
+  EXPECT_DOUBLE_EQ(c.stats().miss_ratio(), 0.0);
+  c.access(0);
+  c.access(0);
+  EXPECT_DOUBLE_EQ(c.stats().miss_ratio(), 0.5);
+  EXPECT_EQ(c.stats().hits(), 1u);
+}
+
+// Property-style sweep: for random traces, hits+misses == accesses and a
+// probe right after an access always hits, across associativities.
+class CacheWays : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheWays, InvariantsUnderRandomTraffic) {
+  SetAssocCache c(CacheConfig{16 * 1024, 128, GetParam()});
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t addr = rng.next_below(1 << 20);
+    c.access(addr, rng.next_bool(0.3));
+    EXPECT_TRUE(c.probe(addr));
+  }
+  EXPECT_EQ(c.stats().hits() + c.stats().misses, c.stats().accesses);
+  EXPECT_LE(c.stats().writebacks, c.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheWays,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(CacheConfigs, ArchDerivedConfigsConstruct) {
+  const GpuArch& a = kepler_arch();
+  SetAssocCache l2(l2_config(a));
+  SetAssocCache cc(const_cache_config(a));
+  SetAssocCache tc(tex_cache_config(a));
+  EXPECT_GT(l2.config().num_sets(), cc.config().num_sets());
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,116 @@
+#include "sim/coalesce.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuhms {
+namespace {
+
+TraceOp mem_op(std::uint32_t mask,
+               const std::function<std::int64_t(int)>& addr) {
+  TraceOp op;
+  op.cls = OpClass::Load;
+  op.active_mask = mask;
+  for (int l = 0; l < kWarpSize; ++l)
+    op.addr[static_cast<std::size_t>(l)] = addr(l);
+  return op;
+}
+
+TEST(Coalesce, FullyCoalescedWarpIsOneLine) {
+  const auto op = mem_op(0xffffffffu, [](int l) { return 0x1000 + l * 4; });
+  std::vector<std::uint64_t> lines;
+  coalesce_lines(op, 128, lines);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 0x1000u);
+}
+
+TEST(Coalesce, StridedAccessSplits) {
+  const auto op = mem_op(0xffffffffu, [](int l) { return l * 128; });
+  std::vector<std::uint64_t> lines;
+  coalesce_lines(op, 128, lines);
+  EXPECT_EQ(lines.size(), 32u);
+}
+
+TEST(Coalesce, StraddlingTwoLines) {
+  const auto op = mem_op(0xffffffffu, [](int l) { return 0x1040 + l * 4; });
+  std::vector<std::uint64_t> lines;
+  coalesce_lines(op, 128, lines);
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(Coalesce, InactiveLanesIgnored) {
+  const auto op = mem_op(0x1u, [](int l) { return l * 4096; });
+  std::vector<std::uint64_t> lines;
+  coalesce_lines(op, 128, lines);
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(Coalesce, OutputIsSortedUnique) {
+  const auto op = mem_op(0xffffffffu, [](int l) {
+    return ((l * 7) % 4) * 128;  // duplicates across 4 lines
+  });
+  std::vector<std::uint64_t> lines;
+  coalesce_lines(op, 128, lines);
+  ASSERT_EQ(lines.size(), 4u);
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    EXPECT_LT(lines[i - 1], lines[i]);
+}
+
+TEST(DistinctWords, BroadcastIsOne) {
+  const auto op = mem_op(0xffffffffu, [](int) { return 0x2000; });
+  EXPECT_EQ(distinct_words(op), 1);
+}
+
+TEST(DistinctWords, FullDivergence) {
+  const auto op = mem_op(0xffffffffu, [](int l) { return 0x2000 + l * 4; });
+  EXPECT_EQ(distinct_words(op), 32);
+}
+
+TEST(DistinctWords, SubWordAccessesShareWords) {
+  // Two lanes per 4 B word.
+  const auto op = mem_op(0xffffffffu, [](int l) { return l * 2; });
+  EXPECT_EQ(distinct_words(op), 16);
+}
+
+TEST(SharedConflict, ConflictFreeUnitStride) {
+  const auto op = mem_op(0xffffffffu, [](int l) { return l * 4; });
+  EXPECT_EQ(shared_conflict_degree(op, 32), 1);
+}
+
+TEST(SharedConflict, BroadcastIsConflictFree) {
+  const auto op = mem_op(0xffffffffu, [](int) { return 64; });
+  EXPECT_EQ(shared_conflict_degree(op, 32), 1);
+}
+
+TEST(SharedConflict, PowerOfTwoStrideConflicts) {
+  // Stride of 2 words: lanes l and l+16 share bank (2l mod 32).
+  const auto op = mem_op(0xffffffffu, [](int l) { return l * 8; });
+  EXPECT_EQ(shared_conflict_degree(op, 32), 2);
+}
+
+TEST(SharedConflict, WorstCaseStride32) {
+  // All lanes in bank 0 with distinct words: 32-way conflict.
+  const auto op = mem_op(0xffffffffu, [](int l) { return l * 32 * 4; });
+  EXPECT_EQ(shared_conflict_degree(op, 32), 32);
+}
+
+TEST(SharedConflict, PartialWarp) {
+  const auto op = mem_op(0xfu, [](int l) { return l * 32 * 4; });
+  EXPECT_EQ(shared_conflict_degree(op, 32), 4);
+}
+
+// Parameterized sweep over power-of-two strides: degree == min(stride, 32)
+// for distinct-word strided access, the classic bank-conflict formula.
+class ConflictStride : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConflictStride, MatchesClassicFormula) {
+  const int stride = GetParam();
+  const auto op =
+      mem_op(0xffffffffu, [&](int l) { return l * stride * 4; });
+  EXPECT_EQ(shared_conflict_degree(op, 32), std::min(stride, 32));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, ConflictStride,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace gpuhms

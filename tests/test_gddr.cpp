@@ -1,0 +1,122 @@
+#include "dram/gddr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuhms {
+namespace {
+
+GddrSystem fresh(bool record = false) {
+  return GddrSystem(kepler_arch(), kepler_mapping(kepler_arch()), record);
+}
+
+TEST(Gddr, ColdAccessIsRowMissAtUnloadedLatency) {
+  auto g = fresh();
+  const std::uint64_t done = g.access(0x100000, 1000);
+  EXPECT_EQ(done - 1000, kepler_arch().unloaded_row_miss());
+  EXPECT_EQ(g.stats().row_misses(), 1u);
+}
+
+TEST(Gddr, RowHitAfterOpen) {
+  auto g = fresh();
+  g.access(0x100000, 0);
+  // Same row (flip a column bit), long after the bank is idle.
+  const std::uint64_t t = 1 << 20;
+  const std::uint64_t done = g.access(0x100000 ^ (1ull << 14), t);
+  EXPECT_EQ(done - t, kepler_arch().unloaded_row_hit());
+  EXPECT_EQ(g.stats().row_hits(), 1u);
+}
+
+TEST(Gddr, RowConflictOnDifferentRowSameBank) {
+  auto g = fresh();
+  g.access(0x100000, 0);
+  const std::uint64_t t = 1 << 20;
+  const std::uint64_t done = g.access(0x100000 ^ (1ull << 20), t);
+  EXPECT_EQ(done - t, kepler_arch().unloaded_row_conflict());
+  EXPECT_EQ(g.stats().row_conflicts(), 1u);
+}
+
+TEST(Gddr, QueueingDelaysBackToBackRequestsToOneBank) {
+  auto g = fresh();
+  // Two simultaneous requests to the same bank, same row: the second waits
+  // for the first's service.
+  const std::uint64_t d1 = g.access(0x100000, 0);
+  const std::uint64_t d2 = g.access(0x100000 ^ (1ull << 14), 0);
+  EXPECT_GT(d2, d1);
+  const auto& t = kepler_arch().dram;
+  EXPECT_EQ(d2 - d1, t.row_hit_service);
+  EXPECT_GT(g.stats().avg_queue_delay(), 0.0);
+}
+
+TEST(Gddr, ParallelBanksDontQueue) {
+  auto g = fresh();
+  // Same issue time, different banks: identical unloaded latency.
+  const std::uint64_t d1 = g.access(0x100000, 0);
+  const std::uint64_t d2 = g.access(0x100000 ^ (1ull << 8), 0);
+  EXPECT_EQ(d1 - 0, kepler_arch().unloaded_row_miss());
+  EXPECT_EQ(d2 - 0, kepler_arch().unloaded_row_miss());
+  EXPECT_DOUBLE_EQ(g.stats().avg_queue_delay(), 0.0);
+}
+
+TEST(Gddr, PeekOutcomeMatchesNextAccess) {
+  auto g = fresh();
+  EXPECT_EQ(g.peek_outcome(0x100000), RowOutcome::Miss);
+  g.access(0x100000, 0);
+  EXPECT_EQ(g.peek_outcome(0x100000), RowOutcome::Hit);
+  EXPECT_EQ(g.peek_outcome(0x100000 ^ (1ull << 14)), RowOutcome::Hit);
+  EXPECT_EQ(g.peek_outcome(0x100000 ^ (1ull << 20)), RowOutcome::Conflict);
+}
+
+TEST(Gddr, InterarrivalRecordedPerBank) {
+  auto g = fresh(/*record=*/true);
+  const std::uint64_t addr = 0x100000;
+  g.access(addr, 0);
+  g.access(addr ^ (1ull << 14), 100);
+  g.access(addr ^ (1ull << 15), 250);
+  const int bank = g.mapping().decode(addr).bank;
+  const auto& samples = g.interarrival_samples()[static_cast<std::size_t>(bank)];
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0], 100u);
+  EXPECT_EQ(samples[1], 150u);
+  const auto& bs = g.stats().banks[static_cast<std::size_t>(bank)];
+  EXPECT_EQ(bs.arrivals, 3u);
+  EXPECT_DOUBLE_EQ(bs.interarrival.mean(), 125.0);
+}
+
+TEST(Gddr, LatencyAccounting) {
+  auto g = fresh();
+  g.access(0x100000, 0);
+  EXPECT_EQ(g.stats().total_requests, 1u);
+  EXPECT_DOUBLE_EQ(g.stats().avg_latency(),
+                   static_cast<double>(kepler_arch().unloaded_row_miss()));
+}
+
+TEST(Gddr, RejectsTimeTravel) {
+  auto g = fresh();
+  g.access(0x100000, 1000);
+  EXPECT_DEATH(g.access(0x200000, 500), "nondecreasing");
+}
+
+TEST(Gddr, ResetRestoresColdState) {
+  auto g = fresh(true);
+  g.access(0x100000, 0);
+  g.access(0x100000 ^ (1ull << 14), 50);
+  g.reset();
+  EXPECT_EQ(g.stats().total_requests, 0u);
+  EXPECT_EQ(g.peek_outcome(0x100000), RowOutcome::Miss);
+  const std::uint64_t done = g.access(0x100000, 0);
+  EXPECT_EQ(done, kepler_arch().unloaded_row_miss());
+}
+
+TEST(Gddr, StatsAggregation) {
+  auto g = fresh();
+  g.access(0x100000, 0);                              // miss
+  g.access(0x100000 ^ (1ull << 14), 1 << 16);         // hit
+  g.access(0x100000 ^ (1ull << 20), 1 << 17);         // conflict
+  EXPECT_EQ(g.stats().row_hits(), 1u);
+  EXPECT_EQ(g.stats().row_misses(), 1u);
+  EXPECT_EQ(g.stats().row_conflicts(), 1u);
+  EXPECT_EQ(g.stats().total_requests, 3u);
+}
+
+}  // namespace
+}  // namespace gpuhms

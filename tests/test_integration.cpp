@@ -1,0 +1,137 @@
+// Cross-module integration tests: the full profile -> analyze -> predict
+// pipeline on real benchmarks, including the aggregate accuracy property the
+// evaluation (Fig. 5/7-9) relies on.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sim2012.hpp"
+#include "model/predictor.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+double rel_error(double pred, double meas) {
+  return std::abs(pred - meas) / meas;
+}
+
+TEST(Integration, PredictionWithinBroadBandAcrossEvalTests) {
+  // Even untrained (no overlap model), anchored predictions of real target
+  // placements should stay within a sane multiplicative band. This is a
+  // regression tripwire, not the accuracy claim (benches measure that).
+  for (const char* name : {"stencil2d", "bfs", "s3d"}) {
+    const auto c = workloads::get_benchmark(name);
+    Predictor pred(c.kernel, kepler_arch());
+    pred.profile_sample(c.sample);
+    for (const auto& t : c.tests) {
+      const auto p = pred.predict(t.placement);
+      const auto m = simulate(c.kernel, t.placement);
+      EXPECT_GT(p.total_cycles, 0.2 * static_cast<double>(m.cycles))
+          << name << "/" << t.id;
+      EXPECT_LT(p.total_cycles, 5.0 * static_cast<double>(m.cycles))
+          << name << "/" << t.id;
+    }
+  }
+}
+
+TEST(Integration, TrainedOverlapModelHelpsOnHeldOutKernels) {
+  // Train on a slice of the training suite, evaluate on evaluation kernels;
+  // the trained model's mean error must not be (much) worse than untrained.
+  std::vector<workloads::BenchmarkCase> train = workloads::training_suite();
+  std::vector<TrainingCase> cases;
+  std::vector<KernelInfo> keep_alive;
+  keep_alive.reserve(64);
+  for (const auto& c : train) {
+    keep_alive.push_back(c.kernel);
+    const KernelInfo* k = &keep_alive.back();
+    cases.push_back({k, c.sample});
+    if (!c.tests.empty()) cases.push_back({k, c.tests.front().placement});
+  }
+  const auto trained = train_overlap_model(cases, kepler_arch());
+  ASSERT_TRUE(trained.trained());
+
+  double err_trained = 0.0, err_untrained = 0.0;
+  int n = 0;
+  for (const char* name : {"stencil2d", "scan", "sort"}) {
+    const auto c = workloads::get_benchmark(name);
+    Predictor with(c.kernel, kepler_arch(), ModelOptions{}, trained);
+    with.profile_sample(c.sample);
+    Predictor without(c.kernel, kepler_arch());
+    without.set_sample(c.sample, with.sample_result());
+    for (const auto& t : c.tests) {
+      const double m =
+          static_cast<double>(simulate(c.kernel, t.placement).cycles);
+      err_trained += rel_error(with.predict(t.placement).total_cycles, m);
+      err_untrained += rel_error(without.predict(t.placement).total_cycles, m);
+      ++n;
+    }
+  }
+  EXPECT_LT(err_trained / n, err_untrained / n + 0.10);
+}
+
+TEST(Integration, FullModelBeatsBaselineOnInstructionHeavyCase) {
+  // fft_1 (smem S->G) swaps bank-conflict replays for global-divergence
+  // replays; only the detailed instruction counting can follow that.
+  const auto c = workloads::get_benchmark("fft");
+  const auto& t = c.tests.front();
+  const double m = static_cast<double>(simulate(c.kernel, t.placement).cycles);
+
+  Predictor full(c.kernel, kepler_arch());
+  full.profile_sample(c.sample);
+  Predictor base(c.kernel, kepler_arch(), ModelOptions::baseline());
+  base.set_sample(c.sample, full.sample_result());
+
+  const double e_full = rel_error(full.predict(t.placement).total_cycles, m);
+  const double e_base = rel_error(base.predict(t.placement).total_cycles, m);
+  EXPECT_LE(e_full, e_base + 0.05);
+}
+
+TEST(Integration, RankingIdentifiesGoodPlacementForNeuralnet) {
+  // The Fig. 6 property: our model's ranking of the five weight placements
+  // must put the measured-best placement in its top two.
+  const auto c = workloads::get_benchmark("neuralnet");
+  Predictor pred(c.kernel, kepler_arch());
+  pred.profile_sample(c.sample);
+
+  struct Entry {
+    std::string id;
+    double predicted, measured;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"NN_G",
+                     pred.predict(c.sample).total_cycles,
+                     static_cast<double>(pred.sample_result().cycles)});
+  for (const auto& t : c.tests) {
+    entries.push_back({t.id, pred.predict(t.placement).total_cycles,
+                       static_cast<double>(
+                           simulate(c.kernel, t.placement).cycles)});
+  }
+  auto best_measured = std::min_element(
+      entries.begin(), entries.end(),
+      [](const Entry& a, const Entry& b) { return a.measured < b.measured; });
+  std::vector<Entry> by_pred = entries;
+  std::sort(by_pred.begin(), by_pred.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.predicted < b.predicted;
+            });
+  const bool in_top2 = by_pred[0].id == best_measured->id ||
+                       by_pred[1].id == best_measured->id;
+  EXPECT_TRUE(in_top2) << "best measured " << best_measured->id
+                       << " predicted best " << by_pred[0].id;
+}
+
+TEST(Integration, Sim2012AndOursAgreeOnSample) {
+  const auto c = workloads::get_benchmark("transpose");
+  Predictor ours(c.kernel, kepler_arch());
+  ours.profile_sample(c.sample);
+  Sim2012Predictor theirs(c.kernel, kepler_arch());
+  theirs.set_sample(c.sample, ours.sample_result());
+  EXPECT_NEAR(ours.predict(c.sample).total_cycles,
+              theirs.predict(c.sample).total_cycles,
+              static_cast<double>(ours.sample_result().cycles) * 0.02);
+}
+
+}  // namespace
+}  // namespace gpuhms

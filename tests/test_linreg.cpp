@@ -1,0 +1,122 @@
+#include "math/linreg.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gpuhms {
+namespace {
+
+TEST(SolveLinear, Identity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  auto x = solve_linear(a, {4.0, 5.0, 6.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 4.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 5.0);
+  EXPECT_DOUBLE_EQ((*x)[2], 6.0);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // First pivot is zero: naive elimination fails, partial pivoting works.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  auto x = solve_linear(a, {2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 2.0);
+}
+
+TEST(SolveLinear, SingularReturnsNullopt) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_FALSE(solve_linear(a, {1.0, 2.0}).has_value());
+}
+
+TEST(SolveLinear, RandomSystemsRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 4;
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.next_double() * 10.0 - 5.0;
+      for (std::size_t j = 0; j < n; ++j)
+        a.at(i, j) = rng.next_double() * 4.0 - 2.0;
+      a.at(i, i) += 5.0;  // diagonally dominant -> well conditioned
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+    auto x = solve_linear(a, b);
+    ASSERT_TRUE(x.has_value());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(LeastSquares, ExactOnNoiselessLinearData) {
+  // y = 2*x0 - 3*x1 + 0.5
+  const std::size_t n = 50;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.next_double() * 10.0;
+    const double x1 = rng.next_double() * 10.0;
+    x.at(i, 0) = x0;
+    x.at(i, 1) = x1;
+    x.at(i, 2) = 1.0;
+    y[i] = 2.0 * x0 - 3.0 * x1 + 0.5;
+  }
+  auto beta = least_squares(x, y, 0.0);
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_NEAR((*beta)[0], 2.0, 1e-8);
+  EXPECT_NEAR((*beta)[1], -3.0, 1e-8);
+  EXPECT_NEAR((*beta)[2], 0.5, 1e-8);
+}
+
+TEST(LeastSquares, RidgeHandlesCollinearity) {
+  // x1 == x0: plain OLS is singular, ridge still returns coefficients whose
+  // predictions are right.
+  const std::size_t n = 20;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    x.at(i, 1) = static_cast<double>(i);
+    y[i] = 4.0 * static_cast<double>(i);
+  }
+  EXPECT_FALSE(least_squares(x, y, 0.0).has_value());
+  auto beta = least_squares(x, y, 1e-6);
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_NEAR((*beta)[0] + (*beta)[1], 4.0, 1e-3);
+}
+
+TEST(LeastSquares, OverdeterminedMinimizesResidual) {
+  // Three points, one-parameter model y = b*x: OLS beta = sum(xy)/sum(xx).
+  Matrix x(3, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 2.0;
+  x.at(2, 0) = 3.0;
+  std::vector<double> y = {1.0, 2.5, 2.5};
+  auto beta = least_squares(x, y);
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_NEAR((*beta)[0], (1.0 + 5.0 + 7.5) / 14.0, 1e-6);
+}
+
+TEST(Dot, Basics) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,171 @@
+// Metamorphic / property tests of the full prediction pipeline: instead of
+// asserting absolute numbers, assert how predictions MUST move when the
+// input is transformed in a known direction.
+#include <gtest/gtest.h>
+
+#include "model/predictor.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+Predictor profiled(const KernelInfo& k, ModelOptions opts = {}) {
+  Predictor p(k, kepler_arch(), opts);
+  p.profile_sample(DataPlacement::defaults(k));
+  return p;
+}
+
+TEST(ModelProperties, PredictionGrowsWithProblemSize) {
+  // Same placement, 8x the elements, both large enough to be throughput-
+  // bound (tiny kernels are latency-bound and scale sublinearly).
+  const KernelInfo small = workloads::make_vecadd(1 << 13);
+  const KernelInfo large = workloads::make_vecadd(1 << 16);
+  const auto ps = profiled(small).predict(DataPlacement::defaults(small));
+  const auto pl = profiled(large).predict(DataPlacement::defaults(large));
+  EXPECT_GT(pl.total_cycles, 3.0 * ps.total_cycles);
+}
+
+TEST(ModelProperties, ForcedDivergenceRaisesPredictedCompCost) {
+  // A strided copy has more transactions/replays than a unit-stride copy;
+  // the predicted issued instructions and T_comp must reflect it.
+  auto make = [](std::int64_t stride) {
+    KernelInfo k;
+    k.name = "copy";
+    k.num_blocks = 64;
+    k.threads_per_block = 128;
+    k.arrays = {ArrayDecl{.name = "in", .dtype = DType::F32,
+                          .elems = 1 << 16},
+                ArrayDecl{.name = "out", .dtype = DType::F32,
+                          .elems = 1 << 16, .written = true}};
+    k.fn = [stride](WarpEmitter& em, const WarpCtx& ctx) {
+      const std::int64_t n = 1 << 16;
+      em.load(0, em.by_lane([&](int l) {
+        return (ctx.thread_id(l) * stride) % n;
+      }));
+      em.store(1, em.by_lane([&](int l) {
+        return ctx.thread_id(l) % n;
+      }), true);
+    };
+    return k;
+  };
+  const KernelInfo unit = make(1);
+  const KernelInfo strided = make(64);
+  // Predict the strided kernel FROM the unit-stride structure is not
+  // meaningful (different kernels); instead compare each one's self-analysis.
+  const auto ev_u = analyze_trace(unit, DataPlacement::defaults(unit),
+                                  kepler_arch());
+  const auto ev_s = analyze_trace(strided, DataPlacement::defaults(strided),
+                                  kepler_arch());
+  EXPECT_GT(ev_s.replay_global_divergence, ev_u.replay_global_divergence);
+  EXPECT_GT(ev_s.global_transactions, ev_u.global_transactions);
+}
+
+TEST(ModelProperties, AnchorScaleIndependentOfTargetOrder) {
+  // Predicting targets in different orders must not change results (the
+  // anchor is computed once from the sample).
+  const auto c = workloads::get_benchmark("stencil2d");
+  Predictor p1(c.kernel, kepler_arch());
+  p1.profile_sample(c.sample);
+  Predictor p2(c.kernel, kepler_arch());
+  p2.set_sample(c.sample, p1.sample_result());
+
+  const auto t1 = c.tests.front().placement;
+  const auto t2 = c.sample.with(0, MemSpace::Texture2D);
+  const double a1 = p1.predict(t1).total_cycles;
+  const double a2 = p1.predict(t2).total_cycles;
+  // Reverse order on the second predictor.
+  const double b2 = p2.predict(t2).total_cycles;
+  const double b1 = p2.predict(t1).total_cycles;
+  EXPECT_DOUBLE_EQ(a1, b1);
+  EXPECT_DOUBLE_EQ(a2, b2);
+}
+
+TEST(ModelProperties, EvenDistributionNeverSeesRealBankSkew) {
+  // Under the even-distribution ablation, two arrays that collide on real
+  // banks look identical to two that do not: predictions depend only on
+  // request counts, not addresses. Verify via bank streams.
+  const KernelInfo k = workloads::make_vecadd(1 << 13);
+  AnalysisOptions even;
+  even.even_bank_distribution = true;
+  const auto ev = analyze_trace(k, DataPlacement::defaults(k), kepler_arch(),
+                                even);
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& b : ev.banks) {
+    if (b.count == 0) continue;
+    lo = std::min(lo, b.count);
+    hi = std::max(hi, b.count);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ModelProperties, QueueDelayRespondsToLoad) {
+  // Doubling the number of resident blocks per SM (more concurrent traffic)
+  // cannot *reduce* the G/G/1 queue delay estimate for the same kernel.
+  const KernelInfo k = workloads::make_md(1536, 16);
+  const auto ev = analyze_trace(k, DataPlacement::defaults(k), kepler_arch());
+  const auto banks_fast = build_bank_inputs(ev, 0.1);  // compressed arrivals
+  const auto banks_slow = build_bank_inputs(ev, 1.0);  // stretched arrivals
+  const double d_fast = dram_latency_gg1(banks_fast).avg_queue_delay;
+  const double d_slow = dram_latency_gg1(banks_slow).avg_queue_delay;
+  EXPECT_GE(d_fast, d_slow);
+}
+
+TEST(ModelProperties, AmatBoundedByComponents) {
+  for (const char* name : {"stencil2d", "spmv", "md5hash"}) {
+    const auto c = workloads::get_benchmark(name);
+    Predictor pred = profiled(c.kernel);
+    for (const auto& t : c.tests) {
+      const auto p = pred.predict(t.placement);
+      const GpuArch& a = kepler_arch();
+      EXPECT_GE(p.amat, static_cast<double>(a.shared_lat) * 0.5) << name;
+      EXPECT_LE(p.amat,
+                p.dram_lat + static_cast<double>(a.cache_hit_lat) + 1.0)
+          << name;
+    }
+  }
+}
+
+TEST(ModelProperties, InstructionEstimateExactWhenNothingChanges) {
+  // Predicting the sample placement itself must reproduce the measured
+  // issued-instruction count exactly (Eq. 3 deltas all cancel).
+  const auto c = workloads::get_benchmark("fft");
+  Predictor pred = profiled(c.kernel);
+  const auto p = pred.predict(c.sample);
+  const auto& sc = pred.sample_result().counters;
+  EXPECT_DOUBLE_EQ(p.inst.issued_total,
+                   static_cast<double>(sc.inst_issued));
+}
+
+TEST(ModelProperties, BaselineInsensitiveToReplayHeavyMoves) {
+  // The defining failure of the no-instruction-counting baseline: moving
+  // neuralnet weights to constant memory barely moves its predicted
+  // instruction count, while the full model's jumps.
+  const auto c = workloads::get_benchmark("neuralnet");
+  const int iw = c.kernel.array_index("weights");
+  const auto target = c.sample.with(iw, MemSpace::Constant);
+
+  Predictor full = profiled(c.kernel);
+  Predictor base(c.kernel, kepler_arch(), ModelOptions::baseline());
+  base.set_sample(c.sample, full.sample_result());
+
+  const double full_ratio = full.predict(target).inst.issued_total /
+                            full.predict(c.sample).inst.issued_total;
+  const double base_ratio = base.predict(target).inst.issued_total /
+                            base.predict(c.sample).inst.issued_total;
+  EXPECT_GT(full_ratio, 3.0);
+  EXPECT_NEAR(base_ratio, 1.0, 1e-9);
+}
+
+TEST(ModelProperties, OccupancyDropRaisesPredictedTime) {
+  // Moving a large array into shared memory halves occupancy; the model's
+  // prediction must rise accordingly (not only the staging instructions).
+  const auto c = workloads::get_benchmark("neuralnet");
+  const int iw = c.kernel.array_index("weights");
+  Predictor pred = profiled(c.kernel);
+  const auto pg = pred.predict(c.sample);
+  const auto ps = pred.predict(c.sample.with(iw, MemSpace::Shared));
+  EXPECT_GT(ps.total_cycles, 1.5 * pg.total_cycles);
+}
+
+}  // namespace
+}  // namespace gpuhms

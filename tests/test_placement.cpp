@@ -1,0 +1,131 @@
+#include "kernel/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuhms {
+namespace {
+
+KernelInfo demo_kernel() {
+  KernelInfo k;
+  k.name = "demo";
+  k.num_blocks = 1;
+  k.threads_per_block = 64;
+  k.arrays = {
+      ArrayDecl{.name = "in1", .dtype = DType::F32, .elems = 1024,
+                .width = 32},
+      ArrayDecl{.name = "in2", .dtype = DType::F32, .elems = 1 << 20},
+      ArrayDecl{.name = "out", .dtype = DType::F32, .elems = 1024,
+                .written = true},
+  };
+  k.fn = [](WarpEmitter&, const WarpCtx&) {};
+  return k;
+}
+
+TEST(Placement, DefaultsComeFromArrayDecls) {
+  KernelInfo k = demo_kernel();
+  k.arrays[0].default_space = MemSpace::Constant;
+  const auto p = DataPlacement::defaults(k);
+  EXPECT_EQ(p.of(0), MemSpace::Constant);
+  EXPECT_EQ(p.of(1), MemSpace::Global);
+  EXPECT_EQ(p.to_string(), "C,G,G");
+}
+
+TEST(Placement, WithReturnsModifiedCopy) {
+  const KernelInfo k = demo_kernel();
+  const auto p = DataPlacement::defaults(k);
+  const auto q = p.with(1, MemSpace::Texture1D);
+  EXPECT_EQ(p.of(1), MemSpace::Global);
+  EXPECT_EQ(q.of(1), MemSpace::Texture1D);
+}
+
+TEST(Placement, DescribeVsUsesTableIVNotation) {
+  const KernelInfo k = demo_kernel();
+  const auto base = DataPlacement::defaults(k);
+  EXPECT_EQ(base.describe_vs(base, k), "default");
+  const auto q = base.with(0, MemSpace::Shared).with(1, MemSpace::Texture1D);
+  EXPECT_EQ(q.describe_vs(base, k), "in1(G->S), in2(G->T)");
+}
+
+TEST(Placement, WrittenArraysRejectReadOnlySpaces) {
+  const KernelInfo k = demo_kernel();
+  const auto& arch = kepler_arch();
+  const auto base = DataPlacement::defaults(k);
+  EXPECT_TRUE(validate_placement(k, base.with(2, MemSpace::Constant), arch));
+  EXPECT_TRUE(validate_placement(k, base.with(2, MemSpace::Texture1D), arch));
+  EXPECT_FALSE(validate_placement(k, base.with(2, MemSpace::Shared), arch));
+}
+
+TEST(Placement, Texture2DNeedsWidth) {
+  const KernelInfo k = demo_kernel();
+  const auto& arch = kepler_arch();
+  const auto base = DataPlacement::defaults(k);
+  EXPECT_FALSE(validate_placement(k, base.with(0, MemSpace::Texture2D), arch));
+  EXPECT_TRUE(validate_placement(k, base.with(1, MemSpace::Texture2D), arch));
+}
+
+TEST(Placement, CapacityLimits) {
+  const KernelInfo k = demo_kernel();
+  const auto& arch = kepler_arch();
+  const auto base = DataPlacement::defaults(k);
+  // in2 is 4 MiB: too large for constant (64 KiB) and shared (48 KiB).
+  EXPECT_TRUE(validate_placement(k, base.with(1, MemSpace::Constant), arch));
+  EXPECT_TRUE(validate_placement(k, base.with(1, MemSpace::Shared), arch));
+  // in1 is 4 KiB: fits both.
+  EXPECT_FALSE(validate_placement(k, base.with(0, MemSpace::Constant), arch));
+  EXPECT_FALSE(validate_placement(k, base.with(0, MemSpace::Shared), arch));
+}
+
+TEST(Placement, SharedCapacityIsSliceAware) {
+  KernelInfo k = demo_kernel();
+  k.arrays[1].shared_slice_elems = 256;  // 1 KiB per block
+  const auto& arch = kepler_arch();
+  const auto base = DataPlacement::defaults(k);
+  EXPECT_FALSE(validate_placement(k, base.with(1, MemSpace::Shared), arch));
+}
+
+TEST(Placement, LegalSpacesForReadOnlySmall2DArray) {
+  const KernelInfo k = demo_kernel();
+  const auto spaces = legal_spaces(k, 0, kepler_arch());
+  EXPECT_EQ(spaces.size(), kAllMemSpaces.size());  // everything fits
+}
+
+TEST(Placement, FromStringRoundTrips) {
+  const KernelInfo k = demo_kernel();
+  for (const char* str : {"G,G,G", "C,T,S", "2T,2T,G", "S,G,S"}) {
+    const auto p = DataPlacement::from_string(k, str);
+    ASSERT_TRUE(p.has_value()) << str;
+    EXPECT_EQ(p->to_string(), str);
+  }
+}
+
+TEST(Placement, FromStringRejectsGarbage) {
+  const KernelInfo k = demo_kernel();
+  EXPECT_FALSE(DataPlacement::from_string(k, "G,G"));        // too short
+  EXPECT_FALSE(DataPlacement::from_string(k, "G,G,G,G"));    // too long
+  EXPECT_FALSE(DataPlacement::from_string(k, "G,X,G"));      // unknown code
+  EXPECT_FALSE(DataPlacement::from_string(k, ""));           // empty
+  EXPECT_FALSE(DataPlacement::from_string(k, "G,,G"));       // empty field
+}
+
+TEST(Placement, FromStringDoesNotValidateLegality) {
+  // out (array 2) is written; constant is illegal but parsing succeeds.
+  const KernelInfo k = demo_kernel();
+  const auto p = DataPlacement::from_string(k, "G,G,C");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(validate_placement(k, *p, kepler_arch()).has_value());
+}
+
+TEST(Placement, EnumerateRespectsConstraintsAndCap) {
+  const KernelInfo k = demo_kernel();
+  const auto& arch = kepler_arch();
+  const auto all = enumerate_placements(k, arch);
+  // in1: 5 options; in2: G/T (too big for C/S, no width for 2T);
+  // out: G/S (written) -> 5 * 2 * 2 = 20 legal placements.
+  EXPECT_EQ(all.size(), 20u);
+  for (const auto& p : all)
+    EXPECT_FALSE(validate_placement(k, p, arch).has_value());
+  EXPECT_EQ(enumerate_placements(k, arch, 7).size(), 7u);
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,87 @@
+#include "model/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+Predictor profiled_predictor(const KernelInfo& k) {
+  Predictor pred(k, kepler_arch());
+  pred.profile_sample(DataPlacement::defaults(k));
+  return pred;
+}
+
+TEST(SearchExhaustive, FindsMinimumOfPredictedSpace) {
+  const KernelInfo k = workloads::make_stencil2d(128, 64);
+  const Predictor pred = profiled_predictor(k);
+  const auto r = search_exhaustive(pred);
+  // Recompute: no placement should predict faster than the returned one.
+  for (const auto& p : enumerate_placements(k, kepler_arch())) {
+    EXPECT_GE(pred.predict(p).total_cycles, r.predicted_cycles - 1e-6);
+  }
+  EXPECT_EQ(r.evaluated, enumerate_placements(k, kepler_arch()).size());
+}
+
+TEST(SearchExhaustive, RespectsCap) {
+  const KernelInfo k = workloads::make_vecadd(1 << 12);
+  const Predictor pred = profiled_predictor(k);
+  const auto r = search_exhaustive(pred, 5);
+  EXPECT_EQ(r.evaluated, 5u);
+}
+
+TEST(SearchGreedy, NeverWorseThanStartingPoint) {
+  const KernelInfo k = workloads::make_vecadd(1 << 12);
+  const Predictor pred = profiled_predictor(k);
+  const double start = pred.predict(DataPlacement::defaults(k)).total_cycles;
+  const auto r = search_greedy(pred);
+  EXPECT_LE(r.predicted_cycles, start + 1e-9);
+}
+
+TEST(SearchGreedy, ProducesLegalPlacement) {
+  const KernelInfo k = workloads::make_triad(1 << 12);
+  const Predictor pred = profiled_predictor(k);
+  const auto r = search_greedy(pred);
+  EXPECT_FALSE(validate_placement(k, r.placement, kepler_arch()).has_value());
+}
+
+TEST(SearchGreedy, MatchesExhaustiveOnSmallSpaces) {
+  // On a small, well-behaved space the two searches should agree on the
+  // predicted optimum (greedy can in principle get stuck; these spaces are
+  // smooth enough that it should not).
+  for (auto make : {workloads::make_stencil2d}) {
+    const KernelInfo k = make(128, 64);
+    const Predictor pred = profiled_predictor(k);
+    const auto ex = search_exhaustive(pred);
+    const auto gr = search_greedy(pred);
+    EXPECT_NEAR(gr.predicted_cycles, ex.predicted_cycles,
+                ex.predicted_cycles * 0.01);
+  }
+}
+
+TEST(SearchGreedy, CheaperThanExhaustiveOnLargerSpaces) {
+  const KernelInfo k = workloads::make_spmv(256, 16);
+  const Predictor pred = profiled_predictor(k);
+  const auto ex = search_exhaustive(pred);
+  const auto gr = search_greedy(pred);
+  EXPECT_LT(gr.evaluated, ex.evaluated);
+}
+
+TEST(SearchOracle, BestNotWorseThanWorst) {
+  const KernelInfo k = workloads::make_stencil2d(128, 64);
+  const auto r = search_oracle(k, kepler_arch());
+  EXPECT_LE(r.best_cycles, r.worst_cycles);
+  EXPECT_GT(r.simulated, 1u);
+  EXPECT_FALSE(validate_placement(k, r.best, kepler_arch()).has_value());
+}
+
+TEST(SearchOracle, BestBeatsOrMatchesDefault) {
+  const KernelInfo k = workloads::make_vecadd(1 << 12);
+  const auto r = search_oracle(k, kepler_arch());
+  const auto dflt = simulate(k, DataPlacement::defaults(k), kepler_arch());
+  EXPECT_LE(r.best_cycles, dflt.cycles);
+}
+
+}  // namespace
+}  // namespace gpuhms

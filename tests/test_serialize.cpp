@@ -1,0 +1,110 @@
+#include "trace/serialize.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+SerializedTrace round_trip(const KernelInfo& k, const DataPlacement& p,
+                           std::int64_t b0 = 0, std::int64_t b1 = 1) {
+  const TraceMaterializer mat(k, p, kepler_arch());
+  std::stringstream ss;
+  write_trace(ss, mat, b0, b1);
+  std::string error;
+  const auto parsed = read_trace(ss, &error);
+  EXPECT_TRUE(parsed.has_value()) << error;
+  return parsed.value_or(SerializedTrace{});
+}
+
+TEST(Serialize, HeaderRoundTrips) {
+  const KernelInfo k = workloads::make_vecadd(1 << 12);
+  const auto t = round_trip(k, DataPlacement::defaults(k));
+  EXPECT_EQ(t.kernel_name, "vecadd");
+  EXPECT_EQ(t.num_blocks, k.num_blocks);
+  EXPECT_EQ(t.threads_per_block, k.threads_per_block);
+  EXPECT_EQ(t.warps.size(), static_cast<std::size_t>(k.warps_per_block()));
+}
+
+TEST(Serialize, OpsRoundTripExactly) {
+  const KernelInfo k = workloads::make_vecadd(1 << 12);
+  const auto p = DataPlacement::defaults(k).with(0, MemSpace::Shared);
+  const TraceMaterializer mat(k, p, kepler_arch());
+  const auto original = mat.generate(0, 2);
+  std::stringstream ss;
+  write_trace(ss, k, original);
+  const auto parsed = read_trace(ss);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->warps.size(), original.size());
+  for (std::size_t w = 0; w < original.size(); ++w) {
+    const auto& a = original[w].ops;
+    const auto& b = parsed->warps[w].ops;
+    ASSERT_EQ(a.size(), b.size()) << "warp " << w;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].cls, b[i].cls);
+      EXPECT_EQ(a[i].space, b[i].space);
+      EXPECT_EQ(a[i].array, b[i].array);
+      EXPECT_EQ(a[i].uses_prev, b[i].uses_prev);
+      EXPECT_EQ(a[i].is_addr_calc, b[i].is_addr_calc);
+      EXPECT_EQ(a[i].active_mask, b[i].active_mask);
+      if (is_memory(a[i].cls)) {
+        EXPECT_EQ(a[i].addr, b[i].addr) << "op " << i;
+      }
+    }
+  }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# header comment\n\nkernel demo 4 64\n# mid comment\n"
+        "warp 0 0 32\nop ialu global -1 0 1 ffffffff\n";
+  const auto parsed = read_trace(ss);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kernel_name, "demo");
+  ASSERT_EQ(parsed->warps.size(), 1u);
+  ASSERT_EQ(parsed->warps[0].ops.size(), 1u);
+  EXPECT_TRUE(parsed->warps[0].ops[0].is_addr_calc);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  const char* bad_cases[] = {
+      "warp 0 0 32\n",                                // warp before kernel
+      "kernel k 1 64\nop ialu global -1 0 0 ff\n",     // op before warp
+      "kernel k 1 64\nwarp 0 0 32\nop bogus global -1 0 0 ff\n",  // class
+      "kernel k 1 64\nwarp 0 0 32\nop load mars -1 0 0 ff\n",     // space
+      "kernel k 1 64\nwarp 0 0 32\nop load global -1 0 0 ff\n",   // no addrs
+      "bogus record\n",
+      "",
+  };
+  for (const char* text : bad_cases) {
+    std::stringstream ss(text);
+    std::string error;
+    EXPECT_FALSE(read_trace(ss, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(Serialize, DuplicateKernelHeaderRejected) {
+  std::stringstream ss("kernel a 1 64\nkernel b 1 64\n");
+  std::string error;
+  EXPECT_FALSE(read_trace(ss, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(Serialize, StagingPreambleSurvives) {
+  const KernelInfo k = workloads::make_triad(1 << 12);
+  const auto p = DataPlacement::defaults(k).with(k.array_index("B"),
+                                                 MemSpace::Shared);
+  const auto t = round_trip(k, p);
+  bool has_sync = false;
+  for (const auto& op : t.warps[0].ops) {
+    has_sync = has_sync || op.cls == OpClass::Sync;
+  }
+  EXPECT_TRUE(has_sync);
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,183 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gpuhms {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cov(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.cov(), 0.4);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat a_copy = a;
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Cosine, IdenticalVectorsGiveOne) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(cosine_similarity(v, v), 1.0, 1e-12);
+}
+
+TEST(Cosine, ScaledVectorsGiveOne) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(Cosine, OrthogonalVectorsGiveZero) {
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {0.0, 1.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-12);
+}
+
+TEST(Cosine, ZeroVectorGivesZero) {
+  std::vector<double> a = {0.0, 0.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Cosine, BoundedForRandomNonNegativeVectors) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> a(8), b(8);
+    for (int i = 0; i < 8; ++i) {
+      a[static_cast<std::size_t>(i)] = rng.next_double() * 50.0;
+      b[static_cast<std::size_t>(i)] = rng.next_double() * 50.0;
+    }
+    const double c = cosine_similarity(a, b);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+  }
+}
+
+TEST(Pearson, PerfectLinearCorrelation) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {3.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = {9.0, 7.0, 5.0, 3.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Spearman, PerfectMonotoneIsOne) {
+  std::vector<double> a = {1.0, 5.0, 3.0, 9.0};
+  std::vector<double> b = {10.0, 500.0, 30.0, 100000.0};  // same ordering
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedIsMinusOne) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(spearman(a, b), -1.0, 1e-12);
+}
+
+TEST(Spearman, TiesShareAverageRank) {
+  // a = {1, 2, 2, 3}: ranks {1, 2.5, 2.5, 4}; b strictly increasing.
+  std::vector<double> a = {1.0, 2.0, 2.0, 3.0};
+  std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  const double rho = spearman(a, b);
+  EXPECT_GT(rho, 0.9);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(Spearman, InvariantToMonotoneTransforms) {
+  Rng rng(23);
+  std::vector<double> a(16), b(16);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.next_double() * 100.0;
+    b[i] = a[i] * a[i] + 7.0;  // monotone transform of a
+  }
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(spearman({}, {}), 0.0);
+  std::vector<double> one = {1.0};
+  EXPECT_DOUBLE_EQ(spearman(one, one), 0.0);
+}
+
+TEST(MeanStddev, Basics) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.density(2), 0.2);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(ExponentialBinMass, SumsToOne) {
+  const double mean_v = 3.0;
+  double total = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    total += exponential_bin_mass(mean_v, i * 0.1, (i + 1) * 0.1);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(ExponentialBinMass, DegenerateMean) {
+  EXPECT_DOUBLE_EQ(exponential_bin_mass(0.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(exponential_bin_mass(-1.0, 0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,136 @@
+#include "model/tcomp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/warp_parallelism.hpp"
+
+namespace gpuhms {
+namespace {
+
+TcompInputs base_inputs() {
+  TcompInputs in;
+  in.inst.issued_per_warp = 100.0;
+  in.total_warps = 1300.0;
+  in.active_sms = 13;
+  in.itilp = 9.0;  // saturated pipeline
+  in.w_serial = 0.0;
+  return in;
+}
+
+TEST(Tcomp, SaturatedPipelineOneSlotPerInstruction) {
+  const auto in = base_inputs();
+  // 100 insts/warp x 100 warps/SM x 1 cycle/inst.
+  EXPECT_DOUBLE_EQ(tcomp(in, kepler_arch()), 100.0 * 100.0);
+}
+
+TEST(Tcomp, LowIlpExposesPipelineLatency) {
+  auto in = base_inputs();
+  in.itilp = 1.0;  // one warp, serial chain
+  EXPECT_DOUBLE_EQ(tcomp(in, kepler_arch()),
+                   100.0 * 100.0 * static_cast<double>(kepler_arch().avg_inst_lat));
+}
+
+TEST(Tcomp, ScalesLinearlyWithInstructions) {
+  auto in = base_inputs();
+  const double t1 = tcomp(in, kepler_arch());
+  in.inst.issued_per_warp *= 3.0;
+  EXPECT_DOUBLE_EQ(tcomp(in, kepler_arch()), 3.0 * t1);
+}
+
+TEST(Tcomp, SerializationAddsOn) {
+  auto in = base_inputs();
+  const double t1 = tcomp(in, kepler_arch());
+  in.w_serial = 5000.0;
+  EXPECT_DOUBLE_EQ(tcomp(in, kepler_arch()), t1 + 5000.0);
+}
+
+TEST(Tcomp, MoreSmsDivideWork) {
+  auto in = base_inputs();
+  const double t13 = tcomp(in, kepler_arch());
+  in.active_sms = 1;
+  EXPECT_DOUBLE_EQ(tcomp(in, kepler_arch()), 13.0 * t13);
+}
+
+TEST(WarpParallelism, ItilpCappedByPipelineDepth) {
+  WarpParallelismInputs in;
+  in.n_warps = 64.0;
+  in.ilp = 4.0;
+  in.issued_per_warp = 100.0;
+  in.mem_insts_per_warp = 10.0;
+  in.mem_lat = 400.0;
+  const auto wp = compute_warp_parallelism(in, kepler_arch());
+  EXPECT_DOUBLE_EQ(wp.itilp, static_cast<double>(kepler_arch().avg_inst_lat));
+}
+
+TEST(WarpParallelism, MwpBoundedByWarpsAndLatency) {
+  WarpParallelismInputs in;
+  in.n_warps = 4.0;
+  in.issued_per_warp = 40.0;
+  in.mem_insts_per_warp = 10.0;
+  in.mem_lat = 800.0;
+  in.transactions_per_mem = 1.0;
+  in.dram_per_mem = 1.0;
+  const auto wp = compute_warp_parallelism(in, kepler_arch());
+  EXPECT_LE(wp.mwp, 4.0);
+  EXPECT_GE(wp.mwp, 1.0);
+}
+
+TEST(WarpParallelism, CacheServedTrafficNotBandwidthCapped) {
+  // dram_per_mem -> 0 means the DRAM bandwidth cap must not bind.
+  WarpParallelismInputs in;
+  in.n_warps = 64.0;
+  in.issued_per_warp = 100.0;
+  in.mem_insts_per_warp = 20.0;
+  in.mem_lat = 300.0;
+  in.mlp = 2.0;
+  in.dram_per_mem = 1e-6;
+  const auto hot = compute_warp_parallelism(in, kepler_arch());
+  in.dram_per_mem = 2.0;
+  const auto cold = compute_warp_parallelism(in, kepler_arch());
+  EXPECT_GT(hot.mwp_peak_bw, cold.mwp_peak_bw);
+  EXPECT_GE(hot.itmlp, cold.itmlp);
+}
+
+TEST(WarpParallelism, CwpGrowsWithMemoryLatency) {
+  WarpParallelismInputs in;
+  in.n_warps = 64.0;
+  in.issued_per_warp = 100.0;
+  in.mem_insts_per_warp = 10.0;
+  in.dram_per_mem = 1.0;
+  in.mem_lat = 100.0;
+  const double cwp_fast = compute_warp_parallelism(in, kepler_arch()).cwp;
+  in.mem_lat = 1000.0;
+  const double cwp_slow = compute_warp_parallelism(in, kepler_arch()).cwp;
+  EXPECT_GT(cwp_slow, cwp_fast);
+}
+
+// Parameterized invariant sweep: outputs stay within their defined ranges
+// over a grid of inputs.
+class WpGrid : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WpGrid, OutputsWithinBounds) {
+  const auto [n_warps, mem_lat] = GetParam();
+  WarpParallelismInputs in;
+  in.n_warps = n_warps;
+  in.issued_per_warp = 200.0;
+  in.mem_insts_per_warp = 25.0;
+  in.mem_lat = mem_lat;
+  in.mlp = 2.0;
+  in.ilp = 2.0;
+  in.dram_per_mem = 0.5;
+  const auto wp = compute_warp_parallelism(in, kepler_arch());
+  EXPECT_GE(wp.mwp, 1.0);
+  EXPECT_LE(wp.mwp, n_warps + 1e-9);
+  EXPECT_GE(wp.cwp, 1.0);
+  EXPECT_LE(wp.cwp, n_warps + 1e-9);
+  EXPECT_GE(wp.itmlp, 1.0);
+  EXPECT_GE(wp.itilp, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WpGrid,
+    ::testing::Combine(::testing::Values(1.0, 8.0, 32.0, 64.0),
+                       ::testing::Values(50.0, 400.0, 2000.0)));
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,98 @@
+#include "model/toverlap.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/linreg.hpp"
+
+namespace gpuhms {
+namespace {
+
+PlacementEvents synthetic_events(std::uint64_t g, std::uint64_t c,
+                                 std::uint64_t t, std::uint64_t s,
+                                 std::uint64_t row_bad) {
+  PlacementEvents ev;
+  ev.global_transactions = g;
+  ev.l2_misses = g / 2;
+  ev.const_requests = c;
+  ev.const_misses = c / 10;
+  ev.tex_requests = t;
+  ev.tex_misses = t / 4;
+  ev.shared_requests = s;
+  ev.shared_conflicts = s / 8;
+  ev.row_misses = row_bad / 2;
+  ev.row_conflicts = row_bad - row_bad / 2;
+  return ev;
+}
+
+TEST(ToverlapFeatures, ShapeAndConstantTerm) {
+  const auto x = ToverlapModel::features(synthetic_events(100, 0, 0, 0, 20),
+                                         32.0);
+  ASSERT_EQ(x.size(), ToverlapModel::kNumFeatures);
+  EXPECT_DOUBLE_EQ(x.back(), 1.0);
+  EXPECT_DOUBLE_EQ(x[5], 0.5);  // 32 / 64 warps
+}
+
+TEST(ToverlapFeatures, RatiosNormalizedByTotalEvents) {
+  const auto ev = synthetic_events(100, 50, 0, 50, 0);
+  const auto x = ToverlapModel::features(ev, 64.0);
+  const double r = ev.total_mem_events();
+  EXPECT_DOUBLE_EQ(x[0], (50.0 + 100.0) / r);  // l2 misses + global trans
+  EXPECT_DOUBLE_EQ(x[1], (5.0 + 50.0) / r);
+  EXPECT_DOUBLE_EQ(x[3], (6.0 + 50.0) / r);
+}
+
+TEST(ToverlapFeatures, EmptyEventsDontDivideByZero) {
+  const auto x = ToverlapModel::features(PlacementEvents{}, 8.0);
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ToverlapModel, UntrainedPredictsZero) {
+  ToverlapModel m;
+  EXPECT_FALSE(m.trained());
+  EXPECT_DOUBLE_EQ(m.overlap_ratio(synthetic_events(10, 0, 0, 0, 0), 32.0),
+                   0.0);
+}
+
+TEST(ToverlapModel, RecoversLinearGroundTruth) {
+  // Generate events whose overlap ratio is an exact linear function of the
+  // features; training must recover it.
+  std::vector<double> truth = {0.3, -0.1, 0.2, 0.15, -0.25, 0.4, 0.1};
+  Rng rng(31);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 60; ++i) {
+    const auto ev = synthetic_events(rng.next_below(500) + 1,
+                                     rng.next_below(300),
+                                     rng.next_below(300),
+                                     rng.next_below(300),
+                                     rng.next_below(200));
+    const auto x = ToverlapModel::features(
+        ev, static_cast<double>(rng.next_below(64) + 1));
+    xs.push_back(x);
+    ys.push_back(dot(x, truth));
+  }
+  ToverlapModel m;
+  ASSERT_TRUE(m.train(xs, ys, 1e-9));
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    EXPECT_NEAR(m.coefficients()[i], truth[i], 1e-4);
+}
+
+TEST(ToverlapModel, PredictionClamped) {
+  ToverlapModel m;
+  m.set_coefficients({0, 0, 0, 0, 0, 0, 5.0});  // constant ratio 5
+  EXPECT_DOUBLE_EQ(m.overlap_ratio(PlacementEvents{}, 1.0), 1.0);
+  m.set_coefficients({0, 0, 0, 0, 0, 0, -5.0});
+  EXPECT_DOUBLE_EQ(m.overlap_ratio(PlacementEvents{}, 1.0), -0.5);
+}
+
+TEST(ToverlapModel, SetCoefficientsMarksTrained) {
+  ToverlapModel m;
+  m.set_coefficients(std::vector<double>(ToverlapModel::kNumFeatures, 0.1));
+  EXPECT_TRUE(m.trained());
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,113 @@
+#include "model/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+TEST(TraceAnalysis, CountsMatchSimulatorForDefaultVecadd) {
+  // The analysis shares the coalescer and cache classes with the simulator;
+  // its order-insensitive counts (executed instructions, transactions,
+  // replay causes 1-4) must agree with the simulator's measured counters.
+  const KernelInfo k = workloads::make_vecadd(1 << 13);
+  const auto p = DataPlacement::defaults(k);
+  const auto sim = simulate(k, p);
+  const auto ev = analyze_trace(k, p, kepler_arch());
+  EXPECT_EQ(ev.insts_executed, sim.counters.inst_executed);
+  EXPECT_EQ(ev.global_transactions, sim.counters.global_transactions);
+  EXPECT_EQ(ev.replay_global_divergence,
+            sim.counters.replay_global_divergence);
+  EXPECT_EQ(ev.shared_requests, sim.counters.shared_requests);
+  EXPECT_EQ(ev.mem_insts, sim.counters.ldst_executed);
+}
+
+TEST(TraceAnalysis, RowOutcomesSumToDramRequests) {
+  const KernelInfo k = workloads::make_vecadd(1 << 13);
+  const auto ev = analyze_trace(k, DataPlacement::defaults(k), kepler_arch());
+  EXPECT_EQ(ev.row_hits + ev.row_misses + ev.row_conflicts, ev.dram_requests);
+  EXPECT_GT(ev.dram_requests, 0u);
+}
+
+TEST(TraceAnalysis, BankStreamsCoverAllRequests) {
+  const KernelInfo k = workloads::make_vecadd(1 << 13);
+  const auto ev = analyze_trace(k, DataPlacement::defaults(k), kepler_arch());
+  std::uint64_t total = 0;
+  for (const auto& b : ev.banks) total += b.count;
+  EXPECT_EQ(total, ev.dram_requests);
+}
+
+TEST(TraceAnalysis, EvenDistributionSpreadsUniformly) {
+  const KernelInfo k = workloads::make_vecadd(1 << 13);
+  AnalysisOptions opts;
+  opts.even_bank_distribution = true;
+  const auto ev = analyze_trace(k, DataPlacement::defaults(k), kepler_arch(),
+                                opts);
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& b : ev.banks) {
+    lo = std::min(lo, b.count);
+    hi = std::max(hi, b.count);
+  }
+  EXPECT_LE(hi - lo, 1u);  // round-robin is perfectly even
+}
+
+TEST(TraceAnalysis, PlacementChangesEventMix) {
+  const KernelInfo k = workloads::make_vecadd(1 << 13);
+  const auto base = DataPlacement::defaults(k);
+  const auto ev_g = analyze_trace(k, base, kepler_arch());
+  const auto ev_t = analyze_trace(
+      k, base.with(k.array_index("a"), MemSpace::Texture1D), kepler_arch());
+  const auto ev_c = analyze_trace(
+      k, base.with(k.array_index("a"), MemSpace::Constant), kepler_arch());
+  EXPECT_GT(ev_t.tex_requests, 0u);
+  EXPECT_EQ(ev_g.tex_requests, 0u);
+  EXPECT_GT(ev_c.const_requests, 0u);
+  EXPECT_LT(ev_t.global_transactions, ev_g.global_transactions);
+  // Texture addressing saves integer instructions (2 -> 0 per reference).
+  EXPECT_LT(ev_t.insts_executed, ev_g.insts_executed);
+  EXPECT_LT(ev_t.addr_calc_insts, ev_g.addr_calc_insts);
+}
+
+TEST(TraceAnalysis, SharedPlacementAddsStagingWork) {
+  const KernelInfo k = workloads::make_vecadd(1 << 13);
+  const auto base = DataPlacement::defaults(k);
+  const auto ev_g = analyze_trace(k, base, kepler_arch());
+  const auto ev_s = analyze_trace(
+      k, base.with(k.array_index("a"), MemSpace::Shared), kepler_arch());
+  EXPECT_GT(ev_s.shared_requests, 0u);
+  EXPECT_GT(ev_s.insts_executed, ev_g.insts_executed);
+  EXPECT_GT(ev_s.sync_insts, 0u);
+}
+
+TEST(TraceAnalysis, IlpAndMlpWithinBounds) {
+  for (const char* name : {"vecadd", "md", "spmv"}) {
+    const auto bench = workloads::get_benchmark(
+        name == std::string("vecadd") ? "md" : name);
+    const auto ev =
+        analyze_trace(bench.kernel, bench.sample, kepler_arch());
+    EXPECT_GE(ev.ilp, 1.0);
+    EXPECT_LE(ev.ilp, 16.0);
+    EXPECT_GE(ev.mlp, 1.0);
+    EXPECT_LE(ev.mlp, 8.0);
+  }
+}
+
+TEST(TraceAnalysis, TickCountEqualsInstructions) {
+  const KernelInfo k = workloads::make_vecadd(1 << 12);
+  const auto ev = analyze_trace(k, DataPlacement::defaults(k), kepler_arch());
+  EXPECT_EQ(ev.trace_ticks, ev.insts_executed);
+}
+
+TEST(TraceAnalysis, DeterministicAcrossCalls) {
+  const auto bench = workloads::get_benchmark("spmv");
+  const auto e1 = analyze_trace(bench.kernel, bench.sample, kepler_arch());
+  const auto e2 = analyze_trace(bench.kernel, bench.sample, kepler_arch());
+  EXPECT_EQ(e1.dram_requests, e2.dram_requests);
+  EXPECT_EQ(e1.row_conflicts, e2.row_conflicts);
+  EXPECT_EQ(e1.insts_executed, e2.insts_executed);
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,127 @@
+#include "workloads/workloads.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace gpuhms {
+namespace {
+
+using workloads::BenchmarkCase;
+
+std::vector<BenchmarkCase> all_cases() {
+  auto v = workloads::evaluation_suite();
+  auto t = workloads::training_suite();
+  for (auto& c : t) v.push_back(std::move(c));
+  return v;
+}
+
+TEST(Workloads, SuitesMatchTableIV) {
+  const auto eval = workloads::evaluation_suite();
+  std::set<std::string> names;
+  for (const auto& c : eval) names.insert(c.name);
+  for (const char* n : {"bfs", "fft", "neuralnet", "reduction", "scan",
+                        "sort", "stencil2d", "md5hash", "s3d"}) {
+    EXPECT_TRUE(names.count(n)) << n;
+  }
+  const auto train = workloads::training_suite();
+  // 38 training placements counting each benchmark's sample (Table IV).
+  std::size_t total = 0;
+  for (const auto& c : train) total += c.tests.size() + 1;
+  EXPECT_EQ(total, 38u);
+}
+
+TEST(Workloads, EventScreeningSuiteMatchesTableI) {
+  const auto suite = workloads::event_screening_suite();
+  std::set<std::string> names;
+  for (const auto& c : suite) names.insert(c.name);
+  EXPECT_EQ(names,
+            (std::set<std::string>{"cfd", "convolution", "convolution_cols",
+                                   "md", "matrixmul", "spmv", "transpose"}));
+}
+
+TEST(Workloads, AllPlacementsValidate) {
+  for (const auto& c : all_cases()) {
+    EXPECT_FALSE(
+        validate_placement(c.kernel, c.sample, kepler_arch()).has_value())
+        << c.name;
+    for (const auto& t : c.tests) {
+      EXPECT_FALSE(
+          validate_placement(c.kernel, t.placement, kepler_arch()).has_value())
+          << c.name << "/" << t.id;
+      EXPECT_NE(t.placement, c.sample) << c.name << "/" << t.id;
+    }
+  }
+}
+
+TEST(Workloads, TestIdsUniqueAcrossSuites) {
+  std::set<std::string> ids;
+  for (const auto& c : all_cases()) {
+    for (const auto& t : c.tests) {
+      EXPECT_TRUE(ids.insert(t.id).second) << "duplicate id " << t.id;
+    }
+  }
+}
+
+TEST(Workloads, GetBenchmarkRoundTrips) {
+  const auto c = workloads::get_benchmark("neuralnet");
+  EXPECT_EQ(c.name, "neuralnet");
+  EXPECT_EQ(c.tests.size(), 4u);
+  EXPECT_DEATH(workloads::get_benchmark("nope"), "unknown benchmark");
+}
+
+// Every kernel must simulate cleanly under its sample placement and produce
+// a sensible profile. Parameterized over the whole registry.
+class EveryBenchmark : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryBenchmark, SimulatesUnderSampleAndFirstTest) {
+  const auto c = workloads::get_benchmark(GetParam());
+  const auto r = simulate(c.kernel, c.sample);
+  EXPECT_GT(r.cycles, 0u) << c.name;
+  EXPECT_GT(r.counters.inst_executed, 0u);
+  EXPECT_EQ(r.counters.total_warps,
+            static_cast<std::uint64_t>(c.kernel.total_warps()));
+  if (!c.tests.empty()) {
+    const auto rt = simulate(c.kernel, c.tests.front().placement);
+    EXPECT_GT(rt.cycles, 0u);
+    EXPECT_NE(rt.cycles, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EveryBenchmark,
+    ::testing::Values("bfs", "fft", "neuralnet", "reduction", "scan", "sort",
+                      "stencil2d", "md5hash", "s3d", "convolution", "md",
+                      "matrixmul", "spmv", "transpose", "cfd", "triad", "qtc"),
+    [](const auto& info) { return info.param; });
+
+TEST(Workloads, KernelsAreDeterministic) {
+  const auto a = workloads::make_spmv();
+  const auto b = workloads::make_spmv();
+  const auto ra = simulate(a, DataPlacement::defaults(a));
+  const auto rb = simulate(b, DataPlacement::defaults(b));
+  EXPECT_EQ(ra.cycles, rb.cycles);
+}
+
+TEST(Workloads, MatrixmulNaiveVariantIsHeavierOffChip) {
+  // Without tiling, the same problem size produces far more off-chip
+  // traffic than the shared-memory tiled version.
+  const auto tiled = workloads::make_matrixmul(64, 16);
+  const auto naive = workloads::make_matrixmul_naive(64);
+  const auto rt = simulate(tiled, DataPlacement::defaults(tiled));
+  const auto rn = simulate(naive, DataPlacement::defaults(naive));
+  EXPECT_GT(rn.counters.global_transactions, rt.counters.global_transactions);
+  EXPECT_GT(rn.counters.l2_transactions, rt.counters.l2_transactions);
+}
+
+TEST(Workloads, VecaddMatchesFig2Structure) {
+  const auto k = workloads::make_vecadd(1 << 10);
+  EXPECT_EQ(k.arrays.size(), 3u);
+  EXPECT_TRUE(k.array("v").written);
+  EXPECT_FALSE(k.array("a").written);
+}
+
+}  // namespace
+}  // namespace gpuhms
