@@ -1,0 +1,157 @@
+// Search-engine throughput: end-to-end exhaustive-search wall time and
+// predictions/sec, comparing the serial seed configuration (one thread, no
+// trace memoization, no pruning — the pre-engine code path) against the
+// parallel engine with each optimization layered in. Run on the largest
+// registered workloads (>= 4 arrays, i.e. the widest placement spaces).
+// Emits BENCH_search.json in the working directory for the perf trajectory.
+//
+// Usage: ./bench/bench_search_throughput [cap] [repeats]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "model/search.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Variant {
+  std::string name;
+  SearchOptions options;
+};
+
+struct Measurement {
+  double wall_ms = 0.0;
+  SearchResult result;
+};
+
+Measurement run_variant(const Predictor& pred, const SearchOptions& options,
+                        int repeats) {
+  Measurement m;
+  m.wall_ms = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const double t0 = now_ms();
+    m.result = search_exhaustive(pred, options);
+    m.wall_ms = std::min(m.wall_ms, now_ms() - t0);  // best-of-N
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t cap =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 96;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 2;
+  const GpuArch& arch = kepler_arch();
+  const int threads = ThreadPool::default_threads();
+
+  // Largest workloads: every registered benchmark with >= 4 arrays.
+  std::vector<workloads::BenchmarkCase> cases = workloads::evaluation_suite();
+  for (auto& c : workloads::training_suite()) cases.push_back(std::move(c));
+  std::vector<workloads::BenchmarkCase> picked;
+  for (auto& c : cases)
+    if (c.kernel.arrays.size() >= 4) picked.push_back(std::move(c));
+  std::sort(picked.begin(), picked.end(), [](const auto& a, const auto& b) {
+    return a.kernel.arrays.size() > b.kernel.arrays.size();
+  });
+  if (picked.size() > 4) picked.resize(4);
+
+  auto opts = [&](int nthreads, bool memoize, bool prune) {
+    SearchOptions o;
+    o.cap = cap;
+    o.num_threads = nthreads;
+    o.memoize_trace = memoize;
+    o.prune = prune;
+    return o;
+  };
+  const std::vector<Variant> variants = {
+      {"serial_seed", opts(1, false, false)},
+      {"parallel", opts(threads, false, false)},
+      {"parallel_memoized", opts(threads, true, false)},
+      {"parallel_memoized_pruned", opts(threads, true, true)},
+  };
+
+  std::FILE* json = std::fopen("BENCH_search.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_search.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"threads\": %d,\n  \"cap\": %zu,\n"
+               "  \"workloads\": [\n", threads, cap);
+
+  std::printf("search throughput (cap=%zu, %d threads, best of %d)\n\n", cap,
+              threads, repeats);
+  bool first_workload = true;
+  for (const auto& c : picked) {
+    Predictor pred(c.kernel, arch);
+    pred.profile_sample(c.sample);
+
+    std::printf("%s (%zu arrays, %zu legal placements%s)\n", c.name.c_str(),
+                c.kernel.arrays.size(),
+                enumerate_placement_space(c.kernel, arch, cap).placements.size(),
+                enumerate_placement_space(c.kernel, arch, cap).truncated
+                    ? ", capped"
+                    : "");
+    std::printf("  %-26s %10s %12s %10s %8s\n", "variant", "wall ms",
+                "pred/sec", "evaluated", "speedup");
+
+    if (!first_workload) std::fprintf(json, ",\n");
+    first_workload = false;
+    std::fprintf(json,
+                 "    {\n      \"name\": \"%s\",\n      \"arrays\": %zu,\n"
+                 "      \"variants\": {\n",
+                 c.name.c_str(), c.kernel.arrays.size());
+
+    double serial_ms = 0.0;
+    const SearchResult* serial_result = nullptr;
+    SearchResult serial_copy;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const Measurement m = run_variant(pred, variants[v].options, repeats);
+      if (v == 0) {
+        serial_ms = m.wall_ms;
+        serial_copy = m.result;
+        serial_result = &serial_copy;
+      } else {
+        // The engine must agree with the seed path on the winner.
+        if (!(m.result.placement == serial_result->placement) ||
+            m.result.predicted_cycles != serial_result->predicted_cycles) {
+          std::fprintf(stderr, "%s: %s diverged from serial_seed\n",
+                       c.name.c_str(), variants[v].name.c_str());
+          std::fclose(json);
+          return 1;
+        }
+      }
+      const double preds_per_sec =
+          static_cast<double>(m.result.evaluated) / (m.wall_ms / 1000.0);
+      const double speedup = serial_ms / m.wall_ms;
+      std::printf("  %-26s %10.1f %12.1f %10zu %7.2fx\n",
+                  variants[v].name.c_str(), m.wall_ms, preds_per_sec,
+                  m.result.evaluated, speedup);
+      std::fprintf(json,
+                   "        \"%s\": {\"wall_ms\": %.3f, "
+                   "\"predictions_per_sec\": %.2f, \"evaluated\": %zu, "
+                   "\"pruned\": %zu, \"speedup_vs_serial\": %.3f}%s\n",
+                   variants[v].name.c_str(), m.wall_ms, preds_per_sec,
+                   m.result.evaluated, m.result.pruned, speedup,
+                   v + 1 < variants.size() ? "," : "");
+    }
+    std::fprintf(json, "      }\n    }");
+    std::printf("\n");
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_search.json\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace gpuhms {
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("GPUHMS_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  size_ = num_threads > 0 ? num_threads : default_threads();
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int t = 1; t < size_; ++t) {
+    workers_.emplace_back([this, t] {
+      std::uint64_t seen = 0;
+      while (true) {
+        const std::function<void(int, std::size_t)>* fn = nullptr;
+        std::size_t n = 0;
+        {
+          std::unique_lock<std::mutex> lk(mu_);
+          work_cv_.wait(lk, [&] {
+            return stop_ || (job_ != nullptr && generation_ != seen);
+          });
+          if (stop_) return;
+          seen = generation_;
+          fn = job_;
+          n = job_n_;
+          // Counted as in-flight from capture to loop exit, so parallel_for
+          // cannot install the next job while this worker still holds `fn`.
+          ++inflight_;
+        }
+        drain(t, *fn, n);
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (--inflight_ == 0) done_cv_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::drain(int worker,
+                       const std::function<void(int, std::size_t)>& fn,
+                       std::size_t n) {
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(worker, i);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(int, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(0, fn, n);
+  // All indices are claimed; wait until every worker that joined the job has
+  // also left its claim loop (and thus dropped its reference to `fn`).
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return inflight_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace gpuhms

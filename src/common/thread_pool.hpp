@@ -1,0 +1,61 @@
+// Small reusable thread pool for the model layer's embarrassingly parallel
+// loops (placement search, batch prediction, T_overlap training). One pool
+// owns its workers for its whole lifetime, so per-search thread spawn cost is
+// paid once; parallel_for hands out indices through an atomic counter and the
+// calling thread participates, so a pool of size 1 degenerates to the plain
+// serial loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpuhms {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects default_threads(). Size counts the calling
+  // thread: a pool of size N spawns N-1 workers.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  // Runs fn(worker, index) for every index in [0, n), distributing indices
+  // over the workers plus the calling thread; returns when all n calls
+  // finished. `worker` is in [0, size()) and unique per concurrent caller of
+  // fn (the calling thread is worker 0) — index per-worker scratch with it.
+  // fn must not recursively call parallel_for on the same pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(int, std::size_t)>& fn);
+
+  // GPUHMS_THREADS env var when set (clamped to >= 1), else
+  // std::thread::hardware_concurrency().
+  static int default_threads();
+
+ private:
+  // Claim indices for the current job until it is exhausted.
+  void drain(int worker, const std::function<void(int, std::size_t)>& fn,
+             std::size_t n);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;   // parallel_for waits for completion
+  std::vector<std::thread> workers_;
+  const std::function<void(int, std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t inflight_ = 0;  // indices claimed but not yet finished
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  int size_ = 1;
+};
+
+}  // namespace gpuhms

@@ -1,5 +1,6 @@
 #include "kernel/placement.hpp"
 
+#include <limits>
 #include <sstream>
 
 namespace gpuhms {
@@ -99,20 +100,37 @@ std::vector<MemSpace> legal_spaces(const KernelInfo& k, int array,
   return out;
 }
 
-std::vector<DataPlacement> enumerate_placements(const KernelInfo& k,
-                                                const GpuArch& arch,
-                                                std::size_t cap) {
-  std::vector<DataPlacement> out;
+PlacementSpace enumerate_placement_space(const KernelInfo& k,
+                                         const GpuArch& arch,
+                                         std::size_t cap) {
+  PlacementSpace out;
   const std::size_t n = k.arrays.size();
+  // Cartesian space size m^n, saturating (n can make this astronomically
+  // large — which is exactly when truncation reporting matters).
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (total > std::numeric_limits<std::uint64_t>::max() /
+                    kAllMemSpaces.size()) {
+      total = std::numeric_limits<std::uint64_t>::max();
+      break;
+    }
+    total *= kAllMemSpaces.size();
+  }
+  std::uint64_t scanned = 0;
   std::vector<std::size_t> cursor(n, 0);
   while (true) {
     std::vector<MemSpace> spaces(n);
     for (std::size_t i = 0; i < n; ++i)
       spaces[i] = kAllMemSpaces[cursor[i]];
     DataPlacement p(std::move(spaces));
+    ++scanned;
     if (!validate_placement(k, p, arch)) {
-      out.push_back(std::move(p));
-      if (out.size() >= cap) return out;
+      out.placements.push_back(std::move(p));
+      if (out.placements.size() >= cap) {
+        out.truncated = scanned < total;
+        out.skipped_combinations = total - scanned;
+        return out;
+      }
     }
     // Odometer increment.
     std::size_t i = 0;
@@ -123,6 +141,12 @@ std::vector<DataPlacement> enumerate_placements(const KernelInfo& k,
     if (i == n) break;
   }
   return out;
+}
+
+std::vector<DataPlacement> enumerate_placements(const KernelInfo& k,
+                                                const GpuArch& arch,
+                                                std::size_t cap) {
+  return enumerate_placement_space(k, arch, cap).placements;
 }
 
 }  // namespace gpuhms

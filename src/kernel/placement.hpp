@@ -3,6 +3,7 @@
 // placement space (the m^n exploration space of the paper's introduction).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,7 +62,24 @@ std::vector<MemSpace> legal_spaces(const KernelInfo& k, int array,
                                    const GpuArch& arch);
 
 // Full legal placement space (cartesian product filtered by
-// validate_placement). cap bounds the enumeration.
+// validate_placement) with the cap made observable: a search over a
+// truncated space is NOT a full search, and benchmark numbers must be able
+// to tell the difference.
+struct PlacementSpace {
+  std::vector<DataPlacement> placements;  // legal, in enumeration order
+  // True when the cap stopped enumeration before the cartesian space was
+  // exhausted; skipped_combinations counts the m^n combinations (legal or
+  // not) that were never examined.
+  bool truncated = false;
+  std::uint64_t skipped_combinations = 0;
+};
+
+PlacementSpace enumerate_placement_space(const KernelInfo& k,
+                                         const GpuArch& arch,
+                                         std::size_t cap = 4096);
+
+// Legacy accessor: just the legal placements (silently capped — prefer
+// enumerate_placement_space where the distinction matters).
 std::vector<DataPlacement> enumerate_placements(const KernelInfo& k,
                                                 const GpuArch& arch,
                                                 std::size_t cap = 4096);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "isa/addressing.hpp"
 
 namespace gpuhms {
 
@@ -48,8 +49,21 @@ void Predictor::set_sample(const DataPlacement& sample,
   sample_ = sample;
   sample_result_ = measured;
   sample_ev_ = analyze_trace(*kernel_, sample, *arch_,
-                             analysis_options(options_));
-  anchor_scale_.reset();
+                             analysis_options(options_), skeleton_.get());
+  // Anchor scale computed eagerly so predict() stays const and race-free
+  // when one predictor is shared across search threads.
+  const Prediction self = predict_from_events(*sample_ev_);
+  anchor_scale_ = static_cast<double>(sample_result_->cycles) /
+                  std::max(1.0, self.raw_cycles);
+}
+
+std::shared_ptr<const TraceSkeleton> Predictor::memoize_trace() {
+  if (!skeleton_) skeleton_ = std::make_shared<TraceSkeleton>(*kernel_);
+  return skeleton_;
+}
+
+TraceAnalyzer Predictor::make_analyzer() const {
+  return TraceAnalyzer(*kernel_, *arch_, analysis_options(options_));
 }
 
 const SimResult& Predictor::sample_result() const {
@@ -122,28 +136,100 @@ Prediction Predictor::predict_from_events(
 }
 
 Prediction Predictor::predict(const DataPlacement& target) const {
-  const PlacementEvents target_ev =
-      analyze_trace(*kernel_, target, *arch_, analysis_options(options_));
-  Prediction p = predict_from_events(target_ev);
+  return predict_with(target, nullptr, skeleton_.get());
+}
 
-  if (options_.anchor_to_sample) {
-    if (!anchor_scale_.has_value()) {
-      const Prediction self = predict_from_events(*sample_ev_);
-      anchor_scale_ = static_cast<double>(sample_result_->cycles) /
-                      std::max(1.0, self.raw_cycles);
-    }
-    p.total_cycles = p.raw_cycles * *anchor_scale_;
-  }
+Prediction Predictor::predict_with(const DataPlacement& target,
+                                   TraceAnalyzer* analyzer,
+                                   const TraceSkeleton* skeleton) const {
+  const PlacementEvents target_ev =
+      analyzer ? analyzer->analyze(target, skeleton)
+               : analyze_trace(*kernel_, target, *arch_,
+                               analysis_options(options_), skeleton);
+  Prediction p = predict_from_events(target_ev);
+  if (options_.anchor_to_sample)
+    p.total_cycles = p.raw_cycles * anchor_scale_;
   return p;
+}
+
+std::vector<Prediction> Predictor::predict_batch(
+    std::span<const DataPlacement> targets, ThreadPool* pool) const {
+  std::vector<Prediction> out(targets.size());
+  if (targets.empty()) return out;
+  // Share one skeleton across the whole batch even when the predictor has
+  // not memoized one: its recording cost amortizes after a couple targets.
+  std::shared_ptr<const TraceSkeleton> skel = skeleton_;
+  if (!skel) skel = std::make_shared<TraceSkeleton>(*kernel_);
+  ThreadPool local_pool(pool ? 1 : 0);
+  ThreadPool& p = pool ? *pool : local_pool;
+  std::vector<TraceAnalyzer> scratch;
+  scratch.reserve(static_cast<std::size_t>(p.size()));
+  for (int t = 0; t < p.size(); ++t) scratch.push_back(make_analyzer());
+  p.parallel_for(targets.size(), [&](int worker, std::size_t i) {
+    out[i] = predict_with(targets[i],
+                          &scratch[static_cast<std::size_t>(worker)],
+                          skel.get());
+  });
+  return out;
+}
+
+double Predictor::lower_bound_cycles(const DataPlacement& target,
+                                     const TraceSkeleton& skeleton) const {
+  GPUHMS_CHECK_MSG(sample_result_.has_value(),
+                   "profile_sample/set_sample must be called first");
+  const ProfileCounters& sc = sample_result_->counters;
+  const double exec_sample = static_cast<double>(sc.inst_executed);
+  const double replays_sample = static_cast<double>(sc.replays_total());
+  const int active_sms = std::max(1, sc.active_sms);
+
+  double issued_lb;
+  if (!options_.detailed_instruction_counting) {
+    // Targets are assumed to issue exactly what the sample issued.
+    issued_lb = exec_sample + replays_sample;
+  } else {
+    // Executed instructions cannot fall below the placement-invariant
+    // skeleton plus this placement's addressing-mode inserts (shared-staging
+    // preambles only add more); replays (1)-(4) cannot fall below zero.
+    double target_insts = static_cast<double>(skeleton.base_insts());
+    const auto mem_ops = skeleton.mem_ops_per_array();
+    for (std::size_t a = 0; a < kernel_->arrays.size(); ++a) {
+      target_insts +=
+          static_cast<double>(mem_ops[a]) *
+          addr_calc_instructions(target.of(static_cast<int>(a)),
+                                 kernel_->arrays[a].dtype);
+    }
+    const double executed_lb =
+        std::max(0.0, exec_sample + target_insts -
+                          static_cast<double>(sample_ev_->insts_executed));
+    const double replays_lb = std::max(
+        0.0, replays_sample - static_cast<double>(sample_ev_->replays_1_4()));
+    issued_lb = executed_lb + replays_lb;
+  }
+
+  // T_comp >= issued / active_SMs (throughput >= 1 cycle per issued
+  // instruction, W_serial = 0), and the Eq. 12 clamp keeps
+  // T = T_comp + T_mem - T_overlap >= max(T_comp, T_mem).
+  const double raw_lb = std::max(1.0, issued_lb / active_sms);
+  return options_.anchor_to_sample ? raw_lb * anchor_scale_ : raw_lb;
 }
 
 ToverlapModel train_overlap_model_measured(std::span<const MeasuredCase> cases,
                                            const GpuArch& arch,
                                            const ModelOptions& options,
-                                           double ridge) {
-  std::vector<std::vector<double>> xs;
-  std::vector<double> ys;
-  for (const MeasuredCase& c : cases) {
+                                           double ridge, ThreadPool* pool) {
+  // Analyze the cases in parallel into per-case slots; the fold below visits
+  // the slots in case order so the regression input — and hence the model —
+  // is identical for every thread count.
+  struct Slot {
+    std::vector<double> x;
+    double y = 0.0;
+    bool valid = false;
+  };
+  std::vector<Slot> slots(cases.size());
+  ThreadPool local_pool(pool ? 1 : 0);
+  ThreadPool& tp = pool ? *pool : local_pool;
+  tp.parallel_for(cases.size(), [&](int, std::size_t ci) {
+    const MeasuredCase& c = cases[ci];
     GPUHMS_CHECK(c.kernel != nullptr);
     const SimResult& measured = c.measured;
     const PlacementEvents ev = analyze_trace(*c.kernel, c.placement, arch,
@@ -180,12 +266,21 @@ ToverlapModel train_overlap_model_measured(std::span<const MeasuredCase> cases,
     cin.itilp = compute_itilp(ev, n_warps, arch);
     const double tc = tcomp(cin, arch);
 
-    if (tm.t_mem <= 0.0) continue;
-    const double y = std::clamp(
+    if (tm.t_mem <= 0.0) return;
+    Slot& s = slots[ci];
+    s.y = std::clamp(
         (tc + tm.t_mem - static_cast<double>(measured.cycles)) / tm.t_mem,
         -1.0, 1.5);
-    xs.push_back(ToverlapModel::features(ev, n_warps));
-    ys.push_back(y);
+    s.x = ToverlapModel::features(ev, n_warps);
+    s.valid = true;
+  });
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (Slot& s : slots) {
+    if (!s.valid) continue;
+    xs.push_back(std::move(s.x));
+    ys.push_back(s.y);
   }
   ToverlapModel model;
   if (!xs.empty()) model.train(xs, ys, ridge);
@@ -194,15 +289,17 @@ ToverlapModel train_overlap_model_measured(std::span<const MeasuredCase> cases,
 
 ToverlapModel train_overlap_model(std::span<const TrainingCase> cases,
                                   const GpuArch& arch,
-                                  const ModelOptions& options, double ridge) {
-  std::vector<MeasuredCase> measured;
-  measured.reserve(cases.size());
-  for (const TrainingCase& c : cases) {
+                                  const ModelOptions& options, double ridge,
+                                  ThreadPool* pool) {
+  std::vector<MeasuredCase> measured(cases.size());
+  ThreadPool local_pool(pool ? 1 : 0);
+  ThreadPool& tp = pool ? *pool : local_pool;
+  tp.parallel_for(cases.size(), [&](int, std::size_t i) {
+    const TrainingCase& c = cases[i];
     GPUHMS_CHECK(c.kernel != nullptr);
-    measured.push_back(
-        {c.kernel, c.placement, simulate(*c.kernel, c.placement, arch)});
-  }
-  return train_overlap_model_measured(measured, arch, options, ridge);
+    measured[i] = {c.kernel, c.placement, simulate(*c.kernel, c.placement, arch)};
+  });
+  return train_overlap_model_measured(measured, arch, options, ridge, &tp);
 }
 
 }  // namespace gpuhms

@@ -9,9 +9,12 @@
 //   * address_mapping                — Fig. 8 (detected map vs even spread)
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "kernel/placement.hpp"
 #include "model/instruction_counter.hpp"
 #include "model/tcomp.hpp"
@@ -56,6 +59,10 @@ struct Prediction {
   InstructionEstimate inst;
 };
 
+// Once a sample is profiled (profile_sample/set_sample), every predict
+// method is const and touches no hidden state: one Predictor can be shared
+// by any number of threads (the anchor scale is computed eagerly at sample
+// time, not lazily inside predict).
 class Predictor {
  public:
   Predictor(const KernelInfo& kernel, const GpuArch& arch,
@@ -66,11 +73,44 @@ class Predictor {
   // Inject an existing measurement instead.
   void set_sample(const DataPlacement& sample, const SimResult& measured);
 
+  // Record (once) the placement-independent DSL skeleton of the kernel and
+  // reuse it in every subsequent predict — the access skeleton is shared by
+  // all placements, so a search pays the kernel-function replay once.
+  // Returns the skeleton so callers can share it across threads.
+  std::shared_ptr<const TraceSkeleton> memoize_trace();
+  std::shared_ptr<const TraceSkeleton> skeleton() const { return skeleton_; }
+
   Prediction predict(const DataPlacement& target) const;
+
+  // Hot-path variant: `analyzer` (one per thread) supplies reusable
+  // cache/row-buffer scratch, `skeleton` the pre-recorded DSL streams.
+  // Either may be null.
+  Prediction predict_with(const DataPlacement& target, TraceAnalyzer* analyzer,
+                          const TraceSkeleton* skeleton) const;
+
+  // Predict many placements, optionally spread over a thread pool (a local
+  // pool of default size is used when null). Results are in target order and
+  // identical to per-call predict().
+  std::vector<Prediction> predict_batch(std::span<const DataPlacement> targets,
+                                        ThreadPool* pool = nullptr) const;
+
+  // Cheap lower bound on predict(target).total_cycles from skeleton
+  // statistics alone (no trace replay): issued instructions can't fall below
+  // the skeleton plus the placement's addressing-mode inserts, replays (1)-(4)
+  // can't fall below zero, and T = T_comp + T_mem - T_overlap >= T_comp under
+  // the physical overlap clamp. Used by exhaustive search to skip dominated
+  // candidates.
+  double lower_bound_cycles(const DataPlacement& target,
+                            const TraceSkeleton& skeleton) const;
+
+  // A trace analyzer configured like this predictor's analysis passes (one
+  // per worker thread for predict_with).
+  TraceAnalyzer make_analyzer() const;
 
   const SimResult& sample_result() const;
   const DataPlacement& sample_placement() const;
   const KernelInfo& kernel() const { return *kernel_; }
+  const GpuArch& arch() const { return *arch_; }
   const ModelOptions& options() const { return options_; }
 
  private:
@@ -84,7 +124,8 @@ class Predictor {
   std::optional<DataPlacement> sample_;
   std::optional<SimResult> sample_result_;
   std::optional<PlacementEvents> sample_ev_;
-  mutable std::optional<double> anchor_scale_;
+  double anchor_scale_ = 1.0;  // computed eagerly in set_sample
+  std::shared_ptr<const TraceSkeleton> skeleton_;
 };
 
 // --- T_overlap training ------------------------------------------------------
@@ -103,16 +144,21 @@ struct MeasuredCase {
 
 // Computes the measured overlap ratio y = (T_comp + T_mem - T_measured) /
 // T_mem against the analytical T_comp/T_mem of each placement and fits
-// Eq. 11 by ridge regression.
+// Eq. 11 by ridge regression. Cases are analyzed in parallel over `pool`
+// (a local default-size pool when null); the regression consumes them in
+// case order, so the fit is independent of the thread count.
 ToverlapModel train_overlap_model_measured(std::span<const MeasuredCase> cases,
                                            const GpuArch& arch,
                                            const ModelOptions& options = {},
-                                           double ridge = 1e-3);
+                                           double ridge = 1e-3,
+                                           ThreadPool* pool = nullptr);
 
-// Convenience: runs every training case on the simulator substrate first.
+// Convenience: runs every training case on the simulator substrate first
+// (simulations spread over the pool as well).
 ToverlapModel train_overlap_model(std::span<const TrainingCase> cases,
                                   const GpuArch& arch,
                                   const ModelOptions& options = {},
-                                  double ridge = 1e-3);
+                                  double ridge = 1e-3,
+                                  ThreadPool* pool = nullptr);
 
 }  // namespace gpuhms

@@ -1,21 +1,81 @@
 #include "model/search.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace gpuhms {
 
+namespace {
+
+// Candidates are scored in fixed-size chunks; the prune threshold (best
+// cycles so far) only advances between chunks, so which candidates get
+// pruned does not depend on the thread count or scheduling — a requirement
+// for bit-identical serial/parallel results. The chunk size is a constant
+// for the same reason.
+constexpr std::size_t kChunk = 64;
+
+}  // namespace
+
 SearchResult search_exhaustive(const Predictor& predictor, std::size_t cap) {
+  SearchOptions o;
+  o.cap = cap;
+  return search_exhaustive(predictor, o);
+}
+
+SearchResult search_exhaustive(const Predictor& predictor,
+                               const SearchOptions& options) {
   const KernelInfo& k = predictor.kernel();
   const GpuArch& arch = kepler_arch();
-  const auto space = enumerate_placements(k, arch, cap);
-  GPUHMS_CHECK(!space.empty());
+  const PlacementSpace space = enumerate_placement_space(k, arch, options.cap);
+  GPUHMS_CHECK(!space.placements.empty());
+
+  ThreadPool local_pool(options.pool ? 1 : options.num_threads);
+  ThreadPool& pool = options.pool ? *options.pool : local_pool;
+
+  // One skeleton shared by every worker; one analyzer scratch per worker.
+  std::shared_ptr<const TraceSkeleton> skeleton = predictor.skeleton();
+  if (!skeleton && options.memoize_trace)
+    skeleton = std::make_shared<TraceSkeleton>(k);
+  std::vector<TraceAnalyzer> scratch;
+  scratch.reserve(static_cast<std::size_t>(pool.size()));
+  for (int t = 0; t < pool.size(); ++t)
+    scratch.push_back(predictor.make_analyzer());
+
   SearchResult best;
-  for (const auto& p : space) {
-    const double cycles = predictor.predict(p).total_cycles;
-    ++best.evaluated;
-    if (best.evaluated == 1 || cycles < best.predicted_cycles) {
-      best.placement = p;
-      best.predicted_cycles = cycles;
+  best.space_truncated = space.truncated;
+  best.space_skipped = space.skipped_combinations;
+  const std::size_t n = space.placements.size();
+  constexpr double kPruned = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> cycles(std::min(n, kChunk));
+  bool have_best = false;
+
+  for (std::size_t c0 = 0; c0 < n; c0 += kChunk) {
+    const std::size_t c1 = std::min(n, c0 + kChunk);
+    pool.parallel_for(c1 - c0, [&](int worker, std::size_t j) {
+      const DataPlacement& p = space.placements[c0 + j];
+      if (options.prune && have_best && skeleton &&
+          predictor.lower_bound_cycles(p, *skeleton) > best.predicted_cycles) {
+        cycles[j] = kPruned;
+        return;
+      }
+      cycles[j] = predictor
+                      .predict_with(p, &scratch[static_cast<std::size_t>(worker)],
+                                    skeleton.get())
+                      .total_cycles;
+    });
+    for (std::size_t j = 0; j < c1 - c0; ++j) {
+      if (std::isnan(cycles[j])) {
+        ++best.pruned;
+        continue;
+      }
+      ++best.evaluated;
+      if (!have_best || cycles[j] < best.predicted_cycles) {
+        best.placement = space.placements[c0 + j];
+        best.predicted_cycles = cycles[j];
+        have_best = true;
+      }
     }
   }
   return best;
@@ -52,19 +112,38 @@ SearchResult search_greedy(const Predictor& predictor, int max_sweeps) {
 
 OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
                            std::size_t cap) {
-  const auto space = enumerate_placements(kernel, arch, cap);
-  GPUHMS_CHECK(!space.empty());
+  SearchOptions o;
+  o.cap = cap;
+  return search_oracle(kernel, arch, o);
+}
+
+OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
+                           const SearchOptions& options) {
+  const PlacementSpace space =
+      enumerate_placement_space(kernel, arch, options.cap);
+  GPUHMS_CHECK(!space.placements.empty());
+
+  ThreadPool local_pool(options.pool ? 1 : options.num_threads);
+  ThreadPool& pool = options.pool ? *options.pool : local_pool;
+
+  const std::size_t n = space.placements.size();
+  std::vector<std::uint64_t> cycles(n);
+  pool.parallel_for(n, [&](int, std::size_t i) {
+    cycles[i] = simulate(kernel, space.placements[i], arch).cycles;
+  });
+
   OracleResult r;
-  for (const auto& p : space) {
-    const std::uint64_t cycles = simulate(kernel, p, arch).cycles;
+  r.space_truncated = space.truncated;
+  r.space_skipped = space.skipped_combinations;
+  for (std::size_t i = 0; i < n; ++i) {
     ++r.simulated;
-    if (r.simulated == 1 || cycles < r.best_cycles) {
-      r.best = p;
-      r.best_cycles = cycles;
+    if (i == 0 || cycles[i] < r.best_cycles) {
+      r.best = space.placements[i];
+      r.best_cycles = cycles[i];
     }
-    if (r.simulated == 1 || cycles > r.worst_cycles) {
-      r.worst = p;
-      r.worst_cycles = cycles;
+    if (i == 0 || cycles[i] > r.worst_cycles) {
+      r.worst = space.placements[i];
+      r.worst_cycles = cycles[i];
     }
   }
   return r;

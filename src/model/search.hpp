@@ -4,24 +4,53 @@
 // greedy coordinate descent handles kernels whose space is too large even to
 // *predict* exhaustively. An oracle (simulate everything) provides ground
 // truth for evaluating search quality.
+//
+// Exhaustive search and the oracle fan candidates out over a thread pool,
+// record the kernel's placement-independent trace skeleton once and share it
+// across all candidates, and (exhaustive only) skip candidates whose cheap
+// T_comp lower bound already exceeds the best placement found so far. All of
+// it is deterministic: candidates are folded in enumeration order with
+// lowest-index-wins tie-breaking and the prune threshold only advances at
+// fixed chunk boundaries, so any thread count returns bit-identical results.
 #pragma once
 
 #include <cstdint>
 
+#include "common/thread_pool.hpp"
 #include "model/predictor.hpp"
 
 namespace gpuhms {
 
+struct SearchOptions {
+  std::size_t cap = 4096;  // bound on the enumerated placement space
+  // Worker count for candidate evaluation; 0 picks
+  // ThreadPool::default_threads() (the GPUHMS_THREADS env var, else the
+  // hardware concurrency). Ignored when `pool` is set.
+  int num_threads = 0;
+  ThreadPool* pool = nullptr;  // reuse an external pool across searches
+  // Record the kernel's DSL skeleton once and replay it per candidate
+  // instead of re-running the kernel function m^n times.
+  bool memoize_trace = true;
+  // Skip candidates whose T_comp lower bound exceeds the current best
+  // (exhaustive search only; never changes the returned placement).
+  bool prune = true;
+};
+
 struct SearchResult {
   DataPlacement placement;
   double predicted_cycles = 0.0;
-  std::size_t evaluated = 0;  // placements scored by the predictor
+  std::size_t evaluated = 0;  // placements scored by the full predictor
+  std::size_t pruned = 0;     // skipped via the T_comp lower bound
+  // Enumeration cap observability: a capped search is NOT a full search.
+  bool space_truncated = false;
+  std::uint64_t space_skipped = 0;  // placement combinations never examined
 };
 
-// Scores every legal placement (up to `cap`) with the predictor.
+// Scores every legal placement (up to options.cap) with the predictor.
 // The predictor must already have a profiled sample.
 SearchResult search_exhaustive(const Predictor& predictor,
-                               std::size_t cap = 4096);
+                               const SearchOptions& options = {});
+SearchResult search_exhaustive(const Predictor& predictor, std::size_t cap);
 
 // Coordinate descent: sweep the arrays repeatedly, moving each to its best
 // space with the others fixed, until a full sweep changes nothing (or
@@ -34,11 +63,15 @@ struct OracleResult {
   DataPlacement worst;
   std::uint64_t worst_cycles = 0;
   std::size_t simulated = 0;
+  bool space_truncated = false;
+  std::uint64_t space_skipped = 0;
 };
 
-// Ground truth: simulate every legal placement (up to `cap`). Expensive —
-// for evaluation harnesses only.
+// Ground truth: simulate every legal placement (up to options.cap), spread
+// over the thread pool. Expensive — for evaluation harnesses only.
 OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
-                           std::size_t cap = 4096);
+                           const SearchOptions& options = {});
+OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
+                           std::size_t cap);
 
 }  // namespace gpuhms

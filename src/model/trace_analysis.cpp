@@ -1,229 +1,313 @@
 #include "model/trace_analysis.hpp"
 
 #include <algorithm>
-#include <memory>
 
-#include "cache/cache.hpp"
 #include "common/check.hpp"
 #include "sim/coalesce.hpp"
 
 namespace gpuhms {
 
+TraceAnalyzer::TraceAnalyzer(const KernelInfo& kernel, const GpuArch& arch,
+                             const AnalysisOptions& opts)
+    : kernel_(&kernel), arch_(&arch), opts_(opts),
+      mapping_(kepler_mapping(arch)), l2_(l2_config(arch)) {
+  const std::size_t num_sms = static_cast<std::size_t>(arch.num_sms);
+  const_caches_.assign(num_sms, SetAssocCache(const_cache_config(arch)));
+  tex_caches_.assign(num_sms, SetAssocCache(tex_cache_config(arch)));
+  rows_.resize(static_cast<std::size_t>(mapping_.num_banks()));
+}
+
+void TraceAnalyzer::reset() {
+  l2_.reset();
+  for (SetAssocCache& c : const_caches_) c.reset();
+  for (SetAssocCache& c : tex_caches_) c.reset();
+  std::fill(rows_.begin(), rows_.end(), BankRow{});
+  ev_ = PlacementEvents{};
+  ev_.banks.resize(static_cast<std::size_t>(mapping_.num_banks()));
+  tick_ = 0;
+  rr_bank_ = 0;
+  dep_breaks_ = 0;
+  mem_chain_breaks_ = 0;
+}
+
+void TraceAnalyzer::dram_request(std::uint64_t line_addr, bool is_store) {
+  ++ev_.dram_requests;
+  if (!is_store) ++ev_.dram_load_requests;
+  int bank;
+  std::uint64_t row;
+  const auto d = mapping_.decode(line_addr);
+  row = d.row;
+  if (opts_.even_bank_distribution) {
+    bank = static_cast<int>(rr_bank_++ % static_cast<std::uint64_t>(
+                                             mapping_.num_banks()));
+  } else {
+    bank = d.bank;
+  }
+  BankRow& b = rows_[static_cast<std::size_t>(bank)];
+  BankStream& s = ev_.banks[static_cast<std::size_t>(bank)];
+  std::uint64_t service;
+  if (!b.row_open) {
+    service = arch_->dram.row_miss_service;
+    ++ev_.row_misses;
+  } else if (b.open_row == row) {
+    service = arch_->dram.row_hit_service;
+    ++ev_.row_hits;
+  } else {
+    service = arch_->dram.row_conflict_service;
+    ++ev_.row_conflicts;
+  }
+  if (arch_->dram.page_policy == PagePolicy::Open) {
+    b.row_open = true;
+    b.open_row = row;
+  } else {
+    b.row_open = false;  // closed page: auto-precharge
+  }
+  if (b.seen) s.interarrival.add(static_cast<double>(tick_ - b.last_tick));
+  b.seen = true;
+  b.last_tick = tick_;
+  s.service.add(static_cast<double>(service));
+  ++s.count;
+}
+
+void TraceAnalyzer::mem_op(const OpView& op, int sm) {
+  ++ev_.mem_insts;
+  const bool is_store = op.cls == OpClass::Store;
+  if (!is_store) ++ev_.load_insts;
+  if (op.active_mask == 0) return;  // predicated off: issues, touches nothing
+  switch (op.space) {
+    case MemSpace::Global: {
+      coalesce_lines(op.active_mask, op.addr, arch_->cache_line, lines_);
+      ++ev_.global_requests;
+      ev_.global_transactions += lines_.size();
+      ev_.replay_global_divergence += lines_.size() - 1;
+      if (!is_store) ev_.offchip_load_transactions += lines_.size();
+      for (std::uint64_t line : lines_) {
+        ++ev_.l2_transactions;
+        if (!l2_.access(line, is_store)) {
+          ++ev_.l2_misses;
+          dram_request(line, is_store);
+        }
+      }
+      break;
+    }
+    case MemSpace::Texture1D:
+    case MemSpace::Texture2D: {
+      coalesce_lines(op.active_mask, op.addr, arch_->cache_line, lines_);
+      ++ev_.tex_requests;
+      ev_.tex_transactions += lines_.size();
+      ev_.offchip_load_transactions += lines_.size();
+      for (std::uint64_t line : lines_) {
+        if (tex_caches_[static_cast<std::size_t>(sm)].access(line, false))
+          continue;
+        ++ev_.tex_misses;
+        ++ev_.l2_transactions;
+        if (!l2_.access(line, false)) {
+          ++ev_.l2_misses;
+          dram_request(line, false);
+        }
+      }
+      break;
+    }
+    case MemSpace::Constant: {
+      coalesce_lines(op.active_mask, op.addr, arch_->cache_line, lines_);
+      const int div = distinct_words(op.active_mask, op.addr);
+      ++ev_.const_requests;
+      ev_.replay_const_divergence += static_cast<std::uint64_t>(div - 1);
+      ev_.offchip_load_transactions += lines_.size();
+      for (std::uint64_t line : lines_) {
+        if (const_caches_[static_cast<std::size_t>(sm)].access(line, false))
+          continue;
+        ++ev_.const_misses;
+        ++ev_.replay_const_miss;
+        ++ev_.l2_transactions;
+        if (!l2_.access(line, false)) {
+          ++ev_.l2_misses;
+          dram_request(line, false);
+        }
+      }
+      break;
+    }
+    case MemSpace::Shared: {
+      const int degree =
+          shared_conflict_degree(op.active_mask, op.addr, arch_->shared_banks);
+      ++ev_.shared_requests;
+      if (!is_store) ++ev_.shared_load_requests;
+      ev_.shared_conflicts += static_cast<std::uint64_t>(degree - 1);
+      ev_.replay_shared_conflict += static_cast<std::uint64_t>(degree - 1);
+      break;
+    }
+  }
+}
+
 namespace {
 
-// Per-bank row-buffer state machine (analysis order, no timing).
-struct BankRow {
-  std::uint64_t open_row = 0;
-  bool row_open = false;
-  std::uint64_t last_tick = 0;
-  bool seen = false;
+// Adapters giving rr_schedule a uniform warp/op view over the two lowered
+// representations. Both must present the identical op stream — the memoized
+// path is required to be bit-identical to the plain one.
+struct PlainWave {
+  const std::vector<WarpTrace>* traces;
+  std::size_t warp_count() const { return traces->size(); }
+  std::size_t op_count(std::size_t w) const { return (*traces)[w].ops.size(); }
+  std::int64_t block(std::size_t w) const { return (*traces)[w].ctx.block; }
+  TraceAnalyzer::OpView op(std::size_t w, std::size_t pc) const {
+    const TraceOp& t = (*traces)[w].ops[pc];
+    return {t.cls,       t.space,       t.array,          t.uses_prev,
+            t.is_addr_calc, t.active_mask, t.addr.data()};
+  }
+  bool next_uses_prev(std::size_t w, std::size_t pc) const {
+    return (*traces)[w].ops[pc].uses_prev;
+  }
 };
 
-struct Analyzer {
-  Analyzer(const KernelInfo& k, const DataPlacement& p, const GpuArch& a,
-           const AnalysisOptions& o)
-      : arch(a), opts(o), mat(k, p, a), mapping(kepler_mapping(a)),
-        l2(l2_config(a)) {
-    const int nb = mapping.num_banks();
-    rows.resize(static_cast<std::size_t>(nb));
-    ev.banks.resize(static_cast<std::size_t>(nb));
-    const_caches.reserve(static_cast<std::size_t>(a.num_sms));
-    tex_caches.reserve(static_cast<std::size_t>(a.num_sms));
-    for (int s = 0; s < a.num_sms; ++s) {
-      const_caches.push_back(std::make_unique<SetAssocCache>(const_cache_config(a)));
-      tex_caches.push_back(std::make_unique<SetAssocCache>(tex_cache_config(a)));
-    }
+struct CompactWave {
+  const CompactTrace* ct;
+  const TraceSkeleton* skeleton;
+  const MemoryLayout* layout;
+  // Device pool bases, resolved once per (array, kind) instead of per op
+  // (generate_compact already ensured every pool this wave references).
+  mutable std::vector<const AddrBlock*> pool_base;
+  std::size_t warp_count() const { return ct->warps.size(); }
+  std::size_t op_count(std::size_t w) const {
+    return ct->warps[w].end - ct->warps[w].begin;
   }
-
-  void dram_request(std::uint64_t line_addr, bool is_store) {
-    ++ev.dram_requests;
-    if (!is_store) ++ev.dram_load_requests;
-    int bank;
-    std::uint64_t row;
-    const auto d = mapping.decode(line_addr);
-    row = d.row;
-    if (opts.even_bank_distribution) {
-      bank = static_cast<int>(rr_bank++ % static_cast<std::uint64_t>(
-                                               mapping.num_banks()));
-    } else {
-      bank = d.bank;
-    }
-    BankRow& b = rows[static_cast<std::size_t>(bank)];
-    BankStream& s = ev.banks[static_cast<std::size_t>(bank)];
-    std::uint64_t service;
-    if (!b.row_open) {
-      service = arch.dram.row_miss_service;
-      ++ev.row_misses;
-    } else if (b.open_row == row) {
-      service = arch.dram.row_hit_service;
-      ++ev.row_hits;
-    } else {
-      service = arch.dram.row_conflict_service;
-      ++ev.row_conflicts;
-    }
-    if (arch.dram.page_policy == PagePolicy::Open) {
-      b.row_open = true;
-      b.open_row = row;
-    } else {
-      b.row_open = false;  // closed page: auto-precharge
-    }
-    if (b.seen) s.interarrival.add(static_cast<double>(tick - b.last_tick));
-    b.seen = true;
-    b.last_tick = tick;
-    s.service.add(static_cast<double>(service));
-    ++s.count;
+  std::int64_t block(std::size_t w) const { return ct->warps[w].ctx.block; }
+  const AddrBlock* device_pool(int array, bool block_linear) const {
+    if (pool_base.empty())
+      pool_base.assign(skeleton->kernel().arrays.size() * 2, nullptr);
+    const std::size_t slot =
+        static_cast<std::size_t>(array) * 2 + (block_linear ? 1 : 0);
+    if (pool_base[slot] == nullptr)
+      pool_base[slot] =
+          skeleton->device_addr_pool(array, block_linear, *layout).data();
+    return pool_base[slot];
   }
-
-  void mem_op(const TraceOp& op, int sm) {
-    ++ev.mem_insts;
-    const bool is_store = op.cls == OpClass::Store;
-    if (!is_store) ++ev.load_insts;
-    if (op.active_mask == 0) return;  // predicated off: issues, touches nothing
-    switch (op.space) {
-      case MemSpace::Global: {
-        coalesce_lines(op, arch.cache_line, lines);
-        ++ev.global_requests;
-        ev.global_transactions += lines.size();
-        ev.replay_global_divergence += lines.size() - 1;
-        if (!is_store) ev.offchip_load_transactions += lines.size();
-        for (std::uint64_t line : lines) {
-          ++ev.l2_transactions;
-          if (!l2.access(line, is_store)) {
-            ++ev.l2_misses;
-            dram_request(line, is_store);
-          }
-        }
-        break;
-      }
-      case MemSpace::Texture1D:
-      case MemSpace::Texture2D: {
-        coalesce_lines(op, arch.cache_line, lines);
-        ++ev.tex_requests;
-        ev.tex_transactions += lines.size();
-        ev.offchip_load_transactions += lines.size();
-        for (std::uint64_t line : lines) {
-          if (tex_caches[static_cast<std::size_t>(sm)]->access(line, false))
-            continue;
-          ++ev.tex_misses;
-          ++ev.l2_transactions;
-          if (!l2.access(line, false)) {
-            ++ev.l2_misses;
-            dram_request(line, false);
-          }
-        }
-        break;
-      }
-      case MemSpace::Constant: {
-        coalesce_lines(op, arch.cache_line, lines);
-        const int div = distinct_words(op);
-        ++ev.const_requests;
-        ev.replay_const_divergence += static_cast<std::uint64_t>(div - 1);
-        ev.offchip_load_transactions += lines.size();
-        for (std::uint64_t line : lines) {
-          if (const_caches[static_cast<std::size_t>(sm)]->access(line, false))
-            continue;
-          ++ev.const_misses;
-          ++ev.replay_const_miss;
-          ++ev.l2_transactions;
-          if (!l2.access(line, false)) {
-            ++ev.l2_misses;
-            dram_request(line, false);
-          }
-        }
-        break;
-      }
-      case MemSpace::Shared: {
-        const int degree = shared_conflict_degree(op, arch.shared_banks);
-        ++ev.shared_requests;
-        if (!is_store) ++ev.shared_load_requests;
-        ev.shared_conflicts += static_cast<std::uint64_t>(degree - 1);
-        ev.replay_shared_conflict += static_cast<std::uint64_t>(degree - 1);
-        break;
+  TraceAnalyzer::OpView op(std::size_t w, std::size_t pc) const {
+    const CompactOp& c = ct->ops[ct->warps[w].begin + pc];
+    const std::int64_t* addr = nullptr;
+    if (is_memory(c.cls)) {
+      switch (c.pool) {
+        case kPoolLocal:
+          addr = ct->local_addrs[c.addr_index].data();
+          break;
+        case kPoolDeviceBlockLinear:
+          addr = device_pool(c.array, true)[c.addr_index].data();
+          break;
+        default:
+          addr = device_pool(c.array, false)[c.addr_index].data();
+          break;
       }
     }
+    return {c.cls,       c.space,       c.array, c.uses_prev,
+            c.is_addr_calc, c.active_mask, addr};
   }
-
-  void run() {
-    const KernelInfo& k = mat.kernel();
-    const int blocks_per_sm = mat.layout().blocks_per_sm(arch);
-    ev.warps_per_sm = mat.layout().warps_per_sm(arch);
-    const std::int64_t wave_blocks =
-        static_cast<std::int64_t>(arch.num_sms) * blocks_per_sm;
-
-    std::uint64_t dep_breaks = 0;       // ops consuming their predecessor
-    std::uint64_t mem_chain_breaks = 0; // mem ops followed by a dependent op
-
-    for (std::int64_t wave = 0; wave * wave_blocks < k.num_blocks; ++wave) {
-      const std::int64_t b0 = wave * wave_blocks;
-      const std::int64_t b1 = std::min(k.num_blocks, b0 + wave_blocks);
-      auto traces = mat.generate(b0, b1);
-      // Round-robin, one op per warp per turn, mirroring the schedulers.
-      std::vector<std::size_t> pcs(traces.size(), 0);
-      bool progress = true;
-      while (progress) {
-        progress = false;
-        for (std::size_t w = 0; w < traces.size(); ++w) {
-          const auto& ops = traces[w].ops;
-          std::size_t& pc = pcs[w];
-          if (pc >= ops.size()) continue;
-          progress = true;
-          const TraceOp& op = ops[pc];
-          const int sm = static_cast<int>(traces[w].ctx.block %
-                                          static_cast<std::int64_t>(arch.num_sms));
-          ++tick;
-          ++ev.insts_executed;
-          if (op.uses_prev) ++dep_breaks;
-          switch (op.cls) {
-            case OpClass::Load:
-            case OpClass::Store:
-              mem_op(op, sm);
-              if (pc + 1 < ops.size() && ops[pc + 1].uses_prev)
-                ++mem_chain_breaks;
-              break;
-            case OpClass::Sync:
-              ++ev.sync_insts;
-              break;
-            default:
-              if (op.is_addr_calc) ++ev.addr_calc_insts;
-              break;
-          }
-          ++pc;
-        }
-      }
-    }
-
-    ev.trace_ticks = tick;
-    ev.ilp = static_cast<double>(ev.insts_executed) /
-             static_cast<double>(std::max<std::uint64_t>(1, dep_breaks));
-    ev.mlp = static_cast<double>(std::max<std::uint64_t>(1, ev.mem_insts)) /
-             static_cast<double>(std::max<std::uint64_t>(1, mem_chain_breaks));
-    ev.mlp = std::clamp(ev.mlp, 1.0, 8.0);
-    ev.ilp = std::clamp(ev.ilp, 1.0, 16.0);
+  bool next_uses_prev(std::size_t w, std::size_t pc) const {
+    return ct->ops[ct->warps[w].begin + pc].uses_prev;
   }
-
-  const GpuArch& arch;
-  AnalysisOptions opts;
-  TraceMaterializer mat;
-  AddressMapping mapping;
-  SetAssocCache l2;
-  std::vector<std::unique_ptr<SetAssocCache>> const_caches;
-  std::vector<std::unique_ptr<SetAssocCache>> tex_caches;
-  std::vector<BankRow> rows;
-  std::vector<std::uint64_t> lines;
-  PlacementEvents ev;
-  std::uint64_t tick = 0;
-  std::uint64_t rr_bank = 0;
 };
 
 }  // namespace
 
+// Round-robin, one op per warp per turn, mirroring the schedulers. The ILP /
+// MLP dependency counters accumulate across waves through the members the
+// callers zero in reset().
+template <class WaveTraces>
+void TraceAnalyzer::rr_schedule(const WaveTraces& traces) {
+  const std::size_t warp_count = traces.warp_count();
+  std::vector<std::size_t> pcs(warp_count, 0);
+  std::vector<std::size_t> ns(warp_count);
+  std::vector<int> warp_sm(warp_count);
+  for (std::size_t w = 0; w < warp_count; ++w) {
+    ns[w] = traces.op_count(w);
+    warp_sm[w] = static_cast<int>(traces.block(w) %
+                                  static_cast<std::int64_t>(arch_->num_sms));
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t w = 0; w < warp_count; ++w) {
+      const std::size_t n = ns[w];
+      std::size_t& pc = pcs[w];
+      if (pc >= n) continue;
+      progress = true;
+      const OpView op = traces.op(w, pc);
+      const int sm = warp_sm[w];
+      ++tick_;
+      ++ev_.insts_executed;
+      if (op.uses_prev) ++dep_breaks_;
+      switch (op.cls) {
+        case OpClass::Load:
+        case OpClass::Store:
+          mem_op(op, sm);
+          if (pc + 1 < n && traces.next_uses_prev(w, pc + 1))
+            ++mem_chain_breaks_;
+          break;
+        case OpClass::Sync:
+          ++ev_.sync_insts;
+          break;
+        default:
+          if (op.is_addr_calc) ++ev_.addr_calc_insts;
+          break;
+      }
+      ++pc;
+    }
+  }
+}
+
+void TraceAnalyzer::run(const TraceMaterializer& mat) {
+  const KernelInfo& k = mat.kernel();
+  const int blocks_per_sm = mat.layout().blocks_per_sm(*arch_);
+  ev_.warps_per_sm = mat.layout().warps_per_sm(*arch_);
+  const std::int64_t wave_blocks =
+      static_cast<std::int64_t>(arch_->num_sms) * blocks_per_sm;
+  for (std::int64_t wave = 0; wave * wave_blocks < k.num_blocks; ++wave) {
+    const std::int64_t b0 = wave * wave_blocks;
+    const std::int64_t b1 = std::min(k.num_blocks, b0 + wave_blocks);
+    const auto traces = mat.generate(b0, b1);
+    rr_schedule(PlainWave{&traces});
+  }
+}
+
+void TraceAnalyzer::run_compact(const TraceMaterializer& mat,
+                                const TraceSkeleton& skeleton) {
+  const KernelInfo& k = mat.kernel();
+  const int blocks_per_sm = mat.layout().blocks_per_sm(*arch_);
+  ev_.warps_per_sm = mat.layout().warps_per_sm(*arch_);
+  const std::int64_t wave_blocks =
+      static_cast<std::int64_t>(arch_->num_sms) * blocks_per_sm;
+  for (std::int64_t wave = 0; wave * wave_blocks < k.num_blocks; ++wave) {
+    const std::int64_t b0 = wave * wave_blocks;
+    const std::int64_t b1 = std::min(k.num_blocks, b0 + wave_blocks);
+    mat.generate_compact(b0, b1, skeleton, compact_scratch_);
+    rr_schedule(CompactWave{&compact_scratch_, &skeleton, &mat.layout()});
+  }
+}
+
+PlacementEvents TraceAnalyzer::analyze(const DataPlacement& placement,
+                                       const TraceSkeleton* skeleton) {
+  reset();
+  TraceMaterializer mat(*kernel_, placement, *arch_);
+  if (skeleton != nullptr) {
+    run_compact(mat, *skeleton);
+  } else {
+    run(mat);
+  }
+  ev_.trace_ticks = tick_;
+  ev_.ilp = static_cast<double>(ev_.insts_executed) /
+            static_cast<double>(std::max<std::uint64_t>(1, dep_breaks_));
+  ev_.mlp = static_cast<double>(std::max<std::uint64_t>(1, ev_.mem_insts)) /
+            static_cast<double>(std::max<std::uint64_t>(1, mem_chain_breaks_));
+  ev_.mlp = std::clamp(ev_.mlp, 1.0, 8.0);
+  ev_.ilp = std::clamp(ev_.ilp, 1.0, 16.0);
+  return std::move(ev_);
+}
+
 PlacementEvents analyze_trace(const KernelInfo& kernel,
                               const DataPlacement& placement,
                               const GpuArch& arch,
-                              const AnalysisOptions& opts) {
-  Analyzer an(kernel, placement, arch, opts);
-  an.run();
-  return std::move(an.ev);
+                              const AnalysisOptions& opts,
+                              const TraceSkeleton* skeleton) {
+  TraceAnalyzer an(kernel, arch, opts);
+  return an.analyze(placement, skeleton);
 }
 
 }  // namespace gpuhms

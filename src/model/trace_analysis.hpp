@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "common/stats.hpp"
 #include "dram/address_mapping.hpp"
 #include "sim/counters.hpp"
@@ -95,9 +96,76 @@ struct PlacementEvents {
   }
 };
 
+// Reusable trace-replay engine: one instance owns the cache models, the
+// row-buffer state and the coalescing scratch, and analyzes any number of
+// placements of one kernel without reallocating them (the per-candidate hot
+// path of a placement search). Instances are NOT thread-safe — give each
+// worker thread its own analyzer; the (optional) TraceSkeleton is immutable
+// and can be shared by all of them.
+class TraceAnalyzer {
+ public:
+  TraceAnalyzer(const KernelInfo& kernel, const GpuArch& arch,
+                const AnalysisOptions& opts = {});
+
+  // Replays the (kernel, placement) trace in analysis order. The skeleton,
+  // when given, must be recorded from this analyzer's kernel; it skips the
+  // kernel-function re-run inside trace materialization.
+  PlacementEvents analyze(const DataPlacement& placement,
+                          const TraceSkeleton* skeleton = nullptr);
+
+  const KernelInfo& kernel() const { return *kernel_; }
+
+  // Uniform view of one lowered op, so the replay loop is shared between the
+  // plain TraceOp path and the compact memoized path (`addr` is only
+  // dereferenced for memory ops). Public for the internal wave adapters.
+  struct OpView {
+    OpClass cls;
+    MemSpace space;
+    std::int16_t array;
+    bool uses_prev;
+    bool is_addr_calc;
+    std::uint32_t active_mask;
+    const std::int64_t* addr;
+  };
+
+ private:
+  struct BankRow {
+    std::uint64_t open_row = 0;
+    bool row_open = false;
+    std::uint64_t last_tick = 0;
+    bool seen = false;
+  };
+
+  void reset();
+  void dram_request(std::uint64_t line_addr, bool is_store);
+  void mem_op(const OpView& op, int sm);
+  template <class WaveTraces>
+  void rr_schedule(const WaveTraces& traces);
+  void run(const TraceMaterializer& mat);
+  void run_compact(const TraceMaterializer& mat,
+                   const TraceSkeleton& skeleton);
+
+  const KernelInfo* kernel_;
+  const GpuArch* arch_;
+  AnalysisOptions opts_;
+  AddressMapping mapping_;
+  SetAssocCache l2_;
+  std::vector<SetAssocCache> const_caches_;  // one per SM
+  std::vector<SetAssocCache> tex_caches_;
+  std::vector<BankRow> rows_;
+  std::vector<std::uint64_t> lines_;  // coalescing scratch
+  CompactTrace compact_scratch_;      // memoized-path wave buffer, reused
+  PlacementEvents ev_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t rr_bank_ = 0;
+  std::uint64_t dep_breaks_ = 0;        // ops consuming their predecessor
+  std::uint64_t mem_chain_breaks_ = 0;  // mem ops followed by a dependent op
+};
+
 PlacementEvents analyze_trace(const KernelInfo& kernel,
                               const DataPlacement& placement,
                               const GpuArch& arch,
-                              const AnalysisOptions& opts = {});
+                              const AnalysisOptions& opts = {},
+                              const TraceSkeleton* skeleton = nullptr);
 
 }  // namespace gpuhms

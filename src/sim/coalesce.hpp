@@ -14,46 +14,55 @@ namespace gpuhms {
 
 // Distinct cache-line addresses touched by the active lanes (global/texture
 // coalescing). Result is sorted, deduplicated, in *byte* units (line-aligned).
-inline void coalesce_lines(const TraceOp& op, std::size_t line_size,
+inline void coalesce_lines(std::uint32_t active_mask,
+                           const std::int64_t* addr, std::size_t line_size,
                            std::vector<std::uint64_t>& out) {
   out.clear();
   for (int l = 0; l < kWarpSize; ++l) {
-    if (!(op.active_mask & (1u << l))) continue;
-    const std::uint64_t a = static_cast<std::uint64_t>(
-        op.addr[static_cast<std::size_t>(l)]);
+    if (!(active_mask & (1u << l))) continue;
+    const std::uint64_t a = static_cast<std::uint64_t>(addr[l]);
     out.push_back(a / line_size * line_size);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
+inline void coalesce_lines(const TraceOp& op, std::size_t line_size,
+                           std::vector<std::uint64_t>& out) {
+  coalesce_lines(op.active_mask, op.addr.data(), line_size, out);
+}
+
 // Number of distinct word (4 B) addresses among active lanes; constant
 // memory broadcasts when this is 1, and each extra address is an indexed-
 // constant divergence replay (cause 3).
-inline int distinct_words(const TraceOp& op) {
+inline int distinct_words(std::uint32_t active_mask,
+                          const std::int64_t* addr) {
   std::uint64_t words[kWarpSize];
   int n = 0;
   for (int l = 0; l < kWarpSize; ++l) {
-    if (!(op.active_mask & (1u << l))) continue;
-    words[n++] = static_cast<std::uint64_t>(
-                     op.addr[static_cast<std::size_t>(l)]) / 4;
+    if (!(active_mask & (1u << l))) continue;
+    words[n++] = static_cast<std::uint64_t>(addr[l]) / 4;
   }
   std::sort(words, words + n);
   return static_cast<int>(std::unique(words, words + n) - words);
 }
 
+inline int distinct_words(const TraceOp& op) {
+  return distinct_words(op.active_mask, op.addr.data());
+}
+
 // Shared-memory bank-conflict degree: the maximum number of *distinct* words
 // any bank must serve for this warp access (1 = conflict-free). Lanes hitting
 // the same word broadcast.
-inline int shared_conflict_degree(const TraceOp& op, int num_banks) {
+inline int shared_conflict_degree(std::uint32_t active_mask,
+                                  const std::int64_t* addr, int num_banks) {
   // num_banks <= 32 in practice.
   std::uint64_t per_bank_words[64][kWarpSize];
   int per_bank_n[64] = {};
   int degree = 1;
   for (int l = 0; l < kWarpSize; ++l) {
-    if (!(op.active_mask & (1u << l))) continue;
-    const std::uint64_t word = static_cast<std::uint64_t>(
-                                   op.addr[static_cast<std::size_t>(l)]) / 4;
+    if (!(active_mask & (1u << l))) continue;
+    const std::uint64_t word = static_cast<std::uint64_t>(addr[l]) / 4;
     const int bank = static_cast<int>(word % static_cast<std::uint64_t>(num_banks));
     // Distinct-word insert (linear scan; warp-size bounded).
     bool dup = false;
@@ -69,6 +78,10 @@ inline int shared_conflict_degree(const TraceOp& op, int num_banks) {
     }
   }
   return degree;
+}
+
+inline int shared_conflict_degree(const TraceOp& op, int num_banks) {
+  return shared_conflict_degree(op.active_mask, op.addr.data(), num_banks);
 }
 
 }  // namespace gpuhms

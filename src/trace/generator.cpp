@@ -14,6 +14,95 @@ std::uint32_t active_mask_of(const LaneIdx& idx) {
   return m;
 }
 
+TraceSkeleton::TraceSkeleton(const KernelInfo& kernel)
+    : kernel_(&kernel),
+      mem_ops_per_array_(kernel.arrays.size(), 0) {
+  warps_.reserve(static_cast<std::size_t>(kernel.total_warps()));
+  proto_begin_.reserve(static_cast<std::size_t>(kernel.total_warps()) + 1);
+  proto_begin_.push_back(0);
+  for_each_warp(kernel, 0, kernel.num_blocks,
+                [&](const WarpCtx& ctx, std::vector<DslOp>&& ops) {
+                  for (std::size_t i = 0; i < ops.size(); ++i) {
+                    const DslOp& op = ops[i];
+                    ProtoOp p;
+                    p.cls = op.cls;
+                    p.uses_prev = op.uses_prev;
+                    switch (op.cls) {
+                      case OpClass::Load:
+                      case OpClass::Store: {
+                        ++base_insts_;
+                        const auto a = static_cast<std::size_t>(op.array);
+                        p.array = op.array;
+                        p.active_mask = active_mask_of(op.idx);
+                        p.ordinal =
+                            static_cast<std::uint32_t>(mem_ops_per_array_[a]);
+                        p.dsl_index = static_cast<std::uint32_t>(i);
+                        ++mem_ops_per_array_[a];
+                        break;
+                      }
+                      case OpClass::Sync:
+                        ++base_insts_;
+                        p.active_mask = 0xffffffffu;
+                        break;
+                      default:
+                        base_insts_ += op.count;
+                        p.count = op.count;
+                        p.active_mask = 0xffffffffu;
+                        break;
+                    }
+                    proto_.push_back(p);
+                  }
+                  proto_begin_.push_back(
+                      static_cast<std::uint32_t>(proto_.size()));
+                  warps_.push_back({ctx, std::move(ops)});
+                });
+  device_pools_.resize(kernel.arrays.size() * 2);
+  pool_once_ = std::make_unique<std::once_flag[]>(kernel.arrays.size() * 2);
+}
+
+std::span<const AddrBlock> TraceSkeleton::device_addr_pool(
+    int array, bool block_linear, const MemoryLayout& layout) const {
+  const std::size_t slot =
+      static_cast<std::size_t>(array) * 2 + (block_linear ? 1 : 0);
+  std::call_once(pool_once_[slot], [&] {
+    const std::size_t a = static_cast<std::size_t>(array);
+    const ArrayDecl& arr = kernel_->arrays[a];
+    // Fixed per-array allocation base: identical under every placement, so
+    // one pool serves the whole search.
+    const std::uint64_t base = layout.device_base(array);
+    std::vector<AddrBlock>& pool = device_pools_[slot];
+    pool.resize(mem_ops_per_array_[a]);
+    std::size_t ord = 0;
+    for (const WarpRecord& w : warps_) {
+      for (const DslOp& op : w.ops) {
+        if (!is_memory(op.cls) || op.array != array) continue;
+        AddrBlock& blk = pool[ord++];
+        for (int l = 0; l < kWarpSize; ++l) {
+          const std::int64_t e = op.idx[static_cast<std::size_t>(l)];
+          blk[static_cast<std::size_t>(l)] =
+              e == kInactiveLane
+                  ? -1
+                  : static_cast<std::int64_t>(
+                        base + (block_linear ? block_linear_offset(arr, e)
+                                             : pitch_linear_offset(arr, e)));
+        }
+      }
+    }
+  });
+  return device_pools_[slot];
+}
+
+std::span<const TraceSkeleton::WarpRecord> TraceSkeleton::warps(
+    std::int64_t block_begin, std::int64_t block_end) const {
+  GPUHMS_CHECK(0 <= block_begin && block_begin <= block_end &&
+               block_end <= kernel_->num_blocks);
+  const std::size_t wpb =
+      static_cast<std::size_t>(kernel_->warps_per_block());
+  return std::span<const WarpRecord>(
+      warps_.data() + static_cast<std::size_t>(block_begin) * wpb,
+      static_cast<std::size_t>(block_end - block_begin) * wpb);
+}
+
 TraceMaterializer::TraceMaterializer(const KernelInfo& kernel,
                                      const DataPlacement& placement,
                                      const GpuArch& arch)
@@ -168,10 +257,24 @@ void TraceMaterializer::staging_preamble(const WarpCtx& ctx,
 }
 
 std::vector<WarpTrace> TraceMaterializer::generate(
-    std::int64_t block_begin, std::int64_t block_end) const {
+    std::int64_t block_begin, std::int64_t block_end,
+    const TraceSkeleton* skeleton) const {
   std::vector<WarpTrace> traces;
   traces.reserve(static_cast<std::size_t>(
       (block_end - block_begin) * kernel_->warps_per_block()));
+  if (skeleton != nullptr) {
+    GPUHMS_CHECK_MSG(&skeleton->kernel() == kernel_,
+                     "skeleton recorded from a different kernel");
+    for (const TraceSkeleton::WarpRecord& rec :
+         skeleton->warps(block_begin, block_end)) {
+      WarpTrace wt;
+      wt.ctx = rec.ctx;
+      staging_preamble(rec.ctx, wt.ops);
+      lower(rec.ctx, rec.ops, wt.ops);
+      traces.push_back(std::move(wt));
+    }
+    return traces;
+  }
   for_each_warp(*kernel_, block_begin, block_end,
                 [&](const WarpCtx& ctx, std::vector<DslOp>&& ops) {
                   WarpTrace wt;
@@ -181,6 +284,112 @@ std::vector<WarpTrace> TraceMaterializer::generate(
                   traces.push_back(std::move(wt));
                 });
   return traces;
+}
+
+void TraceMaterializer::generate_compact(std::int64_t block_begin,
+                                         std::int64_t block_end,
+                                         const TraceSkeleton& skeleton,
+                                         CompactTrace& out) const {
+  GPUHMS_CHECK_MSG(&skeleton.kernel() == kernel_,
+                   "skeleton recorded from a different kernel");
+  out.ops.clear();
+  out.warps.clear();
+  out.local_addrs.clear();
+  const std::size_t wpb = static_cast<std::size_t>(kernel_->warps_per_block());
+  const std::size_t w0 = static_cast<std::size_t>(block_begin) * wpb;
+  const std::size_t w1 = static_cast<std::size_t>(block_end) * wpb;
+  for (std::size_t w = w0; w < w1; ++w) {
+    const TraceSkeleton::WarpRecord& rec = skeleton.warp(w);
+    CompactTrace::Warp warp;
+    warp.ctx = rec.ctx;
+    warp.begin = static_cast<std::uint32_t>(out.ops.size());
+    // Staging preamble: placement-dependent and rare — reuse the TraceOp
+    // emitter and transcribe, rather than duplicating its logic here.
+    if (!staged_arrays_.empty()) {
+      out.staging_scratch.clear();
+      staging_preamble(rec.ctx, out.staging_scratch);
+      for (const TraceOp& t : out.staging_scratch) {
+        CompactOp c;
+        c.cls = t.cls;
+        c.space = t.space;
+        c.array = t.array;
+        c.uses_prev = t.uses_prev;
+        c.is_addr_calc = t.is_addr_calc;
+        c.active_mask = t.active_mask;
+        if (is_memory(t.cls)) {
+          c.pool = kPoolLocal;
+          c.addr_index = static_cast<std::uint32_t>(out.local_addrs.size());
+          out.local_addrs.push_back(t.addr);
+        }
+        out.ops.push_back(c);
+      }
+    }
+    for (const TraceSkeleton::ProtoOp& p : skeleton.proto(w)) {
+      switch (p.cls) {
+        case OpClass::Load:
+        case OpClass::Store: {
+          const int array = p.array;
+          const ArrayDecl& arr =
+              kernel_->arrays[static_cast<std::size_t>(array)];
+          const MemSpace space = placement_.of(array);
+          const int addr_insts = addr_calc_instructions(space, arr.dtype);
+          for (int i = 0; i < addr_insts; ++i) {
+            CompactOp a;
+            a.cls = OpClass::IAlu;
+            a.is_addr_calc = true;
+            a.active_mask = p.active_mask;
+            out.ops.push_back(a);
+          }
+          CompactOp m;
+          m.cls = p.cls;
+          m.space = space;
+          m.array = static_cast<std::int16_t>(array);
+          m.uses_prev = addr_insts > 0 ? true : p.uses_prev;
+          m.active_mask = p.active_mask;
+          if (space == MemSpace::Shared) {
+            m.pool = kPoolLocal;
+            m.addr_index = static_cast<std::uint32_t>(out.local_addrs.size());
+            AddrBlock blk;
+            const LaneIdx& idx = rec.ops[p.dsl_index].idx;
+            for (int l = 0; l < kWarpSize; ++l) {
+              const std::int64_t e = idx[static_cast<std::size_t>(l)];
+              blk[static_cast<std::size_t>(l)] =
+                  e == kInactiveLane ? -1
+                                     : static_cast<std::int64_t>(
+                                           layout_.shared_addr(array, e));
+            }
+            out.local_addrs.push_back(blk);
+          } else {
+            const bool block_linear = space == MemSpace::Texture2D;
+            m.pool = block_linear ? kPoolDeviceBlockLinear : kPoolDeviceLinear;
+            m.addr_index = p.ordinal;
+            // Ensure the shared pool exists (thread-safe, filled once).
+            skeleton.device_addr_pool(array, block_linear, layout_);
+          }
+          out.ops.push_back(m);
+          break;
+        }
+        case OpClass::Sync: {
+          CompactOp t;
+          t.cls = OpClass::Sync;
+          t.active_mask = 0xffffffffu;
+          out.ops.push_back(t);
+          break;
+        }
+        default: {
+          for (int i = 0; i < p.count; ++i) {
+            CompactOp t;
+            t.cls = p.cls;
+            t.uses_prev = i == 0 && p.uses_prev;
+            t.active_mask = 0xffffffffu;
+            out.ops.push_back(t);
+          }
+        }
+      }
+    }
+    warp.end = static_cast<std::uint32_t>(out.ops.size());
+    out.warps.push_back(warp);
+  }
 }
 
 }  // namespace gpuhms

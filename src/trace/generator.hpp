@@ -9,7 +9,11 @@
 // "initialization phase").
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "trace/allocation.hpp"
@@ -19,6 +23,119 @@ namespace gpuhms {
 struct WarpTrace {
   WarpCtx ctx;
   std::vector<TraceOp> ops;
+};
+
+// 32 lane byte addresses of one warp-level memory op (inactive lanes: -1).
+using AddrBlock = std::array<std::int64_t, kWarpSize>;
+
+// Compact lowered op for the memoized analysis fast path: carries the same
+// information the trace analysis consumes, at ~1/17th of sizeof(TraceOp).
+// Memory ops reference their AddrBlock through (pool, addr_index) instead of
+// embedding it, so the placement-invariant device addresses are shared by
+// every candidate of a search instead of being recomputed and copied.
+struct CompactOp {
+  OpClass cls = OpClass::IAlu;
+  MemSpace space = MemSpace::Global;  // memory ops only
+  std::uint8_t pool = 0;              // CompactTrace pool selector
+  bool uses_prev = false;
+  bool is_addr_calc = false;
+  std::int16_t array = -1;
+  std::uint32_t active_mask = 0;
+  std::uint32_t addr_index = 0;  // AddrBlock index within the pool
+};
+
+// Pool selectors for CompactOp::pool.
+inline constexpr std::uint8_t kPoolDeviceLinear = 0;       // skeleton-owned
+inline constexpr std::uint8_t kPoolDeviceBlockLinear = 1;  // skeleton-owned
+inline constexpr std::uint8_t kPoolLocal = 2;  // per-placement (shared/staging)
+
+// Reusable compact lowering of one resident wave; all vectors keep their
+// capacity across generate_compact calls, so the per-candidate hot path of a
+// search allocates nothing in steady state.
+struct CompactTrace {
+  struct Warp {
+    WarpCtx ctx;
+    std::uint32_t begin = 0, end = 0;  // range in `ops`
+  };
+  std::vector<CompactOp> ops;  // all warps, concatenated
+  std::vector<Warp> warps;
+  // Placement-dependent addresses (shared space and staging preambles).
+  std::vector<AddrBlock> local_addrs;
+  std::vector<TraceOp> staging_scratch;  // generate_compact internal reuse
+};
+
+// Placement-independent recording of every warp's DSL stream. A placement
+// only changes the space-dependent decoration of a trace (addressing-mode
+// instructions, byte addresses, staging preambles) — the access *skeleton*
+// recorded here is shared by all m^n placements of a kernel, so a search
+// records it once and replays it per candidate instead of re-running the
+// kernel function. Immutable after construction; safe to share across
+// threads.
+class TraceSkeleton {
+ public:
+  explicit TraceSkeleton(const KernelInfo& kernel);
+
+  struct WarpRecord {
+    WarpCtx ctx;
+    std::vector<DslOp> ops;
+  };
+
+  // Pre-digested DSL op for the compact lowering path: the active mask and
+  // the per-array memory-op ordinal (the index into the device address
+  // pools) are placement-invariant, so they are computed once here instead
+  // of per candidate.
+  struct ProtoOp {
+    OpClass cls = OpClass::IAlu;
+    bool uses_prev = false;
+    std::int16_t array = -1;       // memory ops
+    std::uint16_t count = 1;       // compute ops
+    std::uint32_t active_mask = 0;
+    std::uint32_t ordinal = 0;     // memory ops: per-array pool index
+    std::uint32_t dsl_index = 0;   // memory ops: index into WarpRecord::ops
+  };
+
+  const KernelInfo& kernel() const { return *kernel_; }
+  // Records of the warps of blocks [block_begin, block_end), block-major in
+  // the same order for_each_warp visits them.
+  std::span<const WarpRecord> warps(std::int64_t block_begin,
+                                    std::int64_t block_end) const;
+  const WarpRecord& warp(std::size_t index) const { return warps_[index]; }
+  // Proto stream of warp `index` (same warp numbering as warps()).
+  std::span<const ProtoOp> proto(std::size_t index) const {
+    return std::span<const ProtoOp>(
+        proto_.data() + proto_begin_[index],
+        proto_begin_[index + 1] - proto_begin_[index]);
+  }
+
+  // Device byte addresses of every memory op of `array`, in skeleton order
+  // (ProtoOp::ordinal indexes this). Placement-invariant: every array keeps
+  // a fixed device allocation, so only the intra-allocation layout — pitch-
+  // linear for Global/Constant/Texture1D, block-linear for Texture2D —
+  // distinguishes placements. Built lazily on first use, thread-safe, and
+  // shared by all analyzers replaying this skeleton.
+  std::span<const AddrBlock> device_addr_pool(int array, bool block_linear,
+                                              const MemoryLayout& layout) const;
+
+  // --- skeleton statistics (for cheap per-placement bounds) -----------------
+  // Executed warp instructions excluding addressing-mode inserts and staging
+  // preambles (i.e. the placement-invariant part of insts_executed).
+  std::uint64_t base_insts() const { return base_insts_; }
+  // Warp-level load+store DSL ops per array (masked-off ops included — they
+  // still issue).
+  std::span<const std::uint64_t> mem_ops_per_array() const {
+    return mem_ops_per_array_;
+  }
+
+ private:
+  const KernelInfo* kernel_;
+  std::vector<WarpRecord> warps_;  // all blocks, block-major
+  std::vector<ProtoOp> proto_;    // all warps, concatenated
+  std::vector<std::uint32_t> proto_begin_;  // per-warp ranges, size warps+1
+  std::uint64_t base_insts_ = 0;
+  std::vector<std::uint64_t> mem_ops_per_array_;
+  // Lazily-built device address pools, two per array (linear, block-linear).
+  mutable std::vector<std::vector<AddrBlock>> device_pools_;
+  mutable std::unique_ptr<std::once_flag[]> pool_once_;
 };
 
 class TraceMaterializer {
@@ -39,8 +156,20 @@ class TraceMaterializer {
   void staging_preamble(const WarpCtx& ctx, std::vector<TraceOp>& out) const;
 
   // Full trace (staging + lowered body) for every warp of the block range.
+  // When `skeleton` is non-null it must have been recorded from this
+  // materializer's kernel; the DSL streams are replayed from it instead of
+  // re-running the kernel function (identical output, much cheaper).
   std::vector<WarpTrace> generate(std::int64_t block_begin,
-                                  std::int64_t block_end) const;
+                                  std::int64_t block_end,
+                                  const TraceSkeleton* skeleton = nullptr) const;
+
+  // Compact lowering of the block range, replayed from the skeleton into
+  // `out` (buffers reused across calls). Produces the exact op stream
+  // generate() would — same ops, masks and addresses — in the compact
+  // representation the memoized analysis path consumes.
+  void generate_compact(std::int64_t block_begin, std::int64_t block_end,
+                        const TraceSkeleton& skeleton,
+                        CompactTrace& out) const;
 
  private:
   void lower_mem(const WarpCtx& ctx, const DslOp& op,

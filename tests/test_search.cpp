@@ -21,14 +21,19 @@ TEST(SearchExhaustive, FindsMinimumOfPredictedSpace) {
   for (const auto& p : enumerate_placements(k, kepler_arch())) {
     EXPECT_GE(pred.predict(p).total_cycles, r.predicted_cycles - 1e-6);
   }
-  EXPECT_EQ(r.evaluated, enumerate_placements(k, kepler_arch()).size());
+  // Every candidate is either fully scored or provably dominated (pruned).
+  EXPECT_EQ(r.evaluated + r.pruned,
+            enumerate_placements(k, kepler_arch()).size());
+  EXPECT_FALSE(r.space_truncated);
 }
 
 TEST(SearchExhaustive, RespectsCap) {
   const KernelInfo k = workloads::make_vecadd(1 << 12);
   const Predictor pred = profiled_predictor(k);
   const auto r = search_exhaustive(pred, 5);
-  EXPECT_EQ(r.evaluated, 5u);
+  EXPECT_EQ(r.evaluated + r.pruned, 5u);
+  EXPECT_TRUE(r.space_truncated);
+  EXPECT_GT(r.space_skipped, 0u);
 }
 
 TEST(SearchGreedy, NeverWorseThanStartingPoint) {
