@@ -3,24 +3,95 @@
 // placement space analytically and recommend the best placements without
 // implementing them.
 //
+// Demonstrates the non-aborting API surface: every model call goes through
+// the try_* / Status entry points, malformed command lines and unknown
+// benchmarks are reported on stderr (exit 1) instead of aborting, and an
+// optional wall-clock budget shows deadline-bounded search returning its
+// best-so-far recommendation.
+//
 // Usage: ./examples/placement_advisor [benchmark] [max_placements]
-//        (default: spmv, 64)
+//                                     [--deadline-ms=N]
+//        (default: spmv, 64, no deadline)
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "model/predictor.hpp"
+#include "model/search.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace gpuhms;
 
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "placement_advisor: %s\n", message.c_str());
+  std::exit(1);
+}
+
+// Full-token, range-checked decimal parse; dies with the offending token.
+std::size_t parse_size(const char* arg, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || v == 0)
+    die(std::string("invalid ") + what + " '" + arg +
+        "': expected a positive integer");
+  return static_cast<std::size_t>(v);
+}
+
+std::optional<workloads::BenchmarkCase> find_benchmark(
+    const std::string& name, std::vector<std::string>* known) {
+  for (auto suite : {workloads::training_suite(),
+                     workloads::evaluation_suite()}) {
+    for (auto& c : suite) {
+      if (known != nullptr) known->push_back(c.name);
+      if (c.name == name) return std::move(c);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "spmv";
-  const std::size_t cap = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 64;
+  std::string name = "spmv";
+  std::size_t cap = 64;
+  std::optional<std::chrono::milliseconds> deadline;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      deadline = std::chrono::milliseconds(
+          static_cast<long long>(parse_size(arg + 14, "deadline")));
+    } else if (positional == 0) {
+      name = arg;
+      ++positional;
+    } else if (positional == 1) {
+      cap = parse_size(arg, "max_placements");
+      ++positional;
+    } else {
+      die(std::string("unexpected argument '") + arg + "'");
+    }
+  }
+
+  std::vector<std::string> known;
+  const auto bench = find_benchmark(name, &known);
+  if (!bench) {
+    std::string msg = "unknown benchmark '" + name + "'; known benchmarks:";
+    std::sort(known.begin(), known.end());
+    known.erase(std::unique(known.begin(), known.end()), known.end());
+    for (const auto& k : known) msg += " " + k;
+    die(msg);
+  }
   const GpuArch& arch = kepler_arch();
-  const auto bench = workloads::get_benchmark(name);
+  if (const Status st = validate(arch); !st.ok()) die(st.to_string());
+  if (const Status st = validate(bench->kernel); !st.ok()) die(st.to_string());
 
   // Train the T_overlap model (Eq. 11) on the Table IV training suite,
   // excluding the kernel under advisement to keep the demo honest.
@@ -35,22 +106,44 @@ int main(int argc, char** argv) {
   const ToverlapModel overlap = train_overlap_model(cases, arch);
 
   // Profile the sample placement once.
-  Predictor pred(bench.kernel, arch, ModelOptions{}, overlap);
-  pred.profile_sample(bench.sample);
+  Predictor pred(bench->kernel, arch, ModelOptions{}, overlap);
+  if (const Status st = pred.try_profile_sample(bench->sample); !st.ok())
+    die(st.to_string());
   const double sample_cycles =
       static_cast<double>(pred.sample_result().cycles);
   std::printf("%s sample placement %s: %0.f cycles measured\n\n",
-              name.c_str(), bench.sample.to_string().c_str(), sample_cycles);
+              name.c_str(), bench->sample.to_string().c_str(), sample_cycles);
 
-  // Explore the legal placement space analytically.
-  const auto space = enumerate_placements(bench.kernel, arch, cap);
+  // Deadline-bounded search demo: best-so-far under a wall-clock budget.
+  if (deadline) {
+    SearchOptions so;
+    so.cap = cap;
+    so.deadline = *deadline;
+    const StatusOr<SearchResult> sr = try_search_exhaustive(pred, so);
+    if (!sr.ok()) die(sr.status().to_string());
+    std::printf("search under %lld ms budget: best %s at %.0f predicted "
+                "cycles (%zu evaluated, %zu pruned, %zu unexamined%s)\n\n",
+                static_cast<long long>(deadline->count()),
+                sr->placement.to_string().c_str(), sr->predicted_cycles,
+                sr->evaluated, sr->pruned, sr->not_evaluated,
+                sr->deadline_hit ? "; deadline hit" : "");
+  }
+
+  // Explore the legal placement space analytically (batch prediction).
+  const auto space = enumerate_placements(bench->kernel, arch, cap);
+  const StatusOr<std::vector<Prediction>> batch =
+      pred.try_predict_batch(space);
+  if (!batch.ok()) die(batch.status().to_string());
   struct Scored {
     DataPlacement placement;
     double predicted;
+    bool saturated;
   };
   std::vector<Scored> scored;
-  for (const auto& p : space) {
-    scored.push_back({p, pred.predict(p).total_cycles});
+  scored.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    scored.push_back({space[i], (*batch)[i].total_cycles,
+                      (*batch)[i].queue_saturated});
   }
   std::sort(scored.begin(), scored.end(),
             [](const Scored& a, const Scored& b) {
@@ -64,12 +157,13 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < std::min<std::size_t>(5, scored.size()); ++i) {
     const auto& s = scored[i];
     // Validate the recommendation against the substrate ("hardware").
-    const double measured =
-        static_cast<double>(simulate(bench.kernel, s.placement, arch).cycles);
-    std::printf("%-4zu %-16s %12.0f %13.2fx %10.0f %s\n", i + 1,
+    const double measured = static_cast<double>(
+        simulate(bench->kernel, s.placement, arch).cycles);
+    std::printf("%-4zu %-16s %12.0f %13.2fx %10.0f %s%s\n", i + 1,
                 s.placement.to_string().c_str(), s.predicted,
                 sample_cycles / s.predicted, measured,
-                s.placement.describe_vs(bench.sample, bench.kernel).c_str());
+                s.placement.describe_vs(bench->sample, bench->kernel).c_str(),
+                s.saturated ? " [queue saturated]" : "");
   }
   std::printf("\nworst 3 (placements to avoid):\n");
   for (std::size_t i = scored.size() >= 3 ? scored.size() - 3 : 0;
@@ -78,7 +172,7 @@ int main(int argc, char** argv) {
     std::printf("     %-16s %12.0f %13.2fx            %s\n",
                 s.placement.to_string().c_str(), s.predicted,
                 sample_cycles / s.predicted,
-                s.placement.describe_vs(bench.sample, bench.kernel).c_str());
+                s.placement.describe_vs(bench->sample, bench->kernel).c_str());
   }
   return 0;
 }

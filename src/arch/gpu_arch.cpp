@@ -1,5 +1,7 @@
 #include "arch/gpu_arch.hpp"
 
+#include <string>
+
 namespace gpuhms {
 
 const GpuArch& kepler_arch() {
@@ -25,6 +27,68 @@ const GpuArch& fermi_arch() {
     return a;
   }();
   return arch;
+}
+
+namespace {
+
+Status field_error(const char* field, const std::string& why) {
+  return InvalidArgumentError("GpuArch." + std::string(field) + " " + why);
+}
+
+bool power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Status validate(const GpuArch& arch) {
+  const auto positive = [](long long v) { return v >= 1; };
+  struct IntField {
+    const char* name;
+    long long value;
+  };
+  for (const IntField f : {
+           IntField{"num_sms", arch.num_sms},
+           IntField{"max_warps_per_sm", arch.max_warps_per_sm},
+           IntField{"max_blocks_per_sm", arch.max_blocks_per_sm},
+           IntField{"simd_width", arch.simd_width},
+           IntField{"shared_banks", arch.shared_banks},
+           IntField{"dram_channels", arch.dram_channels},
+           IntField{"banks_per_channel", arch.banks_per_channel},
+           IntField{"l2_ways", arch.l2_ways},
+           IntField{"const_cache_ways", arch.const_cache_ways},
+           IntField{"tex_cache_ways", arch.tex_cache_ways},
+           IntField{"ialu_lat", static_cast<long long>(arch.ialu_lat)},
+           IntField{"falu_lat", static_cast<long long>(arch.falu_lat)},
+           IntField{"dalu_lat", static_cast<long long>(arch.dalu_lat)},
+           IntField{"sfu_lat", static_cast<long long>(arch.sfu_lat)},
+           IntField{"avg_inst_lat", static_cast<long long>(arch.avg_inst_lat)},
+           IntField{"shared_lat", static_cast<long long>(arch.shared_lat)},
+           IntField{"cache_hit_lat", static_cast<long long>(arch.cache_hit_lat)},
+           IntField{"shared_capacity",
+                    static_cast<long long>(arch.shared_capacity)},
+           IntField{"constant_capacity",
+                    static_cast<long long>(arch.constant_capacity)},
+           IntField{"l2_capacity", static_cast<long long>(arch.l2_capacity)},
+           IntField{"const_cache_capacity",
+                    static_cast<long long>(arch.const_cache_capacity)},
+           IntField{"tex_cache_capacity",
+                    static_cast<long long>(arch.tex_cache_capacity)},
+       }) {
+    if (!positive(f.value))
+      return field_error(f.name,
+                         "must be >= 1 (got " + std::to_string(f.value) + ")");
+  }
+  // The DSL, coalescer and trace formats are all fixed at 32-lane warps.
+  if (arch.warp_size != 32)
+    return field_error("warp_size", "must be 32 (got " +
+                                        std::to_string(arch.warp_size) + ")");
+  if (!power_of_two(arch.cache_line))
+    return field_error("cache_line",
+                       "must be a power of two (got " +
+                           std::to_string(arch.cache_line) + ")");
+  if (arch.dram.row_hit_service < 1 || arch.dram.row_miss_service < 1 ||
+      arch.dram.row_conflict_service < 1)
+    return field_error("dram", "row-buffer service times must be >= 1");
+  return OkStatus();
 }
 
 }  // namespace gpuhms

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "arch/mem_space.hpp"
+#include "common/status.hpp"
 
 namespace gpuhms {
 
@@ -105,5 +106,11 @@ const GpuArch& kepler_arch();
 // partitions on Kepler *and* Fermi): fewer, smaller SMs, smaller L2,
 // slightly slower DRAM. Useful for the generality experiments.
 const GpuArch& fermi_arch();
+
+// Checks a (possibly user-built) configuration for values the simulator and
+// models cannot operate on: non-positive structural counts, a warp size
+// other than the DSL's fixed 32 lanes, a non-power-of-two cache line, zero
+// latencies/capacities. Returns INVALID_ARGUMENT naming the offending field.
+Status validate(const GpuArch& arch);
 
 }  // namespace gpuhms

@@ -1,0 +1,54 @@
+#include "common/status.hpp"
+
+namespace gpuhms {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out(gpuhms::to_string(code_));
+  out += ": ";
+  out += message_;
+  if (!context_.empty()) {
+    out += " (while ";
+    out += context_;
+    out += ')';
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+
+}  // namespace gpuhms

@@ -1,16 +1,40 @@
 #include "common/thread_pool.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "common/fault_injection.hpp"
 
 namespace gpuhms {
 
 int ThreadPool::default_threads() {
-  if (const char* env = std::getenv("GPUHMS_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
+  const int hw_default = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+  }();
+  const char* env = std::getenv("GPUHMS_THREADS");
+  if (!env) return hw_default;
+  // Full-string strtol parse: reject empty values, trailing junk ("4x"),
+  // overflow, and non-positive counts instead of silently mapping them to
+  // the fallback the way atoi did.
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(env, &end, 10);
+  const bool malformed =
+      end == env || *end != '\0' || errno == ERANGE || n < 1 || n > 1 << 20;
+  if (malformed) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "gpuhms: GPUHMS_THREADS='%s' is not a positive integer; "
+                   "using %d hardware threads\n",
+                   env, hw_default);
+    }
+    return hw_default;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 1 ? static_cast<int>(hw) : 1;
+  return static_cast<int>(n);
 }
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -57,10 +81,23 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::drain(int worker,
                        const std::function<void(int, std::size_t)>& fn,
                        std::size_t n) {
-  while (true) {
+  while (!job_cancelled_.load(std::memory_order_relaxed)) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) break;
-    fn(worker, i);
+    if (i >= n) return;
+    // A throwing task must not reach the thread entry function (that would
+    // std::terminate the process): capture the first exception, cancel the
+    // remaining claims, and let parallel_for rethrow on the calling thread.
+    try {
+      if (GPUHMS_FAULT_POINT("pool.task")) throw InjectedFault("pool.task");
+      fn(worker, i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      job_cancelled_.store(true, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 
@@ -68,7 +105,12 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(int, std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    // Serial path: exceptions propagate to the caller directly, matching the
+    // pooled path's "first exception rethrown on the calling thread".
+    for (std::size_t i = 0; i < n; ++i) {
+      if (GPUHMS_FAULT_POINT("pool.task")) throw InjectedFault("pool.task");
+      fn(0, i);
+    }
     return;
   }
   {
@@ -76,15 +118,23 @@ void ThreadPool::parallel_for(std::size_t n,
     job_ = &fn;
     job_n_ = n;
     next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    job_cancelled_.store(false, std::memory_order_relaxed);
     ++generation_;
   }
   work_cv_.notify_all();
   drain(0, fn, n);
-  // All indices are claimed; wait until every worker that joined the job has
-  // also left its claim loop (and thus dropped its reference to `fn`).
+  // All indices are claimed (or the job was cancelled); wait until every
+  // worker that joined the job has also left its claim loop (and thus
+  // dropped its reference to `fn`) before rethrowing or returning.
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] { return inflight_ == 0; });
   job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 }  // namespace gpuhms

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,15 +34,26 @@ class ThreadPool {
   // finished. `worker` is in [0, size()) and unique per concurrent caller of
   // fn (the calling thread is worker 0) — index per-worker scratch with it.
   // fn must not recursively call parallel_for on the same pool.
+  //
+  // Exception safety: a throwing fn does NOT terminate the process. The
+  // first exception (in completion order) is captured, the job's remaining
+  // indices are abandoned via an internal cancellation flag, and the
+  // exception is rethrown on the calling thread once every worker has left
+  // the job. The pool stays fully usable for subsequent parallel_for calls.
+  // Which indices ran before cancellation is unspecified — callers that need
+  // partial results must track completion themselves.
   void parallel_for(std::size_t n,
                     const std::function<void(int, std::size_t)>& fn);
 
-  // GPUHMS_THREADS env var when set (clamped to >= 1), else
-  // std::thread::hardware_concurrency().
+  // GPUHMS_THREADS env var when set, else
+  // std::thread::hardware_concurrency(). The env value must be a positive
+  // integer with no trailing junk; malformed values ("abc", "4x", "-2", "")
+  // fall back to the hardware default with a single stderr warning per
+  // process.
   static int default_threads();
 
  private:
-  // Claim indices for the current job until it is exhausted.
+  // Claim indices for the current job until it is exhausted or cancelled.
   void drain(int worker, const std::function<void(int, std::size_t)>& fn,
              std::size_t n);
 
@@ -52,6 +64,9 @@ class ThreadPool {
   const std::function<void(int, std::size_t)>* job_ = nullptr;
   std::size_t job_n_ = 0;
   std::atomic<std::size_t> next_{0};
+  // Set when a task threw: remaining claims of the current job are skipped.
+  std::atomic<bool> job_cancelled_{false};
+  std::exception_ptr first_error_;  // guarded by mu_
   std::size_t inflight_ = 0;  // indices claimed but not yet finished
   std::uint64_t generation_ = 0;
   bool stop_ = false;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/status.hpp"
 #include "isa/op.hpp"
 #include "kernel/array.hpp"
 
@@ -130,6 +131,13 @@ struct KernelInfo {
   int array_index(std::string_view name) const;
   const ArrayDecl& array(std::string_view name) const;
 };
+
+// Checks a (possibly user-built) kernel before the pipeline consumes it:
+// a warp function must be set, the launch geometry must be positive, and
+// every array declaration must be internally consistent (nonzero size,
+// unique nonempty name, slice/width within bounds). Returns
+// INVALID_ARGUMENT naming the kernel and the offending field.
+Status validate(const KernelInfo& k);
 
 // Runs `fn` for every warp of the blocks [block_begin, block_end) and hands
 // each recorded stream to `sink(ctx, ops)`.

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <sstream>
+#include <string>
 
 namespace gpuhms {
 
@@ -64,6 +65,20 @@ std::string DataPlacement::describe_vs(const DataPlacement& base,
     any = true;
   }
   return any ? os.str() : std::string("default");
+}
+
+Status validate(const KernelInfo& k, const DataPlacement& p,
+                const GpuArch& arch) {
+  if (p.size() != k.arrays.size())
+    return InvalidArgumentError(
+        "placement has " + std::to_string(p.size()) +
+        " spaces but kernel '" + k.name + "' declares " +
+        std::to_string(k.arrays.size()) + " arrays");
+  if (const auto why = validate_placement(k, p, arch))
+    return InvalidArgumentError("placement " + p.to_string() +
+                                " is illegal for kernel '" + k.name +
+                                "': " + *why);
+  return OkStatus();
 }
 
 std::optional<std::string> validate_placement(const KernelInfo& k,

@@ -52,10 +52,17 @@ class DataPlacement {
   std::vector<MemSpace> spaces_;
 };
 
-// Why a placement is illegal; empty optional = legal.
+// Why a placement is illegal; empty optional = legal. Aborts if p.size()
+// mismatches the kernel's array count (internal-invariant API — use
+// validate() below for caller-supplied placements).
 std::optional<std::string> validate_placement(const KernelInfo& k,
                                               const DataPlacement& p,
                                               const GpuArch& arch);
+
+// Non-aborting variant for caller-supplied placements: also diagnoses an
+// array-count mismatch, and names the kernel in every message.
+Status validate(const KernelInfo& k, const DataPlacement& p,
+                const GpuArch& arch);
 
 // Legal spaces for one array under the hardware constraints.
 std::vector<MemSpace> legal_spaces(const KernelInfo& k, int array,

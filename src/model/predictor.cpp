@@ -57,6 +57,43 @@ void Predictor::set_sample(const DataPlacement& sample,
                   std::max(1.0, self.raw_cycles);
 }
 
+Status Predictor::try_profile_sample(const DataPlacement& sample) {
+  GPUHMS_RETURN_IF_ERROR(
+      validate(*kernel_, sample, *arch_)
+          .annotate("profiling the sample placement of kernel '" +
+                    kernel_->name + "'"));
+  try {
+    profile_sample(sample);
+  } catch (const std::exception& e) {
+    return InternalError(e.what()).annotate(
+        "profiling the sample placement of kernel '" + kernel_->name + "'");
+  }
+  return OkStatus();
+}
+
+Status Predictor::try_set_sample(const DataPlacement& sample,
+                                 const SimResult& measured) {
+  const std::string ctx =
+      "setting the sample measurement of kernel '" + kernel_->name + "'";
+  GPUHMS_RETURN_IF_ERROR(validate(*kernel_, sample, *arch_).annotate(ctx));
+  GPUHMS_RETURN_IF_ERROR(validate(measured).annotate(ctx));
+  try {
+    set_sample(sample, measured);
+  } catch (const std::exception& e) {
+    return InternalError(e.what()).annotate(ctx);
+  }
+  if (!std::isfinite(anchor_scale_) || anchor_scale_ <= 0.0) {
+    sample_.reset();
+    sample_result_.reset();
+    sample_ev_.reset();
+    anchor_scale_ = 1.0;
+    return InternalError("sample calibration produced a non-finite or "
+                         "non-positive anchor scale")
+        .annotate(ctx);
+  }
+  return OkStatus();
+}
+
 std::shared_ptr<const TraceSkeleton> Predictor::memoize_trace() {
   if (!skeleton_) skeleton_ = std::make_shared<TraceSkeleton>(*kernel_);
   return skeleton_;
@@ -112,6 +149,7 @@ Prediction Predictor::predict_from_events(
   p.t_mem = tm.t_mem;
   p.amat = tm.amat;
   p.dram_lat = tm.dram_lat;
+  p.queue_saturated = tm.queue_saturated;
 
   // T_comp (Eq. 2). W_serial is placement-invariant and absorbed by the
   // sample anchoring / the T_overlap regression constant.
@@ -170,6 +208,63 @@ std::vector<Prediction> Predictor::predict_batch(
                           &scratch[static_cast<std::size_t>(worker)],
                           skel.get());
   });
+  return out;
+}
+
+StatusOr<Prediction> Predictor::try_predict(const DataPlacement& target) const {
+  if (!has_sample())
+    return FailedPreconditionError(
+        "no sample has been profiled for kernel '" + kernel_->name +
+        "'; call try_profile_sample or try_set_sample first");
+  GPUHMS_RETURN_IF_ERROR(
+      validate(*kernel_, target, *arch_)
+          .annotate("predicting a target placement of kernel '" +
+                    kernel_->name + "'"));
+  Prediction p;
+  try {
+    p = predict(target);
+  } catch (const std::exception& e) {
+    return InternalError(e.what()).annotate(
+        "predicting placement " + target.to_string() + " of kernel '" +
+        kernel_->name + "'");
+  }
+  if (!std::isfinite(p.total_cycles) || p.total_cycles <= 0.0)
+    return InternalError("model produced a non-finite or non-positive "
+                         "prediction for placement " + target.to_string())
+        .annotate("predicting a target placement of kernel '" +
+                  kernel_->name + "'");
+  return p;
+}
+
+StatusOr<std::vector<Prediction>> Predictor::try_predict_batch(
+    std::span<const DataPlacement> targets, ThreadPool* pool) const {
+  if (!has_sample())
+    return FailedPreconditionError(
+        "no sample has been profiled for kernel '" + kernel_->name +
+        "'; call try_profile_sample or try_set_sample first");
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    GPUHMS_RETURN_IF_ERROR(
+        validate(*kernel_, targets[i], *arch_)
+            .annotate("batch target #" + std::to_string(i) + " of kernel '" +
+                      kernel_->name + "'"));
+  }
+  std::vector<Prediction> out;
+  try {
+    out = predict_batch(targets, pool);
+  } catch (const std::exception& e) {
+    return InternalError(e.what()).annotate(
+        "batch-predicting " + std::to_string(targets.size()) +
+        " placements of kernel '" + kernel_->name + "'");
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!std::isfinite(out[i].total_cycles) || out[i].total_cycles <= 0.0)
+      return InternalError(
+                 "model produced a non-finite or non-positive prediction "
+                 "for batch target #" + std::to_string(i) + " (placement " +
+                 targets[i].to_string() + ")")
+          .annotate("batch-predicting placements of kernel '" +
+                    kernel_->name + "'");
+  }
   return out;
 }
 

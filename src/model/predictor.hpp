@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "kernel/placement.hpp"
 #include "model/instruction_counter.hpp"
@@ -56,6 +57,10 @@ struct Prediction {
   double amat = 0.0;
   double dram_lat = 0.0;
   double overlap_ratio = 0.0;
+  // True when the G/G/1 queuing model clamped an over-saturated or
+  // degenerate bank (rho >= rho_max, or non-finite inputs): the prediction
+  // is a bounded extrapolation rather than a steady-state delay.
+  bool queue_saturated = false;
   InstructionEstimate inst;
 };
 
@@ -69,9 +74,22 @@ class Predictor {
             ModelOptions options = {}, ToverlapModel overlap = {});
 
   // Run the simulator substrate on the sample placement ("measure" it).
+  // Aborts on malformed input; prefer try_profile_sample at API boundaries.
   void profile_sample(const DataPlacement& sample);
-  // Inject an existing measurement instead.
+  // Inject an existing measurement instead. Aborts on malformed input.
   void set_sample(const DataPlacement& sample, const SimResult& measured);
+
+  // Non-aborting variants: validate the placement against this predictor's
+  // kernel/arch (and, for try_set_sample, the measurement's counter
+  // identities) and return INVALID_ARGUMENT naming the offending entity
+  // instead of aborting. Exceptions escaping the substrate (including
+  // injected faults) surface as INTERNAL.
+  Status try_profile_sample(const DataPlacement& sample);
+  Status try_set_sample(const DataPlacement& sample, const SimResult& measured);
+
+  // Whether a sample has been profiled/injected (the precondition of every
+  // predict entry point).
+  bool has_sample() const { return sample_result_.has_value(); }
 
   // Record (once) the placement-independent DSL skeleton of the kernel and
   // reuse it in every subsequent predict — the access skeleton is shared by
@@ -93,6 +111,16 @@ class Predictor {
   // identical to per-call predict().
   std::vector<Prediction> predict_batch(std::span<const DataPlacement> targets,
                                         ThreadPool* pool = nullptr) const;
+
+  // Non-aborting variants of predict/predict_batch:
+  //   * FAILED_PRECONDITION when no sample has been profiled yet,
+  //   * INVALID_ARGUMENT when a target placement is malformed or illegal
+  //     (the batch variant names the offending target index),
+  //   * INTERNAL when the model produces a non-finite prediction or an
+  //     exception (e.g. an injected fault) escapes the analysis pipeline.
+  StatusOr<Prediction> try_predict(const DataPlacement& target) const;
+  StatusOr<std::vector<Prediction>> try_predict_batch(
+      std::span<const DataPlacement> targets, ThreadPool* pool = nullptr) const;
 
   // Cheap lower bound on predict(target).total_cycles from skeleton
   // statistics alone (no trace replay): issued instructions can't fall below

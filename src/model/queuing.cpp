@@ -1,18 +1,79 @@
 #include "model/queuing.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/fault_injection.hpp"
 
 namespace gpuhms {
 
-double kingman_queue_delay(const GG1Bank& bank, double rho_max) {
+namespace {
+
+// A bank whose moments are usable by the paper's Eq. 9 as written. Banks
+// that fail this (possible only with caller-built GG1Bank values or fault
+// injection — build_bank_inputs always produces well-formed banks) take the
+// clamped degenerate path below instead of propagating NaN/inf.
+bool well_formed(const GG1Bank& b) {
+  return std::isfinite(b.tau_a) && std::isfinite(b.tau_s) &&
+         std::isfinite(b.sigma_a) && std::isfinite(b.sigma_s) &&
+         std::isfinite(b.lambda) && b.sigma_a >= 0.0 && b.sigma_s >= 0.0 &&
+         b.tau_a >= 0.0 && b.lambda >= 0.0 &&
+         // tau_a == 0 is well-formed only as the "unloaded single-touch
+         // bank" marker (lambda == 0); with a nonzero arrival rate it means
+         // an infinitely loaded bank.
+         (b.tau_a > 0.0 || b.lambda == 0.0);
+}
+
+// Sanitized coefficients of variation for the degenerate path: negative and
+// non-finite moments contribute zero variability rather than poisoning the
+// delay.
+double safe_cv(double sigma, double tau) {
+  if (!std::isfinite(sigma) || !std::isfinite(tau) || sigma <= 0.0 ||
+      tau <= 0.0)
+    return 0.0;
+  return sigma / tau;
+}
+
+// Delay of a degenerate bank, pinned at the rho_max saturation point: the
+// inter-arrival time that *would* produce rho_max (tau_s / rho_max) feeds
+// the requested formula. Finite by construction.
+double saturated_delay(const GG1Bank& b, double rho_max, bool kingman) {
+  if (!std::isfinite(b.tau_s) || b.tau_s <= 0.0) return 0.0;
+  const double rho_term = rho_max / (1.0 - rho_max);
+  if (!kingman) return rho_term * b.tau_s;  // M/M/1
+  const double tau_a_eff = b.tau_s / rho_max;
+  const double variability =
+      (safe_cv(b.sigma_a, tau_a_eff) + safe_cv(b.sigma_s, b.tau_s)) / 2.0;
+  return variability * rho_term * tau_a_eff;
+}
+
+void flag(bool* saturated) {
+  if (saturated) *saturated = true;
+}
+
+}  // namespace
+
+double kingman_queue_delay(const GG1Bank& bank, double rho_max,
+                           bool* saturated) {
+  if (!well_formed(bank)) {
+    flag(saturated);
+    return saturated_delay(bank, rho_max, /*kingman=*/true);
+  }
   if (bank.tau_a <= 0.0 || bank.tau_s <= 0.0) return 0.0;
+  if (bank.rho() >= rho_max) flag(saturated);
   const double rho = std::min(bank.rho(), rho_max);
   const double variability = (bank.ca() + bank.cs()) / 2.0;
   return variability * (rho / (1.0 - rho)) * bank.tau_a;
 }
 
-double mm1_queue_delay(const GG1Bank& bank, double rho_max) {
+double mm1_queue_delay(const GG1Bank& bank, double rho_max, bool* saturated) {
+  if (!well_formed(bank)) {
+    flag(saturated);
+    return saturated_delay(bank, rho_max, /*kingman=*/false);
+  }
   if (bank.tau_a <= 0.0 || bank.tau_s <= 0.0) return 0.0;
+  if (bank.rho() >= rho_max) flag(saturated);
   const double rho = std::min(bank.rho(), rho_max);
   return (rho / (1.0 - rho)) * bank.tau_s;
 }
@@ -39,6 +100,21 @@ std::vector<GG1Bank> build_bank_inputs(const PlacementEvents& ev,
     }
     out.push_back(b);
   }
+  if (fault::enabled()) {
+    // Poison the first loaded bank: forced NaN moments or a driven-past-
+    // saturation arrival rate. Exercises the degenerate-input clamps above
+    // end to end (the prediction must stay finite, with `saturated` set).
+    for (GG1Bank& b : out) {
+      if (b.tau_s <= 0.0 || b.lambda <= 0.0) continue;
+      if (fault::should_fire("queuing.nan"))
+        b.sigma_a = std::numeric_limits<double>::quiet_NaN();
+      if (fault::should_fire("queuing.saturate")) {
+        b.tau_a = 0.0;  // zero inter-arrival time at a nonzero arrival rate
+        b.sigma_a = 0.0;
+      }
+      break;
+    }
+  }
   return out;
 }
 
@@ -50,11 +126,19 @@ QueuingResult aggregate_banks(const std::vector<GG1Bank>& banks,
   QueuingResult r;
   double weight_sum = 0.0;
   for (const GG1Bank& b : banks) {
+    if (std::isnan(b.tau_s)) {
+      // A NaN service time carries no usable information at all; flag it
+      // and move on rather than letting it zero the whole aggregate.
+      r.saturated = true;
+      continue;
+    }
     if (b.tau_s <= 0.0) continue;
     // Banks with a single request contribute their service time with a
-    // nominal weight so sparse kernels still produce a latency.
-    const double w = b.lambda > 0.0 ? b.lambda : 1e-9;
-    const double wq = delay(b, rho_max);
+    // nominal weight so sparse kernels still produce a latency. A degenerate
+    // arrival rate gets the same nominal weight.
+    const double w =
+        std::isfinite(b.lambda) && b.lambda > 0.0 ? b.lambda : 1e-9;
+    const double wq = delay(b, rho_max, &r.saturated);
     r.dram_lat += w * (wq + b.tau_s);
     r.avg_queue_delay += w * wq;
     r.avg_service += w * b.tau_s;
@@ -72,16 +156,18 @@ QueuingResult aggregate_banks(const std::vector<GG1Bank>& banks,
 
 QueuingResult dram_latency_gg1(const std::vector<GG1Bank>& banks,
                                double rho_max) {
-  return aggregate_banks(banks, rho_max, [](const GG1Bank& b, double rm) {
-    return kingman_queue_delay(b, rm);
-  });
+  return aggregate_banks(banks, rho_max,
+                         [](const GG1Bank& b, double rm, bool* sat) {
+                           return kingman_queue_delay(b, rm, sat);
+                         });
 }
 
 QueuingResult dram_latency_mm1(const std::vector<GG1Bank>& banks,
                                double rho_max) {
-  return aggregate_banks(banks, rho_max, [](const GG1Bank& b, double rm) {
-    return mm1_queue_delay(b, rm);
-  });
+  return aggregate_banks(banks, rho_max,
+                         [](const GG1Bank& b, double rm, bool* sat) {
+                           return mm1_queue_delay(b, rm, sat);
+                         });
 }
 
 double dram_latency_constant(const PlacementEvents& ev, const GpuArch& arch) {

@@ -11,6 +11,13 @@
 // (Note: the paper's form uses c, not c^2, and tau_a; since rho*tau_a =
 // tau_s this matches the textbook heavy-traffic form up to the variability
 // exponent. We implement the paper's equation.)
+//
+// Robustness: the delay functions never return NaN/inf. Degenerate inputs
+// (zero inter-arrival time with a nonzero arrival rate, negative or
+// non-finite moments — all possible with caller-built GG1Bank values or
+// under fault injection) are clamped to the rho_max saturation point, and
+// the aggregate QueuingResult carries a `saturated` flag so the caller can
+// tell a trustworthy latency from a clamped one.
 #pragma once
 
 #include <vector>
@@ -34,19 +41,29 @@ struct GG1Bank {
 
 // Kingman's approximation (paper Eq. 9). rho is clamped to rho_max: a bank
 // driven at or beyond saturation has unbounded G/G/1 delay, while the real
-// system throttles arrivals through finite warp counts.
-double kingman_queue_delay(const GG1Bank& bank, double rho_max = 0.95);
+// system throttles arrivals through finite warp counts. Always finite and
+// non-negative; `saturated` (when provided) is set to true if the bank was
+// clamped (rho >= rho_max) or its inputs were degenerate, left unchanged
+// otherwise.
+double kingman_queue_delay(const GG1Bank& bank, double rho_max = 0.95,
+                           bool* saturated = nullptr);
 
 // The Markovian alternative the paper argues *against* (Sec. III-C3): an
 // M/M/1 queue, W_q = (rho / (1 - rho)) * tau_s, which assumes exponential
 // arrivals and service — i.e. ignores the measured variability entirely.
 // Kept for the comparison bench that reproduces the paper's argument.
-double mm1_queue_delay(const GG1Bank& bank, double rho_max = 0.95);
+// Same clamping/saturation contract as kingman_queue_delay.
+double mm1_queue_delay(const GG1Bank& bank, double rho_max = 0.95,
+                       bool* saturated = nullptr);
 
 struct QueuingResult {
   double dram_lat = 0.0;        // Eq. 7: lambda-weighted per-bank latency
   double avg_queue_delay = 0.0; // lambda-weighted W_q
   double avg_service = 0.0;     // lambda-weighted service time (Eq. 8 aggregate)
+  // At least one contributing bank ran at or past the rho_max clamp, or had
+  // degenerate (zero/negative/non-finite) queuing inputs: the latencies
+  // above are a saturation floor, not a faithful G/G/1 estimate.
+  bool saturated = false;
 };
 
 // Builds per-bank G/G/1 inputs from the trace analysis bank streams.
@@ -56,7 +73,7 @@ std::vector<GG1Bank> build_bank_inputs(const PlacementEvents& ev,
                                        double tick_to_cycles);
 
 // Eq. 6/7: per-bank latency = W_q + service, aggregated over banks weighted
-// by arrival rate.
+// by arrival rate. The result is always finite.
 QueuingResult dram_latency_gg1(const std::vector<GG1Bank>& banks,
                                double rho_max = 0.95);
 

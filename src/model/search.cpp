@@ -1,7 +1,9 @@
 #include "model/search.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -13,23 +15,47 @@ namespace {
 // cycles so far) only advances between chunks, so which candidates get
 // pruned does not depend on the thread count or scheduling — a requirement
 // for bit-identical serial/parallel results. The chunk size is a constant
-// for the same reason.
+// for the same reason. Deadline/cancel checks also happen only at chunk
+// boundaries, so an interrupted search's completed prefix is bit-identical
+// to the same prefix of an uninterrupted run.
 constexpr std::size_t kChunk = 64;
 
-}  // namespace
+// Chunk-boundary stop test shared by the exhaustive search and the oracle.
+// Reads the cancel token first (a cancelled caller should see `cancelled`
+// even when the deadline also expired).
+struct StopWatch {
+  explicit StopWatch(const SearchOptions& options)
+      : cancel(options.cancel) {
+    if (options.deadline)
+      deadline_at = std::chrono::steady_clock::now() + *options.deadline;
+  }
 
-SearchResult search_exhaustive(const Predictor& predictor, std::size_t cap) {
-  SearchOptions o;
-  o.cap = cap;
-  return search_exhaustive(predictor, o);
-}
+  // Sets exactly one of *cancelled / *deadline_hit when stopping.
+  bool should_stop(bool* deadline_hit, bool* cancelled) const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      *cancelled = true;
+      return true;
+    }
+    if (deadline_at &&
+        std::chrono::steady_clock::now() >= *deadline_at) {
+      *deadline_hit = true;
+      return true;
+    }
+    return false;
+  }
 
-SearchResult search_exhaustive(const Predictor& predictor,
-                               const SearchOptions& options) {
+  const std::atomic<bool>* cancel = nullptr;
+  std::optional<std::chrono::steady_clock::time_point> deadline_at;
+};
+
+// Core of the exhaustive search over an already-enumerated, non-empty space.
+// Exceptions from workers (captured and rethrown by ThreadPool) propagate to
+// the caller; the try_ wrapper converts them to INTERNAL.
+SearchResult exhaustive_over(const Predictor& predictor,
+                             const SearchOptions& options,
+                             const PlacementSpace& space) {
   const KernelInfo& k = predictor.kernel();
-  const GpuArch& arch = kepler_arch();
-  const PlacementSpace space = enumerate_placement_space(k, arch, options.cap);
-  GPUHMS_CHECK(!space.placements.empty());
+  const StopWatch watch(options);
 
   ThreadPool local_pool(options.pool ? 1 : options.num_threads);
   ThreadPool& pool = options.pool ? *options.pool : local_pool;
@@ -52,6 +78,22 @@ SearchResult search_exhaustive(const Predictor& predictor,
   bool have_best = false;
 
   for (std::size_t c0 = 0; c0 < n; c0 += kChunk) {
+    if (watch.should_stop(&best.deadline_hit, &best.cancelled)) {
+      if (!have_best) {
+        // Even an already-expired deadline returns a *scored* placement so
+        // the caller can always compare or apply the result.
+        best.placement = space.placements[0];
+        best.predicted_cycles =
+            predictor.predict_with(space.placements[0], &scratch[0],
+                                   skeleton.get())
+                .total_cycles;
+        best.evaluated = 1;
+        best.not_evaluated = n - 1;
+      } else {
+        best.not_evaluated = n - c0;
+      }
+      return best;
+    }
     const std::size_t c1 = std::min(n, c0 + kChunk);
     pool.parallel_for(c1 - c0, [&](int worker, std::size_t j) {
       const DataPlacement& p = space.placements[c0 + j];
@@ -79,6 +121,94 @@ SearchResult search_exhaustive(const Predictor& predictor,
     }
   }
   return best;
+}
+
+// Core of the oracle over an already-enumerated, non-empty space.
+OracleResult oracle_over(const KernelInfo& kernel, const GpuArch& arch,
+                         const SearchOptions& options,
+                         const PlacementSpace& space) {
+  const StopWatch watch(options);
+
+  ThreadPool local_pool(options.pool ? 1 : options.num_threads);
+  ThreadPool& pool = options.pool ? *options.pool : local_pool;
+
+  OracleResult r;
+  r.space_truncated = space.truncated;
+  r.space_skipped = space.skipped_combinations;
+  const std::size_t n = space.placements.size();
+  std::vector<std::uint64_t> cycles(std::min(n, kChunk));
+
+  for (std::size_t c0 = 0; c0 < n; c0 += kChunk) {
+    if (watch.should_stop(&r.deadline_hit, &r.cancelled)) {
+      if (r.simulated == 0) {
+        const std::uint64_t c = simulate(kernel, space.placements[0], arch).cycles;
+        r.best = r.worst = space.placements[0];
+        r.best_cycles = r.worst_cycles = c;
+        r.simulated = 1;
+        r.not_simulated = n - 1;
+      } else {
+        r.not_simulated = n - c0;
+      }
+      return r;
+    }
+    const std::size_t c1 = std::min(n, c0 + kChunk);
+    pool.parallel_for(c1 - c0, [&](int, std::size_t j) {
+      cycles[j] = simulate(kernel, space.placements[c0 + j], arch).cycles;
+    });
+    for (std::size_t j = 0; j < c1 - c0; ++j) {
+      const std::size_t i = c0 + j;
+      ++r.simulated;
+      if (i == 0 || cycles[j] < r.best_cycles) {
+        r.best = space.placements[i];
+        r.best_cycles = cycles[j];
+      }
+      if (i == 0 || cycles[j] > r.worst_cycles) {
+        r.worst = space.placements[i];
+        r.worst_cycles = cycles[j];
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+SearchResult search_exhaustive(const Predictor& predictor, std::size_t cap) {
+  SearchOptions o;
+  o.cap = cap;
+  return search_exhaustive(predictor, o);
+}
+
+SearchResult search_exhaustive(const Predictor& predictor,
+                               const SearchOptions& options) {
+  const KernelInfo& k = predictor.kernel();
+  const GpuArch& arch = kepler_arch();
+  const PlacementSpace space = enumerate_placement_space(k, arch, options.cap);
+  GPUHMS_CHECK(!space.placements.empty());
+  return exhaustive_over(predictor, options, space);
+}
+
+StatusOr<SearchResult> try_search_exhaustive(const Predictor& predictor,
+                                             const SearchOptions& options) {
+  const KernelInfo& k = predictor.kernel();
+  const std::string ctx = "searching placements of kernel '" + k.name + "'";
+  if (!predictor.has_sample())
+    return FailedPreconditionError(
+               "predictor has no profiled sample; call try_profile_sample or "
+               "try_set_sample first")
+        .annotate(ctx);
+  const GpuArch& arch = kepler_arch();
+  const PlacementSpace space = enumerate_placement_space(k, arch, options.cap);
+  if (space.placements.empty())
+    return InvalidArgumentError(
+               "kernel '" + k.name + "' admits no legal placement under cap " +
+               std::to_string(options.cap))
+        .annotate(ctx);
+  try {
+    return exhaustive_over(predictor, options, space);
+  } catch (const std::exception& e) {
+    return InternalError(e.what()).annotate(ctx);
+  }
 }
 
 SearchResult search_greedy(const Predictor& predictor, int max_sweeps) {
@@ -122,31 +252,29 @@ OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
   const PlacementSpace space =
       enumerate_placement_space(kernel, arch, options.cap);
   GPUHMS_CHECK(!space.placements.empty());
+  return oracle_over(kernel, arch, options, space);
+}
 
-  ThreadPool local_pool(options.pool ? 1 : options.num_threads);
-  ThreadPool& pool = options.pool ? *options.pool : local_pool;
-
-  const std::size_t n = space.placements.size();
-  std::vector<std::uint64_t> cycles(n);
-  pool.parallel_for(n, [&](int, std::size_t i) {
-    cycles[i] = simulate(kernel, space.placements[i], arch).cycles;
-  });
-
-  OracleResult r;
-  r.space_truncated = space.truncated;
-  r.space_skipped = space.skipped_combinations;
-  for (std::size_t i = 0; i < n; ++i) {
-    ++r.simulated;
-    if (i == 0 || cycles[i] < r.best_cycles) {
-      r.best = space.placements[i];
-      r.best_cycles = cycles[i];
-    }
-    if (i == 0 || cycles[i] > r.worst_cycles) {
-      r.worst = space.placements[i];
-      r.worst_cycles = cycles[i];
-    }
+StatusOr<OracleResult> try_search_oracle(const KernelInfo& kernel,
+                                         const GpuArch& arch,
+                                         const SearchOptions& options) {
+  const std::string ctx =
+      "oracle-searching placements of kernel '" + kernel.name + "'";
+  GPUHMS_RETURN_IF_ERROR(validate(kernel).annotate(ctx));
+  GPUHMS_RETURN_IF_ERROR(validate(arch).annotate(ctx));
+  const PlacementSpace space =
+      enumerate_placement_space(kernel, arch, options.cap);
+  if (space.placements.empty())
+    return InvalidArgumentError(
+               "kernel '" + kernel.name +
+               "' admits no legal placement under cap " +
+               std::to_string(options.cap))
+        .annotate(ctx);
+  try {
+    return oracle_over(kernel, arch, options, space);
+  } catch (const std::exception& e) {
+    return InternalError(e.what()).annotate(ctx);
   }
-  return r;
 }
 
 }  // namespace gpuhms

@@ -14,8 +14,12 @@
 // fixed chunk boundaries, so any thread count returns bit-identical results.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <optional>
 
+#include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "model/predictor.hpp"
 
@@ -34,6 +38,19 @@ struct SearchOptions {
   // Skip candidates whose T_comp lower bound exceeds the current best
   // (exhaustive search only; never changes the returned placement).
   bool prune = true;
+  // Wall-clock budget, measured from search entry. When it expires the
+  // search stops at the next chunk boundary and returns the best among the
+  // candidates already scored, with deadline_hit set. The completed prefix
+  // is bit-identical to an uninterrupted run (expiry is only checked at
+  // chunk boundaries, never mid-chunk). A zero (already-expired) deadline
+  // still scores the first candidate so the result is always a valid,
+  // comparable placement.
+  std::optional<std::chrono::steady_clock::duration> deadline;
+  // Cooperative cancellation: when *cancel reads true the search stops at
+  // the next chunk boundary with `cancelled` set, same best-so-far
+  // semantics as the deadline. The token outlives the call; the search
+  // never writes it.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SearchResult {
@@ -44,13 +61,32 @@ struct SearchResult {
   // Enumeration cap observability: a capped search is NOT a full search.
   bool space_truncated = false;
   std::uint64_t space_skipped = 0;  // placement combinations never examined
+  // Early-stop observability: the search returned best-so-far because the
+  // deadline expired / the cancel token fired. `not_evaluated` counts
+  // enumerated candidates that were never scored or pruned.
+  bool deadline_hit = false;
+  bool cancelled = false;
+  std::size_t not_evaluated = 0;
 };
 
 // Scores every legal placement (up to options.cap) with the predictor.
-// The predictor must already have a profiled sample.
+// The predictor must already have a profiled sample (aborts otherwise;
+// prefer try_search_exhaustive at API boundaries).
 SearchResult search_exhaustive(const Predictor& predictor,
                                const SearchOptions& options = {});
 SearchResult search_exhaustive(const Predictor& predictor, std::size_t cap);
+
+// Non-aborting variant:
+//   * FAILED_PRECONDITION when the predictor has no profiled sample,
+//   * INVALID_ARGUMENT when the kernel admits no legal placement under the
+//     cap (the aborting variant GPUHMS_CHECKs this),
+//   * INTERNAL when a worker exception (e.g. an injected trace.lower or
+//     pool.task fault) is captured by the thread pool and rethrown — the
+//     pool remains usable afterwards.
+// Deadline expiry / cancellation are NOT errors: they return OK with
+// deadline_hit / cancelled set on the result.
+StatusOr<SearchResult> try_search_exhaustive(const Predictor& predictor,
+                                             const SearchOptions& options = {});
 
 // Coordinate descent: sweep the arrays repeatedly, moving each to its best
 // space with the others fixed, until a full sweep changes nothing (or
@@ -65,13 +101,25 @@ struct OracleResult {
   std::size_t simulated = 0;
   bool space_truncated = false;
   std::uint64_t space_skipped = 0;
+  // Early-stop observability (same semantics as SearchResult).
+  bool deadline_hit = false;
+  bool cancelled = false;
+  std::size_t not_simulated = 0;
 };
 
 // Ground truth: simulate every legal placement (up to options.cap), spread
 // over the thread pool. Expensive — for evaluation harnesses only.
+// Honors SearchOptions::deadline / cancel with best-so-far semantics.
 OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
                            const SearchOptions& options = {});
 OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
                            std::size_t cap);
+
+// Non-aborting variant: INVALID_ARGUMENT when the kernel/arch are malformed
+// or admit no legal placement, INTERNAL when a worker exception escapes the
+// simulator. Deadline/cancel return OK with the flags set.
+StatusOr<OracleResult> try_search_oracle(const KernelInfo& kernel,
+                                         const GpuArch& arch,
+                                         const SearchOptions& options = {});
 
 }  // namespace gpuhms

@@ -20,6 +20,7 @@ TmemResult tmem(const TmemInputs& in, const GpuArch& arch,
                                 : dram_latency_mm1(banks, opts.rho_max);
     r.dram_lat = q.dram_lat;
     r.queue_delay = q.avg_queue_delay;
+    r.queue_saturated = q.saturated;
   } else if (opts.row_buffer_model) {
     r.dram_lat = dram_latency_constant(ev, arch);
   } else {

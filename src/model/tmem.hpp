@@ -40,6 +40,10 @@ struct TmemResult {
   double miss_ratio = 0.0;    // DRAM requests / off-chip+shared requests
   double shmem_ratio = 0.0;
   double effective_requests_per_sm = 0.0;  // Eq. 17
+  // Propagated from QueuingResult::saturated: dram_lat (and everything
+  // downstream of it) is a clamped saturation floor, not a faithful G/G/1
+  // estimate. Always false for the non-queuing ablations.
+  bool queue_saturated = false;
 };
 
 struct TmemInputs {

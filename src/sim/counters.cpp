@@ -29,4 +29,31 @@ std::map<std::string, double> ProfileCounters::as_event_map() const {
   return m;
 }
 
+Status validate(const SimResult& result) {
+  const ProfileCounters& c = result.counters;
+  if (result.cycles == 0)
+    return InvalidArgumentError(
+        "sample measurement reports zero cycles; the predictor cannot "
+        "calibrate on an empty run");
+  if (c.total_warps == 0)
+    return InvalidArgumentError("sample measurement reports zero warps");
+  if (c.active_sms < 0)
+    return InvalidArgumentError("sample measurement reports negative "
+                                "active_sms (" +
+                                std::to_string(c.active_sms) + ")");
+  if (c.inst_issued < c.inst_executed)
+    return InvalidArgumentError(
+        "sample counters are inconsistent: inst_issued (" +
+        std::to_string(c.inst_issued) + ") < inst_executed (" +
+        std::to_string(c.inst_executed) + ")");
+  if (c.inst_issued != c.inst_executed + c.replays_total())
+    return InvalidArgumentError(
+        "sample counters are inconsistent: inst_issued (" +
+        std::to_string(c.inst_issued) +
+        ") != inst_executed + replays_total (" +
+        std::to_string(c.inst_executed + c.replays_total()) +
+        "); the Eq. 3 replay split depends on this identity");
+  return OkStatus();
+}
+
 }  // namespace gpuhms

@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 
+#include "common/status.hpp"
 #include "dram/gddr.hpp"
 
 namespace gpuhms {
@@ -74,5 +75,12 @@ struct SimResult {
   // Measured average DRAM latency (cycles) and AMAT ingredients.
   double measured_dram_latency() const { return dram.avg_latency(); }
 };
+
+// Checks a (possibly externally supplied) sample measurement before the
+// predictor calibrates on it: the anchoring and replay math require a
+// nonzero kernel time, a nonzero warp count, and issue counters that are
+// mutually consistent (issued = executed + replays). Returns
+// INVALID_ARGUMENT naming the offending counter.
+Status validate(const SimResult& result);
 
 }  // namespace gpuhms

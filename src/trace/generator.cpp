@@ -1,6 +1,7 @@
 #include "trace/generator.hpp"
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 #include "isa/addressing.hpp"
 
 namespace gpuhms {
@@ -163,6 +164,8 @@ void TraceMaterializer::lower_mem(const WarpCtx& ctx, const DslOp& op,
 void TraceMaterializer::lower(const WarpCtx& ctx,
                               const std::vector<DslOp>& ops,
                               std::vector<TraceOp>& out) const {
+  if (GPUHMS_FAULT_POINT("trace.lower"))
+    throw InjectedFault("trace.lower: injected failure lowering warp trace");
   for (const DslOp& op : ops) {
     switch (op.cls) {
       case OpClass::Load:
@@ -299,6 +302,8 @@ void TraceMaterializer::generate_compact(std::int64_t block_begin,
   const std::size_t w0 = static_cast<std::size_t>(block_begin) * wpb;
   const std::size_t w1 = static_cast<std::size_t>(block_end) * wpb;
   for (std::size_t w = w0; w < w1; ++w) {
+    if (GPUHMS_FAULT_POINT("trace.lower"))
+      throw InjectedFault("trace.lower: injected failure lowering warp trace");
     const TraceSkeleton::WarpRecord& rec = skeleton.warp(w);
     CompactTrace::Warp warp;
     warp.ctx = rec.ctx;

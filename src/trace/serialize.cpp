@@ -1,10 +1,13 @@
 #include "trace/serialize.hpp"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
-#include <sstream>
+#include <string_view>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace gpuhms {
 
@@ -12,7 +15,7 @@ namespace {
 
 const char* class_name(OpClass c) { return to_string(c).data(); }
 
-std::optional<OpClass> parse_class(const std::string& s) {
+std::optional<OpClass> parse_class(std::string_view s) {
   for (OpClass c : {OpClass::IAlu, OpClass::FAlu, OpClass::DAlu, OpClass::Sfu,
                     OpClass::Load, OpClass::Store, OpClass::Sync}) {
     if (s == to_string(c)) return c;
@@ -20,16 +23,57 @@ std::optional<OpClass> parse_class(const std::string& s) {
   return std::nullopt;
 }
 
-std::optional<MemSpace> parse_space(const std::string& s) {
+std::optional<MemSpace> parse_space(std::string_view s) {
   for (MemSpace m : kAllMemSpaces) {
     if (s == to_string(m)) return m;
   }
   return std::nullopt;
 }
 
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    if (end > pos) out.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return out;
+}
+
+// Full-token integer parse; rejects trailing junk, overflow, and empty
+// tokens, so "12x", "1e9", and out-of-range values all fail loudly instead
+// of truncating.
+template <typename T>
+bool parse_int(std::string_view token, T& out, int base = 10) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out, base);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
 bool fail(std::string* error, const std::string& msg) {
   if (error) *error = msg;
   return false;
+}
+
+std::string quoted(std::string_view token) {
+  // NUL bytes and control characters from corrupt inputs must not garble the
+  // diagnostic itself.
+  std::string out = "'";
+  for (char c : token) {
+    if (c >= 0x20 && c < 0x7f)
+      out += c;
+    else {
+      constexpr char hex[] = "0123456789abcdef";
+      out += "\\x";
+      out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+      out += hex[static_cast<unsigned char>(c) & 0xf];
+    }
+  }
+  out += "'";
+  return out;
 }
 
 }  // namespace
@@ -40,6 +84,12 @@ void write_trace(std::ostream& os, const KernelInfo& kernel,
   os << "kernel " << kernel.name << ' ' << kernel.num_blocks << ' '
      << kernel.threads_per_block << '\n';
   for (const WarpTrace& wt : warps) {
+    if (GPUHMS_FAULT_POINT("serialize.write")) {
+      // A mid-stream I/O failure: the output is truncated and the stream is
+      // failed, exactly what a full disk or closed pipe produces.
+      os.setstate(std::ios::failbit);
+      return;
+    }
     os << "warp " << wt.ctx.block << ' ' << wt.ctx.warp_in_block << ' '
        << wt.ctx.lanes_active << '\n';
     for (const TraceOp& op : wt.ops) {
@@ -61,6 +111,17 @@ void write_trace(std::ostream& os, const TraceMaterializer& mat,
   write_trace(os, mat.kernel(), mat.generate(block_begin, block_end));
 }
 
+Status try_write_trace(std::ostream& os, const KernelInfo& kernel,
+                       const std::vector<WarpTrace>& warps) {
+  write_trace(os, kernel, warps);
+  os.flush();
+  if (!os)
+    return DataLossError("trace output stream entered a failed state; the "
+                         "written trace is truncated")
+        .annotate("serializing trace of kernel '" + kernel.name + "'");
+  return OkStatus();
+}
+
 std::optional<SerializedTrace> read_trace(std::istream& is,
                                           std::string* error) {
   SerializedTrace out;
@@ -70,77 +131,234 @@ std::optional<SerializedTrace> read_trace(std::istream& is,
   std::size_t lineno = 0;
   while (std::getline(is, line)) {
     ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string tag;
-    ls >> tag;
     const std::string where = " at line " + std::to_string(lineno);
+    if (GPUHMS_FAULT_POINT("serialize.read")) {
+      fail(error, "injected fault at site 'serialize.read'" + where);
+      return std::nullopt;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string_view> tok = tokenize(line);
+    if (tok.empty()) continue;  // whitespace-only line
+    const std::string_view tag = tok[0];
     if (tag == "kernel") {
       if (have_kernel) {
         fail(error, "duplicate kernel header" + where);
         return std::nullopt;
       }
-      ls >> out.kernel_name >> out.num_blocks >> out.threads_per_block;
-      if (!ls) {
-        fail(error, "malformed kernel header" + where);
+      if (tok.size() != 4) {
+        fail(error, "malformed kernel header" + where + ": expected 'kernel "
+                    "<name> <num_blocks> <threads_per_block>', got " +
+                        std::to_string(tok.size() - 1) + " fields");
+        return std::nullopt;
+      }
+      out.kernel_name = std::string(tok[1]);
+      if (!parse_int(tok[2], out.num_blocks)) {
+        fail(error, "malformed kernel header" + where +
+                        ": field 'num_blocks': invalid integer " +
+                        quoted(tok[2]));
+        return std::nullopt;
+      }
+      if (!parse_int(tok[3], out.threads_per_block)) {
+        fail(error, "malformed kernel header" + where +
+                        ": field 'threads_per_block': invalid integer " +
+                        quoted(tok[3]));
+        return std::nullopt;
+      }
+      if (out.num_blocks < 1 || out.threads_per_block < 1) {
+        fail(error, "malformed kernel header" + where +
+                        ": launch geometry must be positive, got num_blocks " +
+                        std::to_string(out.num_blocks) +
+                        ", threads_per_block " +
+                        std::to_string(out.threads_per_block));
         return std::nullopt;
       }
       have_kernel = true;
     } else if (tag == "warp") {
       if (!have_kernel) {
-        fail(error, "warp before kernel header" + where);
+        fail(error, "warp header before kernel header" + where);
+        return std::nullopt;
+      }
+      if (tok.size() != 4) {
+        fail(error, "malformed warp header" + where + ": expected 'warp "
+                    "<block> <warp_in_block> <lanes_active>', got " +
+                        std::to_string(tok.size() - 1) + " fields");
         return std::nullopt;
       }
       WarpTrace wt;
-      ls >> wt.ctx.block >> wt.ctx.warp_in_block >> wt.ctx.lanes_active;
-      if (!ls) {
-        fail(error, "malformed warp header" + where);
+      const char* field_names[] = {"block", "warp_in_block", "lanes_active"};
+      std::int64_t block = 0;
+      int warp_in_block = 0, lanes_active = 0;
+      const bool ok[] = {parse_int(tok[1], block),
+                         parse_int(tok[2], warp_in_block),
+                         parse_int(tok[3], lanes_active)};
+      for (int f = 0; f < 3; ++f) {
+        if (!ok[f]) {
+          fail(error, "malformed warp header" + where + ": field '" +
+                          field_names[f] + "': invalid integer " +
+                          quoted(tok[static_cast<std::size_t>(f) + 1]));
+          return std::nullopt;
+        }
+      }
+      if (block < 0 || warp_in_block < 0 || lanes_active < 1 ||
+          lanes_active > kWarpSize) {
+        fail(error, "malformed warp header" + where + ": block " +
+                        std::to_string(block) + ", warp_in_block " +
+                        std::to_string(warp_in_block) + ", lanes_active " +
+                        std::to_string(lanes_active) +
+                        " (lanes_active must be in [1, " +
+                        std::to_string(kWarpSize) + "])");
         return std::nullopt;
       }
+      wt.ctx.block = block;
+      wt.ctx.warp_in_block = warp_in_block;
+      wt.ctx.lanes_active = lanes_active;
       wt.ctx.threads_per_block = out.threads_per_block;
       wt.ctx.num_blocks = out.num_blocks;
       out.warps.push_back(std::move(wt));
       current = &out.warps.back();
     } else if (tag == "op") {
       if (!current) {
-        fail(error, "op before warp header" + where);
+        fail(error, "op record before warp header" + where);
         return std::nullopt;
       }
-      std::string cls_s, space_s;
-      int uses_prev = 0, addr_calc = 0;
+      if (tok.size() < 7) {
+        fail(error, "malformed op record" + where + ": expected 'op <class> "
+                    "<space> <array> <uses_prev> <is_addr_calc> "
+                    "<active_mask>', got " +
+                        std::to_string(tok.size() - 1) + " fields");
+        return std::nullopt;
+      }
       TraceOp op;
-      ls >> cls_s >> space_s >> op.array >> uses_prev >> addr_calc >>
-          std::hex >> op.active_mask >> std::dec;
-      const auto cls = parse_class(cls_s);
-      const auto space = parse_space(space_s);
-      if (!ls || !cls || !space) {
-        fail(error, "malformed op record" + where);
+      const auto cls = parse_class(tok[1]);
+      if (!cls) {
+        fail(error, "malformed op record" + where +
+                        ": field 'class': unknown op class " + quoted(tok[1]));
+        return std::nullopt;
+      }
+      const auto space = parse_space(tok[2]);
+      if (!space) {
+        fail(error, "malformed op record" + where +
+                        ": field 'space': unknown memory space " +
+                        quoted(tok[2]));
         return std::nullopt;
       }
       op.cls = *cls;
       op.space = *space;
+      if (!parse_int(tok[3], op.array)) {
+        fail(error, "malformed op record" + where +
+                        ": field 'array': invalid integer " + quoted(tok[3]));
+        return std::nullopt;
+      }
+      int uses_prev = 0, addr_calc = 0;
+      if (!parse_int(tok[4], uses_prev) || !parse_int(tok[5], addr_calc)) {
+        fail(error, "malformed op record" + where +
+                        ": field 'uses_prev/is_addr_calc': invalid integer " +
+                        quoted(!parse_int(tok[4], uses_prev) ? tok[4]
+                                                             : tok[5]));
+        return std::nullopt;
+      }
       op.uses_prev = uses_prev != 0;
       op.is_addr_calc = addr_calc != 0;
+      if (!parse_int(tok[6], op.active_mask, 16)) {
+        fail(error, "malformed op record" + where +
+                        ": field 'active_mask': invalid hex integer " +
+                        quoted(tok[6]));
+        return std::nullopt;
+      }
+      const std::size_t n_addrs = tok.size() - 7;
       if (is_memory(op.cls)) {
-        for (int l = 0; l < kWarpSize; ++l) {
-          ls >> op.addr[static_cast<std::size_t>(l)];
-        }
-        if (!ls) {
-          fail(error, "memory op missing lane addresses" + where);
+        // Exactly one address per lane: a short list is a truncated record,
+        // a long one would silently drop lanes (or smuggle in a second op).
+        if (n_addrs != static_cast<std::size_t>(kWarpSize)) {
+          fail(error, "malformed op record" + where + ": memory op carries " +
+                          std::to_string(n_addrs) +
+                          " lane addresses; expected exactly " +
+                          std::to_string(kWarpSize));
           return std::nullopt;
         }
+        for (int l = 0; l < kWarpSize; ++l) {
+          const std::string_view t = tok[static_cast<std::size_t>(l) + 7];
+          if (!parse_int(t, op.addr[static_cast<std::size_t>(l)])) {
+            fail(error, "malformed op record" + where + ": lane " +
+                            std::to_string(l) + " address: invalid integer " +
+                            quoted(t));
+            return std::nullopt;
+          }
+        }
+      } else if (n_addrs != 0) {
+        fail(error, "malformed op record" + where + ": non-memory op has " +
+                        std::to_string(n_addrs) +
+                        " trailing tokens, first is " + quoted(tok[7]));
+        return std::nullopt;
       }
       current->ops.push_back(op);
     } else {
-      fail(error, "unknown record tag '" + tag + "'" + where);
+      fail(error, "unknown record tag " + quoted(tag) + where);
       return std::nullopt;
     }
   }
   if (!have_kernel) {
-    fail(error, "no kernel header found");
+    fail(error, "no kernel header found in " + std::to_string(lineno) +
+                    " line(s)");
     return std::nullopt;
   }
   return out;
+}
+
+StatusOr<SerializedTrace> try_read_trace(std::istream& is) {
+  std::string error;
+  std::optional<SerializedTrace> parsed = read_trace(is, &error);
+  if (!parsed)
+    return DataLossError(error.empty() ? "unreadable trace" : error)
+        .annotate("parsing serialized trace");
+  return std::move(*parsed);
+}
+
+Status validate(const SerializedTrace& trace) {
+  const std::string who = "trace of kernel '" + trace.kernel_name + "'";
+  if (trace.num_blocks < 1)
+    return InvalidArgumentError(who + " has num_blocks " +
+                                std::to_string(trace.num_blocks) +
+                                "; must be >= 1");
+  if (trace.threads_per_block < 1)
+    return InvalidArgumentError(who + " has threads_per_block " +
+                                std::to_string(trace.threads_per_block) +
+                                "; must be >= 1");
+  const int warps_per_block =
+      (trace.threads_per_block + kWarpSize - 1) / kWarpSize;
+  for (std::size_t w = 0; w < trace.warps.size(); ++w) {
+    const WarpCtx& ctx = trace.warps[w].ctx;
+    const std::string where = who + " warp record #" + std::to_string(w);
+    if (ctx.block < 0 || ctx.block >= trace.num_blocks)
+      return InvalidArgumentError(where + " names block " +
+                                  std::to_string(ctx.block) +
+                                  " outside [0, " +
+                                  std::to_string(trace.num_blocks) + ")");
+    if (ctx.warp_in_block < 0 || ctx.warp_in_block >= warps_per_block)
+      return InvalidArgumentError(
+          where + " names warp_in_block " + std::to_string(ctx.warp_in_block) +
+          " outside [0, " + std::to_string(warps_per_block) + ")");
+    if (ctx.lanes_active < 1 || ctx.lanes_active > kWarpSize)
+      return InvalidArgumentError(where + " has lanes_active " +
+                                  std::to_string(ctx.lanes_active) +
+                                  " outside [1, " +
+                                  std::to_string(kWarpSize) + "]");
+    for (std::size_t o = 0; o < trace.warps[w].ops.size(); ++o) {
+      const TraceOp& op = trace.warps[w].ops[o];
+      if (is_memory(op.cls) && op.array < 0)
+        return InvalidArgumentError(where + " op #" + std::to_string(o) +
+                                    " is a memory op with negative array "
+                                    "index " +
+                                    std::to_string(op.array));
+      if (ctx.lanes_active < 32 &&
+          (op.active_mask >> ctx.lanes_active) != 0)
+        return InvalidArgumentError(
+            where + " op #" + std::to_string(o) +
+            " has active-mask bits above lanes_active (" +
+            std::to_string(ctx.lanes_active) + ")");
+    }
+  }
+  return OkStatus();
 }
 
 }  // namespace gpuhms

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "trace/generator.hpp"
 
 namespace gpuhms {
@@ -36,8 +37,24 @@ void write_trace(std::ostream& os, const KernelInfo& kernel,
                  const std::vector<WarpTrace>& warps);
 
 // Parses a trace written by write_trace. Returns nullopt on malformed
-// input (with a best-effort error message in *error when provided).
+// input (with an error message in *error when provided). Every error names
+// the 1-based line number and the offending token; memory-op address lists
+// with more or fewer than 32 lane entries are rejected explicitly.
 std::optional<SerializedTrace> read_trace(std::istream& is,
                                           std::string* error = nullptr);
+
+// Status-carrying variants of the serialization entry points.
+// try_read_trace returns DATA_LOSS with the read_trace diagnostic;
+// try_write_trace returns DATA_LOSS when the output stream enters a failed
+// state (disk full, closed pipe, injected serialize.write fault).
+StatusOr<SerializedTrace> try_read_trace(std::istream& is);
+Status try_write_trace(std::ostream& os, const KernelInfo& kernel,
+                       const std::vector<WarpTrace>& warps);
+
+// Structural validation of a parsed trace beyond per-line syntax: positive
+// launch geometry, warp headers within that geometry, lane counts in
+// [1, 32], and active masks consistent with lanes_active. Returns
+// INVALID_ARGUMENT naming the offending warp/op.
+Status validate(const SerializedTrace& trace);
 
 }  // namespace gpuhms

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -200,6 +201,84 @@ TEST(SearchParallel, TruncationIsObservable) {
   EXPECT_TRUE(r.space_truncated);
   EXPECT_EQ(r.space_skipped, capped.skipped_combinations);
   EXPECT_EQ(r.evaluated + r.pruned, 5u);
+}
+
+// --- deadlines and cancellation ---------------------------------------------
+
+// An already-expired deadline returns immediately, but still with a valid,
+// *scored* best-so-far placement and the deadline observable on the result.
+TEST(SearchDeadline, ZeroDeadlineReturnsScoredBestSoFar) {
+  const KernelInfo k = workloads::make_spmv(256, 16);
+  const Predictor pred = profiled_predictor(k);
+  SearchOptions o = options_with_threads(4);
+  o.deadline = std::chrono::milliseconds(0);
+  const SearchResult r = search_exhaustive(pred, o);
+  EXPECT_TRUE(r.deadline_hit);
+  EXPECT_FALSE(r.cancelled);
+  EXPECT_EQ(r.evaluated, 1u);  // the first candidate is always scored
+  EXPECT_GT(r.not_evaluated, 0u);
+  EXPECT_GT(r.predicted_cycles, 0.0);
+  // The returned placement is a real scored candidate: re-predicting it
+  // reproduces the reported cycles bit-for-bit.
+  EXPECT_EQ(pred.predict(r.placement).total_cycles, r.predicted_cycles);
+}
+
+// A generous deadline must not change anything: same winner, same
+// bookkeeping, no flags.
+TEST(SearchDeadline, FarFutureDeadlineIsIdentityOperation) {
+  const KernelInfo k = workloads::make_stencil2d(96, 48);
+  const Predictor pred = profiled_predictor(k);
+  const SearchResult plain = search_exhaustive(pred, options_with_threads(2));
+  SearchOptions o = options_with_threads(2);
+  o.deadline = std::chrono::hours(24);
+  const SearchResult bounded = search_exhaustive(pred, o);
+  expect_identical(plain, bounded);
+  EXPECT_FALSE(bounded.deadline_hit);
+  EXPECT_FALSE(bounded.cancelled);
+  EXPECT_EQ(bounded.not_evaluated, 0u);
+}
+
+TEST(SearchDeadline, PreSetCancelTokenStopsImmediately) {
+  const KernelInfo k = workloads::make_spmv(256, 16);
+  const Predictor pred = profiled_predictor(k);
+  std::atomic<bool> cancel{true};
+  SearchOptions o = options_with_threads(4);
+  o.cancel = &cancel;
+  const SearchResult r = search_exhaustive(pred, o);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.deadline_hit);
+  EXPECT_EQ(r.evaluated, 1u);
+  EXPECT_GT(r.predicted_cycles, 0.0);
+  EXPECT_EQ(pred.predict(r.placement).total_cycles, r.predicted_cycles);
+
+  // An unset token is inert.
+  cancel.store(false);
+  const SearchResult full = search_exhaustive(pred, o);
+  EXPECT_FALSE(full.cancelled);
+  expect_identical(full, search_exhaustive(pred, options_with_threads(4)));
+}
+
+TEST(SearchDeadline, OracleHonorsDeadlineWithBestSoFar) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  SearchOptions o = options_with_threads(2, true, true, 16);
+  o.deadline = std::chrono::milliseconds(0);
+  const OracleResult r = search_oracle(k, kepler_arch(), o);
+  EXPECT_TRUE(r.deadline_hit);
+  EXPECT_EQ(r.simulated, 1u);
+  EXPECT_GT(r.not_simulated, 0u);
+  EXPECT_GT(r.best_cycles, 0u);
+  EXPECT_EQ(r.best, r.worst);  // only one candidate examined
+}
+
+// try_search reports deadline expiry as OK-with-flag, not as an error.
+TEST(SearchDeadline, TrySearchTreatsDeadlineAsOk) {
+  const KernelInfo k = workloads::make_spmv(256, 16);
+  const Predictor pred = profiled_predictor(k);
+  SearchOptions o = options_with_threads(2);
+  o.deadline = std::chrono::milliseconds(0);
+  const auto r = try_search_exhaustive(pred, o);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(r->deadline_hit);
 }
 
 TEST(SearchParallel, TrainOverlapModelDeterministicAcrossPools) {

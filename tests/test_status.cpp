@@ -1,0 +1,319 @@
+// Status/StatusOr core and the non-aborting validate()/try_* API surface:
+// malformed kernels, placements, arch configs, measurements and traces must
+// come back as descriptive Status values (never aborts), with the offending
+// entity named in the message and call-site context attached via annotate().
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/gpu_arch.hpp"
+#include "model/search.hpp"
+#include "sim/counters.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+// --- Status / StatusOr mechanics --------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  const Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(OkStatus(), st);
+}
+
+TEST(Status, HelpersCarryCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(InvalidArgumentError("bad input").message(), "bad input");
+}
+
+TEST(Status, ToStringNamesTheCode) {
+  EXPECT_EQ(InvalidArgumentError("bad placement").to_string(),
+            "INVALID_ARGUMENT: bad placement");
+  EXPECT_EQ(OkStatus().to_string(), "OK");
+}
+
+TEST(Status, AnnotateChainsInnermostFirst) {
+  Status st = DataLossError("truncated record");
+  st.annotate("reading trace 'a.trace'").annotate("loading benchmark");
+  EXPECT_EQ(st.to_string(),
+            "DATA_LOSS: truncated record (while reading trace 'a.trace'; "
+            "while loading benchmark)");
+  // Annotating OK is a no-op.
+  Status ok;
+  ok.annotate("anything");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.to_string(), "OK");
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+  EXPECT_EQ(v.value_or(-1), 42);
+
+  const StatusOr<int> e(InvalidArgumentError("nope"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(StatusOr, ReturnIfErrorMacroPropagates) {
+  auto inner = []() -> Status { return InternalError("boom"); };
+  auto outer = [&]() -> Status {
+    GPUHMS_RETURN_IF_ERROR(inner());
+    return OkStatus();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+
+  auto make = [](bool ok) -> StatusOr<int> {
+    if (!ok) return InvalidArgumentError("no value");
+    return 7;
+  };
+  auto chain = [&](bool ok) -> StatusOr<int> {
+    GPUHMS_ASSIGN_OR_RETURN(const int x, make(ok));
+    return x + 1;
+  };
+  EXPECT_EQ(*chain(true), 8);
+  EXPECT_EQ(chain(false).status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- validate() entry points -------------------------------------------------
+
+TEST(Validate, ArchRejectsNonPositiveFieldsByName) {
+  GpuArch arch = kepler_arch();
+  EXPECT_TRUE(validate(arch).ok());
+  arch.num_sms = 0;
+  const Status st = validate(arch);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("num_sms"), std::string::npos) << st.to_string();
+}
+
+TEST(Validate, ArchRejectsNonWarpSize32AndOddCacheLine) {
+  GpuArch arch = kepler_arch();
+  arch.warp_size = 16;
+  EXPECT_EQ(validate(arch).code(), StatusCode::kInvalidArgument);
+  arch = kepler_arch();
+  arch.cache_line = 100;  // not a power of two
+  EXPECT_EQ(validate(arch).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Validate, KernelRejectsMissingFnAndBadGeometry) {
+  KernelInfo k = workloads::make_vecadd(1 << 10);
+  EXPECT_TRUE(validate(k).ok());
+
+  KernelInfo no_fn = k;
+  no_fn.fn = nullptr;
+  EXPECT_EQ(validate(no_fn).code(), StatusCode::kInvalidArgument);
+
+  KernelInfo zero_blocks = k;
+  zero_blocks.num_blocks = 0;
+  EXPECT_EQ(validate(zero_blocks).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Validate, KernelNamesTheOffendingArray) {
+  KernelInfo k = workloads::make_vecadd(1 << 10);
+  k.arrays[1].elems = 0;
+  const Status st = validate(k);
+  ASSERT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find(k.arrays[1].name), std::string::npos)
+      << st.to_string();
+
+  KernelInfo dup = workloads::make_vecadd(1 << 10);
+  dup.arrays[1].name = dup.arrays[0].name;
+  EXPECT_EQ(validate(dup).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Validate, PlacementRejectsSizeMismatchAndIllegalSpace) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  const GpuArch& arch = kepler_arch();
+  EXPECT_TRUE(validate(k, DataPlacement::defaults(k), arch).ok());
+
+  const DataPlacement short_p(std::vector<MemSpace>{MemSpace::Global});
+  const Status mismatch = validate(k, short_p, arch);
+  ASSERT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatch.message().find(k.name), std::string::npos);
+
+  // vecadd writes its output array: read-only spaces are illegal for it.
+  DataPlacement p = DataPlacement::defaults(k);
+  for (std::size_t a = 0; a < k.arrays.size(); ++a) {
+    if (!k.arrays[a].written) continue;
+    p.set(static_cast<int>(a), MemSpace::Constant);
+    const Status st = validate(k, p, arch);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find(k.arrays[a].name), std::string::npos)
+        << st.to_string();
+    break;
+  }
+}
+
+TEST(Validate, SimResultRejectsInconsistentCounters) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  SimResult r = simulate(k, DataPlacement::defaults(k), kepler_arch());
+  EXPECT_TRUE(validate(r).ok());
+
+  SimResult zero_cycles = r;
+  zero_cycles.cycles = 0;
+  EXPECT_EQ(validate(zero_cycles).code(), StatusCode::kInvalidArgument);
+
+  SimResult broken = r;
+  broken.counters.inst_issued = broken.counters.inst_executed - 1;
+  EXPECT_EQ(validate(broken).code(), StatusCode::kInvalidArgument);
+}
+
+// --- Predictor try_* surface -------------------------------------------------
+
+TEST(TryApi, PredictBeforeSampleIsFailedPrecondition) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  Predictor pred(k, kepler_arch());
+  EXPECT_FALSE(pred.has_sample());
+  const auto r = pred.try_predict(DataPlacement::defaults(k));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(r.status().message().find(k.name), std::string::npos);
+}
+
+TEST(TryApi, SetSampleValidatesMeasurementAndPlacement) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  Predictor pred(k, kepler_arch());
+  const DataPlacement sample = DataPlacement::defaults(k);
+
+  SimResult bogus;  // zero cycles, zero warps
+  EXPECT_EQ(pred.try_set_sample(sample, bogus).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(pred.has_sample());
+
+  const DataPlacement short_p(std::vector<MemSpace>{MemSpace::Global});
+  const SimResult good = simulate(k, sample, kepler_arch());
+  EXPECT_EQ(pred.try_set_sample(short_p, good).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(pred.try_set_sample(sample, good).ok());
+  EXPECT_TRUE(pred.has_sample());
+}
+
+TEST(TryApi, TryPredictMatchesPredict) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  Predictor pred(k, kepler_arch());
+  ASSERT_TRUE(pred.try_profile_sample(DataPlacement::defaults(k)).ok());
+  const auto space = enumerate_placements(k, kepler_arch(), 8);
+  for (const auto& p : space) {
+    const auto r = pred.try_predict(p);
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_EQ(r->total_cycles, pred.predict(p).total_cycles);
+  }
+  // Batch variant agrees too and validates each target.
+  const auto batch = pred.try_predict_batch(space);
+  ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+  ASSERT_EQ(batch->size(), space.size());
+  for (std::size_t i = 0; i < space.size(); ++i)
+    EXPECT_EQ((*batch)[i].total_cycles, pred.predict(space[i]).total_cycles);
+
+  std::vector<DataPlacement> bad = {space[0],
+                                    DataPlacement(std::vector<MemSpace>{})};
+  const auto bad_batch = pred.try_predict_batch(bad);
+  ASSERT_FALSE(bad_batch.ok());
+  EXPECT_EQ(bad_batch.status().code(), StatusCode::kInvalidArgument);
+  // The error names the offending batch index.
+  EXPECT_NE(bad_batch.status().context().find("#1"), std::string::npos)
+      << bad_batch.status().to_string();
+}
+
+TEST(TryApi, IllegalTargetPlacementIsInvalidArgument) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  Predictor pred(k, kepler_arch());
+  ASSERT_TRUE(pred.try_profile_sample(DataPlacement::defaults(k)).ok());
+  DataPlacement p = DataPlacement::defaults(k);
+  for (std::size_t a = 0; a < k.arrays.size(); ++a) {
+    if (!k.arrays[a].written) continue;
+    p.set(static_cast<int>(a), MemSpace::Texture1D);
+    break;
+  }
+  const auto r = pred.try_predict(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- search try_* surface ----------------------------------------------------
+
+TEST(TryApi, SearchWithoutSampleIsFailedPrecondition) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  const Predictor pred(k, kepler_arch());
+  const auto r = try_search_exhaustive(pred);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TryApi, TrySearchMatchesAbortingSearch) {
+  const KernelInfo k = workloads::make_triad(1 << 12);
+  Predictor pred(k, kepler_arch());
+  pred.profile_sample(DataPlacement::defaults(k));
+  SearchOptions o;
+  o.cap = 16;
+  o.num_threads = 2;
+  const SearchResult plain = search_exhaustive(pred, o);
+  const auto tried = try_search_exhaustive(pred, o);
+  ASSERT_TRUE(tried.ok()) << tried.status().to_string();
+  EXPECT_EQ(tried->placement, plain.placement);
+  EXPECT_EQ(tried->predicted_cycles, plain.predicted_cycles);
+  EXPECT_EQ(tried->evaluated, plain.evaluated);
+}
+
+TEST(TryApi, TrySearchOracleValidatesArch) {
+  const KernelInfo k = workloads::make_vecadd(1 << 10);
+  GpuArch broken = kepler_arch();
+  broken.num_sms = -1;
+  SearchOptions o;
+  o.cap = 4;
+  const auto r = try_search_oracle(k, broken, o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- serialization try_* surface --------------------------------------------
+
+TEST(TryApi, TryReadTraceReportsDataLossWithLineNumber) {
+  std::istringstream is("kernel k 1 32\nwarp 0 0 32\nop bogus_class\n");
+  const auto r = try_read_trace(is);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().to_string();
+}
+
+TEST(TryApi, TryWriteTraceRoundTrips) {
+  const KernelInfo k = workloads::make_vecadd(1 << 8);
+  TraceMaterializer mat(k, DataPlacement::defaults(k), kepler_arch());
+  const auto warps = mat.generate(0, 1);
+  std::ostringstream os;
+  ASSERT_TRUE(try_write_trace(os, k, warps).ok());
+  std::istringstream is(os.str());
+  const auto parsed = try_read_trace(is);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->warps.size(), warps.size());
+  EXPECT_TRUE(validate(*parsed).ok());
+}
+
+TEST(TryApi, SerializedTraceValidateCatchesBadGeometry) {
+  SerializedTrace t;
+  t.kernel_name = "k";
+  t.num_blocks = 0;  // must be >= 1
+  t.threads_per_block = 32;
+  EXPECT_EQ(validate(t).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpuhms
