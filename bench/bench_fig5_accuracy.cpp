@@ -5,12 +5,55 @@
 // Paper: our average error ~9.9%, improving on [7] by ~17.6% on average,
 // with the largest gains on replay-heavy (NN_C, SCAN_2) and row-buffer-
 // sensitive (Reduction_2) tests.
+// --write-golden PATH regenerates tests/golden/fig5_errors.json, the file
+// test_golden_accuracy locks the per-test prediction errors against. Only
+// rewrite it for an intentional, reviewed accuracy change.
 #include <cstdio>
+#include <string>
 
 #include "eval_common.hpp"
 
 using namespace gpuhms;
 using namespace gpuhms::bench;
+
+namespace {
+
+// Full-precision doubles (%.17g round-trips binary64) so the golden file
+// carries no quantization of its own; the test applies the tolerance.
+int write_golden(const char* path, const std::vector<Row>& ours,
+                 const std::vector<Row>& sim2012) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"source\": \"bench_fig5_accuracy --write-golden\",\n");
+  std::fprintf(f, "  \"model_avg_abs_error\": %.17g,\n",
+               mean_abs_error(ours));
+  std::fprintf(f, "  \"sim2012_avg_abs_error\": %.17g,\n",
+               mean_abs_error(sim2012));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < ours.size(); ++i) {
+    const Row& r = ours[i];
+    std::fprintf(f,
+                 "    {\"id\": \"%s\", \"benchmark\": \"%s\", "
+                 "\"measured\": %.17g, \"predicted\": %.17g, "
+                 "\"abs_error\": %.17g}%s\n",
+                 r.id.c_str(), r.benchmark.c_str(), r.measured, r.predicted,
+                 r.abs_error(), i + 1 < ours.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "failed writing '%s'\n", path);
+    return 1;
+  }
+  std::printf("wrote golden accuracy file: %s (%zu rows)\n", path,
+              ours.size());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   EvalHarness harness;
@@ -35,6 +78,14 @@ int main(int argc, char** argv) {
 
   const auto ours = harness.run_variant(ModelOptions{});
   const auto sim2012 = harness.run_sim2012();
+
+  if (argc > 1 && std::string(argv[1]) == "--write-golden") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --write-golden PATH\n", argv[0]);
+      return 1;
+    }
+    return write_golden(argv[2], ours, sim2012);
+  }
 
   print_comparison(
       "Fig. 5: prediction accuracy, our model vs Sim et al. [7]",

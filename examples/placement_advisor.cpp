@@ -9,9 +9,16 @@
 // optional wall-clock budget shows deadline-bounded search returning its
 // best-so-far recommendation.
 //
+// Observability: --metrics-out=PATH (or "-" for stdout) enables the metrics
+// registry and dumps the final MetricsSnapshot as JSON; --trace-out=PATH
+// records scoped-phase trace events and writes Chrome trace-event JSON
+// loadable in chrome://tracing. Both default to off, leaving the hot path
+// uninstrumented (GPUHMS_METRICS env also enables recording).
+//
 // Usage: ./examples/placement_advisor [benchmark] [max_placements]
 //                                     [--deadline-ms=N]
-//        (default: spmv, 64, no deadline)
+//                                     [--metrics-out=PATH] [--trace-out=PATH]
+//        (default: spmv, 64, no deadline, no metrics/trace)
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -22,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/obs.hpp"
 #include "model/search.hpp"
 #include "workloads/workloads.hpp"
 
@@ -57,18 +65,39 @@ std::optional<workloads::BenchmarkCase> find_benchmark(
   return std::nullopt;
 }
 
+// Accepts both --flag=value and --flag value spellings; returns nullptr
+// when `arg` is not this flag, dies when the value is missing.
+const char* flag_value(const char* arg, const char* flag, int argc,
+                       char** argv, int* i) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0) return nullptr;
+  if (arg[len] == '=') return arg + len + 1;
+  if (arg[len] != '\0') return nullptr;  // e.g. --metrics-outX
+  if (*i + 1 >= argc)
+    die(std::string("missing value for ") + flag);
+  return argv[++*i];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string name = "spmv";
   std::size_t cap = 64;
   std::optional<std::chrono::milliseconds> deadline;
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> trace_out;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+    if (const char* v = flag_value(arg, "--deadline-ms", argc, argv, &i)) {
       deadline = std::chrono::milliseconds(
-          static_cast<long long>(parse_size(arg + 14, "deadline")));
+          static_cast<long long>(parse_size(v, "deadline")));
+    } else if (const char* v =
+                   flag_value(arg, "--metrics-out", argc, argv, &i)) {
+      metrics_out = v;
+    } else if (const char* v =
+                   flag_value(arg, "--trace-out", argc, argv, &i)) {
+      trace_out = v;
     } else if (positional == 0) {
       name = arg;
       ++positional;
@@ -79,6 +108,8 @@ int main(int argc, char** argv) {
       die(std::string("unexpected argument '") + arg + "'");
     }
   }
+  if (metrics_out) obs::set_enabled(true);
+  if (trace_out) obs::start_tracing();
 
   std::vector<std::string> known;
   const auto bench = find_benchmark(name, &known);
@@ -173,6 +204,27 @@ int main(int argc, char** argv) {
                 s.placement.to_string().c_str(), s.predicted,
                 sample_cycles / s.predicted,
                 s.placement.describe_vs(bench->sample, bench->kernel).c_str());
+  }
+
+  if (trace_out) {
+    obs::stop_tracing();
+    if (const Status st = obs::write_chrome_trace(*trace_out); !st.ok())
+      die(st.to_string());
+    std::printf("\nwrote Chrome trace to %s (open in chrome://tracing)\n",
+                trace_out->c_str());
+  }
+  if (metrics_out) {
+    const std::string json = obs::snapshot().to_json();
+    if (*metrics_out == "-") {
+      std::printf("\n%s", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(metrics_out->c_str(), "w");
+      if (!f) die("cannot open metrics output file '" + *metrics_out + "'");
+      std::fputs(json.c_str(), f);
+      if (std::fclose(f) != 0)
+        die("failed writing metrics to '" + *metrics_out + "'");
+      std::printf("\nwrote metrics snapshot to %s\n", metrics_out->c_str());
+    }
   }
   return 0;
 }

@@ -1,0 +1,475 @@
+#include "common/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace gpuhms::obs {
+
+namespace {
+
+// --- enable toggle -----------------------------------------------------------
+
+bool env_enabled() {
+  const char* v = std::getenv("GPUHMS_METRICS");
+  return v != nullptr && v[0] != '\0' &&
+         !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+std::atomic<bool> g_tracing{false};
+
+// --- per-thread shard index --------------------------------------------------
+
+unsigned tls_shard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(kValueShards);
+  return shard;
+}
+
+// --- registry ----------------------------------------------------------------
+
+// Name->metric maps sharded by name hash. Metrics are unique_ptr so the
+// references handed out stay stable across rehashes; entries are never
+// erased.
+constexpr std::size_t kMapShards = 8;
+
+template <typename M>
+struct MetricMap {
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<M>> map;
+  };
+  std::array<Shard, kMapShards> shards;
+
+  M& get(std::string_view name) {
+    const std::size_t h = std::hash<std::string_view>{}(name) % kMapShards;
+    Shard& s = shards[h];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(std::string(name));
+    if (it == s.map.end()) {
+      it = s.map.emplace(std::string(name), std::make_unique<M>()).first;
+    }
+    return *it->second;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Shard& s : shards) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      for (auto& [name, m] : s.map) fn(name, *m);
+    }
+  }
+};
+
+struct RegistryState {
+  MetricMap<Counter> counters;
+  MetricMap<Gauge> gauges;
+  MetricMap<Histogram> histograms;
+};
+
+RegistryState& registry() {
+  static RegistryState* r = new RegistryState();  // never destroyed: handles
+  return *r;                                      // outlive static teardown
+}
+
+// --- trace recorder ----------------------------------------------------------
+
+struct TraceEvent {
+  const char* name;
+  std::uint32_t tid;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+// Per-thread event buffers, kept alive in a global list past thread exit so
+// pool workers joined before export still contribute their events.
+struct ThreadTraceBuf {
+  std::uint32_t tid = 0;
+  std::uint64_t epoch = 0;  // trace generation the buffer was cleared for
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mu;  // guards buffers/next_tid (registration + export)
+  std::vector<std::shared_ptr<ThreadTraceBuf>> buffers;
+  std::uint32_t next_tid = 0;
+  std::atomic<std::uint64_t> epoch{0};  // bumped by start_tracing
+  std::atomic<std::uint64_t> t0_ns{0};  // trace clock origin
+};
+
+TraceState& trace_state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+ThreadTraceBuf& local_trace_buf() {
+  thread_local std::shared_ptr<ThreadTraceBuf> buf = [] {
+    auto b = std::make_shared<ThreadTraceBuf>();
+    TraceState& s = trace_state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+// --- toggles -----------------------------------------------------------------
+
+bool metrics_active() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+bool tracing_active() { return g_tracing.load(std::memory_order_relaxed); }
+
+void start_tracing() {
+  TraceState& s = trace_state();
+  s.t0_ns.store(now_ns(), std::memory_order_relaxed);
+  s.epoch.fetch_add(1, std::memory_order_release);
+  g_tracing.store(true, std::memory_order_release);
+}
+
+void stop_tracing() { g_tracing.store(false, std::memory_order_relaxed); }
+
+// --- metric primitives -------------------------------------------------------
+
+unsigned Counter::shard_index() { return tls_shard(); }
+unsigned Histogram::shard_index() { return tls_shard(); }
+
+std::uint64_t Counter::value() const {
+  std::uint64_t sum = 0;
+  for (const Cell& c : shards_) sum += c.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() {
+  for (Cell& c : shards_) c.v.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t v) {
+  Cell& c = shards_[shard_index()];
+  c.buckets[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.sum.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = c.min.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !c.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = c.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !c.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const Cell& c : shards_) n += c.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t s = 0;
+  for (const Cell& c : shards_) s += c.sum.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t Histogram::min() const {
+  std::uint64_t m = ~std::uint64_t{0};
+  for (const Cell& c : shards_)
+    m = std::min(m, c.min.load(std::memory_order_relaxed));
+  return m == ~std::uint64_t{0} ? 0 : m;
+}
+
+std::uint64_t Histogram::max() const {
+  std::uint64_t m = 0;
+  for (const Cell& c : shards_)
+    m = std::max(m, c.max.load(std::memory_order_relaxed));
+  return m;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+               : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::bucket_count(int b) const {
+  std::uint64_t n = 0;
+  for (const Cell& c : shards_)
+    n += c.buckets[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  return n;
+}
+
+void Histogram::reset() {
+  for (Cell& c : shards_) {
+    for (auto& b : c.buckets) b.store(0, std::memory_order_relaxed);
+    c.count.store(0, std::memory_order_relaxed);
+    c.sum.store(0, std::memory_order_relaxed);
+    c.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    c.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- registry accessors ------------------------------------------------------
+
+Counter& counter(std::string_view name) {
+  return registry().counters.get(name);
+}
+Gauge& gauge(std::string_view name) { return registry().gauges.get(name); }
+Histogram& histogram(std::string_view name) {
+  return registry().histograms.get(name);
+}
+
+void reset_all_metrics() {
+  registry().counters.for_each([](const std::string&, Counter& c) {
+    c.reset();
+  });
+  registry().gauges.for_each([](const std::string&, Gauge& g) { g.reset(); });
+  registry().histograms.for_each([](const std::string&, Histogram& h) {
+    h.reset();
+  });
+}
+
+// --- snapshot ----------------------------------------------------------------
+
+MetricsSnapshot snapshot() {
+  MetricsSnapshot s;
+  registry().counters.for_each([&](const std::string& n, Counter& c) {
+    s.counters.push_back({n, c.value()});
+  });
+  registry().gauges.for_each([&](const std::string& n, Gauge& g) {
+    s.gauges.push_back({n, g.value()});
+  });
+  registry().histograms.for_each([&](const std::string& n, Histogram& h) {
+    MetricsSnapshot::HistogramEntry e;
+    e.name = n;
+    e.count = h.count();
+    e.sum = h.sum();
+    e.min = h.min();
+    e.max = h.max();
+    e.mean = h.mean();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t c = h.bucket_count(b);
+      if (c != 0) e.buckets.emplace_back(Histogram::bucket_lo(b), c);
+    }
+    s.histograms.push_back(std::move(e));
+  });
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(s.counters.begin(), s.counters.end(), by_name);
+  std::sort(s.gauges.begin(), s.gauges.end(), by_name);
+  std::sort(s.histograms.begin(), s.histograms.end(), by_name);
+  return s;
+}
+
+const MetricsSnapshot::CounterEntry* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& e : counters)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+const MetricsSnapshot::GaugeEntry* MetricsSnapshot::find_gauge(
+    std::string_view name) const {
+  for (const auto& e : gauges)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramEntry* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  for (const auto& e : histograms)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  char buf[160];
+  for (const auto& c : counters) {
+    std::snprintf(buf, sizeof(buf), "counter   %-44s %20llu\n",
+                  c.name.c_str(), static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge     %-44s %20lld\n",
+                  g.name.c_str(), static_cast<long long>(g.value));
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %-44s count=%llu mean=%.1f min=%llu max=%llu\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean, static_cast<unsigned long long>(h.min),
+                  static_cast<unsigned long long>(h.max));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  // Sized for the histogram header: five full-width u64 fields plus a
+  // %.3f mean comfortably exceed 96 bytes.
+  char buf[256];
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, c.name);
+    std::snprintf(buf, sizeof(buf), "\": %llu",
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, g.name);
+    std::snprintf(buf, sizeof(buf), "\": %lld",
+                  static_cast<long long>(g.value));
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, h.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+                  "\"max\": %llu, \"mean\": %.3f, \"buckets\": [",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.min),
+                  static_cast<unsigned long long>(h.max), h.mean);
+    out += buf;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s[%llu, %llu]", i ? ", " : "",
+                    static_cast<unsigned long long>(h.buckets[i].first),
+                    static_cast<unsigned long long>(h.buckets[i].second));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+// --- timers / trace ----------------------------------------------------------
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (!metrics_ && !tracing_) return;
+  const std::uint64_t dur = now_ns() - start_;
+  if (metrics_) hist_->record(dur);
+  if (tracing_) trace_emit(name_, start_, dur);
+}
+
+void trace_emit(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns) {
+  if (!tracing_active()) return;
+  TraceState& s = trace_state();
+  ThreadTraceBuf& buf = local_trace_buf();
+  // Lazily reset buffers left over from a previous trace generation.
+  const std::uint64_t epoch = s.epoch.load(std::memory_order_acquire);
+  if (buf.epoch != epoch) {
+    buf.epoch = epoch;
+    buf.events.clear();
+  }
+  buf.events.push_back({name, buf.tid, start_ns, dur_ns});
+}
+
+std::string chrome_trace_json() {
+  TraceState& s = trace_state();
+  std::vector<std::shared_ptr<ThreadTraceBuf>> buffers;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    buffers = s.buffers;
+  }
+  const std::uint64_t epoch = s.epoch.load(std::memory_order_acquire);
+  const std::uint64_t t0 = s.t0_ns.load(std::memory_order_relaxed);
+  std::string out = "{\"traceEvents\": [";
+  char buf[192];
+  bool first = true;
+  for (const auto& b : buffers) {
+    if (b->epoch != epoch) continue;
+    for (const TraceEvent& e : b->events) {
+      const double ts_us =
+          static_cast<double>(e.start_ns - std::min(e.start_ns, t0)) / 1e3;
+      const double dur_us = static_cast<double>(e.dur_ns) / 1e3;
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "  {\"name\": \"";
+      append_json_escaped(out, e.name);
+      std::snprintf(buf, sizeof(buf),
+                    "\", \"cat\": \"gpuhms\", \"ph\": \"X\", \"ts\": %.3f, "
+                    "\"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                    ts_us, dur_us, e.tid);
+      out += buf;
+    }
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Status write_chrome_trace(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f)
+    return InvalidArgumentError("cannot open trace output file '" + path +
+                                "'");
+  const std::string json = chrome_trace_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  f.flush();
+  if (!f)
+    return InternalError("failed writing Chrome trace to '" + path + "'");
+  return OkStatus();
+}
+
+}  // namespace gpuhms::obs

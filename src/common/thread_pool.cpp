@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/fault_injection.hpp"
+#include "common/obs.hpp"
 
 namespace gpuhms {
 
@@ -88,6 +89,9 @@ void ThreadPool::drain(int worker,
     // std::terminate the process): capture the first exception, cancel the
     // remaining claims, and let parallel_for rethrow on the calling thread.
     try {
+      GPUHMS_SCOPED_PHASE("pool.task_ns");
+      GPUHMS_GAUGE_SET("pool.queue_depth",
+                       n - std::min(n, next_.load(std::memory_order_relaxed)));
       if (GPUHMS_FAULT_POINT("pool.task")) throw InjectedFault("pool.task");
       fn(worker, i);
     } catch (...) {
@@ -104,10 +108,12 @@ void ThreadPool::drain(int worker,
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(int, std::size_t)>& fn) {
   if (n == 0) return;
+  GPUHMS_HISTOGRAM_RECORD("pool.job_size", n);
   if (workers_.empty() || n == 1) {
     // Serial path: exceptions propagate to the caller directly, matching the
     // pooled path's "first exception rethrown on the calling thread".
     for (std::size_t i = 0; i < n; ++i) {
+      GPUHMS_SCOPED_PHASE("pool.task_ns");
       if (GPUHMS_FAULT_POINT("pool.task")) throw InjectedFault("pool.task");
       fn(0, i);
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/obs.hpp"
 #include "isa/addressing.hpp"
 
 namespace gpuhms {
@@ -46,6 +47,8 @@ void Predictor::profile_sample(const DataPlacement& sample) {
 
 void Predictor::set_sample(const DataPlacement& sample,
                            const SimResult& measured) {
+  GPUHMS_SCOPED_PHASE("predictor.set_sample_ns");
+  GPUHMS_COUNTER_ADD("predictor.samples_set", 1);
   sample_ = sample;
   sample_result_ = measured;
   sample_ev_ = analyze_trace(*kernel_, sample, *arch_,
@@ -127,10 +130,13 @@ Prediction Predictor::predict_from_events(
   Prediction p;
 
   // Issued instructions (Sec. III-B / Eq. 3).
-  InstructionCountOptions ico;
-  ico.detailed_counting = options_.detailed_instruction_counting;
-  p.inst = estimate_issued_instructions(sc, *sample_ev_, target_ev,
-                                        sc.total_warps, ico);
+  {
+    GPUHMS_SCOPED_PHASE("predictor.inst_count_ns");
+    InstructionCountOptions ico;
+    ico.detailed_counting = options_.detailed_instruction_counting;
+    p.inst = estimate_issued_instructions(sc, *sample_ev_, target_ev,
+                                          sc.total_warps, ico);
+  }
 
   // Instruction-tick -> cycle calibration from the sample run.
   const double tick_to_cycles =
@@ -138,35 +144,44 @@ Prediction Predictor::predict_from_events(
       std::max(1.0, static_cast<double>(sample_ev_->trace_ticks));
 
   // T_mem (Eq. 4-10).
-  TmemInputs tin;
-  tin.events = &target_ev;
-  tin.total_warps = total_warps;
-  tin.active_sms = active_sms;
-  tin.n_warps_per_sm = n_warps;
-  tin.issued_per_warp = p.inst.issued_per_warp;
-  tin.tick_to_cycles = tick_to_cycles;
-  const TmemResult tm = tmem(tin, *arch_, tmem_options(options_));
-  p.t_mem = tm.t_mem;
-  p.amat = tm.amat;
-  p.dram_lat = tm.dram_lat;
-  p.queue_saturated = tm.queue_saturated;
+  {
+    GPUHMS_SCOPED_PHASE("predictor.tmem_ns");
+    TmemInputs tin;
+    tin.events = &target_ev;
+    tin.total_warps = total_warps;
+    tin.active_sms = active_sms;
+    tin.n_warps_per_sm = n_warps;
+    tin.issued_per_warp = p.inst.issued_per_warp;
+    tin.tick_to_cycles = tick_to_cycles;
+    const TmemResult tm = tmem(tin, *arch_, tmem_options(options_));
+    p.t_mem = tm.t_mem;
+    p.amat = tm.amat;
+    p.dram_lat = tm.dram_lat;
+    p.queue_saturated = tm.queue_saturated;
+  }
 
   // T_comp (Eq. 2). W_serial is placement-invariant and absorbed by the
   // sample anchoring / the T_overlap regression constant.
-  TcompInputs cin;
-  cin.inst = p.inst;
-  cin.total_warps = total_warps;
-  cin.active_sms = active_sms;
-  cin.itilp = compute_itilp(target_ev, n_warps, *arch_);
-  cin.w_serial = 0.0;
-  p.t_comp = tcomp(cin, *arch_);
+  {
+    GPUHMS_SCOPED_PHASE("predictor.tcomp_ns");
+    TcompInputs cin;
+    cin.inst = p.inst;
+    cin.total_warps = total_warps;
+    cin.active_sms = active_sms;
+    cin.itilp = compute_itilp(target_ev, n_warps, *arch_);
+    cin.w_serial = 0.0;
+    p.t_comp = tcomp(cin, *arch_);
+  }
 
   // T_overlap (Eq. 11-12). The upper bound keeps the overlap physical: it
   // cannot exceed the smaller of the two overlapped components.
-  p.overlap_ratio = overlap_.overlap_ratio(target_ev, n_warps);
-  p.t_overlap = std::clamp(p.overlap_ratio * p.t_mem,
-                           -0.25 * (p.t_comp + p.t_mem),
-                           std::min(p.t_comp, p.t_mem));
+  {
+    GPUHMS_SCOPED_PHASE("predictor.toverlap_ns");
+    p.overlap_ratio = overlap_.overlap_ratio(target_ev, n_warps);
+    p.t_overlap = std::clamp(p.overlap_ratio * p.t_mem,
+                             -0.25 * (p.t_comp + p.t_mem),
+                             std::min(p.t_comp, p.t_mem));
+  }
 
   p.raw_cycles = std::max(1.0, p.t_comp + p.t_mem - p.t_overlap);
   p.total_cycles = p.raw_cycles;
@@ -180,10 +195,27 @@ Prediction Predictor::predict(const DataPlacement& target) const {
 Prediction Predictor::predict_with(const DataPlacement& target,
                                    TraceAnalyzer* analyzer,
                                    const TraceSkeleton* skeleton) const {
+  GPUHMS_SCOPED_PHASE("predictor.predict_ns");
+  // The skeleton replay is the predictor's memo: a hit replays pre-recorded
+  // DSL streams, a miss re-runs the kernel function per candidate.
+  if (skeleton != nullptr) {
+    GPUHMS_COUNTER_ADD("predictor.memo_hits", 1);
+  } else {
+    GPUHMS_COUNTER_ADD("predictor.memo_misses", 1);
+  }
   const PlacementEvents target_ev =
       analyzer ? analyzer->analyze(target, skeleton)
                : analyze_trace(*kernel_, target, *arch_,
                                analysis_options(options_), skeleton);
+  GPUHMS_COUNTER_ADD("predictor.predictions", 1);
+  GPUHMS_COUNTER_ADD("predictor.replay_global_divergence",
+                     target_ev.replay_global_divergence);
+  GPUHMS_COUNTER_ADD("predictor.replay_const_miss",
+                     target_ev.replay_const_miss);
+  GPUHMS_COUNTER_ADD("predictor.replay_const_divergence",
+                     target_ev.replay_const_divergence);
+  GPUHMS_COUNTER_ADD("predictor.replay_shared_conflict",
+                     target_ev.replay_shared_conflict);
   Prediction p = predict_from_events(target_ev);
   if (options_.anchor_to_sample)
     p.total_cycles = p.raw_cycles * anchor_scale_;

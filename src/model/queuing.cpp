@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/fault_injection.hpp"
+#include "common/obs.hpp"
 
 namespace gpuhms {
 
@@ -49,6 +50,7 @@ double saturated_delay(const GG1Bank& b, double rho_max, bool kingman) {
 }
 
 void flag(bool* saturated) {
+  GPUHMS_COUNTER_ADD("queuing.saturation_events", 1);
   if (saturated) *saturated = true;
 }
 
@@ -125,7 +127,18 @@ QueuingResult aggregate_banks(const std::vector<GG1Bank>& banks,
                               double rho_max, DelayFn&& delay) {
   QueuingResult r;
   double weight_sum = 0.0;
+  const bool observe = obs::metrics_active();
   for (const GG1Bank& b : banks) {
+    // Per-bank utilization profile (percent, log2-bucketed); degenerate
+    // rho values are clamped into the histogram's meaningful range.
+    if (observe && b.tau_s > 0.0) {
+      const double rho = b.rho();
+      const std::uint64_t pct =
+          std::isfinite(rho)
+              ? static_cast<std::uint64_t>(std::clamp(rho, 0.0, 10.0) * 100.0)
+              : 1000;
+      GPUHMS_HISTOGRAM_RECORD("queuing.bank_utilization_pct", pct);
+    }
     if (std::isnan(b.tau_s)) {
       // A NaN service time carries no usable information at all; flag it
       // and move on rather than letting it zero the whole aggregate.

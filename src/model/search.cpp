@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/obs.hpp"
 
 namespace gpuhms {
 
@@ -48,12 +49,36 @@ struct StopWatch {
   std::optional<std::chrono::steady_clock::time_point> deadline_at;
 };
 
+// Search-outcome metrics shared by the exhaustive and oracle cores: tallies
+// plus the deadline slack (wall-clock budget left when the search returned —
+// 0 when the deadline was hit, untouched when no deadline was set).
+void record_search_metrics(const StopWatch& watch, std::size_t evaluated,
+                           std::size_t pruned, std::size_t not_evaluated,
+                           bool deadline_hit, bool cancelled) {
+  GPUHMS_COUNTER_ADD("search.searches", 1);
+  GPUHMS_COUNTER_ADD("search.evaluated", evaluated);
+  GPUHMS_COUNTER_ADD("search.pruned", pruned);
+  GPUHMS_COUNTER_ADD("search.not_evaluated", not_evaluated);
+  if (deadline_hit) GPUHMS_COUNTER_ADD("search.deadline_hits", 1);
+  if (cancelled) GPUHMS_COUNTER_ADD("search.cancellations", 1);
+  if (watch.deadline_at) {
+    const auto slack = deadline_hit
+                           ? std::chrono::steady_clock::duration::zero()
+                           : *watch.deadline_at -
+                                 std::chrono::steady_clock::now();
+    GPUHMS_GAUGE_SET(
+        "search.deadline_slack_ms",
+        std::chrono::duration_cast<std::chrono::milliseconds>(slack).count());
+  }
+}
+
 // Core of the exhaustive search over an already-enumerated, non-empty space.
 // Exceptions from workers (captured and rethrown by ThreadPool) propagate to
 // the caller; the try_ wrapper converts them to INTERNAL.
 SearchResult exhaustive_over(const Predictor& predictor,
                              const SearchOptions& options,
                              const PlacementSpace& space) {
+  GPUHMS_SCOPED_PHASE("search.exhaustive_ns");
   const KernelInfo& k = predictor.kernel();
   const StopWatch watch(options);
 
@@ -92,21 +117,31 @@ SearchResult exhaustive_over(const Predictor& predictor,
       } else {
         best.not_evaluated = n - c0;
       }
+      record_search_metrics(watch, best.evaluated, best.pruned,
+                            best.not_evaluated, best.deadline_hit,
+                            best.cancelled);
       return best;
     }
     const std::size_t c1 = std::min(n, c0 + kChunk);
-    pool.parallel_for(c1 - c0, [&](int worker, std::size_t j) {
-      const DataPlacement& p = space.placements[c0 + j];
-      if (options.prune && have_best && skeleton &&
-          predictor.lower_bound_cycles(p, *skeleton) > best.predicted_cycles) {
-        cycles[j] = kPruned;
-        return;
-      }
-      cycles[j] = predictor
-                      .predict_with(p, &scratch[static_cast<std::size_t>(worker)],
-                                    skeleton.get())
-                      .total_cycles;
-    });
+    {
+      GPUHMS_SCOPED_PHASE("search.chunk_ns");
+      pool.parallel_for(c1 - c0, [&](int worker, std::size_t j) {
+        const DataPlacement& p = space.placements[c0 + j];
+        if (options.prune && have_best && skeleton &&
+            predictor.lower_bound_cycles(p, *skeleton) >
+                best.predicted_cycles) {
+          cycles[j] = kPruned;
+          return;
+        }
+        cycles[j] =
+            predictor
+                .predict_with(p, &scratch[static_cast<std::size_t>(worker)],
+                              skeleton.get())
+                .total_cycles;
+      });
+    }
+    GPUHMS_COUNTER_ADD("search.chunks", 1);
+    GPUHMS_HISTOGRAM_RECORD("search.chunk_candidates", c1 - c0);
     for (std::size_t j = 0; j < c1 - c0; ++j) {
       if (std::isnan(cycles[j])) {
         ++best.pruned;
@@ -120,6 +155,9 @@ SearchResult exhaustive_over(const Predictor& predictor,
       }
     }
   }
+  record_search_metrics(watch, best.evaluated, best.pruned,
+                        best.not_evaluated, best.deadline_hit,
+                        best.cancelled);
   return best;
 }
 
@@ -127,6 +165,7 @@ SearchResult exhaustive_over(const Predictor& predictor,
 OracleResult oracle_over(const KernelInfo& kernel, const GpuArch& arch,
                          const SearchOptions& options,
                          const PlacementSpace& space) {
+  GPUHMS_SCOPED_PHASE("search.oracle_ns");
   const StopWatch watch(options);
 
   ThreadPool local_pool(options.pool ? 1 : options.num_threads);
@@ -149,6 +188,8 @@ OracleResult oracle_over(const KernelInfo& kernel, const GpuArch& arch,
       } else {
         r.not_simulated = n - c0;
       }
+      record_search_metrics(watch, r.simulated, 0, r.not_simulated,
+                            r.deadline_hit, r.cancelled);
       return r;
     }
     const std::size_t c1 = std::min(n, c0 + kChunk);
@@ -168,6 +209,8 @@ OracleResult oracle_over(const KernelInfo& kernel, const GpuArch& arch,
       }
     }
   }
+  record_search_metrics(watch, r.simulated, 0, r.not_simulated,
+                        r.deadline_hit, r.cancelled);
   return r;
 }
 

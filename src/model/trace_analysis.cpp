@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/obs.hpp"
 #include "sim/coalesce.hpp"
 
 namespace gpuhms {
@@ -284,6 +285,7 @@ void TraceAnalyzer::run_compact(const TraceMaterializer& mat,
 
 PlacementEvents TraceAnalyzer::analyze(const DataPlacement& placement,
                                        const TraceSkeleton* skeleton) {
+  GPUHMS_SCOPED_PHASE("trace.analyze_ns");
   reset();
   TraceMaterializer mat(*kernel_, placement, *arch_);
   if (skeleton != nullptr) {
@@ -292,6 +294,19 @@ PlacementEvents TraceAnalyzer::analyze(const DataPlacement& placement,
     run(mat);
   }
   ev_.trace_ticks = tick_;
+  GPUHMS_COUNTER_ADD("trace.analyses", 1);
+  if (skeleton != nullptr) {
+    GPUHMS_COUNTER_ADD("trace.analyses_compact", 1);
+  } else {
+    GPUHMS_COUNTER_ADD("trace.analyses_full", 1);
+  }
+  GPUHMS_COUNTER_ADD("trace.insts_lowered", ev_.insts_executed);
+  GPUHMS_COUNTER_ADD("trace.mem_insts", ev_.mem_insts);
+  // Coalescing profile: warp-level requests vs the cache-line transactions
+  // they coalesced into (ratio transactions/requests = divergence factor).
+  GPUHMS_COUNTER_ADD("trace.global_requests", ev_.global_requests);
+  GPUHMS_COUNTER_ADD("trace.global_transactions", ev_.global_transactions);
+  GPUHMS_COUNTER_ADD("trace.dram_requests", ev_.dram_requests);
   ev_.ilp = static_cast<double>(ev_.insts_executed) /
             static_cast<double>(std::max<std::uint64_t>(1, dep_breaks_));
   ev_.mlp = static_cast<double>(std::max<std::uint64_t>(1, ev_.mem_insts)) /

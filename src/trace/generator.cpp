@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/fault_injection.hpp"
+#include "common/obs.hpp"
 #include "isa/addressing.hpp"
 
 namespace gpuhms {
@@ -18,6 +19,8 @@ std::uint32_t active_mask_of(const LaneIdx& idx) {
 TraceSkeleton::TraceSkeleton(const KernelInfo& kernel)
     : kernel_(&kernel),
       mem_ops_per_array_(kernel.arrays.size(), 0) {
+  GPUHMS_SCOPED_PHASE("trace.skeleton_record_ns");
+  GPUHMS_COUNTER_ADD("trace.skeletons_recorded", 1);
   warps_.reserve(static_cast<std::size_t>(kernel.total_warps()));
   proto_begin_.reserve(static_cast<std::size_t>(kernel.total_warps()) + 1);
   proto_begin_.push_back(0);
@@ -262,6 +265,9 @@ void TraceMaterializer::staging_preamble(const WarpCtx& ctx,
 std::vector<WarpTrace> TraceMaterializer::generate(
     std::int64_t block_begin, std::int64_t block_end,
     const TraceSkeleton* skeleton) const {
+  GPUHMS_COUNTER_ADD("trace.waves_lowered", 1);
+  GPUHMS_COUNTER_ADD("trace.warps_lowered",
+                     (block_end - block_begin) * kernel_->warps_per_block());
   std::vector<WarpTrace> traces;
   traces.reserve(static_cast<std::size_t>(
       (block_end - block_begin) * kernel_->warps_per_block()));
@@ -295,6 +301,9 @@ void TraceMaterializer::generate_compact(std::int64_t block_begin,
                                          CompactTrace& out) const {
   GPUHMS_CHECK_MSG(&skeleton.kernel() == kernel_,
                    "skeleton recorded from a different kernel");
+  GPUHMS_COUNTER_ADD("trace.waves_lowered", 1);
+  GPUHMS_COUNTER_ADD("trace.warps_lowered",
+                     (block_end - block_begin) * kernel_->warps_per_block());
   out.ops.clear();
   out.warps.clear();
   out.local_addrs.clear();

@@ -89,6 +89,67 @@ TEST(AddressMapping, RejectsBitsInsideTransaction) {
   EXPECT_DEATH(AddressMapping{std::move(f)}, "transaction");
 }
 
+// Inverse of extract_bits: bit i of `value` lands at addr bit positions[i].
+std::uint64_t scatter_bits(std::uint64_t value,
+                           const std::vector<int>& positions) {
+  std::uint64_t addr = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    addr |= ((value >> i) & 1ull) << positions[i];
+  }
+  return addr;
+}
+
+// Property: with a power-of-two bank count (the modulo fold in decode() is
+// the identity) and every non-transaction bit classified, decode() loses no
+// information — (bank, row, column) plus the transaction offset reassemble
+// to the exact original address, for 10k random addresses. This pins both
+// directions of the field extraction, including interleaved (non-contiguous)
+// role assignments like the real bank/column striping.
+TEST(AddressMapping, DecodeRoundTripsWithPowerOfTwoBanks) {
+  AddressMapping::Fields f;
+  f.transaction_bits = 7;
+  f.bank_bits = {7, 9, 11};            // interleaved with column bits
+  f.column_bits = {8, 10, 12, 13};
+  f.row_bits = {14, 15, 16, 17, 18, 19, 20, 21};
+  f.num_banks = 8;  // == 2^|bank_bits|: decode's % num_banks is lossless
+  const std::vector<int> bank_bits = f.bank_bits;
+  const std::vector<int> column_bits = f.column_bits;
+  const std::vector<int> row_bits = f.row_bits;
+  const AddressMapping m(std::move(f));
+  ASSERT_EQ(m.usable_bits(), 22);
+
+  Rng rng(0x5ca77e);
+  const std::uint64_t txn_mask = (1ull << 7) - 1;
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::uint64_t addr = rng.next_below(1ull << m.usable_bits());
+    const auto d = m.decode(addr);
+    EXPECT_GE(d.bank, 0);
+    EXPECT_LT(d.bank, m.num_banks());
+    const std::uint64_t rebuilt =
+        (addr & txn_mask) |
+        scatter_bits(static_cast<std::uint64_t>(d.bank), bank_bits) |
+        scatter_bits(d.column, column_bits) | scatter_bits(d.row, row_bits);
+    ASSERT_EQ(rebuilt, addr) << "trial " << trial;
+  }
+}
+
+// The default Kepler mapping folds 7 bank bits into 96 banks (not a power
+// of two), so full inversion is impossible by design — but decode() must
+// still keep every field in range and respect the documented widths for
+// random addresses across the whole usable window.
+TEST(KeplerMapping, DecodeFieldsInRangeForRandomAddresses) {
+  const auto m = kepler_mapping(kepler_arch());
+  Rng rng(0xdec0de);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::uint64_t addr = rng.next_below(1ull << m.usable_bits());
+    const auto d = m.decode(addr);
+    EXPECT_GE(d.bank, 0);
+    EXPECT_LT(d.bank, m.num_banks());
+    EXPECT_LT(d.column, 1ull << m.fields().column_bits.size());
+    EXPECT_LT(d.row, 1ull << m.fields().row_bits.size());
+  }
+}
+
 TEST(AddressMapping, DecodeStableUnderRandomizedFields) {
   // Property: decode() only depends on the classified bits — flipping an
   // unclassified (higher) bit changes nothing.

@@ -1,0 +1,126 @@
+// Golden-accuracy regression (ctest label: golden). Re-derives every Fig. 5
+// per-test prediction error in-process through the same EvalHarness the
+// figure benches use and locks it against tests/golden/fig5_errors.json.
+// Any model change that moves a per-test absolute error by more than 0.5
+// percentage points fails here — accuracy regressions become a diff in this
+// test instead of a silently shifted bench table.
+//
+// To refresh the golden file after an intentional, reviewed accuracy change:
+//   build/bench/bench_fig5_accuracy --write-golden tests/golden/fig5_errors.json
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval_common.hpp"
+
+namespace gpuhms {
+namespace {
+
+#ifndef GPUHMS_GOLDEN_DIR
+#error "GPUHMS_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+// Error moves of <= 0.5 percentage points are tolerated (numeric noise /
+// benign refactors); anything larger is a real accuracy change.
+constexpr double kTolerance = 0.005;
+
+struct GoldenRow {
+  double abs_error = 0.0;
+  double predicted = 0.0;
+  double measured = 0.0;
+};
+
+// Purpose-built reader for the fixed --write-golden output: one
+// {"id": ..., "abs_error": ...} object per line in the "rows" array plus
+// the two top-level averages. Not a general JSON parser.
+class GoldenFile {
+ public:
+  static GoldenFile load(const std::string& path) {
+    GoldenFile g;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) return g;
+    g.loaded_ = true;
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+      const std::string s(line);
+      double avg = 0.0;
+      if (std::sscanf(line, "  \"model_avg_abs_error\": %lf", &avg) == 1)
+        g.model_avg_ = avg;
+      const std::size_t id_at = s.find("\"id\": \"");
+      if (id_at == std::string::npos) continue;
+      const std::size_t id_from = id_at + 7;
+      const std::size_t id_to = s.find('"', id_from);
+      if (id_to == std::string::npos) continue;
+      GoldenRow row;
+      if (!scan_field(s, "\"abs_error\": ", &row.abs_error)) continue;
+      scan_field(s, "\"predicted\": ", &row.predicted);
+      scan_field(s, "\"measured\": ", &row.measured);
+      g.rows_[s.substr(id_from, id_to - id_from)] = row;
+    }
+    std::fclose(f);
+    return g;
+  }
+
+  bool loaded() const { return loaded_; }
+  double model_avg() const { return model_avg_; }
+  const std::map<std::string, GoldenRow>& rows() const { return rows_; }
+
+ private:
+  static bool scan_field(const std::string& s, const char* key,
+                         double* out) {
+    const std::size_t at = s.find(key);
+    if (at == std::string::npos) return false;
+    return std::sscanf(s.c_str() + at + std::strlen(key), "%lf", out) == 1;
+  }
+
+  bool loaded_ = false;
+  double model_avg_ = -1.0;
+  std::map<std::string, GoldenRow> rows_;
+};
+
+TEST(GoldenAccuracy, Fig5ErrorsMatchCheckedInGolden) {
+  const std::string path =
+      std::string(GPUHMS_GOLDEN_DIR) + "/fig5_errors.json";
+  const GoldenFile golden = GoldenFile::load(path);
+  ASSERT_TRUE(golden.loaded()) << "missing golden file: " << path;
+  ASSERT_FALSE(golden.rows().empty()) << "no rows parsed from " << path;
+  ASSERT_GE(golden.model_avg(), 0.0) << "no average parsed from " << path;
+
+  bench::EvalHarness harness;
+  const std::vector<bench::Row> rows = harness.run_variant(ModelOptions{});
+  ASSERT_EQ(rows.size(), golden.rows().size())
+      << "evaluation suite changed shape; regenerate the golden file";
+
+  for (const bench::Row& r : rows) {
+    const auto it = golden.rows().find(r.id);
+    ASSERT_NE(it, golden.rows().end())
+        << "test '" << r.id << "' has no golden row; regenerate the file";
+    EXPECT_NEAR(r.abs_error(), it->second.abs_error, kTolerance)
+        << r.id << ": prediction error drifted past 0.5pp (golden "
+        << 100.0 * it->second.abs_error << "%, now "
+        << 100.0 * r.abs_error() << "%)";
+    // Ground truth must not move at all: the simulator is deterministic,
+    // so a measured-cycles change means the substrate itself changed.
+    EXPECT_DOUBLE_EQ(r.measured, it->second.measured) << r.id;
+  }
+  EXPECT_NEAR(bench::mean_abs_error(rows), golden.model_avg(), kTolerance)
+      << "average Fig. 5 error drifted past 0.5pp";
+}
+
+// The headline claim of the paper's Fig. 5 — our model beats the Sim et al.
+// baseline on average — must also survive any change that slips under the
+// per-test tolerance.
+TEST(GoldenAccuracy, ModelStaysAheadOfSim2012Baseline) {
+  bench::EvalHarness harness;
+  const double ours = bench::mean_abs_error(harness.run_variant(ModelOptions{}));
+  const double baseline = bench::mean_abs_error(harness.run_sim2012());
+  EXPECT_LT(ours, baseline);
+}
+
+}  // namespace
+}  // namespace gpuhms

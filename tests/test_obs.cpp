@@ -1,0 +1,319 @@
+// Unit tests for the observability layer (common/obs.hpp): metric
+// primitives, registry, snapshot rendering, scoped phase timers, and the
+// Chrome trace exporter.
+//
+// The registry is process-wide, so every test that records first calls
+// obs::set_enabled(true) + obs::reset_all_metrics() and uses test-local
+// metric names ("test.obs.*") that no library code touches.
+#include "common/obs.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace gpuhms {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset_all_metrics();
+  }
+  void TearDown() override {
+    obs::stop_tracing();
+    obs::set_enabled(false);
+    obs::reset_all_metrics();
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulates) {
+  obs::Counter& c = obs::counter("test.obs.counter_basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterSumsAcrossThreads) {
+  // Each thread lands on its own shard (or shares one); the total must be
+  // exact regardless of the shard assignment.
+  obs::Counter& c = obs::counter("test.obs.counter_mt");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(ObsTest, GaugeLastWriterWins) {
+  obs::Gauge& g = obs::gauge("test.obs.gauge");
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST_F(ObsTest, HistogramLog2Buckets) {
+  obs::Histogram& h = obs::histogram("test.obs.hist_buckets");
+  // bucket 0: v == 0; bucket i>0: v in [2^(i-1), 2^i).
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1024);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket_count(2), 2u);  // {2, 3}
+  EXPECT_EQ(h.bucket_count(11), 1u);  // {1024}
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1030.0 / 5.0);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  EXPECT_EQ(obs::Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(3), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(64), 1ull << 63);
+  // Extremes land in the outermost buckets.
+  obs::Histogram& h = obs::histogram("test.obs.hist_extremes");
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(64), 1u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+}
+
+TEST_F(ObsTest, HistogramExactUnderConcurrency) {
+  obs::Histogram& h = obs::histogram("test.obs.hist_mt");
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i)
+        h.record(static_cast<std::uint64_t>(t) + 1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 8u);
+  std::uint64_t expect_sum = 0;
+  for (int t = 0; t < kThreads; ++t)
+    expect_sum += static_cast<std::uint64_t>(t + 1) * kRecords;
+  EXPECT_EQ(h.sum(), expect_sum);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferences) {
+  obs::Counter& a = obs::counter("test.obs.stable");
+  obs::Counter& b = obs::counter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+  // Registering more metrics must not move existing ones.
+  for (int i = 0; i < 100; ++i)
+    obs::counter("test.obs.stable_filler_" + std::to_string(i));
+  EXPECT_EQ(&obs::counter("test.obs.stable"), &a);
+}
+
+TEST_F(ObsTest, MacrosRespectEnableToggle) {
+  obs::set_enabled(false);
+  GPUHMS_COUNTER_ADD("test.obs.toggled", 5);
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::counter("test.obs.toggled").value(), 0u);
+  GPUHMS_COUNTER_ADD("test.obs.toggled", 5);
+  EXPECT_EQ(obs::counter("test.obs.toggled").value(), 5u);
+}
+
+TEST_F(ObsTest, SnapshotSortedAndSearchable) {
+  GPUHMS_COUNTER_ADD("test.obs.snap_b", 2);
+  GPUHMS_COUNTER_ADD("test.obs.snap_a", 1);
+  GPUHMS_GAUGE_SET("test.obs.snap_gauge", -3);
+  GPUHMS_HISTOGRAM_RECORD("test.obs.snap_hist", 9);
+  const obs::MetricsSnapshot s = obs::snapshot();
+  for (std::size_t i = 1; i < s.counters.size(); ++i)
+    EXPECT_LT(s.counters[i - 1].name, s.counters[i].name);
+  const auto* ca = s.find_counter("test.obs.snap_a");
+  const auto* cb = s.find_counter("test.obs.snap_b");
+  ASSERT_NE(ca, nullptr);
+  ASSERT_NE(cb, nullptr);
+  EXPECT_EQ(ca->value, 1u);
+  EXPECT_EQ(cb->value, 2u);
+  const auto* g = s.find_gauge("test.obs.snap_gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, -3);
+  const auto* h = s.find_histogram("test.obs.snap_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_EQ(h->sum, 9u);
+  ASSERT_EQ(h->buckets.size(), 1u);
+  EXPECT_EQ(h->buckets[0].first, 8u);   // bucket_lo for 9
+  EXPECT_EQ(h->buckets[0].second, 1u);
+  EXPECT_EQ(s.find_counter("test.obs.does_not_exist"), nullptr);
+}
+
+TEST_F(ObsTest, SnapshotRenderingsAreStable) {
+  GPUHMS_COUNTER_ADD("test.obs.render", 7);
+  GPUHMS_HISTOGRAM_RECORD("test.obs.render_hist", 100);
+  const obs::MetricsSnapshot s = obs::snapshot();
+  const std::string text = s.to_text();
+  EXPECT_NE(text.find("test.obs.render"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"test.obs.render\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Two snapshots of the same state render identically.
+  EXPECT_EQ(json, obs::snapshot().to_json());
+  EXPECT_EQ(text, obs::snapshot().to_text());
+}
+
+TEST_F(ObsTest, JsonSurvivesLargeHistogramValues) {
+  // Regression: nanosecond-scale sums once overflowed a fixed-size format
+  // buffer and truncated the histogram JSON mid-object.
+  obs::Histogram& h = obs::histogram("test.obs.big_hist");
+  h.record(2685847440ull);
+  h.record(99827779ull);
+  const std::string json = obs::snapshot().to_json();
+  EXPECT_NE(json.find("\"sum\": 2785675219"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [["), std::string::npos);
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(ObsTest, ResetAllZeroesButKeepsRegistrations) {
+  GPUHMS_COUNTER_ADD("test.obs.reset_me", 9);
+  obs::reset_all_metrics();
+  const obs::MetricsSnapshot s = obs::snapshot();
+  const auto* c = s.find_counter("test.obs.reset_me");
+  ASSERT_NE(c, nullptr);  // still registered
+  EXPECT_EQ(c->value, 0u);
+}
+
+TEST_F(ObsTest, ScopedPhaseRecordsDuration) {
+  obs::Histogram& h = obs::histogram("test.obs.phase_ns");
+  {
+    obs::ScopedPhase p(h, "test.obs.phase_ns");
+    // Burn a little time so the duration is nonzero even on coarse clocks.
+    volatile int sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+    (void)sink;
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0u);
+}
+
+TEST_F(ObsTest, ScopedPhaseInactiveWhenDisabled) {
+  obs::set_enabled(false);
+  obs::Histogram& h = obs::histogram("test.obs.phase_off_ns");
+  {
+    obs::ScopedPhase p(h, "test.obs.phase_off_ns");
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsTest, TraceCollectsScopedPhases) {
+  obs::start_tracing();
+  {
+    GPUHMS_SCOPED_PHASE("test.obs.trace_phase");
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+    (void)sink;
+  }
+  obs::trace_emit("test.obs.manual_event", obs::now_ns(), 1000);
+  obs::stop_tracing();
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.trace_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.manual_event\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Events survive from multiple threads.
+  obs::start_tracing();
+  std::thread t([] { obs::trace_emit("test.obs.thread_event",
+                                     obs::now_ns(), 10); });
+  t.join();
+  obs::stop_tracing();
+  EXPECT_NE(obs::chrome_trace_json().find("test.obs.thread_event"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, StartTracingClearsPriorEvents) {
+  obs::start_tracing();
+  obs::trace_emit("test.obs.old_event", obs::now_ns(), 5);
+  obs::start_tracing();  // restart: old events must vanish
+  obs::trace_emit("test.obs.new_event", obs::now_ns(), 5);
+  obs::stop_tracing();
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_EQ(json.find("test.obs.old_event"), std::string::npos);
+  EXPECT_NE(json.find("test.obs.new_event"), std::string::npos);
+}
+
+TEST_F(ObsTest, WriteChromeTraceProducesLoadableFile) {
+  obs::start_tracing();
+  obs::trace_emit("test.obs.file_event", obs::now_ns(), 1234);
+  obs::stop_tracing();
+  const std::string path =
+      ::testing::TempDir() + "/gpuhms_test_trace.json";
+  const Status st = obs::write_chrome_trace(path);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, obs::chrome_trace_json());
+  EXPECT_EQ(content.front(), '{');
+  EXPECT_EQ(content.back(), '\n');
+  EXPECT_NE(content.find("test.obs.file_event"), std::string::npos);
+}
+
+TEST_F(ObsTest, WriteChromeTraceReportsUnwritablePath) {
+  const Status st =
+      obs::write_chrome_trace("/nonexistent-dir/definitely/not/here.json");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ObsEnv, ScopedEnvRestoresState) {
+  // Meta-test for the shared guard: set, nest, unset, restore.
+  ASSERT_EQ(std::getenv("GPUHMS_TEST_DUMMY"), nullptr);
+  {
+    testutil::ScopedEnv outer("GPUHMS_TEST_DUMMY", "outer");
+    EXPECT_STREQ(std::getenv("GPUHMS_TEST_DUMMY"), "outer");
+    {
+      testutil::ScopedEnv inner("GPUHMS_TEST_DUMMY", nullptr);
+      EXPECT_EQ(std::getenv("GPUHMS_TEST_DUMMY"), nullptr);
+    }
+    EXPECT_STREQ(std::getenv("GPUHMS_TEST_DUMMY"), "outer");
+  }
+  EXPECT_EQ(std::getenv("GPUHMS_TEST_DUMMY"), nullptr);
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,6 +1,10 @@
 #include "model/queuing.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
+
+#include "common/rng.hpp"
 
 namespace gpuhms {
 namespace {
@@ -113,6 +117,97 @@ TEST(DramLatencyConstant, UsesRowOutcomeMix) {
       0.25 * static_cast<double>(arch.dram.row_miss_service) +
       0.25 * static_cast<double>(arch.dram.row_conflict_service);
   EXPECT_DOUBLE_EQ(lat, expect);
+}
+
+// --- randomized properties of the Eq. 9 Kingman form -------------------------
+
+// W_q is strictly increasing in utilization: with the service process and
+// the moment magnitudes fixed, pushing rho = tau_s/tau_a up (arrivals
+// closing in on service) can only lengthen the queue. Substituting
+// tau_a = tau_s/rho into Eq. 9 gives W_q = (sigma_a*rho + sigma_s)/(2(1-rho))
+// — numerator rising, denominator falling.
+TEST(KingmanProperty, MonotoneInUtilization) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double tau_s = 1.0 + 500.0 * rng.next_double();
+    const double sigma_s = tau_s * rng.next_double();
+    const double sigma_a = 400.0 * rng.next_double();
+    double prev = -1.0;
+    for (const double rho : {0.05, 0.2, 0.4, 0.6, 0.8, 0.94}) {
+      GG1Bank b;
+      b.tau_a = tau_s / rho;
+      b.sigma_a = sigma_a;
+      b.tau_s = tau_s;
+      b.sigma_s = sigma_s;
+      b.lambda = 1.0 / b.tau_a;
+      bool saturated = false;
+      const double d = kingman_queue_delay(b, 0.95, &saturated);
+      EXPECT_FALSE(saturated) << "rho=" << rho;
+      EXPECT_GE(d, 0.0);
+      EXPECT_GT(d, prev) << "trial " << trial << " rho=" << rho;
+      prev = d;
+    }
+  }
+}
+
+// With c_a = c_s = 1 (exponential-looking moments) the variability term of
+// Eq. 9 collapses to 1 and Kingman degenerates to the Markovian queue. The
+// paper's form scales by tau_a where the classic M/M/1 scales by tau_s, so
+// the collapse reads: kingman = (rho/(1-rho)) * tau_a, equivalently
+// kingman * tau_s == mm1 * tau_a.
+TEST(KingmanProperty, CollapsesToMm1WhenCvIsOne) {
+  Rng rng(0xbeef);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double tau_s = 1.0 + 300.0 * rng.next_double();
+    const double rho = 0.02 + 0.9 * rng.next_double();
+    GG1Bank b;
+    b.tau_a = tau_s / rho;
+    b.sigma_a = b.tau_a;  // c_a = 1
+    b.tau_s = tau_s;
+    b.sigma_s = tau_s;  // c_s = 1
+    b.lambda = 1.0 / b.tau_a;
+    const double kingman = kingman_queue_delay(b);
+    const double mm1 = mm1_queue_delay(b);
+    const double rho_term = rho / (1.0 - rho);
+    EXPECT_NEAR(kingman, rho_term * b.tau_a, 1e-9 * (1.0 + kingman));
+    EXPECT_NEAR(kingman * b.tau_s, mm1 * b.tau_a,
+                1e-9 * (1.0 + kingman * b.tau_s));
+  }
+}
+
+// rho -> 1 would make the rho/(1-rho) pole blow up; the rho_max clamp must
+// keep the delay finite for arbitrarily saturated banks and report the
+// clamping through `saturated`. Below the clamp the flag stays untouched.
+TEST(KingmanProperty, FiniteAndFlaggedNearSaturation) {
+  Rng rng(0xcafe);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double tau_s = 1.0 + 200.0 * rng.next_double();
+    // rho in [0.951, ~20]: at or past the default clamp.
+    const double rho = 0.951 + 19.0 * rng.next_double();
+    GG1Bank b;
+    b.tau_a = tau_s / rho;
+    b.sigma_a = b.tau_a * rng.next_double();
+    b.tau_s = tau_s;
+    b.sigma_s = tau_s * rng.next_double();
+    b.lambda = 1.0 / b.tau_a;
+    bool saturated = false;
+    const double d = kingman_queue_delay(b, 0.95, &saturated);
+    EXPECT_TRUE(std::isfinite(d)) << "rho=" << rho;
+    EXPECT_GE(d, 0.0);
+    EXPECT_TRUE(saturated) << "rho=" << rho;
+    // The clamp pins the delay at the rho_max pole: never beyond the value
+    // the formula yields at rho = 0.95 exactly.
+    const double at_clamp =
+        ((b.ca() + b.cs()) / 2.0) * (0.95 / 0.05) * b.tau_a;
+    EXPECT_LE(d, at_clamp * (1.0 + 1e-12));
+
+    bool unsat = false;
+    GG1Bank calm = b;
+    calm.tau_a = tau_s / 0.5;
+    calm.lambda = 1.0 / calm.tau_a;
+    (void)kingman_queue_delay(calm, 0.95, &unsat);
+    EXPECT_FALSE(unsat);
+  }
 }
 
 TEST(Mm1, ZeroWhenIdle) {

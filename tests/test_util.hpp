@@ -1,0 +1,40 @@
+// Shared helpers for the test binaries.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace gpuhms::testutil {
+
+// RAII environment-variable guard: sets (or, with nullptr, unsets) a
+// variable for the guard's lifetime and restores the previous state on
+// destruction. Tests that steer the library through the environment
+// (GPUHMS_FAULT, GPUHMS_THREADS, GPUHMS_METRICS, ...) must use this so a
+// failing or early-returning test cannot leak configuration into the tests
+// that run after it in the same binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    apply(value);
+  }
+  ~ScopedEnv() { apply(saved_ ? saved_->c_str() : nullptr); }
+
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  void apply(const char* value) {
+    if (value != nullptr) {
+      ::setenv(name_.c_str(), value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+  std::string name_;
+  std::optional<std::string> saved_;
+};
+
+}  // namespace gpuhms::testutil
