@@ -5,6 +5,7 @@
 //
 // Usage: ./examples/addrmap_explorer
 #include <cstdio>
+#include <cstring>
 
 #include "tools/addrmap_detector.hpp"
 
@@ -42,7 +43,18 @@ void explore(const char* name, AddressMapping mapping, int max_bit) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::printf(
+        "usage: addrmap_explorer (no arguments)\n"
+        "Runs the Algorithm 1 address-mapping detector against GDDR\n"
+        "substrates with different bit-sliced mappings and shows how every\n"
+        "bit is classified from latency alone (Sec. III-C2).\n");
+    return std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0
+               ? 0
+               : 2;
+  }
   std::printf("Algorithm 1 against different GDDR address mappings\n\n");
 
   explore("Kepler-like default (the substrate's real map)",

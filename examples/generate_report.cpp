@@ -11,6 +11,13 @@ using namespace gpuhms;
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "stencil2d";
+  if (name == "--help" || name == "-h") {
+    std::cout << "usage: generate_report [benchmark] > report.md\n"
+                 "Writes a Markdown placement report for the benchmark\n"
+                 "(default: stencil2d) to stdout: predicted vs simulated\n"
+                 "cycles for every legal placement, with recommendations.\n";
+    return 0;
+  }
   const auto bench = workloads::get_benchmark(name);
 
   // Train the overlap model on the training suite (excluding this kernel).

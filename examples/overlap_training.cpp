@@ -5,6 +5,7 @@
 //
 // Usage: ./examples/overlap_training
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "model/predictor.hpp"
@@ -12,7 +13,18 @@
 
 using namespace gpuhms;
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::printf(
+        "usage: overlap_training (no arguments)\n"
+        "Trains the Eq. 11 T_overlap model on the Table IV training\n"
+        "placements, prints the learned coefficients, and shows the fit\n"
+        "quality placement by placement.\n");
+    return std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0
+               ? 0
+               : 2;
+  }
   const GpuArch& arch = kepler_arch();
   std::vector<workloads::BenchmarkCase> training = workloads::training_suite();
 

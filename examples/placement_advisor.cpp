@@ -16,9 +16,11 @@
 // uninstrumented (GPUHMS_METRICS env also enables recording).
 //
 // Usage: ./examples/placement_advisor [benchmark] [max_placements]
+//                                     [--search=bnb|exhaustive|beam]
 //                                     [--deadline-ms=N]
 //                                     [--metrics-out=PATH] [--trace-out=PATH]
-//        (default: spmv, 64, no deadline, no metrics/trace)
+//        (default: spmv, 64, exhaustive, no deadline, no metrics/trace)
+// Run with --help for the full flag reference.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -78,18 +80,69 @@ const char* flag_value(const char* arg, const char* flag, int argc,
   return argv[++*i];
 }
 
+void print_help() {
+  std::printf(
+      "usage: placement_advisor [benchmark] [max_placements] [flags]\n"
+      "\n"
+      "Profiles one sample placement of `benchmark` (default: spmv), then\n"
+      "searches the legal placement space with the analytical model and\n"
+      "prints the best / worst placements without implementing them.\n"
+      "\n"
+      "positional arguments:\n"
+      "  benchmark        a Table IV workload name (run with an unknown\n"
+      "                   name to list them)\n"
+      "  max_placements   enumeration cap for --search=exhaustive and the\n"
+      "                   recommendation table (default: 64). When the cap\n"
+      "                   truncates the space the advisor says so and warns\n"
+      "                   that the result may be non-optimal.\n"
+      "\n"
+      "flags:\n"
+      "  --search=MODE    bnb | exhaustive | beam (default: exhaustive).\n"
+      "                   bnb covers the FULL m^n space with an admissible\n"
+      "                   branch-and-bound (certified optimality gap);\n"
+      "                   beam is the fast heuristic with a root-bound\n"
+      "                   certificate; exhaustive scores every placement\n"
+      "                   up to max_placements.\n"
+      "  --deadline-ms=N  wall-clock budget for the search; on expiry the\n"
+      "                   best-so-far placement is returned (bnb still\n"
+      "                   reports a certified gap).\n"
+      "  --metrics-out=P  write the metrics registry snapshot as JSON to P\n"
+      "                   ('-' for stdout); also enabled by GPUHMS_METRICS.\n"
+      "  --trace-out=P    write a Chrome trace-event JSON of the scoped\n"
+      "                   phases to P (open in chrome://tracing).\n"
+      "  --help           this text.\n"
+      "\n"
+      "environment:\n"
+      "  GPUHMS_THREADS   worker-thread count for search/batch prediction\n"
+      "                   (results are bit-identical for any value)\n"
+      "  GPUHMS_METRICS   =1 enables metrics recording without a flag\n"
+      "  GPUHMS_FAULT     fault-injection spec (testing only)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string name = "spmv";
   std::size_t cap = 64;
+  std::string search_mode = "exhaustive";
   std::optional<std::chrono::milliseconds> deadline;
   std::optional<std::string> metrics_out;
   std::optional<std::string> trace_out;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (const char* v = flag_value(arg, "--deadline-ms", argc, argv, &i)) {
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_help();
+      return 0;
+    }
+    if (const char* v = flag_value(arg, "--search", argc, argv, &i)) {
+      search_mode = v;
+      if (search_mode != "bnb" && search_mode != "exhaustive" &&
+          search_mode != "beam")
+        die("invalid --search '" + search_mode +
+            "': expected bnb, exhaustive, or beam");
+    } else if (const char* v =
+                   flag_value(arg, "--deadline-ms", argc, argv, &i)) {
       deadline = std::chrono::milliseconds(
           static_cast<long long>(parse_size(v, "deadline")));
     } else if (const char* v =
@@ -145,23 +198,53 @@ int main(int argc, char** argv) {
   std::printf("%s sample placement %s: %0.f cycles measured\n\n",
               name.c_str(), bench->sample.to_string().c_str(), sample_cycles);
 
-  // Deadline-bounded search demo: best-so-far under a wall-clock budget.
-  if (deadline) {
-    SearchOptions so;
-    so.cap = cap;
-    so.deadline = *deadline;
-    const StatusOr<SearchResult> sr = try_search_exhaustive(pred, so);
-    if (!sr.ok()) die(sr.status().to_string());
-    std::printf("search under %lld ms budget: best %s at %.0f predicted "
-                "cycles (%zu evaluated, %zu pruned, %zu unexamined%s)\n\n",
-                static_cast<long long>(deadline->count()),
-                sr->placement.to_string().c_str(), sr->predicted_cycles,
-                sr->evaluated, sr->pruned, sr->not_evaluated,
-                sr->deadline_hit ? "; deadline hit" : "");
+  // Search the placement space with the selected engine.
+  SearchOptions so;
+  so.cap = cap;
+  if (deadline) so.deadline = *deadline;
+  SearchResult sr;
+  if (search_mode == "bnb") {
+    const StatusOr<SearchResult> r = try_search_branch_and_bound(pred, so);
+    if (!r.ok()) die(r.status().to_string());
+    sr = *r;
+  } else if (search_mode == "beam") {
+    sr = search_beam(pred, so);
+  } else {
+    const StatusOr<SearchResult> r = try_search_exhaustive(pred, so);
+    if (!r.ok()) die(r.status().to_string());
+    sr = *r;
   }
+  std::printf("%s search: best %s at %.0f predicted cycles "
+              "(%zu evaluated%s%s)\n",
+              search_mode.c_str(), sr.placement.to_string().c_str(),
+              sr.predicted_cycles, sr.evaluated,
+              sr.deadline_hit ? "; deadline hit" : "",
+              sr.cancelled ? "; cancelled" : "");
+  if (search_mode == "bnb") {
+    std::printf("  certificate: lower bound %.0f cycles, optimality gap "
+                "%.2f%%%s (%zu nodes expanded, %zu subtrees pruned%s)\n",
+                sr.lower_bound, 100.0 * sr.optimality_gap,
+                sr.proven_optimal ? " [proven optimal]" : "",
+                sr.nodes_expanded, sr.pruned_subtrees,
+                sr.beam_fallback ? "; beam fallback ran" : "");
+  } else if (search_mode == "beam") {
+    std::printf("  certificate (root bound only): lower bound %.0f cycles, "
+                "gap <= %.2f%%\n",
+                sr.lower_bound, 100.0 * sr.optimality_gap);
+  } else if (sr.space_truncated) {
+    std::printf("  WARNING: enumeration capped at %zu placements; %llu "
+                "combinations never examined — result may be non-optimal "
+                "(raise max_placements or use --search=bnb)\n",
+                cap, static_cast<unsigned long long>(sr.space_skipped));
+  }
+  std::printf("\n");
 
-  // Explore the legal placement space analytically (batch prediction).
-  const auto space = enumerate_placements(bench->kernel, arch, cap);
+  // Explore the legal placement space analytically (batch prediction). The
+  // cap is made visible: a truncated table is a partial view, not the
+  // optimum, and must say so rather than silently reporting the capped best.
+  const PlacementSpace enumerated =
+      enumerate_placement_space(bench->kernel, arch, cap);
+  const std::vector<DataPlacement>& space = enumerated.placements;
   const StatusOr<std::vector<Prediction>> batch =
       pred.try_predict_batch(space);
   if (!batch.ok()) die(batch.status().to_string());
@@ -181,8 +264,17 @@ int main(int argc, char** argv) {
               return a.predicted < b.predicted;
             });
 
-  std::printf("explored %zu legal placements; top 5 recommendations:\n",
-              scored.size());
+  if (enumerated.truncated) {
+    std::printf("explored %zu legal placements (CAPPED: %llu combinations "
+                "not evaluated — table may miss the optimum; raise "
+                "max_placements or use --search=bnb); top 5:\n",
+                scored.size(),
+                static_cast<unsigned long long>(
+                    enumerated.skipped_combinations));
+  } else {
+    std::printf("explored all %zu legal placements; top 5 recommendations:\n",
+                scored.size());
+  }
   std::printf("%-4s %-16s %12s %14s %10s %s\n", "#", "placement", "predicted",
               "vs sample", "measured", "change");
   for (std::size_t i = 0; i < std::min<std::size_t>(5, scored.size()); ++i) {

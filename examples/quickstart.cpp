@@ -5,6 +5,7 @@
 //
 // Build & run:  ./examples/quickstart
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -14,7 +15,16 @@
 
 using namespace gpuhms;
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    std::printf(
+        "usage: quickstart (no arguments)\n"
+        "Predicts every placement of vecAdd's two input vectors from one\n"
+        "profiled run of the default placement and compares against the\n"
+        "simulated \"measured\" time of each (the paper's Fig. 2 example).\n");
+    return 0;
+  }
   const GpuArch& arch = kepler_arch();
   const KernelInfo kernel = workloads::make_vecadd();
   const DataPlacement sample = DataPlacement::defaults(kernel);

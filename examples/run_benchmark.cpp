@@ -88,13 +88,21 @@ void report(const char* tag, const SimResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
+  const bool help =
+      argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0);
+  if (argc < 2 || help) {
+    std::fprintf(help ? stdout : stderr,
                  "usage: %s <benchmark> [placement] [target-placement]\n"
+                 "  <benchmark> alone lists its arrays + legal spaces;\n"
+                 "  one placement simulates it; two placements profile the\n"
+                 "  first as the sample and predict the second.\n"
+                 "  Placements use Table IV codes (G,S,C,T,2T), one per\n"
+                 "  array in declaration order, e.g. \"G,S,T\".\n"
                  "benchmarks: bfs fft neuralnet reduction scan sort stencil2d"
                  " md5hash s3d convolution md matrixmul spmv transpose cfd"
                  " triad qtc\n", argv[0]);
-    return 2;
+    return help ? 0 : 2;
   }
   const auto bench = workloads::get_benchmark(argv[1]);
   if (argc == 2) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/obs.hpp"
@@ -336,8 +337,73 @@ double Predictor::lower_bound_cycles(const DataPlacement& target,
   // T_comp >= issued / active_SMs (throughput >= 1 cycle per issued
   // instruction, W_serial = 0), and the Eq. 12 clamp keeps
   // T = T_comp + T_mem - T_overlap >= max(T_comp, T_mem).
-  const double raw_lb = std::max(1.0, issued_lb / active_sms);
+  const double raw_lb = std::max(1.0, tcomp_floor(issued_lb, active_sms));
   return options_.anchor_to_sample ? raw_lb * anchor_scale_ : raw_lb;
+}
+
+double PlacementBounder::bound_cycles(double addr_insts_total) const {
+  // Mirrors lower_bound_cycles below, with the addressing total supplied by
+  // the search's running sum and the T_mem floor folded in: the Eq. 12
+  // overlap clamp keeps T >= max(T_comp, T_mem), so both floors apply.
+  double issued_lb;
+  if (!detailed_) {
+    issued_lb = issued_const_;
+  } else {
+    const double executed_lb = std::max(0.0, exec_base_ + addr_insts_total);
+    issued_lb = executed_lb + replays_floor_;
+  }
+  const double raw_lb = std::max(
+      1.0, std::max(tcomp_floor(issued_lb, active_sms_), tmem_floor_));
+  return raw_lb * anchor_;
+}
+
+PlacementBounder Predictor::make_bounder(const TraceSkeleton& skeleton) const {
+  GPUHMS_CHECK_MSG(sample_result_.has_value(),
+                   "profile_sample/set_sample must be called first");
+  const ProfileCounters& sc = sample_result_->counters;
+  PlacementBounder b;
+  b.detailed_ = options_.detailed_instruction_counting;
+  b.active_sms_ = std::max(1, sc.active_sms);
+  b.anchor_ = options_.anchor_to_sample ? anchor_scale_ : 1.0;
+  const double exec_sample = static_cast<double>(sc.inst_executed);
+  const double replays_sample = static_cast<double>(sc.replays_total());
+  b.issued_const_ = exec_sample + replays_sample;
+  b.exec_base_ = exec_sample + static_cast<double>(skeleton.base_insts()) -
+                 static_cast<double>(sample_ev_->insts_executed);
+  b.replays_floor_ = std::max(
+      0.0, replays_sample - static_cast<double>(sample_ev_->replays_1_4()));
+  TmemFloorInputs tf;
+  tf.load_insts_lb = static_cast<double>(skeleton.base_load_insts());
+  tf.active_sms = b.active_sms_;
+  b.tmem_floor_ = tmem_floor(tf, *arch_);
+
+  const std::size_t n = kernel_->arrays.size();
+  const auto mem_ops = skeleton.mem_ops_per_array();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  b.addr_.assign(n, {kInf, kInf, kInf, kInf, kInf});
+  b.relaxed_spaces_.resize(n);
+  b.min_addr_.assign(n, kInf);
+  // All-Global is legal for every array in isolation and costs no capacity,
+  // so validating against it yields exactly the per-array relaxed set.
+  DataPlacement all_global(
+      std::vector<MemSpace>(n, MemSpace::Global));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (MemSpace s : kAllMemSpaces) {
+      if (validate_placement(*kernel_, all_global.with(static_cast<int>(a), s),
+                             *arch_))
+        continue;
+      const double insts =
+          static_cast<double>(mem_ops[a]) *
+          addr_calc_instructions(s, kernel_->arrays[a].dtype);
+      b.addr_[a][static_cast<std::size_t>(s)] = insts;
+      b.relaxed_spaces_[a].push_back(s);
+      b.min_addr_[a] = std::min(b.min_addr_[a], insts);
+    }
+    if (b.relaxed_spaces_[a].empty()) b.infeasible_ = true;
+  }
+  if (!b.infeasible_)
+    for (std::size_t a = 0; a < n; ++a) b.root_addr_ += b.min_addr_[a];
+  return b;
 }
 
 ToverlapModel train_overlap_model_measured(std::span<const MeasuredCase> cases,

@@ -9,6 +9,7 @@
 //   * address_mapping                — Fig. 8 (detected map vs even spread)
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <span>
@@ -24,6 +25,74 @@
 #include "sim/simulator.hpp"
 
 namespace gpuhms {
+
+class Predictor;
+
+// Incremental admissible lower bound over *partial* placements, the pruning
+// engine of branch-and-bound search (search_branch_and_bound): arrays the
+// search has pinned contribute their actual addressing-mode instruction
+// counts (Eq. 2-3), unassigned arrays their cheapest count over the spaces
+// any legal completion could use, and T_mem enters as the placement-
+// independent tmem_floor (Eq. 4-8 with zero queuing wait). The bound of a
+// node never exceeds predict(completion).total_cycles for any legal
+// completion of that node; on a full placement it equals
+// Predictor::lower_bound_cycles maxed with the T_mem floor.
+//
+// All per-array tables are precomputed at construction, so descending one
+// tree level costs one add and bound_cycles() is O(1). Immutable after
+// construction; safe to share across threads.
+class PlacementBounder {
+ public:
+  // A default-constructed bounder is an empty shell (no arrays, no tables);
+  // populated ones come from Predictor::make_bounder.
+  PlacementBounder() = default;
+
+  // Spaces an array could occupy in *some* legal placement: the per-array
+  // constraints (writability, Texture2D shape, the array's own footprint vs.
+  // the constant/shared capacity) with every other array relaxed to Global.
+  // A superset of any placement-context-dependent legal set, which keeps the
+  // min below admissible — and exactly the per-level branching set of the
+  // search (capacity interactions are handled by running prefix sums there).
+  std::span<const MemSpace> relaxed_spaces(std::size_t array) const {
+    return relaxed_spaces_[array];
+  }
+
+  // Addressing-instruction contribution of pinning `array` to `space`
+  // (skeleton mem ops x Eq. 2-3 addr-calc instructions). +inf for spaces
+  // outside relaxed_spaces(array).
+  double addr_insts(std::size_t array, MemSpace space) const {
+    return addr_[array][static_cast<std::size_t>(space)];
+  }
+  // Cheapest contribution over relaxed_spaces(array) — what an unassigned
+  // array contributes to a node's addressing total.
+  double min_addr_insts(std::size_t array) const { return min_addr_[array]; }
+  // Sum of min_addr_insts over all arrays (the root node's total).
+  double root_addr_insts() const { return root_addr_; }
+  // True when some array has no relaxed-legal space (no legal placement
+  // exists at all); every other accessor is meaningless then.
+  bool infeasible() const { return infeasible_; }
+
+  // Anchored lower bound on total cycles for a node whose addressing-
+  // instruction total is `addr_insts_total` (pinned arrays' addr_insts plus
+  // unassigned arrays' min_addr_insts).
+  double bound_cycles(double addr_insts_total) const;
+
+ private:
+  friend class Predictor;
+
+  std::vector<std::array<double, kNumMemSpaces>> addr_;
+  std::vector<std::vector<MemSpace>> relaxed_spaces_;
+  std::vector<double> min_addr_;
+  double root_addr_ = 0.0;
+  bool infeasible_ = false;
+  bool detailed_ = true;
+  double issued_const_ = 0.0;  // !detailed_counting: the sample's issue count
+  double exec_base_ = 0.0;  // sample executed + skeleton base - sample-event
+  double replays_floor_ = 0.0;
+  double tmem_floor_ = 0.0;
+  int active_sms_ = 1;
+  double anchor_ = 1.0;
+};
 
 struct ModelOptions {
   bool detailed_instruction_counting = true;
@@ -130,6 +199,10 @@ class Predictor {
   // candidates.
   double lower_bound_cycles(const DataPlacement& target,
                             const TraceSkeleton& skeleton) const;
+
+  // Builds the partial-placement bound tables for branch-and-bound search
+  // (requires a profiled sample). The skeleton must be this kernel's.
+  PlacementBounder make_bounder(const TraceSkeleton& skeleton) const;
 
   // A trace analyzer configured like this predictor's analysis passes (one
   // per worker thread for predict_with).

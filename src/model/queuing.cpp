@@ -183,6 +183,10 @@ QueuingResult dram_latency_mm1(const std::vector<GG1Bank>& banks,
                          });
 }
 
+double bank_service_floor(const GpuArch& arch) {
+  return static_cast<double>(arch.dram.row_hit_service);
+}
+
 double dram_latency_constant(const PlacementEvents& ev, const GpuArch& arch) {
   const double total = static_cast<double>(ev.row_hits + ev.row_misses +
                                            ev.row_conflicts);

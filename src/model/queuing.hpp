@@ -86,4 +86,16 @@ QueuingResult dram_latency_mm1(const std::vector<GG1Bank>& banks,
 // row-buffer outcome mix, no queuing delay (Eq. 8 only).
 double dram_latency_constant(const PlacementEvents& ev, const GpuArch& arch);
 
+// --- Admissible relaxations for lower bounds (branch-and-bound search) ------
+// Eq. 9 with zero contention: W_q >= 0 for every G/G/1 arrival/service
+// process (Kingman's delay is a product of non-negative factors, and the
+// saturation clamp only raises it), so a lower bound may drop the queuing
+// delay entirely. Named so the relaxation is visible at call sites.
+constexpr double queue_delay_floor() { return 0.0; }
+
+// Floor on the Eq. 8 unloaded bank service time: every row-buffer outcome
+// costs at least the row-hit service, and dram_latency_constant's
+// no-DRAM-traffic fallback is the even larger row-miss constant.
+double bank_service_floor(const GpuArch& arch);
+
 }  // namespace gpuhms

@@ -1,5 +1,6 @@
 #include "model/search.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -214,6 +215,424 @@ OracleResult oracle_over(const KernelInfo& kernel, const GpuArch& arch,
   return r;
 }
 
+// --- Branch-and-bound / beam ------------------------------------------------
+
+// enumerate_placement_space's odometer increments array 0 fastest, so the
+// enumeration index of a placement compares like a base-m number whose most
+// significant digit is the LAST array (and the digit order within an array
+// is the MemSpace enum value = kAllMemSpaces position). Exhaustive search
+// breaks score ties by keeping the earliest-enumerated candidate; branch-
+// and-bound visits candidates in a different order and must re-derive the
+// same winner, so it breaks ties with this predicate explicitly.
+bool enum_order_less(const DataPlacement& a, const DataPlacement& b) {
+  for (std::size_t i = a.size(); i-- > 0;) {
+    const int ai = static_cast<int>(a.of(static_cast<int>(i)));
+    const int bi = static_cast<int>(b.of(static_cast<int>(i)));
+    if (ai != bi) return ai < bi;
+  }
+  return false;
+}
+
+// The feasible best-so-far of an anytime search. `offer` applies the
+// (score, enumeration order) rule that makes branch-and-bound agree with
+// search_exhaustive bit-for-bit: lower predicted cycles win, exact score
+// ties go to the placement that enumerates first.
+struct Incumbent {
+  DataPlacement placement;
+  double cycles = std::numeric_limits<double>::infinity();
+  bool valid = false;
+  std::size_t updates = 0;
+
+  bool offer(const DataPlacement& p, double c) {
+    if (valid &&
+        !(c < cycles || (c == cycles && enum_order_less(p, placement))))
+      return false;
+    placement = p;
+    cycles = c;
+    valid = true;
+    ++updates;
+    return true;
+  }
+};
+
+// Shared evaluation context of the branch-and-bound and beam cores.
+struct BnbContext {
+  const Predictor* predictor = nullptr;
+  const GpuArch* arch = nullptr;
+  std::shared_ptr<const TraceSkeleton> skeleton;
+  PlacementBounder bounder;
+  ThreadPool* pool = nullptr;
+  std::vector<TraceAnalyzer>* scratch = nullptr;
+  // Tree level -> array index: arrays with the widest addressing-cost spread
+  // are assigned first so wrong choices raise the bound as early as possible.
+  std::vector<int> order;
+};
+
+BnbContext make_bnb_context(const Predictor& predictor, ThreadPool& pool,
+                            std::vector<TraceAnalyzer>* scratch) {
+  BnbContext ctx;
+  ctx.predictor = &predictor;
+  ctx.arch = &predictor.arch();
+  ctx.skeleton = predictor.skeleton();
+  if (!ctx.skeleton)
+    ctx.skeleton = std::make_shared<TraceSkeleton>(predictor.kernel());
+  ctx.bounder = predictor.make_bounder(*ctx.skeleton);
+  ctx.pool = &pool;
+  ctx.scratch = scratch;
+  const std::size_t n = predictor.kernel().arrays.size();
+  ctx.order.resize(n);
+  std::vector<double> spread(n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    ctx.order[a] = static_cast<int>(a);
+    for (MemSpace s : ctx.bounder.relaxed_spaces(a))
+      spread[a] = std::max(spread[a], ctx.bounder.addr_insts(a, s) -
+                                          ctx.bounder.min_addr_insts(a));
+  }
+  std::stable_sort(ctx.order.begin(), ctx.order.end(), [&](int x, int y) {
+    return spread[static_cast<std::size_t>(x)] >
+           spread[static_cast<std::size_t>(y)];
+  });
+  return ctx;
+}
+
+double eval_one(const BnbContext& ctx, const DataPlacement& p) {
+  return ctx.predictor
+      ->predict_with(p, &(*ctx.scratch)[0], ctx.skeleton.get())
+      .total_cycles;
+}
+
+// Seeds the incumbent with one greedy coordinate-descent pass from the
+// sample placement — the cheap feasible solution branch-and-bound prunes
+// against from the very first node.
+void greedy_seed(const BnbContext& ctx, Incumbent* inc,
+                 std::size_t* evaluated) {
+  const KernelInfo& k = ctx.predictor->kernel();
+  DataPlacement cur = ctx.predictor->sample_placement();
+  double cur_cycles = eval_one(ctx, cur);
+  ++*evaluated;
+  inc->offer(cur, cur_cycles);
+  for (int array : ctx.order) {
+    const auto a = static_cast<std::size_t>(array);
+    for (MemSpace s : ctx.bounder.relaxed_spaces(a)) {
+      if (s == cur.of(array)) continue;
+      const DataPlacement candidate = cur.with(array, s);
+      if (validate_placement(k, candidate, *ctx.arch)) continue;
+      const double c = eval_one(ctx, candidate);
+      ++*evaluated;
+      if (c < cur_cycles ||
+          (c == cur_cycles && enum_order_less(candidate, cur))) {
+        cur = candidate;
+        cur_cycles = c;
+      }
+    }
+  }
+  inc->offer(cur, cur_cycles);
+}
+
+// Completes a prefix of assignments (arrays order[0..depth)) with the sample
+// placement where the capacity budgets allow it, Global otherwise — the
+// deterministic rollout the beam heuristic scores.
+DataPlacement complete_with_sample(const BnbContext& ctx,
+                                   const DataPlacement& partial,
+                                   std::size_t depth, std::size_t const_bytes,
+                                   std::size_t shared_bytes) {
+  const KernelInfo& k = ctx.predictor->kernel();
+  const DataPlacement& sample = ctx.predictor->sample_placement();
+  DataPlacement full = partial;
+  for (std::size_t d = depth; d < ctx.order.size(); ++d) {
+    const int array = ctx.order[d];
+    const ArrayDecl& decl = k.arrays[static_cast<std::size_t>(array)];
+    MemSpace s = sample.of(array);
+    if (s == MemSpace::Constant &&
+        const_bytes + decl.bytes() > ctx.arch->constant_capacity)
+      s = MemSpace::Global;
+    if (s == MemSpace::Shared &&
+        shared_bytes + decl.shared_slice_bytes() > ctx.arch->shared_capacity)
+      s = MemSpace::Global;
+    if (s == MemSpace::Constant) const_bytes += decl.bytes();
+    if (s == MemSpace::Shared) shared_bytes += decl.shared_slice_bytes();
+    full.set(array, s);
+  }
+  return full;
+}
+
+// One child of a branch-and-bound tree node: array order[depth] pinned to
+// `space`, with the node's absolute addressing total, capacity prefix sums
+// and admissible bound.
+struct BnbChild {
+  MemSpace space = MemSpace::Global;
+  double bound = 0.0;
+  double addr_total = 0.0;
+  std::size_t const_bytes = 0;
+  std::size_t shared_bytes = 0;
+};
+
+struct BnbFrame {
+  std::vector<BnbChild> children;
+  std::size_t next = 0;
+};
+
+// Builds the children of the node (depth, addr_total, capacity sums), best
+// bound first (space enum order on ties — any deterministic order works;
+// correctness only needs the strict-inequality prune below). Children whose
+// capacity prefix cannot be completed are infeasible, not pruned: a prefix
+// extends to a legal placement iff its own sums fit, because the all-Global
+// completion adds nothing.
+void build_children(const BnbContext& ctx, std::size_t depth,
+                    double addr_total, std::size_t const_bytes,
+                    std::size_t shared_bytes, BnbFrame* frame) {
+  const KernelInfo& k = ctx.predictor->kernel();
+  const int array = ctx.order[depth];
+  const auto a = static_cast<std::size_t>(array);
+  const ArrayDecl& decl = k.arrays[a];
+  frame->children.clear();
+  frame->next = 0;
+  for (MemSpace s : ctx.bounder.relaxed_spaces(a)) {
+    BnbChild c;
+    c.space = s;
+    c.const_bytes =
+        const_bytes + (s == MemSpace::Constant ? decl.bytes() : 0);
+    c.shared_bytes =
+        shared_bytes + (s == MemSpace::Shared ? decl.shared_slice_bytes() : 0);
+    if (c.const_bytes > ctx.arch->constant_capacity ||
+        c.shared_bytes > ctx.arch->shared_capacity)
+      continue;
+    c.addr_total = addr_total - ctx.bounder.min_addr_insts(a) +
+                   ctx.bounder.addr_insts(a, s);
+    c.bound = ctx.bounder.bound_cycles(c.addr_total);
+    frame->children.push_back(c);
+  }
+  std::sort(frame->children.begin(), frame->children.end(),
+            [](const BnbChild& x, const BnbChild& y) {
+              if (x.bound != y.bound) return x.bound < y.bound;
+              return static_cast<int>(x.space) < static_cast<int>(y.space);
+            });
+}
+
+// Evaluates the buffered leaves over the pool and folds them serially in
+// DFS order — per-slot writes plus an ordered fold keep the incumbent (and
+// hence all later pruning) identical for every thread count.
+void flush_leaves(const BnbContext& ctx,
+                  std::vector<DataPlacement>* pending_placements,
+                  Incumbent* inc, SearchResult* res) {
+  if (pending_placements->empty()) return;
+  GPUHMS_SCOPED_PHASE("search.chunk_ns");
+  std::vector<double> cycles(pending_placements->size());
+  ctx.pool->parallel_for(
+      pending_placements->size(), [&](int worker, std::size_t j) {
+        cycles[j] = ctx.predictor
+                        ->predict_with(
+                            (*pending_placements)[j],
+                            &(*ctx.scratch)[static_cast<std::size_t>(worker)],
+                            ctx.skeleton.get())
+                        .total_cycles;
+      });
+  GPUHMS_COUNTER_ADD("search.chunks", 1);
+  GPUHMS_HISTOGRAM_RECORD("search.chunk_candidates",
+                          pending_placements->size());
+  res->evaluated += pending_placements->size();
+  for (std::size_t j = 0; j < pending_placements->size(); ++j)
+    inc->offer((*pending_placements)[j], cycles[j]);
+  pending_placements->clear();
+}
+
+// Beam core over an already-built context. Shares the incumbent with the
+// caller (the bnb fallback passes its own), honors the stop watch between
+// levels, and returns the number of full evaluations performed.
+std::size_t beam_core(const BnbContext& ctx, const SearchOptions& options,
+                      const StopWatch& watch, Incumbent* inc,
+                      bool* deadline_hit, bool* cancelled) {
+  const KernelInfo& k = ctx.predictor->kernel();
+  const std::size_t n = k.arrays.size();
+  const std::size_t width = std::max<std::size_t>(1, options.beam_width);
+  std::size_t evaluated = 0;
+
+  struct BeamNode {
+    DataPlacement partial;       // arrays order[0..depth) pinned
+    DataPlacement completion;    // scored rollout of the prefix
+    double cycles = 0.0;
+    std::size_t const_bytes = 0;
+    std::size_t shared_bytes = 0;
+  };
+  std::vector<BeamNode> beam(1);
+  beam[0].partial =
+      DataPlacement(std::vector<MemSpace>(n, MemSpace::Global));
+
+  for (std::size_t depth = 0; depth < n; ++depth) {
+    if (watch.should_stop(deadline_hit, cancelled)) return evaluated;
+    const int array = ctx.order[depth];
+    const auto a = static_cast<std::size_t>(array);
+    const ArrayDecl& decl = k.arrays[a];
+    std::vector<BeamNode> candidates;
+    for (const BeamNode& node : beam) {
+      for (MemSpace s : ctx.bounder.relaxed_spaces(a)) {
+        BeamNode c;
+        c.const_bytes = node.const_bytes +
+                        (s == MemSpace::Constant ? decl.bytes() : 0);
+        c.shared_bytes =
+            node.shared_bytes +
+            (s == MemSpace::Shared ? decl.shared_slice_bytes() : 0);
+        if (c.const_bytes > ctx.arch->constant_capacity ||
+            c.shared_bytes > ctx.arch->shared_capacity)
+          continue;
+        c.partial = node.partial.with(array, s);
+        c.completion = complete_with_sample(ctx, c.partial, depth + 1,
+                                            c.const_bytes, c.shared_bytes);
+        candidates.push_back(std::move(c));
+      }
+    }
+    ctx.pool->parallel_for(candidates.size(), [&](int worker, std::size_t j) {
+      candidates[j].cycles =
+          ctx.predictor
+              ->predict_with(candidates[j].completion,
+                             &(*ctx.scratch)[static_cast<std::size_t>(worker)],
+                             ctx.skeleton.get())
+              .total_cycles;
+    });
+    evaluated += candidates.size();
+    for (const BeamNode& c : candidates) inc->offer(c.completion, c.cycles);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const BeamNode& x, const BeamNode& y) {
+                if (x.cycles != y.cycles) return x.cycles < y.cycles;
+                return enum_order_less(x.completion, y.completion);
+              });
+    if (candidates.size() > width) candidates.resize(width);
+    beam = std::move(candidates);
+    if (beam.empty()) break;  // unreachable: all-Global always extends
+  }
+  return evaluated;
+}
+
+// Branch-and-bound core: depth-first over the assignment tree, best child
+// first, pruning on strictly-greater bounds (ties survive so the
+// enumeration-order tie-break stays exact), leaves batch-evaluated in
+// kChunk buffers. Anytime: the incumbent is feasible from the greedy seed
+// onwards, and on any early stop the frontier bounds certify the gap.
+SearchResult bnb_over(const Predictor& predictor,
+                      const SearchOptions& options) {
+  GPUHMS_SCOPED_PHASE("search.bnb_ns");
+  const KernelInfo& k = predictor.kernel();
+  const StopWatch watch(options);
+
+  ThreadPool local_pool(options.pool ? 1 : options.num_threads);
+  ThreadPool& pool = options.pool ? *options.pool : local_pool;
+  std::vector<TraceAnalyzer> scratch;
+  scratch.reserve(static_cast<std::size_t>(pool.size()));
+  for (int t = 0; t < pool.size(); ++t)
+    scratch.push_back(predictor.make_analyzer());
+
+  BnbContext ctx = make_bnb_context(predictor, pool, &scratch);
+  GPUHMS_CHECK_MSG(!ctx.bounder.infeasible(),
+                   "kernel admits no legal placement");
+  const std::size_t n = k.arrays.size();
+
+  SearchResult res;
+  Incumbent inc;
+
+  // A feasible incumbent before the first tree node: the sample placement is
+  // scored even when the deadline already expired at entry (same contract as
+  // exhaustive search's first candidate).
+  greedy_seed(ctx, &inc, &res.evaluated);
+
+  std::vector<BnbFrame> stack;
+  std::vector<DataPlacement> pending;  // leaf buffer, flushed per kChunk
+  DataPlacement cur(std::vector<MemSpace>(n, MemSpace::Global));
+  std::size_t visits = 0;  // stop-watch cadence (every kChunk node visits)
+  bool stopped = false;
+
+  // An already-expired deadline / pre-fired cancel token skips the walk
+  // entirely but must still read as a stop: the greedy incumbent stands, but
+  // nothing was proven about the rest of the space.
+  if (n > 0 && watch.should_stop(&res.deadline_hit, &res.cancelled)) {
+    stopped = true;
+  } else if (n > 0) {
+    stack.emplace_back();
+    build_children(ctx, 0, ctx.bounder.root_addr_insts(), 0, 0,
+                   &stack.back());
+    while (!stack.empty()) {
+      if (++visits % kChunk == 0 &&
+          watch.should_stop(&res.deadline_hit, &res.cancelled)) {
+        stopped = true;
+        break;
+      }
+      if (options.node_budget != 0 &&
+          res.nodes_expanded >= options.node_budget) {
+        stopped = true;
+        res.beam_fallback = true;
+        break;
+      }
+      BnbFrame& frame = stack.back();
+      if (frame.next >= frame.children.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const std::size_t depth = stack.size() - 1;
+      const BnbChild child = frame.children[frame.next++];
+      if (child.bound > inc.cycles) {
+        // Admissible bound: every completion of this subtree predicts
+        // >= child.bound > incumbent, so it cannot even tie.
+        ++res.pruned_subtrees;
+        continue;
+      }
+      cur.set(ctx.order[depth], child.space);
+      if (depth + 1 == n) {
+        pending.push_back(cur);
+        if (pending.size() >= kChunk) flush_leaves(ctx, &pending, &inc, &res);
+        continue;
+      }
+      ++res.nodes_expanded;
+      stack.emplace_back();
+      build_children(ctx, depth + 1, child.addr_total, child.const_bytes,
+                     child.shared_bytes, &stack[stack.size() - 1]);
+    }
+  }
+  // The final partial chunk (or, on an early stop, the buffered leaves —
+  // one chunk of work at most, the same granularity exhaustive search
+  // stops at).
+  flush_leaves(ctx, &pending, &inc, &res);
+
+  if (stopped && res.beam_fallback) {
+    // Bound too loose to prune within the node budget: refine the incumbent
+    // with one deterministic beam pass. The certificate below still comes
+    // from the abandoned frontier.
+    res.evaluated += beam_core(ctx, options, watch, &inc, &res.deadline_hit,
+                               &res.cancelled);
+  }
+
+  // Certification: everything unexplored lives under a frontier child (or a
+  // pruned subtree, whose bound exceeded an incumbent value >= the final
+  // one), so min(incumbent, frontier bounds) lower-bounds the optimum over
+  // the FULL legal space.
+  double lb = inc.cycles;
+  if (stopped && stack.empty()) {
+    // Stopped before the root was even expanded (pre-expired deadline or
+    // pre-fired cancel): the entire space is unexplored and the only honest
+    // certificate is the root bound.
+    lb = std::min(lb, ctx.bounder.bound_cycles(ctx.bounder.root_addr_insts()));
+  }
+  for (const BnbFrame& f : stack)
+    for (std::size_t j = f.next; j < f.children.size(); ++j)
+      lb = std::min(lb, f.children[j].bound);
+  res.placement = inc.placement;
+  res.predicted_cycles = inc.cycles;
+  res.incumbent_updates = inc.updates;
+  res.lower_bound = lb;
+  res.optimality_gap =
+      inc.cycles > 0.0 ? (inc.cycles - lb) / inc.cycles : 0.0;
+  res.proven_optimal = !stopped;
+
+  GPUHMS_COUNTER_ADD("search.bnb_searches", 1);
+  GPUHMS_COUNTER_ADD("search.bnb_nodes_expanded", res.nodes_expanded);
+  GPUHMS_COUNTER_ADD("search.bnb_pruned_subtrees", res.pruned_subtrees);
+  GPUHMS_COUNTER_ADD("search.bnb_incumbent_updates", res.incumbent_updates);
+  if (res.beam_fallback) GPUHMS_COUNTER_ADD("search.bnb_beam_fallbacks", 1);
+  GPUHMS_GAUGE_SET("search.bnb_gap_bp",
+                   static_cast<std::int64_t>(res.optimality_gap * 1e4));
+  record_search_metrics(watch, res.evaluated, res.pruned_subtrees, 0,
+                        res.deadline_hit, res.cancelled);
+  return res;
+}
+
 }  // namespace
 
 SearchResult search_exhaustive(const Predictor& predictor, std::size_t cap) {
@@ -281,6 +700,63 @@ SearchResult search_greedy(const Predictor& predictor, int max_sweeps) {
     if (!changed) break;
   }
   return r;
+}
+
+SearchResult search_branch_and_bound(const Predictor& predictor,
+                                     const SearchOptions& options) {
+  return bnb_over(predictor, options);
+}
+
+StatusOr<SearchResult> try_search_branch_and_bound(
+    const Predictor& predictor, const SearchOptions& options) {
+  const KernelInfo& k = predictor.kernel();
+  const std::string ctx =
+      "branch-and-bound searching placements of kernel '" + k.name + "'";
+  if (!predictor.has_sample())
+    return FailedPreconditionError(
+               "predictor has no profiled sample; call try_profile_sample or "
+               "try_set_sample first")
+        .annotate(ctx);
+  try {
+    return bnb_over(predictor, options);
+  } catch (const std::exception& e) {
+    return InternalError(e.what()).annotate(ctx);
+  }
+}
+
+SearchResult search_beam(const Predictor& predictor,
+                         const SearchOptions& options) {
+  GPUHMS_SCOPED_PHASE("search.beam_ns");
+  const StopWatch watch(options);
+  ThreadPool local_pool(options.pool ? 1 : options.num_threads);
+  ThreadPool& pool = options.pool ? *options.pool : local_pool;
+  std::vector<TraceAnalyzer> scratch;
+  scratch.reserve(static_cast<std::size_t>(pool.size()));
+  for (int t = 0; t < pool.size(); ++t)
+    scratch.push_back(predictor.make_analyzer());
+
+  BnbContext ctx = make_bnb_context(predictor, pool, &scratch);
+  GPUHMS_CHECK_MSG(!ctx.bounder.infeasible(),
+                   "kernel admits no legal placement");
+
+  SearchResult res;
+  Incumbent inc;
+  greedy_seed(ctx, &inc, &res.evaluated);
+  res.evaluated += beam_core(ctx, options, watch, &inc, &res.deadline_hit,
+                             &res.cancelled);
+
+  res.placement = inc.placement;
+  res.predicted_cycles = inc.cycles;
+  res.incumbent_updates = inc.updates;
+  // The only certificate a heuristic beam can give: the root bound over the
+  // whole space. Loose, but >= 0 and sound.
+  res.lower_bound =
+      ctx.bounder.bound_cycles(ctx.bounder.root_addr_insts());
+  res.optimality_gap =
+      inc.cycles > 0.0 ? (inc.cycles - res.lower_bound) / inc.cycles : 0.0;
+  record_search_metrics(watch, res.evaluated, 0, 0, res.deadline_hit,
+                        res.cancelled);
+  return res;
 }
 
 OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,

@@ -51,6 +51,15 @@ struct SearchOptions {
   // semantics as the deadline. The token outlives the call; the search
   // never writes it.
   const std::atomic<bool>* cancel = nullptr;
+  // Branch-and-bound only: stop after this many tree-node expansions — the
+  // sign that the bound is too loose to prune — and refine the incumbent
+  // with one deterministic beam pass (search_beam) instead, keeping the
+  // certified gap from the abandoned frontier. Node counts are wall-clock
+  // independent, so a budgeted run stays bit-reproducible (unlike a
+  // deadline). 0 = unlimited.
+  std::size_t node_budget = 0;
+  // Beam width for search_beam and the branch-and-bound fallback pass.
+  std::size_t beam_width = 8;
 };
 
 struct SearchResult {
@@ -67,6 +76,21 @@ struct SearchResult {
   bool deadline_hit = false;
   bool cancelled = false;
   std::size_t not_evaluated = 0;
+  // --- Branch-and-bound / beam certification -------------------------------
+  // Certified lower bound on the optimum over the FULL legal space (not just
+  // the explored part) and the relative optimality gap
+  // (predicted_cycles - lower_bound) / predicted_cycles. An exhaustive or
+  // capped search leaves these 0; branch-and-bound always sets them (gap 0
+  // with proven_optimal when it ran to completion), beam search certifies
+  // against the root bound only.
+  double lower_bound = 0.0;
+  double optimality_gap = 0.0;
+  bool proven_optimal = false;
+  // Branch-and-bound tree observability.
+  std::size_t nodes_expanded = 0;     // interior nodes whose children were built
+  std::size_t pruned_subtrees = 0;    // subtrees cut by the admissible bound
+  std::size_t incumbent_updates = 0;  // accepted incumbent improvements
+  bool beam_fallback = false;  // node_budget exhausted -> beam refinement ran
 };
 
 // Scores every legal placement (up to options.cap) with the predictor.
@@ -92,6 +116,34 @@ StatusOr<SearchResult> try_search_exhaustive(const Predictor& predictor,
 // space with the others fixed, until a full sweep changes nothing (or
 // max_sweeps is hit). Evaluates O(n_arrays x n_spaces x sweeps) placements.
 SearchResult search_greedy(const Predictor& predictor, int max_sweeps = 4);
+
+// Branch-and-bound over the FULL m^n legal space — `options.cap` is ignored;
+// this is the search to reach for when the space outgrows the exhaustive
+// enumeration cap. Arrays are assigned one at a time (highest addressing-
+// cost spread first) and subtrees are cut with the admissible
+// PlacementBounder lower bound, so the returned placement and score are
+// bit-identical to search_exhaustive on any space the latter can enumerate
+// uncapped — only cheaper. Anytime: a greedy per-array pass seeds a feasible
+// incumbent before the tree walk, deadline/cancel stop the walk with
+// best-so-far semantics, and the result always carries a certified
+// lower_bound / optimality_gap (gap 0 + proven_optimal on completion).
+// node_budget bounds the tree walk deterministically; exhausting it falls
+// back to one beam pass (beam_fallback). Deterministic for any num_threads.
+SearchResult search_branch_and_bound(const Predictor& predictor,
+                                     const SearchOptions& options = {});
+
+// Non-aborting variant; same error contract as try_search_exhaustive.
+StatusOr<SearchResult> try_search_branch_and_bound(
+    const Predictor& predictor, const SearchOptions& options = {});
+
+// Deterministic beam search: assigns arrays level by level keeping the
+// options.beam_width best partial assignments, each scored by a full
+// prediction of the prefix completed with the sample placement (clamped to
+// capacity). No admissibility requirement on the heuristic — the certificate
+// is the (loose) root lower bound. O(n_arrays x beam_width x n_spaces)
+// predictions; the fallback for spaces where branch-and-bound cannot prune.
+SearchResult search_beam(const Predictor& predictor,
+                         const SearchOptions& options = {});
 
 struct OracleResult {
   DataPlacement best;

@@ -15,4 +15,10 @@ double tcomp(const TcompInputs& in, const GpuArch& arch) {
   return insts_per_sm * throughput + in.w_serial;
 }
 
+double tcomp_floor(double issued_insts_lb, int active_sms) {
+  // throughput >= 1 and w_serial >= 0 in tcomp() above, so this never
+  // exceeds tcomp() evaluated on any placement issuing >= issued_insts_lb.
+  return std::max(0.0, issued_insts_lb) / std::max(1, active_sms);
+}
+
 }  // namespace gpuhms

@@ -20,4 +20,10 @@ struct TcompInputs {
 //        + W_serial,  with effective_throughput = avg_inst_lat / ITILP.
 double tcomp(const TcompInputs& in, const GpuArch& arch);
 
+// Admissible floor on Eq. 2 for branch-and-bound search, given a floor on
+// the kernel-wide issued-instruction count: effective throughput is clamped
+// at 1 cycle per issued instruction (Eq. 13 caps ITILP at avg_inst_lat) and
+// W_serial >= 0, so T_comp >= issued / active_SMs regardless of placement.
+double tcomp_floor(double issued_insts_lb, int active_sms);
+
 }  // namespace gpuhms

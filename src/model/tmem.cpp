@@ -76,4 +76,31 @@ TmemResult tmem(const TmemInputs& in, const GpuArch& arch,
   return r;
 }
 
+double tmem_floor(const TmemFloorInputs& in, const GpuArch& arch) {
+  // tmem() computes t_mem = loads / SMs / ITMLP * AMAT. Bounding each factor
+  // over every possible placement:
+  //   * loads >= in.load_insts_lb (skeleton floor, see TmemFloorInputs);
+  //   * AMAT (Eq. 5) is a convex mix of dram_lat * miss (>= 0 with the
+  //     Eq. 9 wait relaxed to queue_delay_floor()), cache_hit_lat, and
+  //     shared_lat, so AMAT >= amat_min = min(cache_hit_lat, shared_lat);
+  //   * ITMLP (Eq. 18) <= MWP_peak_bw = max(1, per_sm_bw * max(1, AMAT) /
+  //     max(1e-3, dram_per_mem)) with per_sm_bw <= total_banks /
+  //     (bank_service_floor * active_SMs)  (Eq. 8 service >= row-hit).
+  // Splitting on the max(1, .) in MWP_peak_bw: when the cap is 1,
+  // t_mem >= loads/SMs * amat_min; otherwise the AMAT factors cancel
+  // (amat_min >= 1) and t_mem >= loads/SMs * dpm_min / per_sm_bw. Taking
+  // the min of both branches is therefore always admissible.
+  const double amat_min = static_cast<double>(
+      std::min(arch.cache_hit_lat, arch.shared_lat));
+  constexpr double kDpmMin = 1e-3;  // compute_warp_parallelism's clamp
+  const int sms = std::max(1, in.active_sms);
+  const double per_sm_bw_max =
+      static_cast<double>(arch.total_banks()) /
+      std::max(1.0, bank_service_floor(arch)) / sms;
+  const double per_load =
+      std::min(amat_min, kDpmMin / std::max(1e-12, per_sm_bw_max)) +
+      queue_delay_floor();
+  return std::max(0.0, in.load_insts_lb) / sms * per_load;
+}
+
 }  // namespace gpuhms

@@ -59,4 +59,20 @@ struct TmemInputs {
 TmemResult tmem(const TmemInputs& in, const GpuArch& arch,
                 const TmemOptions& opts = {});
 
+// --- Admissible T_mem floor (branch-and-bound search) -----------------------
+struct TmemFloorInputs {
+  // Floor on the kernel-wide warp-level load count for *any* placement
+  // (TraceSkeleton::base_load_insts: lowering never drops a load, staging
+  // preambles only add more).
+  double load_insts_lb = 0.0;
+  int active_sms = 1;
+};
+
+// Placement-independent lower bound on tmem().t_mem (Eq. 4-8 relaxed to zero
+// queuing wait, see queue_delay_floor). Derivation in tmem.cpp. This term is
+// provable but weak — for real kernels the T_comp instruction floor
+// dominates the combined bound; it exists so the bound stays sound for
+// degenerate, nearly compute-free kernels.
+double tmem_floor(const TmemFloorInputs& in, const GpuArch& arch);
+
 }  // namespace gpuhms

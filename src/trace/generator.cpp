@@ -35,6 +35,7 @@ TraceSkeleton::TraceSkeleton(const KernelInfo& kernel)
                       case OpClass::Load:
                       case OpClass::Store: {
                         ++base_insts_;
+                        if (op.cls == OpClass::Load) ++base_load_insts_;
                         const auto a = static_cast<std::size_t>(op.array);
                         p.array = op.array;
                         p.active_mask = active_mask_of(op.idx);

@@ -120,6 +120,9 @@ class TraceSkeleton {
   // Executed warp instructions excluding addressing-mode inserts and staging
   // preambles (i.e. the placement-invariant part of insts_executed).
   std::uint64_t base_insts() const { return base_insts_; }
+  // Warp-level *load* DSL ops only. A floor on any placement's load count:
+  // lowering never drops a load, and shared-staging preambles only add more.
+  std::uint64_t base_load_insts() const { return base_load_insts_; }
   // Warp-level load+store DSL ops per array (masked-off ops included — they
   // still issue).
   std::span<const std::uint64_t> mem_ops_per_array() const {
@@ -132,6 +135,7 @@ class TraceSkeleton {
   std::vector<ProtoOp> proto_;    // all warps, concatenated
   std::vector<std::uint32_t> proto_begin_;  // per-warp ranges, size warps+1
   std::uint64_t base_insts_ = 0;
+  std::uint64_t base_load_insts_ = 0;
   std::vector<std::uint64_t> mem_ops_per_array_;
   // Lazily-built device address pools, two per array (linear, block-linear).
   mutable std::vector<std::vector<AddrBlock>> device_pools_;

@@ -1,0 +1,49 @@
+// Synthetic many-array kernel for exercising branch-and-bound placement
+// search: n small read-only arrays give a 5^n placement space (390625 at the
+// default n = 8) — far past the exhaustive enumeration cap — while each array
+// is tiny enough (2 KiB) that every combination of spaces is legal, so the
+// search tree has no capacity-pruned branches and the admissible bound does
+// all the cutting. The access pattern (wide bursts of independent coalesced
+// loads, cache-resident working set) makes the texture path the clear
+// optimum, which keeps the optimum near the bound's per-array floor — the
+// regime where branch-and-bound provably explores a small fraction of the
+// space.
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::workloads {
+
+KernelInfo make_bnb_synth(int n_arrays, int iters) {
+  KernelInfo k;
+  k.name = "bnb_synth";
+  k.threads_per_block = 256;
+  // 104 blocks = 13 SMs x 8 blocks: a full wave at maximum occupancy.
+  k.num_blocks = 104;
+
+  constexpr std::size_t kElems = 512;  // 2 KiB per array
+  for (int a = 0; a < n_arrays; ++a) {
+    ArrayDecl d{.name = "A" + std::to_string(a), .dtype = DType::F32,
+                .elems = kElems, .width = 64,
+                .shared_slice_elems = kElems};
+    k.arrays.push_back(d);
+  }
+
+  k.fn = [n_arrays, iters](WarpEmitter& em, const WarpCtx& ctx) {
+    for (int r = 0; r < iters; ++r) {
+      // A burst of 2 x n_arrays independent coalesced loads (no RAW chain),
+      // rotating the 64-element window so every warp sweeps each array.
+      for (int a = 0; a < n_arrays; ++a) {
+        for (int s = 0; s < 2; ++s) {
+          const std::int64_t base =
+              (ctx.warp_global_id() * 64 + r * 64 + s * 32) %
+              static_cast<std::int64_t>(kElems);
+          em.load(a, em.by_lane([&](int l) { return base + l; }));
+        }
+      }
+      em.falu(2, /*uses_prev=*/true);
+      em.ialu(1);
+    }
+  };
+  return k;
+}
+
+}  // namespace gpuhms::workloads

@@ -56,6 +56,10 @@ KernelInfo make_s3d(int cells = 8192, int species = 6);
 KernelInfo make_cfd(int nelr = 4096, std::uint64_t seed = 23);
 KernelInfo make_qtc(int points = 1024, int checks = 48,
                     std::uint64_t seed = 29);
+// Synthetic n-array kernel whose 5^n placement space exceeds the exhaustive
+// enumeration cap — the branch-and-bound search stressor (every placement is
+// legal; the texture path is the designed optimum).
+KernelInfo make_bnb_synth(int n_arrays = 8, int iters = 12);
 
 // --- Table IV registry ---------------------------------------------------------
 struct PlacementTest {

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Documentation consistency check (ctest -L docs).
+
+Two guarantees:
+  1. Every relative markdown link `[text](path)` in the repo's *.md files
+     resolves to an existing file or directory (anchors and absolute URLs
+     are skipped).
+  2. docs/MODEL_MAP.md only references files that exist: every backtick
+     token that looks like a repo path (src/..., tests/..., bench/...,
+     examples/..., docs/...) must name a real file, so the equation-to-code
+     map cannot silently rot as code moves.
+
+Usage: check_docs.py [repo_root]   (default: parent of this script's dir)
+Exit 0 when clean, 1 with a per-problem report otherwise.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "bench_build", "third_party", ".claude"}
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `src/model/tcomp.cpp` or `bench/bench_bnb_scaling.cpp (E19)` etc.
+CODE_PATH_RE = re.compile(
+    r"`((?:src|tests|bench|examples|docs)/[A-Za-z0-9_./-]+)`")
+
+
+def find_markdown(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_links(md_path, root):
+    problems = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue  # quoted/example content, not our documentation
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z]+://", target) or target.startswith("#"):
+                continue  # external URL / in-page anchor
+            if target.startswith("mailto:"):
+                continue
+            path = target.split("#", 1)[0]  # strip fragment
+            if not path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{os.path.relpath(md_path, root)}:{lineno}: "
+                    f"broken relative link '{target}'")
+    return problems
+
+
+def check_model_map(root):
+    problems = []
+    path = os.path.join(root, "docs", "MODEL_MAP.md")
+    if not os.path.exists(path):
+        return [f"docs/MODEL_MAP.md is missing (expected at {path})"]
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for ref in CODE_PATH_RE.findall(line):
+                if not os.path.exists(os.path.join(root, ref)):
+                    problems.append(
+                        f"docs/MODEL_MAP.md:{lineno}: "
+                        f"references nonexistent file '{ref}'")
+    return problems
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir))
+    problems = []
+    md_files = sorted(find_markdown(root))
+    for md in md_files:
+        problems.extend(check_links(md, root))
+    problems.extend(check_model_map(root))
+
+    if problems:
+        print(f"docs check FAILED ({len(problems)} problem(s)):")
+        for p in problems:
+            print("  " + p)
+        return 1
+    print(f"docs check OK: {len(md_files)} markdown files, all relative "
+          "links resolve, MODEL_MAP references exist")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
