@@ -1,0 +1,166 @@
+// Serving-layer throughput: requests/sec through PredictionService for a
+// cold cache (every predict runs the full model) versus a warm cache (every
+// predict answers from the prediction LRU), plus the pipelined batch path.
+// Self-asserting: the warm phase must beat the cold phase by at least
+// kMinWarmSpeedup or the bench exits nonzero — a cache that stops caching is
+// a perf regression this binary exists to catch. Emits BENCH_serve.json in
+// the working directory for the perf trajectory.
+//
+// Usage: ./bench/bench_serve_throughput [placements-per-kernel] [repeats]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "kernel/placement.hpp"
+#include "serve/service.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gpuhms;
+
+namespace {
+
+// Conservative: measured warm/cold ratios are >20x (a warm hit is an LRU
+// lookup plus JSON assembly; a cold miss runs the whole Eq. 1 model).
+constexpr double kMinWarmSpeedup = 3.0;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::string> build_requests(std::size_t per_kernel) {
+  std::vector<std::string> lines;
+  int id = 0;
+  for (const char* name : {"triad", "spmv", "md", "transpose"}) {
+    const workloads::BenchmarkCase bench = workloads::get_benchmark(name);
+    const std::vector<DataPlacement> placements =
+        enumerate_placements(bench.kernel, kepler_arch(), per_kernel);
+    for (const DataPlacement& p : placements)
+      lines.push_back("{\"id\":" + std::to_string(id++) +
+                      ",\"op\":\"predict\",\"benchmark\":\"" +
+                      std::string(name) + "\",\"placement\":\"" +
+                      p.to_string() + "\"}");
+  }
+  return lines;
+}
+
+double time_pipeline(serve::PredictionService& service,
+                     const std::vector<std::string>& lines,
+                     std::vector<std::string>* responses_out) {
+  const double t0 = now_ms();
+  std::vector<std::string> responses = service.handle_pipeline(lines);
+  const double wall = now_ms() - t0;
+  if (responses_out) *responses_out = std::move(responses);
+  return wall;
+}
+
+double time_line_at_a_time(serve::PredictionService& service,
+                           const std::vector<std::string>& lines) {
+  const double t0 = now_ms();
+  for (const std::string& line : lines) (void)service.handle_line(line);
+  return now_ms() - t0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t per_kernel =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  const std::vector<std::string> lines = build_requests(per_kernel);
+  std::printf("serve throughput (%zu requests over 4 kernels, best of %d)\n\n",
+              lines.size(), repeats);
+
+  // Cold: fresh service each repeat, so every request misses both caches
+  // (kernel profiling + full model evaluation). Pipelined, so this is the
+  // best the service can do without memoization.
+  double cold_ms = 1e300;
+  std::vector<std::string> cold_responses;
+  for (int r = 0; r < repeats; ++r) {
+    serve::PredictionService service{serve::ServeOptions{}};
+    std::vector<std::string> responses;
+    cold_ms = std::min(cold_ms, time_pipeline(service, lines, &responses));
+    if (r == 0) cold_responses = std::move(responses);
+  }
+
+  // Warm: one service, primed by a first pass; then the same requests answer
+  // from the prediction cache. Byte-identical responses are part of the
+  // serving contract, so assert them here too.
+  serve::PredictionService warm_service{serve::ServeOptions{}};
+  (void)time_pipeline(warm_service, lines, nullptr);
+  double warm_ms = 1e300;
+  std::vector<std::string> warm_responses;
+  for (int r = 0; r < repeats; ++r) {
+    std::vector<std::string> responses;
+    warm_ms = std::min(warm_ms, time_pipeline(warm_service, lines, &responses));
+    if (r == 0) warm_responses = std::move(responses);
+  }
+  if (warm_responses != cold_responses) {
+    std::fprintf(stderr,
+                 "FAIL: warm responses diverge from cold responses\n");
+    return 1;
+  }
+  const serve::ServeStats warm_stats = warm_service.stats();
+  if (warm_stats.prediction_cache.hits == 0) {
+    std::fprintf(stderr, "FAIL: warm phase never hit the prediction cache\n");
+    return 1;
+  }
+
+  // Warm, one line at a time: what an interactive (unpipelined) client sees.
+  double warm_line_ms = 1e300;
+  for (int r = 0; r < repeats; ++r)
+    warm_line_ms = std::min(warm_line_ms,
+                            time_line_at_a_time(warm_service, lines));
+
+  const double n = static_cast<double>(lines.size());
+  const double speedup = cold_ms / warm_ms;
+  std::printf("  %-22s %10s %14s\n", "phase", "wall ms", "requests/sec");
+  std::printf("  %-22s %10.2f %14.1f\n", "cold (pipelined)", cold_ms,
+              n / (cold_ms / 1000.0));
+  std::printf("  %-22s %10.2f %14.1f\n", "warm (pipelined)", warm_ms,
+              n / (warm_ms / 1000.0));
+  std::printf("  %-22s %10.2f %14.1f\n", "warm (line-at-a-time)", warm_line_ms,
+              n / (warm_line_ms / 1000.0));
+  std::printf("\ncached-hit speedup: %.1fx (floor %.1fx)\n", speedup,
+              kMinWarmSpeedup);
+
+  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"requests\": %zu,\n"
+               "  \"cold_pipelined_ms\": %.3f,\n"
+               "  \"warm_pipelined_ms\": %.3f,\n"
+               "  \"warm_line_at_a_time_ms\": %.3f,\n"
+               "  \"cold_requests_per_sec\": %.1f,\n"
+               "  \"warm_requests_per_sec\": %.1f,\n"
+               "  \"cached_hit_speedup\": %.2f,\n"
+               "  \"speedup_floor\": %.1f,\n"
+               "  \"prediction_cache_hits\": %llu,\n"
+               "  \"prediction_cache_misses\": %llu\n"
+               "}\n",
+               lines.size(), cold_ms, warm_ms, warm_line_ms,
+               n / (cold_ms / 1000.0), n / (warm_ms / 1000.0), speedup,
+               kMinWarmSpeedup,
+               static_cast<unsigned long long>(warm_stats.prediction_cache.hits),
+               static_cast<unsigned long long>(
+                   warm_stats.prediction_cache.misses));
+  std::fclose(json);
+  std::printf("wrote BENCH_serve.json\n");
+
+  if (speedup < kMinWarmSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: cached-hit speedup %.2fx is below the %.1fx floor\n",
+                 speedup, kMinWarmSpeedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,218 @@
+// gpuhms_serve: the long-running prediction/search daemon.
+//
+// Speaks the newline-delimited JSON protocol of DESIGN §11 over stdin/stdout
+// (the default; pipe requests in, read responses out) or over a Unix domain
+// socket (--socket=PATH) where each connection gets its own handler thread
+// against one shared PredictionService — so every client shares the kernel
+// and prediction caches.
+//
+// Quickstart (see README "Serving"):
+//   $ ./examples/gpuhms_serve
+//   {"id":1,"op":"predict","benchmark":"spmv","placement":"G,G,G,G"}
+//   {"id":1,"op":"predict","ok":true,...}
+//
+// The daemon exits after a {"op":"shutdown"} request or EOF on stdin.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/service.hpp"
+
+using namespace gpuhms;
+
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "gpuhms_serve: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::size_t parse_size(const char* arg, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE)
+    die(std::string("invalid ") + what + " '" + arg +
+        "': expected a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+const char* flag_value(const char* arg, const char* flag, int argc,
+                       char** argv, int* i) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0) return nullptr;
+  if (arg[len] == '=') return arg + len + 1;
+  if (arg[len] != '\0') return nullptr;
+  if (*i + 1 >= argc) die(std::string("missing value for ") + flag);
+  return argv[++*i];
+}
+
+void print_help() {
+  std::printf(
+      "usage: gpuhms_serve [flags]\n"
+      "\n"
+      "Long-running placement prediction/search daemon. Reads one JSON\n"
+      "request per line, writes one JSON response per line, in order.\n"
+      "Ops: predict, predict_batch, search (algo=bnb|exhaustive|beam),\n"
+      "metrics, shutdown. Protocol grammar: DESIGN.md section 11.\n"
+      "\n"
+      "flags:\n"
+      "  --socket=PATH        listen on a Unix domain socket instead of\n"
+      "                       stdin/stdout (one thread per connection, one\n"
+      "                       shared cache). The path is unlinked first.\n"
+      "  --arch=NAME          kepler (default) or fermi\n"
+      "  --train-overlap      fit the Eq. 11 T_overlap model on the Table IV\n"
+      "                       training suite at startup (seconds; better\n"
+      "                       absolute predictions)\n"
+      "  --threads=N          worker threads for batch prediction/search\n"
+      "                       (default: GPUHMS_THREADS or hardware)\n"
+      "  --kernel-cache=N     profiled-kernel LRU capacity (default 16)\n"
+      "  --prediction-cache=N memoized-prediction LRU capacity (default 4096)\n"
+      "  --max-inflight=N     concurrent requests admitted (default 64)\n"
+      "  --help               this text\n"
+      "\n"
+      "environment:\n"
+      "  GPUHMS_THREADS       default worker-thread count (responses are\n"
+      "                       bit-identical for any value)\n"
+      "  GPUHMS_METRICS       =1 mirrors serve.* counters into the obs\n"
+      "                       registry (the metrics op works regardless)\n");
+}
+
+// One connection: line-buffered reads, one response line per request.
+void serve_connection(int fd, serve::PredictionService& service) {
+  std::string buf;
+  char chunk[4096];
+  std::vector<std::string> lines;
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    // Handle every complete line received so far as one pipelined batch
+    // (same-kernel predicts coalesce into one batch prediction).
+    lines.clear();
+    std::size_t start = 0;
+    for (std::size_t nl = buf.find('\n'); nl != std::string::npos;
+         nl = buf.find('\n', start)) {
+      lines.push_back(buf.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buf.erase(0, start);
+    if (lines.empty()) continue;
+    std::string out;
+    for (const std::string& response : service.handle_pipeline(lines)) {
+      out += response;
+      out += '\n';
+    }
+    std::size_t written = 0;
+    while (written < out.size()) {
+      const ssize_t w = ::write(fd, out.data() + written,
+                                out.size() - written);
+      if (w <= 0) break;
+      written += static_cast<std::size_t>(w);
+    }
+    if (service.stopped()) break;
+  }
+  ::close(fd);
+}
+
+int run_socket_server(const std::string& path,
+                      serve::PredictionService& service) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path)
+    die("socket path too long: '" + path + "'");
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) die("socket(): " + std::string(std::strerror(errno)));
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
+    die("bind('" + path + "'): " + std::string(std::strerror(errno)));
+  if (::listen(listener, 16) != 0)
+    die("listen(): " + std::string(std::strerror(errno)));
+  std::fprintf(stderr, "gpuhms_serve: listening on %s\n", path.c_str());
+
+  std::vector<std::thread> handlers;
+  while (!service.stopped()) {
+    // Poll with a timeout so a shutdown handled on a connection thread
+    // unblocks the accept loop within a second.
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 1000);
+    if (ready < 0 && errno != EINTR)
+      die("poll(): " + std::string(std::strerror(errno)));
+    if (ready <= 0) continue;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    handlers.emplace_back(serve_connection, fd, std::ref(service));
+  }
+  for (std::thread& t : handlers) t.join();
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeOptions options;
+  std::optional<std::string> socket_path;
+  std::string arch_name = "kepler";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_help();
+      return 0;
+    }
+    if (std::strcmp(arg, "--train-overlap") == 0) {
+      options.train_overlap = true;
+    } else if (const char* v = flag_value(arg, "--socket", argc, argv, &i)) {
+      socket_path = v;
+    } else if (const char* v = flag_value(arg, "--arch", argc, argv, &i)) {
+      arch_name = v;
+    } else if (const char* v = flag_value(arg, "--threads", argc, argv, &i)) {
+      options.num_threads = static_cast<int>(parse_size(v, "--threads"));
+    } else if (const char* v =
+                   flag_value(arg, "--kernel-cache", argc, argv, &i)) {
+      options.kernel_cache_capacity = parse_size(v, "--kernel-cache");
+    } else if (const char* v =
+                   flag_value(arg, "--prediction-cache", argc, argv, &i)) {
+      options.prediction_cache_capacity = parse_size(v, "--prediction-cache");
+    } else if (const char* v =
+                   flag_value(arg, "--max-inflight", argc, argv, &i)) {
+      options.max_inflight = parse_size(v, "--max-inflight");
+    } else {
+      die(std::string("unexpected argument '") + arg + "' (--help lists "
+          "the flags)");
+    }
+  }
+  const GpuArch* arch = nullptr;
+  if (arch_name == "kepler") arch = &kepler_arch();
+  else if (arch_name == "fermi") arch = &fermi_arch();
+  else
+    die("unknown --arch '" + arch_name + "': expected kepler or fermi");
+
+  if (options.train_overlap)
+    std::fprintf(stderr,
+                 "gpuhms_serve: training the T_overlap model "
+                 "(--train-overlap)...\n");
+  serve::PredictionService service(options, *arch);
+
+  if (socket_path) return run_socket_server(*socket_path, service);
+  // Unsynced iostreams so rdbuf()->in_avail() sees buffered request lines —
+  // that's what lets run_stdio_loop coalesce piped same-kernel predicts.
+  std::ios::sync_with_stdio(false);
+  std::cin.tie(nullptr);
+  serve::run_stdio_loop(std::cin, std::cout, service);
+  return 0;
+}

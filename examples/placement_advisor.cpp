@@ -136,11 +136,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (const char* v = flag_value(arg, "--search", argc, argv, &i)) {
-      search_mode = v;
-      if (search_mode != "bnb" && search_mode != "exhaustive" &&
-          search_mode != "beam")
-        die("invalid --search '" + search_mode +
-            "': expected bnb, exhaustive, or beam");
+      search_mode = v;  // validated below via parse_search_algo
     } else if (const char* v =
                    flag_value(arg, "--deadline-ms", argc, argv, &i)) {
       deadline = std::chrono::milliseconds(
@@ -161,6 +157,13 @@ int main(int argc, char** argv) {
       die(std::string("unexpected argument '") + arg + "'");
     }
   }
+  // Algorithm selection goes through the Status layer: an unknown mode is a
+  // structured INVALID_ARGUMENT out of parse_search_algo, never a silent
+  // fallback to a default engine.
+  const StatusOr<SearchAlgo> algo = parse_search_algo(search_mode);
+  if (!algo.ok()) die(algo.status().to_string());
+  const std::string algo_name(to_string(*algo));
+
   if (metrics_out) obs::set_enabled(true);
   if (trace_out) obs::start_tracing();
 
@@ -202,32 +205,23 @@ int main(int argc, char** argv) {
   SearchOptions so;
   so.cap = cap;
   if (deadline) so.deadline = *deadline;
-  SearchResult sr;
-  if (search_mode == "bnb") {
-    const StatusOr<SearchResult> r = try_search_branch_and_bound(pred, so);
-    if (!r.ok()) die(r.status().to_string());
-    sr = *r;
-  } else if (search_mode == "beam") {
-    sr = search_beam(pred, so);
-  } else {
-    const StatusOr<SearchResult> r = try_search_exhaustive(pred, so);
-    if (!r.ok()) die(r.status().to_string());
-    sr = *r;
-  }
+  const StatusOr<SearchResult> searched = try_search(pred, *algo, so);
+  if (!searched.ok()) die(searched.status().to_string());
+  const SearchResult& sr = *searched;
   std::printf("%s search: best %s at %.0f predicted cycles "
               "(%zu evaluated%s%s)\n",
-              search_mode.c_str(), sr.placement.to_string().c_str(),
+              algo_name.c_str(), sr.placement.to_string().c_str(),
               sr.predicted_cycles, sr.evaluated,
               sr.deadline_hit ? "; deadline hit" : "",
               sr.cancelled ? "; cancelled" : "");
-  if (search_mode == "bnb") {
+  if (*algo == SearchAlgo::kBnb) {
     std::printf("  certificate: lower bound %.0f cycles, optimality gap "
                 "%.2f%%%s (%zu nodes expanded, %zu subtrees pruned%s)\n",
                 sr.lower_bound, 100.0 * sr.optimality_gap,
                 sr.proven_optimal ? " [proven optimal]" : "",
                 sr.nodes_expanded, sr.pruned_subtrees,
                 sr.beam_fallback ? "; beam fallback ran" : "");
-  } else if (search_mode == "beam") {
+  } else if (*algo == SearchAlgo::kBeam) {
     std::printf("  certificate (root bound only): lower bound %.0f cycles, "
                 "gap <= %.2f%%\n",
                 sr.lower_bound, 100.0 * sr.optimality_gap);

@@ -20,6 +20,8 @@
 //   queuing.nan      — poisons one bank's inter-arrival stddev with NaN
 //   queuing.saturate — poisons one bank to rho >= 1 (zero inter-arrival)
 //   pool.task        — throws InjectedFault inside a ThreadPool task body
+//   serve.parse      — PredictionService returns an INTERNAL error response
+//                      instead of parsing the request line
 #pragma once
 
 #include <cstdint>

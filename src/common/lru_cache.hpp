@@ -1,0 +1,120 @@
+// Bounded, thread-safe LRU cache with exact hit/miss/eviction accounting.
+//
+// The serving layer (src/serve) keeps two of these — lowered TraceSkeletons
+// and memoized Predictions — so a long-lived daemon answers repeated
+// requests from memory instead of re-deriving the Eq. 1 model per request.
+// Kept generic and header-only in common so any layer can reuse it.
+//
+// Semantics:
+//   * capacity is a hard bound: size() never exceeds it, the least-recently
+//     *used* entry is evicted on insert overflow. A capacity of 0 disables
+//     the cache entirely (every get misses, put is a no-op) so callers can
+//     turn caching off without branching.
+//   * get() and put() both count as a "use" of the key.
+//   * put() of an existing key replaces the value in place (counted in
+//     stats().updates, not inserts) and refreshes recency.
+//   * All operations take one mutex; values are returned by copy so no
+//     reference ever escapes the lock. Cache shared_ptrs for heavy values.
+//
+// Stats invariant (locked by tests/test_lru_cache.cpp): at any quiescent
+// point, inserts - evictions == size(), and hits + misses equals the number
+// of get() calls.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gpuhms {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;    // new keys admitted
+    std::uint64_t updates = 0;    // existing keys overwritten
+    std::uint64_t evictions = 0;  // entries displaced by capacity
+  };
+
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  // Copy of the cached value, refreshing the key's recency; nullopt on miss.
+  std::optional<V> get(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->second;
+  }
+
+  // Insert or overwrite; evicts the least-recently-used entry when a new
+  // key would exceed capacity.
+  void put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.updates;
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      ++stats_.evictions;
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+    ++stats_.inserts;
+    entries_.emplace_front(key, std::move(value));
+    index_[key] = entries_.begin();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    index_.clear();
+  }
+
+  // Keys from most- to least-recently used (test/introspection hook; the
+  // last element is the next eviction victim).
+  std::vector<K> keys_mru_order() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<K> keys;
+    keys.reserve(entries_.size());
+    for (const auto& e : entries_) keys.push_back(e.first);
+    return keys;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  // Most-recently used at the front.
+  std::list<std::pair<K, V>> entries_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace gpuhms

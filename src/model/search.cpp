@@ -759,6 +759,50 @@ SearchResult search_beam(const Predictor& predictor,
   return res;
 }
 
+std::string_view to_string(SearchAlgo algo) {
+  switch (algo) {
+    case SearchAlgo::kExhaustive: return "exhaustive";
+    case SearchAlgo::kBnb: return "bnb";
+    case SearchAlgo::kBeam: return "beam";
+  }
+  return "?";
+}
+
+StatusOr<SearchAlgo> parse_search_algo(std::string_view name) {
+  if (name == "exhaustive") return SearchAlgo::kExhaustive;
+  if (name == "bnb") return SearchAlgo::kBnb;
+  if (name == "beam") return SearchAlgo::kBeam;
+  return InvalidArgumentError("unknown search algorithm '" +
+                              std::string(name) +
+                              "': expected bnb, exhaustive, or beam");
+}
+
+StatusOr<SearchResult> try_search(const Predictor& predictor, SearchAlgo algo,
+                                  const SearchOptions& options) {
+  switch (algo) {
+    case SearchAlgo::kExhaustive:
+      return try_search_exhaustive(predictor, options);
+    case SearchAlgo::kBnb:
+      return try_search_branch_and_bound(predictor, options);
+    case SearchAlgo::kBeam: {
+      const std::string ctx = "beam-searching placements of kernel '" +
+                              predictor.kernel().name + "'";
+      if (!predictor.has_sample())
+        return FailedPreconditionError(
+                   "predictor has no profiled sample; call try_profile_sample "
+                   "or try_set_sample first")
+            .annotate(ctx);
+      try {
+        return search_beam(predictor, options);
+      } catch (const std::exception& e) {
+        return InternalError(e.what()).annotate(ctx);
+      }
+    }
+  }
+  return InvalidArgumentError("unknown SearchAlgo value " +
+                              std::to_string(static_cast<int>(algo)));
+}
+
 OracleResult search_oracle(const KernelInfo& kernel, const GpuArch& arch,
                            std::size_t cap) {
   SearchOptions o;

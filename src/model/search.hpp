@@ -145,6 +145,27 @@ StatusOr<SearchResult> try_search_branch_and_bound(
 SearchResult search_beam(const Predictor& predictor,
                          const SearchOptions& options = {});
 
+// --- algorithm selection -----------------------------------------------------
+// The search engines behind one switch, for surfaces that take the algorithm
+// as data (placement_advisor's --search flag, the serve protocol's "algo"
+// field). Parsing and dispatch both go through the Status layer so an
+// unknown algorithm is a structured INVALID_ARGUMENT, never a silent
+// fallback to some default engine.
+enum class SearchAlgo { kExhaustive = 0, kBnb, kBeam };
+
+// Stable lower-case names: "exhaustive", "bnb", "beam".
+std::string_view to_string(SearchAlgo algo);
+
+// Inverse of to_string; INVALID_ARGUMENT naming the token and listing the
+// valid spellings on anything else.
+StatusOr<SearchAlgo> parse_search_algo(std::string_view name);
+
+// Dispatches to try_search_exhaustive / try_search_branch_and_bound /
+// search_beam (the latter wrapped with the same error contract: a missing
+// sample is FAILED_PRECONDITION, an escaping exception INTERNAL).
+StatusOr<SearchResult> try_search(const Predictor& predictor, SearchAlgo algo,
+                                  const SearchOptions& options = {});
+
 struct OracleResult {
   DataPlacement best;
   std::uint64_t best_cycles = 0;

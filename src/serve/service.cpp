@@ -1,0 +1,794 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/fault_injection.hpp"
+#include "common/hashing.hpp"
+#include "common/obs.hpp"
+
+namespace gpuhms::serve {
+
+namespace {
+
+// RAII admission slot: counts the request against max_inflight and releases
+// on scope exit. admitted() false means the service is over capacity and the
+// request must be rejected without doing model work.
+class InflightSlot {
+ public:
+  InflightSlot(std::atomic<std::size_t>& inflight, std::size_t limit)
+      : inflight_(inflight) {
+    const std::size_t now = inflight_.fetch_add(1, std::memory_order_acq_rel);
+    admitted_ = now < limit;
+  }
+  ~InflightSlot() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+  bool admitted() const { return admitted_; }
+
+ private:
+  std::atomic<std::size_t>& inflight_;
+  bool admitted_ = false;
+};
+
+// Status message + context chain, without the code prefix (the code gets its
+// own response field).
+std::string status_message(const Status& st) {
+  std::string msg = st.message();
+  if (!st.context().empty()) msg += " (while " + st.context() + ")";
+  return msg;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+// Required string member, or INVALID_ARGUMENT naming the field.
+StatusOr<std::string> get_string(const Json& req, std::string_view key) {
+  const Json* v = req.find(key);
+  if (v == nullptr)
+    return InvalidArgumentError("missing required field '" +
+                                std::string(key) + "'");
+  if (!v->is_string())
+    return InvalidArgumentError("field '" + std::string(key) +
+                                "' must be a string");
+  return v->as_string();
+}
+
+// Optional non-negative integer member; `fallback` when absent.
+StatusOr<std::uint64_t> get_uint(const Json& req, std::string_view key,
+                                 std::uint64_t fallback) {
+  const Json* v = req.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number())
+    return InvalidArgumentError("field '" + std::string(key) +
+                                "' must be a number");
+  const double d = v->as_number();
+  if (!(d >= 0) || d != std::floor(d) || d > 1e18)
+    return InvalidArgumentError("field '" + std::string(key) +
+                                "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+// --- fingerprints ------------------------------------------------------------
+
+std::uint64_t fingerprint(const KernelInfo& kernel) {
+  Fnv1a h;
+  h.mix(std::string_view(kernel.name));
+  h.mix(kernel.num_blocks);
+  h.mix(kernel.threads_per_block);
+  h.mix(kernel.arrays.size());
+  for (const ArrayDecl& a : kernel.arrays) {
+    h.mix(std::string_view(a.name));
+    h.mix(a.dtype);
+    h.mix(a.elems);
+    h.mix(a.width);
+    h.mix(a.written);
+    h.mix(a.shared_slice_elems);
+    h.mix(a.default_space);
+  }
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const GpuArch& arch) {
+  Fnv1a h;
+  h.mix(arch.num_sms);
+  h.mix(arch.warp_size);
+  h.mix(arch.max_warps_per_sm);
+  h.mix(arch.max_blocks_per_sm);
+  h.mix(arch.simd_width);
+  h.mix(arch.ialu_lat);
+  h.mix(arch.falu_lat);
+  h.mix(arch.dalu_lat);
+  h.mix(arch.sfu_lat);
+  h.mix(arch.avg_inst_lat);
+  h.mix(arch.shared_lat);
+  h.mix(arch.shared_banks);
+  h.mix(arch.shared_conflict_penalty);
+  h.mix(arch.shared_capacity);
+  h.mix(arch.constant_capacity);
+  h.mix(arch.cache_line);
+  h.mix(arch.cache_hit_lat);
+  h.mix(arch.const_cache_hit_lat);
+  h.mix(arch.tex_cache_hit_lat);
+  h.mix(arch.l2_capacity);
+  h.mix(arch.l2_ways);
+  h.mix(arch.const_cache_capacity);
+  h.mix(arch.const_cache_ways);
+  h.mix(arch.tex_cache_capacity);
+  h.mix(arch.tex_cache_ways);
+  h.mix(arch.dram_channels);
+  h.mix(arch.banks_per_channel);
+  h.mix(arch.dram.page_policy);
+  h.mix(arch.dram.pipeline_lat);
+  h.mix(arch.dram.row_hit_service);
+  h.mix(arch.dram.row_miss_service);
+  h.mix(arch.dram.row_conflict_service);
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const ModelOptions& options) {
+  Fnv1a h;
+  h.mix(options.detailed_instruction_counting);
+  h.mix(options.queuing_model);
+  h.mix(options.address_mapping);
+  h.mix(options.row_buffer_model);
+  h.mix(options.queue_discipline);
+  h.mix(options.anchor_to_sample);
+  return h.digest();
+}
+
+// --- service -----------------------------------------------------------------
+
+// The heavyweight per-kernel state a long-lived service amortizes: the
+// benchmark definition (owning the KernelInfo the predictor points into),
+// one profiled Predictor, and the lowered TraceSkeleton shared by every
+// prediction of this kernel. Immutable once published to the cache; the
+// shared_ptr keeps an entry alive while in use even after LRU eviction.
+struct PredictionService::KernelEntry {
+  workloads::BenchmarkCase bench;
+  std::unique_ptr<Predictor> predictor;
+  std::shared_ptr<const TraceSkeleton> skeleton;
+  // Prediction-cache key prefix: kernel|arch|model fingerprints.
+  std::string key_prefix;
+};
+
+// One predict awaiting an answer; predict_many fills `result`.
+struct PredictionService::PendingPredict {
+  KernelEntryPtr entry;
+  DataPlacement placement;
+  std::string key;  // entry->key_prefix + placement string
+  Prediction result;
+  bool from_cache = false;
+};
+
+std::size_t PredictionService::PredictionKeyHash::operator()(
+    const std::string& k) const {
+  return static_cast<std::size_t>(Fnv1a().mix(std::string_view(k)).digest());
+}
+
+PredictionService::PredictionService(ServeOptions options)
+    : PredictionService(std::move(options), kepler_arch()) {}
+
+PredictionService::PredictionService(ServeOptions options, const GpuArch& arch)
+    : options_(options),
+      arch_(arch),
+      kernel_cache_(options.kernel_cache_capacity),
+      prediction_cache_(options.prediction_cache_capacity),
+      pool_(options.num_threads) {
+  if (options_.train_overlap) {
+    std::vector<TrainingCase> cases;
+    const std::vector<workloads::BenchmarkCase> training =
+        workloads::training_suite();
+    // The suite outlives this loop only locally; train_overlap_model
+    // consumes the cases before returning, so pointers into `training` are
+    // safe here and nothing is retained.
+    for (const auto& c : training) {
+      cases.push_back({&c.kernel, c.sample});
+      for (const auto& t : c.tests) cases.push_back({&c.kernel, t.placement});
+    }
+    overlap_ = train_overlap_model(cases, arch_, ModelOptions{}, 1e-3, &pool_);
+  }
+}
+
+PredictionService::~PredictionService() = default;
+
+StatusOr<PredictionService::KernelEntryPtr> PredictionService::kernel_entry(
+    const std::string& benchmark) {
+  if (auto hit = kernel_cache_.get(benchmark)) {
+    GPUHMS_COUNTER_ADD("serve.kernel_cache_hits", 1);
+    return *hit;
+  }
+  // Build outside the cache under one lock: profiling a sample runs the
+  // simulator substrate (milliseconds), and two clients racing on the same
+  // cold benchmark must not both pay it.
+  std::lock_guard<std::mutex> build_lock(build_mu_);
+  if (auto hit = kernel_cache_.get(benchmark)) {
+    GPUHMS_COUNTER_ADD("serve.kernel_cache_hits", 1);
+    return *hit;
+  }
+  GPUHMS_COUNTER_ADD("serve.kernel_cache_misses", 1);
+  GPUHMS_SCOPED_PHASE("serve.kernel_build_ns");
+
+  auto entry = std::make_shared<KernelEntry>();
+  bool found = false;
+  for (auto suite :
+       {workloads::training_suite(), workloads::evaluation_suite()}) {
+    for (auto& c : suite) {
+      if (c.name == benchmark) {
+        entry->bench = std::move(c);
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  if (!found)
+    return InvalidArgumentError("unknown benchmark '" + benchmark +
+                                "' (not in the Table IV training or "
+                                "evaluation suite)");
+
+  const ModelOptions model_options{};
+  entry->predictor = std::make_unique<Predictor>(entry->bench.kernel, arch_,
+                                                 model_options, overlap_);
+  GPUHMS_RETURN_IF_ERROR(
+      entry->predictor->try_profile_sample(entry->bench.sample)
+          .annotate("profiling the sample placement of benchmark '" +
+                    benchmark + "'"));
+  entry->skeleton = entry->predictor->memoize_trace();
+  entry->key_prefix = hex64(fingerprint(entry->bench.kernel)) + "|" +
+                      hex64(fingerprint(arch_)) + "|" +
+                      hex64(fingerprint(model_options)) + "|";
+  KernelEntryPtr published = std::move(entry);
+  kernel_cache_.put(benchmark, published);
+  return published;
+}
+
+Status PredictionService::predict_many(std::span<PendingPredict> pending) {
+  // Pass 1: answer from the prediction cache.
+  std::uint64_t hits = 0;
+  for (PendingPredict& p : pending) {
+    p.key = p.entry->key_prefix + p.placement.to_string();
+    if (auto cached = prediction_cache_.get(p.key)) {
+      p.result = *cached;
+      p.from_cache = true;
+      ++hits;
+    }
+  }
+  GPUHMS_COUNTER_ADD("serve.prediction_cache_hits", hits);
+  GPUHMS_COUNTER_ADD("serve.prediction_cache_misses", pending.size() - hits);
+
+  // Pass 2: coalesce the misses into one predict_batch call per kernel,
+  // deduplicating identical placements within the batch.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_kernel;
+  for (std::size_t i = 0; i < pending.size(); ++i)
+    if (!pending[i].from_cache)
+      by_kernel[pending[i].entry->key_prefix].push_back(i);
+
+  for (auto& [prefix, indices] : by_kernel) {
+    std::unordered_map<std::string, std::vector<std::size_t>> by_key;
+    std::vector<DataPlacement> targets;
+    for (const std::size_t i : indices) {
+      auto [it, inserted] = by_key.try_emplace(pending[i].key);
+      if (inserted) targets.push_back(pending[i].placement);
+      it->second.push_back(i);
+    }
+    const Predictor& predictor = *pending[indices.front()].entry->predictor;
+    StatusOr<std::vector<Prediction>> batch = [&] {
+      GPUHMS_SCOPED_PHASE("serve.batch_predict_ns");
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      return predictor.try_predict_batch(targets, &pool_);
+    }();
+    if (!batch.ok())
+      return batch.status().annotate(
+          "batch predicting " + std::to_string(targets.size()) +
+          " placements of benchmark '" +
+          pending[indices.front()].entry->bench.name + "'");
+    batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    batched_predicts_.fetch_add(targets.size(), std::memory_order_relaxed);
+    GPUHMS_HISTOGRAM_RECORD("serve.batch_size", targets.size());
+
+    std::size_t t = 0;
+    for (const std::size_t lead : indices) {
+      if (pending[lead].from_cache) continue;  // filled via an earlier alias
+      const Prediction& pr = (*batch)[t++];
+      for (const std::size_t i : by_key[pending[lead].key]) {
+        pending[i].result = pr;
+        pending[i].from_cache = true;  // mark filled
+      }
+      prediction_cache_.put(pending[lead].key, pr);
+    }
+  }
+  predictions_.fetch_add(pending.size(), std::memory_order_relaxed);
+  return OkStatus();
+}
+
+Json PredictionService::prediction_json(const KernelEntry& entry,
+                                        const DataPlacement& placement,
+                                        const Prediction& prediction) const {
+  (void)entry;
+  Json o = Json::object();
+  o.set("placement", placement.to_string());
+  o.set("predicted_cycles", prediction.total_cycles);
+  o.set("t_comp", prediction.t_comp);
+  o.set("t_mem", prediction.t_mem);
+  o.set("t_overlap", prediction.t_overlap);
+  o.set("amat", prediction.amat);
+  o.set("queue_saturated", prediction.queue_saturated);
+  return o;
+}
+
+namespace {
+
+Json make_response_shell(const Json* id, std::string_view op) {
+  Json r = Json::object();
+  r.set("id", id != nullptr ? *id : Json());
+  if (!op.empty()) r.set("op", op);
+  return r;
+}
+
+Json error_response(const Json* id, std::string_view op, const Status& st) {
+  Json r = make_response_shell(id, op);
+  r.set("ok", false);
+  Json e = Json::object();
+  e.set("code", std::string(gpuhms::to_string(st.code())));
+  e.set("message", status_message(st));
+  r.set("error", std::move(e));
+  return r;
+}
+
+}  // namespace
+
+// Status -> error-response plumbing for the Json-returning handlers; the
+// dispatch wrapper fills in id/op afterwards.
+#define GPUHMS_ASSIGN_OR_RETURN_JSON(lhs, expr)                        \
+  GPUHMS_SERVE_AOR_IMPL_(                                              \
+      GPUHMS_STATUS_CONCAT_(gpuhms_serve_sor_, __LINE__), lhs, expr)
+#define GPUHMS_SERVE_AOR_IMPL_(tmp, lhs, expr)                         \
+  auto tmp = (expr);                                                   \
+  if (!tmp.ok()) return error_response(nullptr, "", tmp.status());     \
+  lhs = std::move(tmp).value()
+
+Json PredictionService::handle_predict(const Json& request) {
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::string benchmark,
+                               get_string(request, "benchmark"));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::string placement_str,
+                               get_string(request, "placement"));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry, kernel_entry(benchmark));
+
+  const std::optional<DataPlacement> placement =
+      DataPlacement::from_string(entry->bench.kernel, placement_str);
+  if (!placement)
+    return error_response(
+        nullptr, "",
+        InvalidArgumentError("cannot parse placement '" + placement_str +
+                             "' for benchmark '" + benchmark + "' (" +
+                             std::to_string(entry->bench.kernel.arrays.size()) +
+                             " arrays; codes G,S,C,T,2T)"));
+  if (Status st = validate(entry->bench.kernel, *placement, arch_); !st.ok())
+    return error_response(nullptr, "", st);
+
+  PendingPredict pending[1] = {{entry, *placement, {}, {}, false}};
+  if (Status st = predict_many(pending); !st.ok())
+    return error_response(nullptr, "", st);
+
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("benchmark", benchmark);
+  const Json fields = prediction_json(*entry, *placement, pending[0].result);
+  for (const auto& [k, v] : fields.members()) r.set(k, v);
+  return r;
+}
+
+Json PredictionService::handle_predict_batch(const Json& request) {
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::string benchmark,
+                               get_string(request, "benchmark"));
+  const Json* placements = request.find("placements");
+  if (placements == nullptr || !placements->is_array())
+    return error_response(
+        nullptr, "",
+        InvalidArgumentError("field 'placements' must be an array of "
+                             "placement strings"));
+  if (placements->size() > options_.max_batch) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    GPUHMS_COUNTER_ADD("serve.rejected", 1);
+    return error_response(
+        nullptr, "",
+        ResourceExhaustedError(
+            "batch of " + std::to_string(placements->size()) +
+            " placements exceeds max_batch " +
+            std::to_string(options_.max_batch)));
+  }
+  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry, kernel_entry(benchmark));
+
+  std::vector<PendingPredict> pending;
+  pending.reserve(placements->size());
+  for (std::size_t i = 0; i < placements->size(); ++i) {
+    const Json& s = placements->at(i);
+    if (!s.is_string())
+      return error_response(nullptr, "",
+                            InvalidArgumentError("placements[" +
+                                                 std::to_string(i) +
+                                                 "] is not a string"));
+    const std::optional<DataPlacement> p =
+        DataPlacement::from_string(entry->bench.kernel, s.as_string());
+    if (!p)
+      return error_response(
+          nullptr, "",
+          InvalidArgumentError("cannot parse placements[" +
+                               std::to_string(i) + "] = '" + s.as_string() +
+                               "' for benchmark '" + benchmark + "'"));
+    if (Status st = validate(entry->bench.kernel, *p, arch_); !st.ok())
+      return error_response(
+          nullptr, "",
+          st.annotate("placements[" + std::to_string(i) + "]"));
+    pending.push_back({entry, *p, {}, {}, false});
+  }
+  if (Status st = predict_many(pending); !st.ok())
+    return error_response(nullptr, "", st);
+
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("benchmark", benchmark);
+  Json results = Json::array();
+  for (const PendingPredict& p : pending)
+    results.push_back(prediction_json(*entry, p.placement, p.result));
+  r.set("results", std::move(results));
+  return r;
+}
+
+Json PredictionService::handle_search(const Json& request) {
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::string benchmark,
+                               get_string(request, "benchmark"));
+  std::string algo_name = "bnb";
+  if (request.find("algo") != nullptr) {
+    GPUHMS_ASSIGN_OR_RETURN_JSON(algo_name, get_string(request, "algo"));
+  }
+  const StatusOr<SearchAlgo> algo = parse_search_algo(algo_name);
+  if (!algo.ok()) return error_response(nullptr, "", algo.status());
+
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::uint64_t cap,
+                               get_uint(request, "cap", 4096));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(
+      std::uint64_t deadline_ms,
+      get_uint(request, "deadline_ms", ~std::uint64_t{0}));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::uint64_t beam_width,
+                               get_uint(request, "beam_width", 8));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::uint64_t node_budget,
+                               get_uint(request, "node_budget", 0));
+  if (cap == 0 || cap > options_.max_search_cap) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    GPUHMS_COUNTER_ADD("serve.rejected", 1);
+    return error_response(
+        nullptr, "",
+        ResourceExhaustedError("search cap " + std::to_string(cap) +
+                               " outside [1, " +
+                               std::to_string(options_.max_search_cap) + "]"));
+  }
+  if (beam_width == 0)
+    return error_response(
+        nullptr, "", InvalidArgumentError("beam_width must be at least 1"));
+
+  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry, kernel_entry(benchmark));
+
+  SearchOptions so;
+  so.cap = static_cast<std::size_t>(cap);
+  so.beam_width = static_cast<std::size_t>(beam_width);
+  so.node_budget = static_cast<std::size_t>(node_budget);
+  // Per-request deadline: the PR 2 anytime contract — on expiry the search
+  // returns its best-so-far placement with deadline_hit set, never an error.
+  if (deadline_ms != ~std::uint64_t{0})
+    so.deadline = std::chrono::milliseconds(deadline_ms);
+  const StatusOr<SearchResult> result = [&] {
+    GPUHMS_SCOPED_PHASE("serve.search_ns");
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    SearchOptions pooled = so;
+    pooled.pool = &pool_;
+    return try_search(*entry->predictor, *algo, pooled);
+  }();
+  if (!result.ok()) return error_response(nullptr, "", result.status());
+  searches_.fetch_add(1, std::memory_order_relaxed);
+  GPUHMS_COUNTER_ADD("serve.searches", 1);
+
+  const SearchResult& sr = *result;
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("benchmark", benchmark);
+  r.set("algo", std::string(to_string(*algo)));
+  r.set("placement", sr.placement.to_string());
+  r.set("predicted_cycles", sr.predicted_cycles);
+  r.set("evaluated", sr.evaluated);
+  r.set("pruned", sr.pruned);
+  r.set("space_truncated", sr.space_truncated);
+  r.set("deadline_hit", sr.deadline_hit);
+  r.set("cancelled", sr.cancelled);
+  r.set("lower_bound", sr.lower_bound);
+  r.set("optimality_gap", sr.optimality_gap);
+  r.set("proven_optimal", sr.proven_optimal);
+  return r;
+}
+
+Json PredictionService::handle_metrics() const {
+  const ServeStats s = stats();
+  Json r = Json::object();
+  r.set("ok", true);
+  auto cache_json = [](const ServeStats::CacheStats& c) {
+    Json o = Json::object();
+    o.set("size", c.size);
+    o.set("capacity", c.capacity);
+    o.set("hits", c.hits);
+    o.set("misses", c.misses);
+    o.set("evictions", c.evictions);
+    return o;
+  };
+  r.set("requests", s.requests);
+  r.set("responses", s.responses);
+  r.set("errors", s.errors);
+  r.set("rejected", s.rejected);
+  r.set("predictions", s.predictions);
+  r.set("batched_predicts", s.batched_predicts);
+  r.set("batch_calls", s.batch_calls);
+  r.set("searches", s.searches);
+  r.set("kernel_cache", cache_json(s.kernel_cache));
+  r.set("prediction_cache", cache_json(s.prediction_cache));
+  return r;
+}
+
+Json PredictionService::handle_request(const Json& request,
+                                       std::string_view op) {
+  if (op == "predict") return handle_predict(request);
+  if (op == "predict_batch") return handle_predict_batch(request);
+  if (op == "search") return handle_search(request);
+  if (op == "metrics") return handle_metrics();
+  if (op == "shutdown") {
+    stopped_.store(true, std::memory_order_release);
+    Json r = Json::object();
+    r.set("ok", true);
+    r.set("stopped", true);
+    return r;
+  }
+  return error_response(
+      nullptr, "",
+      InvalidArgumentError("unknown op '" + std::string(op) +
+                           "': expected predict, predict_batch, search, "
+                           "metrics, or shutdown"));
+}
+
+std::string PredictionService::handle_line(std::string_view line) {
+  const std::string lines[1] = {std::string(line)};
+  return handle_pipeline(lines).front();
+}
+
+std::vector<std::string> PredictionService::handle_pipeline(
+    std::span<const std::string> lines) {
+  GPUHMS_SCOPED_PHASE("serve.pipeline_ns");
+  // Per-line parse state; `response` set means the line is already decided.
+  struct ParsedLine {
+    Json request;
+    Json id;            // echoed verbatim (null when absent/unparseable)
+    std::string op;
+    std::string benchmark;  // predict ops only, for coalescing
+    std::optional<Json> response;
+  };
+  std::vector<ParsedLine> parsed(lines.size());
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ParsedLine& pl = parsed[i];
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    GPUHMS_COUNTER_ADD("serve.requests", 1);
+
+    // Admission: bound the request size before even parsing it.
+    if (lines[i].size() > options_.max_line_bytes) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      GPUHMS_COUNTER_ADD("serve.rejected", 1);
+      pl.response = error_response(
+          nullptr, "",
+          ResourceExhaustedError(
+              "request line of " + std::to_string(lines[i].size()) +
+              " bytes exceeds max_line_bytes " +
+              std::to_string(options_.max_line_bytes)));
+      continue;
+    }
+    // Deterministic fault site for robustness tests: a poisoned request
+    // must degrade to an error response, never take the service down.
+    if (GPUHMS_FAULT_POINT("serve.parse")) {
+      pl.response = error_response(
+          nullptr, "", InternalError("injected fault at site 'serve.parse'"));
+      continue;
+    }
+    StatusOr<Json> req = Json::parse(lines[i]);
+    if (!req.ok()) {
+      pl.response = error_response(nullptr, "", req.status());
+      continue;
+    }
+    if (!req->is_object()) {
+      pl.response = error_response(
+          nullptr, "",
+          InvalidArgumentError("request must be a JSON object"));
+      continue;
+    }
+    pl.request = std::move(*req);
+    if (const Json* id = pl.request.find("id")) pl.id = *id;
+    const StatusOr<std::string> op = get_string(pl.request, "op");
+    if (!op.ok()) {
+      pl.response = error_response(&pl.id, "", op.status());
+      continue;
+    }
+    pl.op = *op;
+    if (pl.op == "predict") {
+      if (const Json* b = pl.request.find("benchmark");
+          b != nullptr && b->is_string())
+        pl.benchmark = b->as_string();
+    }
+  }
+
+  // Dispatch, coalescing adjacent same-benchmark predicts: their cache
+  // misses ride one predict_batch call (predict_many dedups and batches).
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    ParsedLine& pl = parsed[i];
+    if (pl.response.has_value()) {
+      ++i;
+      continue;
+    }
+    // Checked at dispatch (not parse) time so a shutdown earlier in this
+    // very pipeline already refuses the lines behind it.
+    if (stopped_.load(std::memory_order_acquire)) {
+      pl.response = error_response(
+          &pl.id, pl.op, FailedPreconditionError("service is shut down"));
+      ++i;
+      continue;
+    }
+    InflightSlot slot(inflight_, options_.max_inflight);
+    if (!slot.admitted()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      GPUHMS_COUNTER_ADD("serve.rejected", 1);
+      pl.response = error_response(
+          &pl.id, pl.op,
+          ResourceExhaustedError(
+              "service over capacity (" +
+              std::to_string(options_.max_inflight) +
+              " requests in flight); retry later"));
+      ++i;
+      continue;
+    }
+    if (pl.op == "predict" && !pl.benchmark.empty()) {
+      std::size_t j = i + 1;
+      while (j < lines.size() && !parsed[j].response.has_value() &&
+             parsed[j].op == "predict" &&
+             parsed[j].benchmark == pl.benchmark)
+        ++j;
+      if (j > i + 1) {
+        // One shared kernel lookup + one coalesced predict_many for the run.
+        const StatusOr<KernelEntryPtr> entry = kernel_entry(pl.benchmark);
+        std::vector<PendingPredict> pending;
+        std::vector<std::size_t> owners;
+        for (std::size_t k = i; k < j; ++k) {
+          ParsedLine& run = parsed[k];
+          if (!entry.ok()) {
+            run.response = error_response(&run.id, run.op, entry.status());
+            continue;
+          }
+          const StatusOr<std::string> pstr =
+              get_string(run.request, "placement");
+          if (!pstr.ok()) {
+            run.response = error_response(&run.id, run.op, pstr.status());
+            continue;
+          }
+          const std::optional<DataPlacement> p =
+              DataPlacement::from_string((*entry)->bench.kernel, *pstr);
+          if (!p) {
+            run.response = error_response(
+                &run.id, run.op,
+                InvalidArgumentError("cannot parse placement '" + *pstr +
+                                     "' for benchmark '" + pl.benchmark +
+                                     "'"));
+            continue;
+          }
+          if (Status st = validate((*entry)->bench.kernel, *p, arch_);
+              !st.ok()) {
+            run.response = error_response(&run.id, run.op, st);
+            continue;
+          }
+          pending.push_back({*entry, *p, {}, {}, false});
+          owners.push_back(k);
+        }
+        if (!pending.empty()) {
+          if (Status st = predict_many(pending); !st.ok()) {
+            for (const std::size_t k : owners)
+              parsed[k].response =
+                  error_response(&parsed[k].id, parsed[k].op, st);
+          } else {
+            for (std::size_t t = 0; t < owners.size(); ++t) {
+              ParsedLine& run = parsed[owners[t]];
+              Json r = make_response_shell(&run.id, run.op);
+              r.set("ok", true);
+              r.set("benchmark", pl.benchmark);
+              const Json fields =
+                  prediction_json(*pending[t].entry, pending[t].placement,
+                                  pending[t].result);
+              for (const auto& [key, value] : fields.members())
+                r.set(key, value);
+              run.response = std::move(r);
+            }
+          }
+        }
+        i = j;
+        continue;
+      }
+    }
+    // Single request: handlers return either a success body (ok:true, no
+    // id/op yet) or a complete error_response; normalize both to carry the
+    // line's id and op at the front.
+    const Json body = handle_request(pl.request, pl.op);
+    Json r = make_response_shell(&pl.id, pl.op);
+    // Handler error bodies carry a placeholder null id; the shell's id/op
+    // (from the request) are authoritative.
+    for (const auto& [key, value] : body.members())
+      if (key != "id" && key != "op") r.set(key, value);
+    pl.response = std::move(r);
+    ++i;
+  }
+
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  for (ParsedLine& pl : parsed) {
+    const Json* ok = pl.response->find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      GPUHMS_COUNTER_ADD("serve.errors", 1);
+    }
+    GPUHMS_COUNTER_ADD("serve.responses", 1);
+    out.push_back(pl.response->dump());
+  }
+  return out;
+}
+
+ServeStats PredictionService::stats() const {
+  ServeStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = s.requests;
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.predictions = predictions_.load(std::memory_order_relaxed);
+  s.batched_predicts = batched_predicts_.load(std::memory_order_relaxed);
+  s.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+  s.searches = searches_.load(std::memory_order_relaxed);
+  const auto kc = kernel_cache_.stats();
+  s.kernel_cache = {kernel_cache_.size(), kernel_cache_.capacity(), kc.hits,
+                    kc.misses, kc.evictions};
+  const auto pc = prediction_cache_.stats();
+  s.prediction_cache = {prediction_cache_.size(),
+                        prediction_cache_.capacity(), pc.hits, pc.misses,
+                        pc.evictions};
+  return s;
+}
+
+void run_stdio_loop(std::istream& in, std::ostream& out,
+                    PredictionService& service) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (!service.stopped() && std::getline(in, line)) {
+    lines.clear();
+    lines.push_back(std::move(line));
+    // Greedy pipelining: drain whatever the client already wrote so runs of
+    // same-kernel predicts coalesce. in_avail() only reports bytes already
+    // buffered, so an interactive client still gets per-line responses.
+    while (lines.size() < service.options().max_batch &&
+           in.rdbuf()->in_avail() > 0 && std::getline(in, line))
+      lines.push_back(std::move(line));
+    for (const std::string& response : service.handle_pipeline(lines))
+      out << response << '\n';
+    out.flush();
+  }
+}
+
+}  // namespace gpuhms::serve

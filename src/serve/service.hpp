@@ -1,0 +1,179 @@
+// gpuhms_serve: a long-lived, batched, cached prediction/search service.
+//
+// Every earlier entry point (placement_advisor, quickstart) pays kernel
+// profiling and trace lowering per process invocation; the north-star
+// deployment is a daemon that answers placement questions from memory. This
+// layer is that daemon's engine: a thread-safe request handler speaking
+// newline-delimited JSON (protocol grammar in DESIGN §11) over any byte
+// stream, layered on the existing Predictor/search engine with
+//
+//   * a bounded LRU cache of *kernel entries* — the expensive per-kernel
+//     state: a profiled Predictor plus its lowered TraceSkeleton — keyed by
+//     benchmark name, fingerprinted structurally (common/hashing.hpp);
+//   * a bounded LRU cache of memoized Predictions keyed by
+//     (kernel fingerprint, arch fingerprint, placement) so repeated predicts
+//     are a map lookup, not a trace replay;
+//   * request batching: predict_batch requests (and pipelined runs of
+//     same-kernel predicts, see handle_pipeline) coalesce their cache misses
+//     into ONE Predictor::predict_batch call on the shared ThreadPool;
+//   * admission control: oversized lines, oversized batches, over-cap
+//     searches and too many concurrent requests are rejected with structured
+//     Status-coded error responses (never a crash — the PR 2 try_* API is
+//     the only model surface used).
+//
+// Determinism: responses are built from bit-deterministic predictions and
+// dumped with round-trip number formatting, so an identical request yields a
+// byte-identical response for any GPUHMS_THREADS and any cache state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/lru_cache.hpp"
+#include "common/thread_pool.hpp"
+#include "model/search.hpp"
+#include "serve/json.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms::serve {
+
+// --- cache-key fingerprints --------------------------------------------------
+// Structural 64-bit digests (FNV-1a over fields, never pointers) binding a
+// cached Prediction to exactly the inputs that determine it. See DESIGN §11
+// "Cache key derivation".
+std::uint64_t fingerprint(const KernelInfo& kernel);
+std::uint64_t fingerprint(const GpuArch& arch);
+std::uint64_t fingerprint(const ModelOptions& options);
+
+struct ServeOptions {
+  // LRU capacities. kernel_cache bounds profiled Predictor+TraceSkeleton
+  // entries (the heavyweight state); prediction_cache bounds memoized
+  // Prediction values. 0 disables the respective cache.
+  std::size_t kernel_cache_capacity = 16;
+  std::size_t prediction_cache_capacity = 4096;
+  // Admission control.
+  std::size_t max_inflight = 64;       // concurrent requests admitted
+  std::size_t max_batch = 1024;        // placements per predict_batch
+  std::size_t max_line_bytes = 1 << 16;  // request line size bound
+  std::size_t max_search_cap = 65536;  // largest accepted search "cap"
+  // Shared ThreadPool size for batch prediction / search; 0 picks
+  // ThreadPool::default_threads() (the GPUHMS_THREADS env var).
+  int num_threads = 0;
+  // Train the Eq. 11 T_overlap model on the Table IV training suite at
+  // construction (seconds of startup; the daemon flag --train-overlap).
+  // Off by default so tests and short-lived services start instantly.
+  bool train_overlap = false;
+};
+
+// Point-in-time service counters (exact, independent of GPUHMS_METRICS; the
+// obs registry mirrors them under serve.* when metrics are enabled).
+struct ServeStats {
+  std::uint64_t requests = 0;    // lines received
+  std::uint64_t responses = 0;   // lines produced (== requests)
+  std::uint64_t errors = 0;      // responses with ok:false
+  std::uint64_t rejected = 0;    // admission-control rejections (subset of errors)
+  std::uint64_t predictions = 0;       // placements answered (batch elements)
+  std::uint64_t batched_predicts = 0;  // cache misses coalesced into batch calls
+  std::uint64_t batch_calls = 0;       // Predictor::predict_batch invocations
+  std::uint64_t searches = 0;
+  struct CacheStats {
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  CacheStats kernel_cache;
+  CacheStats prediction_cache;
+};
+
+// Thread-safe: any number of client threads may call handle_line /
+// handle_pipeline concurrently; shared-pool work (batch prediction, search)
+// is serialized internally, cache hits run lock-free of the pool.
+class PredictionService {
+ public:
+  explicit PredictionService(ServeOptions options = {});
+  PredictionService(ServeOptions options, const GpuArch& arch);
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  // One request line in, one response line out (no trailing newline).
+  // Never throws and never returns malformed JSON: every failure — parse
+  // error, unknown op/benchmark, illegal placement, admission rejection,
+  // injected serve.parse fault — degrades to an ok:false response carrying
+  // the Status code and message.
+  std::string handle_line(std::string_view line);
+
+  // Pipelined handling: responses in request order, one per line. Runs of
+  // adjacent predict requests naming the same benchmark are coalesced so
+  // their cache misses share one predict_batch call — the daemon feeds every
+  // already-buffered line of input through this.
+  std::vector<std::string> handle_pipeline(
+      std::span<const std::string> lines);
+
+  // True once a shutdown request has been answered; subsequent requests are
+  // refused with FAILED_PRECONDITION.
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  ServeStats stats() const;
+  const ServeOptions& options() const { return options_; }
+  const GpuArch& arch() const { return arch_; }
+
+ private:
+  struct KernelEntry;
+  using KernelEntryPtr = std::shared_ptr<const KernelEntry>;
+  struct PendingPredict;
+
+  Json handle_request(const Json& request, std::string_view op);
+  Json handle_predict(const Json& request);
+  Json handle_predict_batch(const Json& request);
+  Json handle_search(const Json& request);
+  Json handle_metrics() const;
+
+  StatusOr<KernelEntryPtr> kernel_entry(const std::string& benchmark);
+  // Answers each (entry, placement) pair, coalescing cache misses into one
+  // predict_batch call per distinct kernel. Results align with `pending`.
+  Status predict_many(std::span<PendingPredict> pending);
+  Json prediction_json(const KernelEntry& entry,
+                       const DataPlacement& placement,
+                       const Prediction& prediction) const;
+
+  const ServeOptions options_;
+  const GpuArch arch_;  // copied: cached entries must outlive the caller's ref
+  ToverlapModel overlap_;
+
+  LruCache<std::string, KernelEntryPtr> kernel_cache_;
+  struct PredictionKeyHash {
+    std::size_t operator()(const std::string& k) const;
+  };
+  // Key: "<kernel fp hex>|<arch fp hex>|<model fp hex>|<placement>".
+  LruCache<std::string, Prediction, PredictionKeyHash> prediction_cache_;
+
+  ThreadPool pool_;
+  std::mutex pool_mu_;   // parallel_for admits one job at a time
+  std::mutex build_mu_;  // serializes kernel-entry construction (profiling)
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> requests_{0}, errors_{0}, rejected_{0},
+      predictions_{0}, batched_predicts_{0}, batch_calls_{0}, searches_{0};
+};
+
+// Drives a PredictionService over std::istream/std::ostream: reads
+// newline-delimited requests, writes one response line per request in order,
+// flushing per pipelined chunk. Greedily drains already-buffered input (up
+// to ServeOptions::max_batch lines) into handle_pipeline so piped clients
+// get coalesced batching for free. Returns after EOF or a shutdown request.
+void run_stdio_loop(std::istream& in, std::ostream& out,
+                    PredictionService& service);
+
+}  // namespace gpuhms::serve

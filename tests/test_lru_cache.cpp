@@ -1,0 +1,196 @@
+// Property tests for common/lru_cache.hpp — the bounded cache under the
+// serving layer — plus the serve.parse fault-injection case: a poisoned
+// request line degrades to a structured error response, never a crash.
+#include <algorithm>
+#include <list>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.hpp"
+#include "common/lru_cache.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
+
+namespace gpuhms {
+namespace {
+
+TEST(LruCache, EvictionOrderIsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);
+  EXPECT_EQ(cache.keys_mru_order(), (std::vector<int>{3, 2, 1}));
+
+  // A get refreshes recency: 1 becomes MRU, 2 becomes the victim.
+  EXPECT_EQ(cache.get(1), 10);
+  EXPECT_EQ(cache.keys_mru_order(), (std::vector<int>{1, 3, 2}));
+  cache.put(4, 40);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.get(2), std::nullopt);  // evicted
+  EXPECT_EQ(cache.keys_mru_order(), (std::vector<int>{4, 1, 3}));
+
+  // put of an existing key refreshes recency too (and counts as update).
+  cache.put(3, 33);
+  EXPECT_EQ(cache.keys_mru_order(), (std::vector<int>{3, 4, 1}));
+  EXPECT_EQ(cache.get(3), 33);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.inserts, 4u);
+  EXPECT_EQ(s.updates, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.inserts - s.evictions, cache.size());
+}
+
+TEST(LruCache, CapacityZeroDisablesCaching) {
+  LruCache<std::string, int> cache(0);
+  cache.put("a", 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get("a"), std::nullopt);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// Reference model: the same semantics written the obvious slow way. Random
+// op sequences must produce identical contents, order, and counters.
+struct ReferenceLru {
+  explicit ReferenceLru(std::size_t cap) : cap(cap) {}
+  std::size_t cap;
+  std::list<std::pair<int, int>> entries;  // MRU first
+  LruCache<int, int>::Stats stats;
+
+  std::optional<int> get(int k) {
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->first == k) {
+        ++stats.hits;
+        entries.splice(entries.begin(), entries, it);
+        return it->second;
+      }
+    }
+    ++stats.misses;
+    return std::nullopt;
+  }
+  void put(int k, int v) {
+    if (cap == 0) return;
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->first == k) {
+        ++stats.updates;
+        it->second = v;
+        entries.splice(entries.begin(), entries, it);
+        return;
+      }
+    }
+    if (entries.size() >= cap) {
+      ++stats.evictions;
+      entries.pop_back();
+    }
+    ++stats.inserts;
+    entries.emplace_front(k, v);
+  }
+};
+
+TEST(LruCache, MatchesReferenceModelOnRandomOps) {
+  std::mt19937 rng(20260807);
+  for (const std::size_t cap : {1u, 2u, 7u, 32u}) {
+    LruCache<int, int> cache(cap);
+    ReferenceLru ref(cap);
+    std::uniform_int_distribution<int> key(0, 40);  // keys >> capacity
+    for (int step = 0; step < 5000; ++step) {
+      const int k = key(rng);
+      if (rng() % 2 == 0) {
+        EXPECT_EQ(cache.get(k), ref.get(k)) << "cap=" << cap << " step=" << step;
+      } else {
+        const int v = static_cast<int>(rng() % 1000);
+        cache.put(k, v);
+        ref.put(k, v);
+      }
+      ASSERT_LE(cache.size(), cap);
+    }
+    std::vector<int> ref_keys;
+    for (const auto& e : ref.entries) ref_keys.push_back(e.first);
+    EXPECT_EQ(cache.keys_mru_order(), ref_keys) << "cap=" << cap;
+    const auto a = cache.stats();
+    const auto b = ref.stats;
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.inserts, b.inserts);
+    EXPECT_EQ(a.updates, b.updates);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.inserts - a.evictions, cache.size());
+  }
+}
+
+TEST(LruCache, CapacityInvariantHoldsUnderConcurrentPutGet) {
+  static constexpr std::size_t kCap = 8;
+  LruCache<int, int> cache(kCap);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      std::mt19937 rng(static_cast<unsigned>(1000 + t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int k = static_cast<int>(rng() % 64);
+        if (rng() % 2 == 0) {
+          const std::optional<int> v = cache.get(k);
+          if (v) {
+            ASSERT_EQ(*v, k * 3);  // values never tear
+          }
+        } else {
+          cache.put(k, k * 3);
+        }
+        ASSERT_LE(cache.size(), kCap);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.inserts - s.evictions, cache.size());
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread -
+                (s.inserts + s.updates));
+  EXPECT_LE(cache.size(), kCap);
+  EXPECT_EQ(cache.keys_mru_order().size(), cache.size());
+}
+
+// --- serve.parse fault injection ---------------------------------------------
+
+TEST(ServeFaultInjection, PoisonedRequestDegradesToErrorResponse) {
+  serve::ServeOptions options;
+  serve::PredictionService service(options);
+  const std::string line =
+      R"({"id":7,"op":"predict","benchmark":"triad","placement":"G,G,G"})";
+
+  fault::arm("serve.parse");
+  const std::string poisoned = service.handle_line(line);
+  fault::disarm_all();
+
+  const StatusOr<serve::Json> parsed = serve::Json::parse(poisoned);
+  ASSERT_TRUE(parsed.ok()) << poisoned;
+  ASSERT_NE(parsed->find("ok"), nullptr);
+  EXPECT_FALSE(parsed->find("ok")->as_bool());
+  const serve::Json* error = parsed->find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("code")->as_string(), "INTERNAL");
+  EXPECT_NE(error->find("message")->as_string().find("serve.parse"),
+            std::string::npos);
+
+  // The service survives: the same request now succeeds, bit-identically
+  // on repetition.
+  const std::string ok1 = service.handle_line(line);
+  const std::string ok2 = service.handle_line(line);
+  const StatusOr<serve::Json> good = serve::Json::parse(ok1);
+  ASSERT_TRUE(good.ok()) << ok1;
+  EXPECT_TRUE(good->find("ok")->as_bool()) << ok1;
+  EXPECT_EQ(ok1, ok2);
+  EXPECT_EQ(service.stats().errors, 1u);
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -1,0 +1,310 @@
+// End-to-end protocol tests for the serving layer (src/serve): request
+// handling, structured error responses, admission control, deadline plumbing,
+// the shutdown handshake, response determinism across thread counts, and the
+// PR acceptance pipeline (100 mixed requests, in order, cache hit-rate > 0).
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernel/placement.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
+#include "test_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+serve::Json parse_ok(const std::string& line) {
+  StatusOr<serve::Json> parsed = serve::Json::parse(line);
+  EXPECT_TRUE(parsed.ok()) << line;
+  return parsed.ok() ? *std::move(parsed) : serve::Json::object();
+}
+
+// Response must be {"ok":false,"error":{"code":<code>,...}}.
+void expect_error(const std::string& line, std::string_view code) {
+  const serve::Json r = parse_ok(line);
+  ASSERT_NE(r.find("ok"), nullptr) << line;
+  EXPECT_FALSE(r.find("ok")->as_bool()) << line;
+  const serve::Json* error = r.find("error");
+  ASSERT_NE(error, nullptr) << line;
+  EXPECT_EQ(error->find("code")->as_string(), code) << line;
+  EXPECT_FALSE(error->find("message")->as_string().empty()) << line;
+}
+
+std::string predict_line(int id, const std::string& benchmark,
+                         const std::string& placement) {
+  return "{\"id\":" + std::to_string(id) + ",\"op\":\"predict\",\"benchmark\":\"" +
+         benchmark + "\",\"placement\":\"" + placement + "\"}";
+}
+
+std::vector<std::string> legal_placement_strings(const std::string& benchmark,
+                                                 std::size_t cap) {
+  const workloads::BenchmarkCase bench = workloads::get_benchmark(benchmark);
+  std::vector<std::string> out;
+  for (const DataPlacement& p :
+       enumerate_placements(bench.kernel, kepler_arch(), cap))
+    out.push_back(p.to_string());
+  return out;
+}
+
+TEST(Serve, PredictHappyPathIsBitIdenticalOnRepeat) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  const std::string line = predict_line(1, "triad", "G,G,G");
+  const std::string first = service.handle_line(line);
+  const std::string second = service.handle_line(line);
+  EXPECT_EQ(first, second);  // cache hit must not change a single byte
+
+  const serve::Json r = parse_ok(first);
+  EXPECT_TRUE(r.find("ok")->as_bool()) << first;
+  EXPECT_EQ(r.find("id")->as_number(), 1.0);
+  EXPECT_EQ(r.find("op")->as_string(), "predict");
+  EXPECT_EQ(r.find("benchmark")->as_string(), "triad");
+  EXPECT_EQ(r.find("placement")->as_string(), "G,G,G");
+  EXPECT_GT(r.find("predicted_cycles")->as_number(), 0.0);
+  EXPECT_GT(r.find("t_comp")->as_number(), 0.0);
+  ASSERT_NE(r.find("t_mem"), nullptr);
+  ASSERT_NE(r.find("t_overlap"), nullptr);
+  ASSERT_NE(r.find("queue_saturated"), nullptr);
+
+  const serve::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.predictions, 2u);
+  EXPECT_EQ(stats.prediction_cache.hits, 1u);
+  EXPECT_EQ(stats.prediction_cache.misses, 1u);
+}
+
+TEST(Serve, PredictBatchMatchesSinglePredicts) {
+  const std::vector<std::string> placements =
+      legal_placement_strings("triad", 6);
+  ASSERT_GE(placements.size(), 3u);
+
+  serve::PredictionService batch_service{serve::ServeOptions{}};
+  std::string line = R"({"id":1,"op":"predict_batch","benchmark":"triad",)"
+                     R"("placements":[)";
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    if (i) line += ",";
+    line += "\"" + placements[i] + "\"";
+  }
+  line += "]}";
+  const serve::Json batch = parse_ok(batch_service.handle_line(line));
+  ASSERT_TRUE(batch.find("ok")->as_bool());
+  const serve::Json* results = batch.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->size(), placements.size());
+  EXPECT_EQ(batch_service.stats().batch_calls, 1u);  // one coalesced call
+
+  serve::PredictionService single_service{serve::ServeOptions{}};
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const serve::Json single = parse_ok(single_service.handle_line(
+        predict_line(static_cast<int>(i), "triad", placements[i])));
+    ASSERT_TRUE(single.find("ok")->as_bool());
+    EXPECT_EQ(results->at(i).find("predicted_cycles")->as_number(),
+              single.find("predicted_cycles")->as_number())
+        << placements[i];
+    EXPECT_EQ(results->at(i).find("placement")->as_string(), placements[i]);
+  }
+}
+
+TEST(Serve, MalformedRequestsGetStructuredErrors) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  expect_error(service.handle_line("not json at all"), "INVALID_ARGUMENT");
+  expect_error(service.handle_line("{\"op\":\"predict\""), "INVALID_ARGUMENT");
+  expect_error(service.handle_line("[1,2,3]"), "INVALID_ARGUMENT");
+  expect_error(service.handle_line("{}"), "INVALID_ARGUMENT");  // missing op
+  expect_error(service.handle_line(R"({"op":42})"), "INVALID_ARGUMENT");
+  expect_error(service.handle_line(R"({"op":"frobnicate"})"),
+               "INVALID_ARGUMENT");
+  expect_error(service.handle_line(R"({"op":"predict"})"), "INVALID_ARGUMENT");
+  expect_error(
+      service.handle_line(
+          R"({"op":"predict","benchmark":"nope","placement":"G"})"),
+      "INVALID_ARGUMENT");
+  expect_error(service.handle_line(predict_line(1, "triad", "G,G")),
+               "INVALID_ARGUMENT");  // wrong arity
+  expect_error(service.handle_line(predict_line(1, "triad", "Q,Q,Q")),
+               "INVALID_ARGUMENT");  // unknown code
+  // Every error was counted, nothing crashed, the service still answers.
+  EXPECT_EQ(service.stats().errors, 10u);
+  const serve::Json r =
+      parse_ok(service.handle_line(predict_line(2, "triad", "G,G,G")));
+  EXPECT_TRUE(r.find("ok")->as_bool());
+}
+
+TEST(Serve, AdmissionControlRejectsOversizedInputs) {
+  serve::ServeOptions options;
+  options.max_line_bytes = 128;
+  options.max_batch = 2;
+  options.max_search_cap = 64;
+  serve::PredictionService service(options);
+
+  std::string big = R"({"op":"predict","benchmark":")";
+  big.append(200, 'x');
+  big += "\"}";
+  expect_error(service.handle_line(big), "RESOURCE_EXHAUSTED");
+
+  expect_error(
+      service.handle_line(
+          R"({"op":"predict_batch","benchmark":"triad",)"
+          R"("placements":["G,G,G","G,G,G","G,G,G"]})"),
+      "RESOURCE_EXHAUSTED");
+
+  expect_error(service.handle_line(
+                   R"({"op":"search","benchmark":"triad","cap":65536})"),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(service.stats().rejected, 3u);
+  EXPECT_EQ(service.stats().errors, 3u);
+}
+
+TEST(Serve, SearchDispatchesEveryAlgoAndRejectsUnknownOnes) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  for (const std::string algo : {"exhaustive", "bnb", "beam"}) {
+    const serve::Json r = parse_ok(service.handle_line(
+        R"({"id":"s","op":"search","benchmark":"triad","algo":")" + algo +
+        R"(","cap":128})"));
+    ASSERT_TRUE(r.find("ok")->as_bool()) << algo;
+    EXPECT_EQ(r.find("algo")->as_string(), algo);
+    EXPECT_GT(r.find("predicted_cycles")->as_number(), 0.0) << algo;
+    // The returned placement is parseable and legal for the kernel.
+    const workloads::BenchmarkCase bench = workloads::get_benchmark("triad");
+    const std::optional<DataPlacement> p = DataPlacement::from_string(
+        bench.kernel, r.find("placement")->as_string());
+    ASSERT_TRUE(p.has_value()) << algo;
+    EXPECT_TRUE(validate(bench.kernel, *p, kepler_arch()).ok()) << algo;
+  }
+  // No silent fallback: an unknown algorithm is INVALID_ARGUMENT naming it.
+  const std::string resp = service.handle_line(
+      R"({"op":"search","benchmark":"triad","algo":"simulated_annealing"})");
+  expect_error(resp, "INVALID_ARGUMENT");
+  EXPECT_NE(parse_ok(resp).find("error")->find("message")->as_string().find(
+                "simulated_annealing"),
+            std::string::npos);
+  EXPECT_EQ(service.stats().searches, 3u);
+}
+
+TEST(Serve, SearchDeadlineExpiryReturnsBestSoFarNotAnError) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  // An already-expired deadline: the anytime contract still returns a valid
+  // best-so-far placement with deadline_hit set, not an error.
+  const serve::Json r = parse_ok(service.handle_line(
+      R"({"op":"search","benchmark":"spmv","algo":"exhaustive",)"
+      R"("cap":512,"deadline_ms":0})"));
+  ASSERT_TRUE(r.find("ok")->as_bool());
+  EXPECT_TRUE(r.find("deadline_hit")->as_bool());
+  EXPECT_GT(r.find("predicted_cycles")->as_number(), 0.0);
+  EXPECT_FALSE(r.find("placement")->as_string().empty());
+}
+
+TEST(Serve, ShutdownHandshakeRefusesLaterRequests) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  const serve::Json bye =
+      parse_ok(service.handle_line(R"({"id":99,"op":"shutdown"})"));
+  EXPECT_TRUE(bye.find("ok")->as_bool());
+  EXPECT_TRUE(bye.find("stopped")->as_bool());
+  EXPECT_EQ(bye.find("id")->as_number(), 99.0);
+  EXPECT_TRUE(service.stopped());
+
+  expect_error(service.handle_line(predict_line(1, "triad", "G,G,G")),
+               "FAILED_PRECONDITION");
+  // In one pipelined batch, lines behind the shutdown are refused too.
+  const std::vector<std::string> lines = {R"({"op":"metrics"})"};
+  expect_error(service.handle_pipeline(lines).front(), "FAILED_PRECONDITION");
+}
+
+TEST(Serve, StdioLoopAnswersEveryLineInOrderAndStopsOnShutdown) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  std::istringstream in(predict_line(1, "triad", "G,G,G") + "\n" +
+                        predict_line(2, "triad", "G,G,G") + "\n" +
+                        R"({"id":3,"op":"shutdown"})" + "\n" +
+                        R"({"id":4,"op":"metrics"})" + "\n");
+  std::ostringstream out;
+  serve::run_stdio_loop(in, out, service);
+  EXPECT_TRUE(service.stopped());
+
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  for (std::string l; std::getline(split, l);) lines.push_back(l);
+  // All four lines were already buffered, so they rode one pipeline; the
+  // line behind the shutdown is answered — with a refusal.
+  ASSERT_EQ(lines.size(), 4u) << out.str();
+  EXPECT_EQ(parse_ok(lines[0]).find("id")->as_number(), 1.0);
+  EXPECT_EQ(parse_ok(lines[1]).find("id")->as_number(), 2.0);
+  EXPECT_TRUE(parse_ok(lines[2]).find("stopped")->as_bool());
+  expect_error(lines[3], "FAILED_PRECONDITION");
+  // The stringstream had everything buffered: the loop coalesced the two
+  // identical predicts, so the cache saw one miss and one alias, not two
+  // misses.
+  EXPECT_EQ(service.stats().batched_predicts, 1u);
+}
+
+// --- the PR acceptance criterion ---------------------------------------------
+// A pipelined batch of 100 mixed predict/search requests returns 100
+// well-formed responses in request order, with a nonzero cache hit-rate,
+// byte-identical for GPUHMS_THREADS=1/4/16.
+std::vector<std::string> build_mixed_pipeline() {
+  static const std::vector<std::string> spmv =
+      legal_placement_strings("spmv", 24);
+  static const std::vector<std::string> triad =
+      legal_placement_strings("triad", 24);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 25 == 24) {
+      lines.push_back("{\"id\":" + std::to_string(i) +
+                      ",\"op\":\"metrics\"}");
+    } else if (i % 20 == 10) {
+      lines.push_back(
+          "{\"id\":" + std::to_string(i) +
+          ",\"op\":\"search\",\"benchmark\":\"triad\",\"algo\":\"" +
+          (i % 40 == 10 ? "bnb" : "exhaustive") + "\",\"cap\":64}");
+    } else if (i % 2 == 0) {
+      lines.push_back(
+          predict_line(i, "spmv", spmv[static_cast<std::size_t>(i / 2) %
+                                       spmv.size()]));
+    } else {
+      lines.push_back(
+          predict_line(i, "triad", triad[static_cast<std::size_t>(i / 3) %
+                                         triad.size()]));
+    }
+  }
+  return lines;
+}
+
+std::vector<std::string> run_pipeline_with_threads(const char* threads) {
+  testutil::ScopedEnv env("GPUHMS_THREADS", threads);
+  serve::PredictionService service{serve::ServeOptions{}};  // pool sized from the env var
+  const std::vector<std::string> lines = build_mixed_pipeline();
+  std::vector<std::string> responses = service.handle_pipeline(lines);
+
+  EXPECT_EQ(responses.size(), lines.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const serve::Json r = parse_ok(responses[i]);
+    const serve::Json* rid = r.find("id");
+    const serve::Json* ok = r.find("ok");
+    EXPECT_NE(rid, nullptr) << responses[i];
+    EXPECT_NE(ok, nullptr) << responses[i];
+    if (rid == nullptr || ok == nullptr) continue;
+    EXPECT_EQ(rid->as_number(), static_cast<double>(i))
+        << "response out of request order at " << i;
+    EXPECT_TRUE(ok->as_bool()) << responses[i];
+  }
+  const serve::ServeStats stats = service.stats();
+  EXPECT_GT(stats.prediction_cache.hits, 0u);  // repeats hit the cache
+  EXPECT_GT(stats.batch_calls, 0u);
+  EXPECT_LT(stats.batch_calls, stats.predictions);  // coalescing happened
+  EXPECT_LE(stats.prediction_cache.size, stats.prediction_cache.capacity);
+  return responses;
+}
+
+TEST(Serve, Pipeline100MixedRequestsDeterministicAcrossThreadCounts) {
+  const std::vector<std::string> t1 = run_pipeline_with_threads("1");
+  const std::vector<std::string> t4 = run_pipeline_with_threads("4");
+  const std::vector<std::string> t16 = run_pipeline_with_threads("16");
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t1, t16);
+}
+
+}  // namespace
+}  // namespace gpuhms

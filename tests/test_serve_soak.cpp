@@ -1,0 +1,215 @@
+// Concurrency soak for the serving layer: many client threads hammer one
+// PredictionService with mixed requests and every response must come back
+// well-formed, matched to its request id (no lost / duplicated / misrouted
+// responses), with the caches never exceeding their bounds. Runs in the
+// plain test suite AND — via tests/CMakeLists.txt — inside the
+// ThreadSanitizer binary (test_search_parallel_tsan) and any GPUHMS_SANITIZE
+// build, which is where a locking mistake in the service would surface.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernel/placement.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+// TSan instrumentation costs ~10x; keep the per-thread request count high
+// enough to churn the caches but bounded for the sanitizer run.
+#if defined(__SANITIZE_THREAD__)
+constexpr int kRequestsPerThread = 200;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr int kRequestsPerThread = 200;
+#else
+constexpr int kRequestsPerThread = 500;
+#endif
+#else
+constexpr int kRequestsPerThread = 500;
+#endif
+constexpr int kThreads = 8;
+
+std::vector<std::string> legal_placement_strings(const std::string& name,
+                                                 std::size_t cap) {
+  const workloads::BenchmarkCase bench = workloads::get_benchmark(name);
+  std::vector<std::string> out;
+  for (const DataPlacement& p :
+       enumerate_placements(bench.kernel, kepler_arch(), cap))
+    out.push_back(p.to_string());
+  return out;
+}
+
+TEST(ServeSoak, EightClientsMixedRequestsNoLostOrMisroutedResponses) {
+  serve::ServeOptions options;
+  options.prediction_cache_capacity = 48;  // << distinct keys: force churn
+  options.kernel_cache_capacity = 4;
+  serve::PredictionService service(options);
+
+  const std::vector<std::string> benchmarks = {"triad", "spmv"};
+  std::vector<std::vector<std::string>> placements;
+  for (const std::string& b : benchmarks)
+    placements.push_back(legal_placement_strings(b, 48));
+
+  std::atomic<std::uint64_t> responses_checked{0};
+  std::atomic<std::uint64_t> ok_responses{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int k = 0; k < kRequestsPerThread && !failed.load(); ++k) {
+        const int id = t * 1000000 + k;
+        const std::size_t b = static_cast<std::size_t>((t + k) % 2);
+        // k has fixed parity per (thread, benchmark); index by k/2 so the
+        // walk covers every placement, not just one parity class.
+        const std::string& placement =
+            placements[b][static_cast<std::size_t>((k / 2) * 7 + t * 3) %
+                          placements[b].size()];
+        std::string line;
+        bool malformed = false;
+        if (k % 101 == 50) {
+          line = "{\"id\":" + std::to_string(id) +
+                 ",\"op\":\"search\",\"benchmark\":\"" + benchmarks[b] +
+                 "\",\"algo\":\"exhaustive\",\"cap\":16}";
+        } else if (k % 37 == 17) {
+          line = "{\"id\":" + std::to_string(id) + ",\"op\":\"metrics\"}";
+        } else if (k % 11 == 5) {
+          line = "{\"id\":" + std::to_string(id) +
+                 ",\"op\":\"predict_batch\",\"benchmark\":\"" + benchmarks[b] +
+                 "\",\"placements\":[\"" + placement + "\",\"" +
+                 placements[b][0] + "\"]}";
+        } else if (k % 29 == 13) {
+          line = "this line is not json {{{";  // must degrade, not crash
+          malformed = true;
+        } else {
+          line = "{\"id\":" + std::to_string(id) +
+                 ",\"op\":\"predict\",\"benchmark\":\"" + benchmarks[b] +
+                 "\",\"placement\":\"" + placement + "\"}";
+        }
+        const std::string response = service.handle_line(line);
+
+        const StatusOr<serve::Json> parsed = serve::Json::parse(response);
+        if (!parsed.ok()) {
+          ADD_FAILURE() << "malformed response: " << response;
+          failed.store(true);
+          return;
+        }
+        responses_checked.fetch_add(1);
+        const serve::Json* rid = parsed->find("id");
+        const serve::Json* ok = parsed->find("ok");
+        if (rid == nullptr || ok == nullptr || !ok->is_bool()) {
+          ADD_FAILURE() << "response missing id/ok: " << response;
+          failed.store(true);
+          return;
+        }
+        if (malformed) {
+          // The malformed line can't echo an id; everything else must echo
+          // exactly the id this thread sent — a cross-thread mixup would
+          // surface here as a misrouted response.
+          if (!rid->is_null()) {
+            ADD_FAILURE() << "unparseable request grew an id: " << response;
+            failed.store(true);
+            return;
+          }
+        } else if (!rid->is_number() ||
+                   rid->as_number() != static_cast<double>(id)) {
+          ADD_FAILURE() << "misrouted response for id " << id << ": "
+                        << response;
+          failed.store(true);
+          return;
+        }
+        if (ok->as_bool()) ok_responses.fetch_add(1);
+
+        // The cache bound must hold at every observation point.
+        const serve::ServeStats stats = service.stats();
+        if (stats.prediction_cache.size > stats.prediction_cache.capacity ||
+            stats.kernel_cache.size > stats.kernel_cache.capacity) {
+          ADD_FAILURE() << "cache exceeded its bound: prediction "
+                        << stats.prediction_cache.size << "/"
+                        << stats.prediction_cache.capacity << ", kernel "
+                        << stats.kernel_cache.size << "/"
+                        << stats.kernel_cache.capacity;
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  ASSERT_FALSE(failed.load());
+
+  // No lost or duplicated responses: handle_line returned exactly once per
+  // request, and the counters agree.
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kRequestsPerThread;
+  EXPECT_EQ(responses_checked.load(), total);
+  const serve::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, total);
+  EXPECT_EQ(stats.responses, total);
+  // Only the deliberately-malformed lines error; everything else succeeds.
+  EXPECT_EQ(stats.errors, total - ok_responses.load());
+  EXPECT_GT(ok_responses.load(), total * 8 / 10);
+  EXPECT_GT(stats.prediction_cache.hits, 0u);
+  EXPECT_GT(stats.prediction_cache.evictions, 0u);  // churn really happened
+  EXPECT_LE(stats.prediction_cache.size, stats.prediction_cache.capacity);
+  EXPECT_EQ(stats.rejected, 0u);  // default admission limits never tripped
+}
+
+TEST(ServeSoak, TinyInflightLimitShedsLoadWithStructuredRejections) {
+  serve::ServeOptions options;
+  options.max_inflight = 1;  // every concurrent second request is shed
+  serve::PredictionService service(options);
+  // Warm the kernel + prediction caches so the hammering below is hit-path.
+  ASSERT_NE(service
+                .handle_line(R"({"op":"predict","benchmark":"triad",)"
+                             R"("placement":"G,G,G"})")
+                .find("\"ok\":true"),
+            std::string::npos);
+
+  std::atomic<std::uint64_t> ok_count{0}, rejected_count{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int k = 0; k < 200 && !failed.load(); ++k) {
+        const std::string response = service.handle_line(
+            R"({"id":1,"op":"predict","benchmark":"triad",)"
+            R"("placement":"G,G,G"})");
+        const StatusOr<serve::Json> parsed = serve::Json::parse(response);
+        if (!parsed.ok()) {
+          ADD_FAILURE() << "malformed response: " << response;
+          failed.store(true);
+          return;
+        }
+        if (parsed->find("ok")->as_bool()) {
+          ok_count.fetch_add(1);
+        } else {
+          const serve::Json* error = parsed->find("error");
+          if (error == nullptr ||
+              error->find("code")->as_string() != "RESOURCE_EXHAUSTED") {
+            ADD_FAILURE() << "unexpected failure: " << response;
+            failed.store(true);
+            return;
+          }
+          rejected_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(ok_count.load() + rejected_count.load(),
+            static_cast<std::uint64_t>(kThreads) * 200);
+  EXPECT_GT(ok_count.load(), 0u);  // admission never deadlocks into 100% shed
+  EXPECT_EQ(service.stats().rejected, rejected_count.load());
+}
+
+}  // namespace
+}  // namespace gpuhms
