@@ -1,8 +1,20 @@
 // Search-engine throughput: end-to-end exhaustive-search wall time and
 // predictions/sec, comparing the serial seed configuration (one thread, no
 // trace memoization, no pruning — the pre-engine code path) against the
-// parallel engine with each optimization layered in. Run on the largest
-// registered workloads (>= 4 arrays, i.e. the widest placement spaces).
+// parallel engine with each optimization layered in. The two single-core
+// memoized variants isolate the replay engine itself: `legacy_replay` runs
+// the scalar per-op walk (GPUHMS_LEGACY_REPLAY), `soa_replay` the
+// data-oriented batch engine — same thread, same skeleton, so their ratio is
+// the pure engine speedup. Run on the largest registered workloads (>= 4
+// arrays, i.e. the widest placement spaces).
+//
+// Besides timing, the bench is a correctness harness: every variant must
+// return the serial seed's winner, and a full ranked sweep re-predicts every
+// candidate through the cold, legacy-replay and SoA paths and requires
+// byte-identical cycles. At the default cap it also self-asserts the >= 5x
+// single-core SoA-vs-seed target on matrixmul. A final metrics-enabled pass
+// (not timed) records the per-phase breakdown.
+//
 // Emits BENCH_search.json in the working directory for the perf trajectory.
 //
 // Usage: ./bench/bench_search_throughput [cap] [repeats]
@@ -10,9 +22,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/obs.hpp"
 #include "model/search.hpp"
 #include "workloads/workloads.hpp"
 
@@ -29,6 +43,7 @@ double now_ms() {
 struct Variant {
   std::string name;
   SearchOptions options;
+  bool legacy_replay = false;  // run under GPUHMS_LEGACY_REPLAY=1
 };
 
 struct Measurement {
@@ -36,16 +51,82 @@ struct Measurement {
   SearchResult result;
 };
 
-Measurement run_variant(const Predictor& pred, const SearchOptions& options,
+// Forces the scalar replay for the duration of one variant. The analyzers
+// latch the env var at construction and search_exhaustive constructs its
+// per-worker analyzers inside the call, so scoping the variable around the
+// search is enough.
+struct ScopedLegacyReplay {
+  explicit ScopedLegacyReplay(bool on) : on_(on) {
+    if (on_) setenv("GPUHMS_LEGACY_REPLAY", "1", 1);
+  }
+  ~ScopedLegacyReplay() {
+    if (on_) unsetenv("GPUHMS_LEGACY_REPLAY");
+  }
+  bool on_;
+};
+
+Measurement run_variant(const Predictor& pred, const Variant& variant,
                         int repeats) {
+  const ScopedLegacyReplay legacy(variant.legacy_replay);
   Measurement m;
   m.wall_ms = 1e300;
   for (int r = 0; r < repeats; ++r) {
     const double t0 = now_ms();
-    m.result = search_exhaustive(pred, options);
+    m.result = search_exhaustive(pred, variant.options);
     m.wall_ms = std::min(m.wall_ms, now_ms() - t0);  // best-of-N
   }
   return m;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+// Re-predicts every candidate of the capped space through the three replay
+// paths — cold (regenerate the trace per candidate), legacy scalar replay,
+// SoA replay — and requires byte-identical total cycles, candidate by
+// candidate. Ranking equality follows from value equality.
+bool ranked_results_identical(const Predictor& pred,
+                              const workloads::BenchmarkCase& c,
+                              const PlacementSpace& space) {
+  const TraceSkeleton skel(c.kernel);
+  TraceAnalyzer soa_analyzer = pred.make_analyzer();
+  TraceAnalyzer legacy_analyzer = [&] {
+    const ScopedLegacyReplay legacy(true);
+    return pred.make_analyzer();
+  }();
+  for (const DataPlacement& p : space.placements) {
+    const double cold = pred.predict(p).total_cycles;
+    const double soa = pred.predict_with(p, &soa_analyzer, &skel).total_cycles;
+    const double leg =
+        pred.predict_with(p, &legacy_analyzer, &skel).total_cycles;
+    if (!same_bits(cold, soa) || !same_bits(cold, leg)) {
+      std::fprintf(stderr,
+                   "%s: ranked results diverge on %s "
+                   "(cold=%.17g soa=%.17g legacy=%.17g)\n",
+                   c.name.c_str(), p.to_string().c_str(), cold, soa, leg);
+      return false;
+    }
+  }
+  return true;
+}
+
+void emit_histogram(std::FILE* json, const char* key,
+                    const obs::MetricsSnapshot& snap, bool* first) {
+  const auto* h = snap.find_histogram(key);
+  if (!h) return;
+  std::fprintf(json, "%s\n        \"%s\": {\"count\": %llu, \"sum\": %llu, "
+               "\"mean\": %.1f, \"max\": %llu, \"buckets\": [",
+               *first ? "" : ",", key,
+               static_cast<unsigned long long>(h->count),
+               static_cast<unsigned long long>(h->sum), h->mean,
+               static_cast<unsigned long long>(h->max));
+  *first = false;
+  for (std::size_t b = 0; b < h->buckets.size(); ++b)
+    std::fprintf(json, "%s[%llu, %llu]", b ? ", " : "",
+                 static_cast<unsigned long long>(h->buckets[b].first),
+                 static_cast<unsigned long long>(h->buckets[b].second));
+  std::fprintf(json, "]}");
 }
 
 }  // namespace
@@ -56,6 +137,10 @@ int main(int argc, char** argv) {
   const int repeats = argc > 2 ? std::atoi(argv[2]) : 2;
   const GpuArch& arch = kepler_arch();
   const int threads = ThreadPool::default_threads();
+  // The 5x single-core acceptance target only means something at a cap large
+  // enough to amortize the per-search setup; the tiny `ctest -L perf` smoke
+  // run stays a pure smoke test.
+  const bool assert_speedup = cap >= 96;
 
   // Largest workloads: every registered benchmark with >= 4 arrays.
   std::vector<workloads::BenchmarkCase> cases = workloads::evaluation_suite();
@@ -77,10 +162,12 @@ int main(int argc, char** argv) {
     return o;
   };
   const std::vector<Variant> variants = {
-      {"serial_seed", opts(1, false, false)},
-      {"parallel", opts(threads, false, false)},
-      {"parallel_memoized", opts(threads, true, false)},
-      {"parallel_memoized_pruned", opts(threads, true, true)},
+      {"serial_seed", opts(1, false, false), false},
+      {"legacy_replay", opts(1, true, false), true},
+      {"soa_replay", opts(1, true, false), false},
+      {"parallel", opts(threads, false, false), false},
+      {"parallel_memoized", opts(threads, true, false), false},
+      {"parallel_memoized_pruned", opts(threads, true, true), false},
   };
 
   std::FILE* json = std::fopen("BENCH_search.json", "w");
@@ -94,16 +181,16 @@ int main(int argc, char** argv) {
   std::printf("search throughput (cap=%zu, %d threads, best of %d)\n\n", cap,
               threads, repeats);
   bool first_workload = true;
+  bool speedup_ok = true;
   for (const auto& c : picked) {
     Predictor pred(c.kernel, arch);
     pred.profile_sample(c.sample);
+    const PlacementSpace space =
+        enumerate_placement_space(c.kernel, arch, cap);
 
     std::printf("%s (%zu arrays, %zu legal placements%s)\n", c.name.c_str(),
-                c.kernel.arrays.size(),
-                enumerate_placement_space(c.kernel, arch, cap).placements.size(),
-                enumerate_placement_space(c.kernel, arch, cap).truncated
-                    ? ", capped"
-                    : "");
+                c.kernel.arrays.size(), space.placements.size(),
+                space.truncated ? ", capped" : "");
     std::printf("  %-26s %10s %12s %10s %8s\n", "variant", "wall ms",
                 "pred/sec", "evaluated", "speedup");
 
@@ -115,24 +202,24 @@ int main(int argc, char** argv) {
                  c.name.c_str(), c.kernel.arrays.size());
 
     double serial_ms = 0.0;
-    const SearchResult* serial_result = nullptr;
+    double soa_ms = 0.0;
     SearchResult serial_copy;
     for (std::size_t v = 0; v < variants.size(); ++v) {
-      const Measurement m = run_variant(pred, variants[v].options, repeats);
+      const Measurement m = run_variant(pred, variants[v], repeats);
       if (v == 0) {
         serial_ms = m.wall_ms;
         serial_copy = m.result;
-        serial_result = &serial_copy;
       } else {
         // The engine must agree with the seed path on the winner.
-        if (!(m.result.placement == serial_result->placement) ||
-            m.result.predicted_cycles != serial_result->predicted_cycles) {
+        if (!(m.result.placement == serial_copy.placement) ||
+            m.result.predicted_cycles != serial_copy.predicted_cycles) {
           std::fprintf(stderr, "%s: %s diverged from serial_seed\n",
                        c.name.c_str(), variants[v].name.c_str());
           std::fclose(json);
           return 1;
         }
       }
+      if (variants[v].name == "soa_replay") soa_ms = m.wall_ms;
       const double preds_per_sec =
           static_cast<double>(m.result.evaluated) / (m.wall_ms / 1000.0);
       const double speedup = serial_ms / m.wall_ms;
@@ -142,16 +229,53 @@ int main(int argc, char** argv) {
       std::fprintf(json,
                    "        \"%s\": {\"wall_ms\": %.3f, "
                    "\"predictions_per_sec\": %.2f, \"evaluated\": %zu, "
-                   "\"pruned\": %zu, \"speedup_vs_serial\": %.3f}%s\n",
+                   "\"pruned\": %zu, \"prune_checks\": %zu, "
+                   "\"prune_bound_ratio\": %.4f, "
+                   "\"prune_gate_reason\": \"%s\", "
+                   "\"speedup_vs_serial\": %.3f}%s\n",
                    variants[v].name.c_str(), m.wall_ms, preds_per_sec,
-                   m.result.evaluated, m.result.pruned, speedup,
-                   v + 1 < variants.size() ? "," : "");
+                   m.result.evaluated, m.result.pruned, m.result.prune_checks,
+                   m.result.prune_bound_ratio, m.result.prune_gate_reason,
+                   speedup, v + 1 < variants.size() ? "," : "");
     }
-    std::fprintf(json, "      }\n    }");
+    std::fprintf(json, "      },\n");
+
+    if (!ranked_results_identical(pred, c, space)) {
+      std::fclose(json);
+      return 1;
+    }
+    std::fprintf(json, "      \"ranked_results_identical\": true,\n");
+
+    if (assert_speedup && c.name == "matrixmul" && soa_ms > 0.0 &&
+        serial_ms / soa_ms < 5.0) {
+      std::fprintf(stderr,
+                   "matrixmul: soa_replay %.1fms is only %.2fx over "
+                   "serial_seed %.1fms (target >= 5x)\n",
+                   soa_ms, serial_ms / soa_ms, serial_ms);
+      speedup_ok = false;
+    }
+
+    // Per-phase breakdown of one single-core SoA search, recorded outside
+    // the timed runs so metric overhead never pollutes the numbers above.
+    obs::set_enabled(true);
+    obs::reset_all_metrics();
+    {
+      Variant soa = variants[2];
+      run_variant(pred, soa, 1);
+    }
+    obs::set_enabled(false);
+    const obs::MetricsSnapshot snap = obs::snapshot();
+    std::fprintf(json, "      \"soa_phase_ns\": {");
+    bool first_hist = true;
+    emit_histogram(json, "trace.analyze_ns", snap, &first_hist);
+    emit_histogram(json, "trace.soa_lower_ns", snap, &first_hist);
+    emit_histogram(json, "trace.soa_replay_ns", snap, &first_hist);
+    std::fprintf(json, "\n      }\n    }");
     std::printf("\n");
   }
   std::fprintf(json, "\n  ]\n}\n");
   std::fclose(json);
+  if (!speedup_ok) return 1;
   std::printf("wrote BENCH_search.json\n");
   return 0;
 }

@@ -1,0 +1,148 @@
+// Bump allocator for per-candidate replay scratch.
+//
+// The data-oriented replay path (src/trace/soa.*) lowers every resident
+// wave into struct-of-arrays batch buffers whose lifetime is exactly one
+// wave. A general-purpose heap is the wrong tool for that pattern: the hot
+// loop of a placement search would hit malloc/free thousands of times per
+// candidate. An Arena instead hands out pointers by bumping a cursor through
+// geometrically-grown chunks; reset() rewinds the cursor and *keeps* the
+// chunks, so after the first wave of the first candidate the search's inner
+// loop performs zero heap allocations.
+//
+// Pointers handed out stay valid until the next reset() — growth allocates
+// a new chunk, it never moves existing ones — which is what lets the SoA
+// lowering store raw pointers (line lists, staged address blocks) inside the
+// batch it is still appending to.
+//
+// Only trivially-destructible payloads are supported (alloc<T> enforces
+// this): reset() rewinds without running destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/fault_injection.hpp"
+
+namespace gpuhms {
+
+class Arena {
+ public:
+  // First chunk size; later chunks double until kMaxChunkBytes.
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+  static constexpr std::size_t kMaxChunkBytes = 16 * 1024 * 1024;
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes) {
+    GPUHMS_CHECK(first_chunk_bytes_ > 0);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // `align` must be a power of two. Zero-size requests return a valid
+  // aligned pointer without advancing the cursor.
+  void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    GPUHMS_CHECK(align != 0 && (align & (align - 1)) == 0);
+    std::size_t off = aligned_offset(align);
+    if (chunk_ >= chunks_.size() || off + bytes > chunks_[chunk_].size) {
+      grow(bytes + align);
+      off = aligned_offset(align);
+    }
+    cursor_ = off + bytes;
+    high_water_ = std::max(high_water_, allocated_before_ + cursor_);
+    return chunks_[chunk_].data.get() + off;
+  }
+
+  // Typed array allocation, uninitialized. T must be trivially destructible
+  // (reset() never runs destructors).
+  template <class T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(alloc_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  // Rewind to empty, keeping every chunk for reuse. Previously returned
+  // pointers become invalid.
+  void reset() {
+    chunk_ = 0;
+    cursor_ = 0;
+    allocated_before_ = 0;
+  }
+
+  // Release every chunk back to the heap (capacity drops to zero).
+  void release() {
+    chunks_.clear();
+    reset();
+  }
+
+  // Bytes currently handed out (including alignment padding skipped over).
+  std::size_t used_bytes() const { return allocated_before_ + cursor_; }
+  // Total bytes owned across all chunks.
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  // Largest used_bytes() ever observed (survives reset; sizing telemetry).
+  std::size_t high_water_bytes() const { return high_water_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  // Next cursor position whose *address* (not merely chunk offset) meets
+  // `align` — operator new[] only guarantees the default new-alignment for
+  // the chunk base, so over-aligned requests must account for it.
+  std::size_t aligned_offset(std::size_t align) const {
+    if (chunk_ >= chunks_.size()) return cursor_;
+    const auto base =
+        reinterpret_cast<std::uintptr_t>(chunks_[chunk_].data.get());
+    return ((base + cursor_ + align - 1) & ~(align - 1)) - base;
+  }
+
+  void grow(std::size_t min_bytes) {
+    // Finish the current chunk and move to the next one, allocating it if
+    // this arena has never been this large before.
+    if (chunk_ < chunks_.size()) {
+      allocated_before_ += chunks_[chunk_].size;
+      ++chunk_;
+    }
+    while (chunk_ < chunks_.size()) {
+      if (chunks_[chunk_].size >= min_bytes) {
+        cursor_ = 0;
+        return;
+      }
+      allocated_before_ += chunks_[chunk_].size;
+      ++chunk_;
+    }
+    std::size_t size = chunks_.empty()
+                           ? first_chunk_bytes_
+                           : std::min(chunks_.back().size * 2, kMaxChunkBytes);
+    size = std::max(size, min_bytes);
+    if (GPUHMS_FAULT_POINT("arena.alloc")) throw std::bad_alloc();
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(size);
+    c.size = size;
+    chunks_.push_back(std::move(c));
+    chunk_ = chunks_.size() - 1;
+    cursor_ = 0;
+  }
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   // current chunk index
+  std::size_t cursor_ = 0;  // offset within the current chunk
+  std::size_t allocated_before_ = 0;  // sum of sizes of chunks before chunk_
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace gpuhms

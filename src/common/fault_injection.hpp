@@ -22,6 +22,8 @@
 //   pool.task        — throws InjectedFault inside a ThreadPool task body
 //   serve.parse      — PredictionService returns an INTERNAL error response
 //                      instead of parsing the request line
+//   arena.alloc      — Arena::grow throws std::bad_alloc instead of
+//                      allocating the next chunk (replay-scratch OOM)
 #pragma once
 
 #include <cstdint>

@@ -22,6 +22,24 @@ namespace {
 // to the same prefix of an uninterrupted run.
 constexpr std::size_t kChunk = 64;
 
+// Prune self-gating (exhaustive search). The per-candidate bound check is
+// cheap (one table lookup per array + an O(1) floor) but not free, and on
+// workloads where the bound never reaches the incumbent it is pure overhead
+// — the BENCH_search regression this fixes. The gate is deterministic: it
+// reads only serially-folded chunk data, so it closes at the same chunk
+// boundary for every thread count.
+//   kMinPruneSpace    below this many candidates the threshold barely
+//                     advances before the search ends; skip checks entirely.
+//   kPruneProbeChunks chunks of live checking granted before the gate may
+//                     conclude the bound is hopeless.
+//   kPruneRatioCutoff if after probing no candidate was pruned AND the bound
+//                     never came within this fraction of the incumbent, stop
+//                     checking (a ratio near 1 keeps probing: the bound may
+//                     start firing once the incumbent improves).
+constexpr std::size_t kMinPruneSpace = 2 * kChunk;
+constexpr std::size_t kPruneProbeChunks = 4;
+constexpr double kPruneRatioCutoff = 0.9;
+
 // Chunk-boundary stop test shared by the exhaustive search and the oracle.
 // Reads the cancel token first (a cancelled caller should see `cancelled`
 // even when the deadline also expired).
@@ -103,6 +121,28 @@ SearchResult exhaustive_over(const Predictor& predictor,
   std::vector<double> cycles(std::min(n, kChunk));
   bool have_best = false;
 
+  // Prune machinery: one immutable bounder shared by all workers; per-slot
+  // bound records folded serially so counters and the gate are thread-count
+  // independent.
+  bool prune_active = false;
+  PlacementBounder bounder;
+  if (!options.prune) {
+    best.prune_gate_reason = "off";
+  } else if (!skeleton) {
+    best.prune_gate_reason = "no-skeleton";
+  } else if (n < kMinPruneSpace) {
+    best.prune_gate_reason = "small-space";
+  } else {
+    bounder = predictor.make_bounder(*skeleton);
+    best.prune_gate_reason = "active";
+    prune_active = true;
+  }
+  const std::size_t num_arrays = k.arrays.size();
+  constexpr double kNoCheck = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> bounds(cycles.size(), kNoCheck);
+  double max_bound_seen = 0.0;
+  std::size_t probed_chunks = 0;
+
   for (std::size_t c0 = 0; c0 < n; c0 += kChunk) {
     if (watch.should_stop(&best.deadline_hit, &best.cancelled)) {
       if (!have_best) {
@@ -128,11 +168,19 @@ SearchResult exhaustive_over(const Predictor& predictor,
       GPUHMS_SCOPED_PHASE("search.chunk_ns");
       pool.parallel_for(c1 - c0, [&](int worker, std::size_t j) {
         const DataPlacement& p = space.placements[c0 + j];
-        if (options.prune && have_best && skeleton &&
-            predictor.lower_bound_cycles(p, *skeleton) >
-                best.predicted_cycles) {
-          cycles[j] = kPruned;
-          return;
+        bounds[j] = kNoCheck;
+        if (prune_active && have_best) {
+          // O(arrays) table walk + O(1) floor — the whole point of building
+          // the bounder once instead of re-deriving the bound per candidate.
+          double addr = 0.0;
+          for (std::size_t a = 0; a < num_arrays; ++a)
+            addr += bounder.addr_insts(a, p.of(static_cast<int>(a)));
+          const double bound = bounder.bound_cycles(addr);
+          bounds[j] = bound;
+          if (bound > best.predicted_cycles) {
+            cycles[j] = kPruned;
+            return;
+          }
         }
         cycles[j] =
             predictor
@@ -143,7 +191,12 @@ SearchResult exhaustive_over(const Predictor& predictor,
     }
     GPUHMS_COUNTER_ADD("search.chunks", 1);
     GPUHMS_HISTOGRAM_RECORD("search.chunk_candidates", c1 - c0);
+    const bool chunk_checked = prune_active && have_best;
     for (std::size_t j = 0; j < c1 - c0; ++j) {
+      if (!std::isnan(bounds[j])) {
+        ++best.prune_checks;
+        max_bound_seen = std::max(max_bound_seen, bounds[j]);
+      }
       if (std::isnan(cycles[j])) {
         ++best.pruned;
         continue;
@@ -155,7 +208,25 @@ SearchResult exhaustive_over(const Predictor& predictor,
         have_best = true;
       }
     }
+    if (chunk_checked) {
+      ++probed_chunks;
+      best.prune_bound_ratio =
+          best.predicted_cycles > 0.0 ? max_bound_seen / best.predicted_cycles
+                                      : 0.0;
+      if (best.pruned == 0 && probed_chunks >= kPruneProbeChunks &&
+          best.prune_bound_ratio < kPruneRatioCutoff) {
+        // The bound never came close; stop paying for checks that cannot
+        // fire. (Deterministic: decided from serially-folded data at a chunk
+        // boundary, identical for every thread count.)
+        prune_active = false;
+        best.prune_gate_reason = "gated-ineffective";
+        GPUHMS_COUNTER_ADD("search.prune_gated", 1);
+      }
+    }
   }
+  GPUHMS_COUNTER_ADD("search.prune_checks", best.prune_checks);
+  GPUHMS_GAUGE_SET("search.prune_bound_ratio_bp",
+                   static_cast<std::int64_t>(best.prune_bound_ratio * 1e4));
   record_search_metrics(watch, best.evaluated, best.pruned,
                         best.not_evaluated, best.deadline_hit,
                         best.cancelled);

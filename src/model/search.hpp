@@ -7,11 +7,14 @@
 //
 // Exhaustive search and the oracle fan candidates out over a thread pool,
 // record the kernel's placement-independent trace skeleton once and share it
-// across all candidates, and (exhaustive only) skip candidates whose cheap
-// T_comp lower bound already exceeds the best placement found so far. All of
-// it is deterministic: candidates are folded in enumeration order with
-// lowest-index-wins tie-breaking and the prune threshold only advances at
-// fixed chunk boundaries, so any thread count returns bit-identical results.
+// across all candidates, and (exhaustive only) skip candidates whose
+// admissible PlacementBounder lower bound already exceeds the best placement
+// found so far — with a self-gate that turns the check off when it cannot
+// pay for itself (see SearchResult::prune_gate_reason). All of it is
+// deterministic: candidates are folded in enumeration order with
+// lowest-index-wins tie-breaking, and both the prune threshold and the gate
+// only advance at fixed chunk boundaries, so any thread count returns
+// bit-identical results.
 #pragma once
 
 #include <atomic>
@@ -35,8 +38,13 @@ struct SearchOptions {
   // Record the kernel's DSL skeleton once and replay it per candidate
   // instead of re-running the kernel function m^n times.
   bool memoize_trace = true;
-  // Skip candidates whose T_comp lower bound exceeds the current best
-  // (exhaustive search only; never changes the returned placement).
+  // Skip candidates whose admissible lower bound (PlacementBounder: T_comp
+  // addressing floor maxed with the T_mem floor) exceeds the current best
+  // (exhaustive search only; never changes the returned placement). The
+  // search self-gates the check: spaces too small to amortize it, and
+  // searches where probing shows the bound too loose to ever fire, run
+  // without the per-candidate test — SearchResult::prune_gate_reason says
+  // which case applied.
   bool prune = true;
   // Wall-clock budget, measured from search entry. When it expires the
   // search stops at the next chunk boundary and returns the best among the
@@ -66,7 +74,21 @@ struct SearchResult {
   DataPlacement placement;
   double predicted_cycles = 0.0;
   std::size_t evaluated = 0;  // placements scored by the full predictor
-  std::size_t pruned = 0;     // skipped via the T_comp lower bound
+  std::size_t pruned = 0;     // skipped via the admissible lower bound
+  // Prune observability (exhaustive search): when `pruned` is 0 these say
+  // why, instead of leaving a dead knob in the benchmark output.
+  //   prune_checks       bound evaluations actually performed
+  //   prune_bound_ratio  max(bound seen) / best cycles so far — how close
+  //                      the bound ever came to the prune threshold (a value
+  //                      well under 1 means the bound is too loose to fire)
+  //   prune_gate_reason  "off" (options.prune false / non-exhaustive),
+  //                      "no-skeleton" (no memoized trace to bound against),
+  //                      "small-space" (space too small to amortize checks),
+  //                      "gated-ineffective" (probing showed a hopeless
+  //                      bound; checks stopped mid-search), or "active".
+  std::size_t prune_checks = 0;
+  double prune_bound_ratio = 0.0;
+  const char* prune_gate_reason = "off";
   // Enumeration cap observability: a capped search is NOT a full search.
   bool space_truncated = false;
   std::uint64_t space_skipped = 0;  // placement combinations never examined

@@ -1,12 +1,24 @@
 #include "model/trace_analysis.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/check.hpp"
 #include "common/obs.hpp"
 #include "sim/coalesce.hpp"
 
 namespace gpuhms {
+
+namespace {
+
+// GPUHMS_LEGACY_REPLAY=1 forces the scalar replay path process-wide (the
+// differential-test escape hatch; "" and "0" leave the SoA engine on).
+bool legacy_replay_env() {
+  const char* v = std::getenv("GPUHMS_LEGACY_REPLAY");
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
 
 TraceAnalyzer::TraceAnalyzer(const KernelInfo& kernel, const GpuArch& arch,
                              const AnalysisOptions& opts)
@@ -16,6 +28,8 @@ TraceAnalyzer::TraceAnalyzer(const KernelInfo& kernel, const GpuArch& arch,
   const_caches_.assign(num_sms, SetAssocCache(const_cache_config(arch)));
   tex_caches_.assign(num_sms, SetAssocCache(tex_cache_config(arch)));
   rows_.resize(static_cast<std::size_t>(mapping_.num_banks()));
+  use_soa_ = !opts.legacy_replay && !legacy_replay_env() &&
+             SoaLowering::supports(arch);
 }
 
 void TraceAnalyzer::reset() {
@@ -283,19 +297,115 @@ void TraceAnalyzer::run_compact(const TraceMaterializer& mat,
   }
 }
 
+// Replays the SoA-lowered waves through the same stateful cache/row-buffer
+// models the scalar paths use. Stage 1 (lower_wave) pre-resolved coalescing,
+// scheduling and every order-free counter; only the order-sensitive walk —
+// cache lookups and DRAM bank streams, driven by the precomputed issue
+// ticks — remains, over the off-chip records alone.
+void TraceAnalyzer::run_soa(const TraceMaterializer& mat,
+                            const TraceSkeleton& skeleton) {
+  const KernelInfo& k = mat.kernel();
+  const int blocks_per_sm = mat.layout().blocks_per_sm(*arch_);
+  ev_.warps_per_sm = mat.layout().warps_per_sm(*arch_);
+  soa_.bind(mat, skeleton, *arch_);
+  std::uint64_t total_ops = 0;
+  const std::int64_t wave_blocks =
+      static_cast<std::int64_t>(arch_->num_sms) * blocks_per_sm;
+  for (std::int64_t wave = 0; wave * wave_blocks < k.num_blocks; ++wave) {
+    const std::int64_t b0 = wave * wave_blocks;
+    const std::int64_t b1 = std::min(k.num_blocks, b0 + wave_blocks);
+    SoaWave wv;
+    {
+      GPUHMS_SCOPED_PHASE("trace.soa_lower_ns");
+      wv = soa_.lower_wave(b0, b1);
+    }
+    GPUHMS_SCOPED_PHASE("trace.soa_replay_ns");
+    total_ops += wv.ops;
+    for (std::size_t i = 0; i < wv.mem_n; ++i) {
+      tick_ = wv.tick[i];
+      const std::uint64_t* lines = wv.lines[i];
+      const std::uint16_t cnt = wv.lines_n[i];
+      const bool is_store = wv.is_store[i] != 0;
+      const std::size_t sm = wv.sm[i];
+      switch (static_cast<MemSpace>(wv.space[i])) {
+        case MemSpace::Global:
+          for (std::uint16_t j = 0; j < cnt; ++j) {
+            ++ev_.l2_transactions;
+            if (!l2_.access(lines[j], is_store)) {
+              ++ev_.l2_misses;
+              dram_request(lines[j], is_store);
+            }
+          }
+          break;
+        case MemSpace::Texture1D:
+        case MemSpace::Texture2D:
+          for (std::uint16_t j = 0; j < cnt; ++j) {
+            if (tex_caches_[sm].access(lines[j], false)) continue;
+            ++ev_.tex_misses;
+            ++ev_.l2_transactions;
+            if (!l2_.access(lines[j], false)) {
+              ++ev_.l2_misses;
+              dram_request(lines[j], false);
+            }
+          }
+          break;
+        case MemSpace::Constant:
+          for (std::uint16_t j = 0; j < cnt; ++j) {
+            if (const_caches_[sm].access(lines[j], false)) continue;
+            ++ev_.const_misses;
+            ++ev_.replay_const_miss;
+            ++ev_.l2_transactions;
+            if (!l2_.access(lines[j], false)) {
+              ++ev_.l2_misses;
+              dram_request(lines[j], false);
+            }
+          }
+          break;
+        case MemSpace::Shared:
+          break;  // folded analytically; never scheduled
+      }
+    }
+  }
+  const SoaTallies& t = soa_.tallies();
+  ev_.insts_executed = t.insts_executed;
+  ev_.addr_calc_insts = t.addr_calc_insts;
+  ev_.mem_insts = t.mem_insts;
+  ev_.load_insts = t.load_insts;
+  ev_.sync_insts = t.sync_insts;
+  ev_.global_requests = t.global_requests;
+  ev_.global_transactions = t.global_transactions;
+  ev_.replay_global_divergence = t.replay_global_divergence;
+  ev_.tex_requests = t.tex_requests;
+  ev_.tex_transactions = t.tex_transactions;
+  ev_.const_requests = t.const_requests;
+  ev_.replay_const_divergence = t.replay_const_divergence;
+  ev_.offchip_load_transactions = t.offchip_load_transactions;
+  ev_.shared_requests = t.shared_requests;
+  ev_.shared_load_requests = t.shared_load_requests;
+  ev_.shared_conflicts = t.shared_conflicts;
+  ev_.replay_shared_conflict = t.shared_conflicts;
+  dep_breaks_ = t.dep_breaks;
+  mem_chain_breaks_ = t.mem_chain_breaks;
+  tick_ = total_ops;
+}
+
 PlacementEvents TraceAnalyzer::analyze(const DataPlacement& placement,
                                        const TraceSkeleton* skeleton) {
   GPUHMS_SCOPED_PHASE("trace.analyze_ns");
   reset();
   TraceMaterializer mat(*kernel_, placement, *arch_);
-  if (skeleton != nullptr) {
+  if (skeleton != nullptr && use_soa_) {
+    run_soa(mat, *skeleton);
+  } else if (skeleton != nullptr) {
     run_compact(mat, *skeleton);
   } else {
     run(mat);
   }
   ev_.trace_ticks = tick_;
   GPUHMS_COUNTER_ADD("trace.analyses", 1);
-  if (skeleton != nullptr) {
+  if (skeleton != nullptr && use_soa_) {
+    GPUHMS_COUNTER_ADD("trace.analyses_soa", 1);
+  } else if (skeleton != nullptr) {
     GPUHMS_COUNTER_ADD("trace.analyses_compact", 1);
   } else {
     GPUHMS_COUNTER_ADD("trace.analyses_full", 1);

@@ -24,6 +24,7 @@
 #include "dram/address_mapping.hpp"
 #include "sim/counters.hpp"
 #include "trace/generator.hpp"
+#include "trace/soa.hpp"
 
 namespace gpuhms {
 
@@ -31,6 +32,11 @@ struct AnalysisOptions {
   // Ablation (Fig. 8): ignore the detected address mapping and spread DRAM
   // requests round-robin over banks.
   bool even_bank_distribution = false;
+  // Force the legacy scalar replay instead of the data-oriented SoA engine
+  // on skeleton-backed analyses (differential testing; the results are
+  // required to be bit-identical). The GPUHMS_LEGACY_REPLAY environment
+  // variable forces this process-wide.
+  bool legacy_replay = false;
 };
 
 struct BankStream {
@@ -144,6 +150,7 @@ class TraceAnalyzer {
   void run(const TraceMaterializer& mat);
   void run_compact(const TraceMaterializer& mat,
                    const TraceSkeleton& skeleton);
+  void run_soa(const TraceMaterializer& mat, const TraceSkeleton& skeleton);
 
   const KernelInfo* kernel_;
   const GpuArch* arch_;
@@ -155,6 +162,8 @@ class TraceAnalyzer {
   std::vector<BankRow> rows_;
   std::vector<std::uint64_t> lines_;  // coalescing scratch
   CompactTrace compact_scratch_;      // memoized-path wave buffer, reused
+  SoaLowering soa_;                   // data-oriented replay engine
+  bool use_soa_ = false;
   PlacementEvents ev_;
   std::uint64_t tick_ = 0;
   std::uint64_t rr_bank_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "cache/cache.hpp"
 #include "common/check.hpp"
@@ -82,7 +83,6 @@ class Engine {
   std::vector<Sm> sms_;
   ProfileCounters c_;
   std::uint64_t finish_time_ = 0;
-  std::vector<std::uint64_t> lines_;  // coalescing scratch
 };
 
 void Engine::load_block(Sm& sm, int slot_idx, std::int64_t block_id) {
@@ -149,13 +149,16 @@ std::uint64_t Engine::issue_mem(Sm& sm, const TraceOp& op, std::uint64_t t,
 
   switch (op.space) {
     case MemSpace::Global: {
-      coalesce_lines(op, arch_.cache_line, lines_);
-      const auto n = static_cast<std::uint64_t>(lines_.size());
+      std::uint64_t lines[kWarpSize];
+      const int nl =
+          coalesce_lines_buf(op.active_mask, op.addr.data(), arch_.cache_line,
+                             lines);
+      const auto n = static_cast<std::uint64_t>(nl);
       ++c_.global_requests;
       c_.global_transactions += n;
       c_.replay_global_divergence += n - 1;
       slots += n - 1;
-      for (std::uint64_t line : lines_) {
+      for (std::uint64_t line : std::span(lines, static_cast<std::size_t>(nl))) {
         ++c_.l2_transactions;
         if (!l2_.access(line, is_store)) {
           ++c_.l2_misses;
@@ -170,10 +173,13 @@ std::uint64_t Engine::issue_mem(Sm& sm, const TraceOp& op, std::uint64_t t,
     }
     case MemSpace::Texture1D:
     case MemSpace::Texture2D: {
-      coalesce_lines(op, arch_.cache_line, lines_);
+      std::uint64_t lines[kWarpSize];
+      const int nl =
+          coalesce_lines_buf(op.active_mask, op.addr.data(), arch_.cache_line,
+                             lines);
       ++c_.tex_requests;
-      c_.tex_transactions += lines_.size();
-      for (std::uint64_t line : lines_) {
+      c_.tex_transactions += static_cast<std::uint64_t>(nl);
+      for (std::uint64_t line : std::span(lines, static_cast<std::size_t>(nl))) {
         if (sm.tex_cache->access(line, false)) {
           completion = std::max(completion, t + arch_.tex_cache_hit_lat);
           continue;
@@ -191,12 +197,15 @@ std::uint64_t Engine::issue_mem(Sm& sm, const TraceOp& op, std::uint64_t t,
       break;
     }
     case MemSpace::Constant: {
-      coalesce_lines(op, arch_.cache_line, lines_);
+      std::uint64_t lines[kWarpSize];
+      const int nl =
+          coalesce_lines_buf(op.active_mask, op.addr.data(), arch_.cache_line,
+                             lines);
       const int div = distinct_words(op);
       ++c_.const_requests;
       c_.replay_const_divergence += static_cast<std::uint64_t>(div - 1);
       slots += static_cast<std::uint64_t>(div - 1);
-      for (std::uint64_t line : lines_) {
+      for (std::uint64_t line : std::span(lines, static_cast<std::size_t>(nl))) {
         if (sm.const_cache->access(line, false)) {
           completion = std::max(completion, t + arch_.const_cache_hit_lat);
           continue;

@@ -4,6 +4,7 @@
 #include "common/fault_injection.hpp"
 #include "common/obs.hpp"
 #include "isa/addressing.hpp"
+#include "sim/coalesce.hpp"
 
 namespace gpuhms {
 
@@ -63,6 +64,182 @@ TraceSkeleton::TraceSkeleton(const KernelInfo& kernel)
                 });
   device_pools_.resize(kernel.arrays.size() * 2);
   pool_once_ = std::make_unique<std::once_flag[]>(kernel.arrays.size() * 2);
+
+  // SoA replay tables: digest the proto stream into per-warp memory-record
+  // ranges plus the placement-invariant tallies the data-oriented path folds
+  // analytically (see the header for the dependency/chain rules mirrored
+  // from generate_compact's lowering).
+  const std::size_t num_warps = warps_.size();
+  const std::size_t num_arrays = kernel.arrays.size();
+  inv_ops_.resize(num_warps);
+  mem_cnt_.assign(num_warps * num_arrays, 0);
+  invariants_.mem_uses_prev.assign(num_arrays, 0);
+  invariants_.chain_mem_up.assign(num_arrays, 0);
+  invariants_.unmasked.assign(num_arrays, 0);
+  invariants_.unmasked_loads.assign(num_arrays, 0);
+  mem_rec_.reserve(static_cast<std::size_t>(base_insts_));
+  mem_rec_begin_.reserve(num_warps + 1);
+  mem_rec_begin_.push_back(0);
+  for (std::size_t w = 0; w < num_warps; ++w) {
+    const std::span<const ProtoOp> ps = proto(w);
+    std::uint32_t inv = 0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const ProtoOp& p = ps[i];
+      switch (p.cls) {
+        case OpClass::Load:
+        case OpClass::Store: {
+          const std::size_t a = static_cast<std::size_t>(p.array);
+          MemRecord r;
+          r.inv_prefix = inv;
+          r.active_mask = p.active_mask;
+          r.ordinal = p.ordinal;
+          r.array = p.array;
+          r.is_store = p.cls == OpClass::Store;
+          mem_rec_.push_back(r);
+          ++mem_cnt_[w * num_arrays + a];
+          ++invariants_.mem_protos;
+          if (p.cls == OpClass::Load) ++invariants_.load_protos;
+          if (p.uses_prev) ++invariants_.mem_uses_prev[a];
+          if (p.active_mask != 0) {
+            ++invariants_.unmasked[a];
+            if (p.cls == OpClass::Load) ++invariants_.unmasked_loads[a];
+          }
+          // Memory-chain successor: the expanded op right after this memory
+          // op is (a) a dependency-free addressing insert when the successor
+          // memory proto lowers with ai > 0, (b) the successor memory op
+          // itself when ai == 0, or (c) the head of a compute run. Syncs
+          // never depend. Case (b) is placement-dependent, so it is tallied
+          // per successor array and gated on ai at fold time.
+          if (i + 1 < ps.size()) {
+            const ProtoOp& q = ps[i + 1];
+            if (is_memory(q.cls)) {
+              if (q.uses_prev)
+                ++invariants_.chain_mem_up[static_cast<std::size_t>(q.array)];
+            } else if (q.cls != OpClass::Sync && q.uses_prev) {
+              ++invariants_.chain_comp_up;
+            }
+          }
+          ++inv;
+          break;
+        }
+        case OpClass::Sync:
+          ++invariants_.sync_protos;
+          ++inv;
+          break;
+        default:
+          if (p.uses_prev) ++invariants_.dep_compute;
+          inv += p.count;
+          break;
+      }
+    }
+    inv_ops_[w] = inv;
+    mem_rec_begin_.push_back(static_cast<std::uint32_t>(mem_rec_.size()));
+  }
+  line_pools_.resize(num_arrays * 2);
+  line_once_ = std::make_unique<std::once_flag[]>(num_arrays * 2);
+  const_words_.resize(num_arrays);
+  const_once_ = std::make_unique<std::once_flag[]>(num_arrays);
+  shared_folds_.resize(num_arrays);
+  shared_once_ = std::make_unique<std::once_flag[]>(num_arrays);
+}
+
+const TraceSkeleton::LinePool& TraceSkeleton::line_pool(
+    int array, bool block_linear, const MemoryLayout& layout,
+    std::size_t line_size) const {
+  const std::size_t slot =
+      static_cast<std::size_t>(array) * 2 + (block_linear ? 1 : 0);
+  std::call_once(line_once_[slot], [&] {
+    const std::span<const AddrBlock> pool =
+        device_addr_pool(array, block_linear, layout);
+    LinePool& lp = line_pools_[slot];
+    lp.line_size = line_size;
+    lp.begin.reserve(pool.size() + 1);
+    lp.begin.push_back(0);
+    lp.lines.reserve(pool.size());
+    std::uint64_t buf[kWarpSize];
+    // mem_rec_ is warp-major, so the records of `array` appear in ordinal
+    // order; masked-off ops keep an empty range (they form no requests).
+    for (const MemRecord& r : mem_rec_) {
+      if (r.array != array) continue;
+      const int n = r.active_mask == 0
+                        ? 0
+                        : coalesce_lines_buf(r.active_mask,
+                                             pool[r.ordinal].data(), line_size,
+                                             buf);
+      lp.lines.insert(lp.lines.end(), buf, buf + n);
+      lp.begin.push_back(static_cast<std::uint32_t>(lp.lines.size()));
+    }
+  });
+  const LinePool& lp = line_pools_[slot];
+  GPUHMS_CHECK_MSG(lp.line_size == line_size,
+                   "line_pool memoized under a different cache-line size");
+  return lp;
+}
+
+std::span<const std::uint8_t> TraceSkeleton::const_words_pool(
+    int array, const MemoryLayout& layout) const {
+  const std::size_t a = static_cast<std::size_t>(array);
+  std::call_once(const_once_[a], [&] {
+    const std::span<const AddrBlock> pool =
+        device_addr_pool(array, /*block_linear=*/false, layout);
+    std::vector<std::uint8_t>& words = const_words_[a];
+    words.reserve(pool.size());
+    for (const MemRecord& r : mem_rec_) {
+      if (r.array != array) continue;
+      words.push_back(static_cast<std::uint8_t>(
+          r.active_mask == 0
+              ? 0
+              : distinct_words(r.active_mask, pool[r.ordinal].data())));
+    }
+  });
+  return const_words_[a];
+}
+
+const TraceSkeleton::SharedFold& TraceSkeleton::shared_fold(
+    int array, int num_banks) const {
+  const std::size_t a = static_cast<std::size_t>(array);
+  std::call_once(shared_once_[a], [&] {
+    // Degrees are computed on the slice-local byte offsets. The shared base
+    // offset of every placement is 128-byte aligned (kSharedAlign), so as
+    // long as 128 is a multiple of the bank stride 4 * num_banks, the base
+    // shifts every word by a whole number of bank rotations: distinctness
+    // and bank assignment — hence the conflict degree — match
+    // shared_conflict_degree on the real addresses of any placement.
+    GPUHMS_CHECK_MSG(num_banks > 0 && num_banks <= 64 &&
+                         128 % (4 * num_banks) == 0,
+                     "shared_fold requires 128 % (4 * num_banks) == 0");
+    const ArrayDecl& arr = kernel_->arrays[a];
+    const std::int64_t slice =
+        static_cast<std::int64_t>(arr.shared_slice_elems ? arr.shared_slice_elems
+                                                         : arr.elems);
+    const std::int64_t esize = static_cast<std::int64_t>(arr.elem_size());
+    SharedFold& fold = shared_folds_[a];
+    fold.num_banks = num_banks;
+    fold.degree.reserve(mem_ops_per_array_[a]);
+    std::int64_t addrs[kWarpSize];
+    for (std::size_t w = 0; w < warps_.size(); ++w) {
+      const WarpRecord& rec = warps_[w];
+      for (const ProtoOp& p : proto(w)) {
+        if (!is_memory(p.cls) || p.array != array) continue;
+        std::uint8_t deg = 1;
+        if (p.active_mask != 0) {
+          const LaneIdx& idx = rec.ops[p.dsl_index].idx;
+          for (int l = 0; l < kWarpSize; ++l) {
+            const std::int64_t e = idx[static_cast<std::size_t>(l)];
+            addrs[l] = e == kInactiveLane ? -1 : e % slice * esize;
+          }
+          deg = static_cast<std::uint8_t>(
+              shared_conflict_degree(p.active_mask, addrs, num_banks));
+          fold.conflict_sum += static_cast<std::uint64_t>(deg - 1);
+        }
+        fold.degree.push_back(deg);
+      }
+    }
+  });
+  const SharedFold& fold = shared_folds_[a];
+  GPUHMS_CHECK_MSG(fold.num_banks == num_banks,
+                   "shared_fold memoized under a different bank count");
+  return fold;
 }
 
 std::span<const AddrBlock> TraceSkeleton::device_addr_pool(

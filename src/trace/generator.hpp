@@ -116,6 +116,93 @@ class TraceSkeleton {
   std::span<const AddrBlock> device_addr_pool(int array, bool block_linear,
                                               const MemoryLayout& layout) const;
 
+  // --- SoA replay support (consumed by src/trace/soa.*) ---------------------
+  // Per-warp stream of the *memory* protos only, pre-digested so the
+  // data-oriented lowering touches nothing else per candidate: compute runs
+  // and syncs never materialize (their counts fold into inv_prefix /
+  // invariant_ops), and the placement decides per array — not per op — how
+  // many addressing instructions precede each memory op. The expanded-stream
+  // position of memory op k of a warp under a placement with per-array
+  // addressing counts ai[] is
+  //   pc(k) = inv_prefix(k) + sum over records j <= k of ai[array(j)].
+  struct MemRecord {
+    std::uint32_t inv_prefix = 0;  // invariant expanded ops before this op
+    std::uint32_t active_mask = 0;
+    std::uint32_t ordinal = 0;     // per-array pool / line-pool index
+    std::int16_t array = -1;
+    bool is_store = false;
+    std::uint8_t pad = 0;
+  };
+  std::span<const MemRecord> mem_records(std::size_t warp) const {
+    return std::span<const MemRecord>(
+        mem_rec_.data() + mem_rec_begin_[warp],
+        mem_rec_begin_[warp + 1] - mem_rec_begin_[warp]);
+  }
+  std::size_t mem_record_count(std::size_t warp_begin,
+                               std::size_t warp_end) const {
+    return mem_rec_begin_[warp_end] - mem_rec_begin_[warp_begin];
+  }
+  // Expanded ops of the warp excluding addressing inserts and staging
+  // preambles: memory and sync protos count 1, compute protos their count.
+  std::uint32_t invariant_ops(std::size_t warp) const {
+    return inv_ops_[warp];
+  }
+  // Memory protos of `array` in the warp (masked-off ops included).
+  std::uint32_t mem_count(std::size_t warp, std::size_t array) const {
+    return mem_cnt_[warp * kernel_->arrays.size() + array];
+  }
+
+  // Placement-invariant totals the SoA path folds analytically instead of
+  // walking expanded ops. The dependency fields mirror the lowering rules of
+  // generate_compact: a memory op consumes its predecessor when addressing
+  // instructions were inserted (ai > 0) and keeps its DSL dependency
+  // otherwise; only the first op of a compute run carries the run's
+  // dependency; syncs never depend.
+  struct InvariantTallies {
+    std::uint64_t dep_compute = 0;   // compute protos consuming their pred.
+    std::uint64_t chain_comp_up = 0; // mem protos followed by dependent compute
+    std::uint64_t sync_protos = 0;
+    std::uint64_t mem_protos = 0;
+    std::uint64_t load_protos = 0;
+    std::vector<std::uint64_t> mem_uses_prev;  // per array: DSL-dependent mem
+    std::vector<std::uint64_t> chain_mem_up;   // per array of the *successor*
+    std::vector<std::uint64_t> unmasked;       // per array: mask != 0 mem ops
+    std::vector<std::uint64_t> unmasked_loads;
+  };
+  const InvariantTallies& invariants() const { return invariants_; }
+
+  // Memoized coalescing results, per (array, layout): the device addresses
+  // of an array are placement-invariant (fixed allocation, Sec. III-E), so
+  // the ascending deduplicated line list of every memory op — exactly what
+  // coalesce_lines produces — is too. Built lazily like the address pools;
+  // `line_size` must match on every call (one architecture per skeleton).
+  struct LinePool {
+    std::vector<std::uint32_t> begin;  // per ordinal, size mem_ops + 1
+    std::vector<std::uint64_t> lines;  // concatenated ascending line lists
+    std::size_t line_size = 0;
+  };
+  const LinePool& line_pool(int array, bool block_linear,
+                            const MemoryLayout& layout,
+                            std::size_t line_size) const;
+
+  // Distinct 4-byte words per ordinal over the linear device addresses
+  // (constant-space divergence replays, Eq. 3 cause 3).
+  std::span<const std::uint8_t> const_words_pool(
+      int array, const MemoryLayout& layout) const;
+
+  // Shared-memory bank-conflict degrees per ordinal plus their fold. The
+  // slice-local byte offset of an element is placement-invariant and the
+  // placement-dependent base offset is 128-byte aligned, so when
+  // 128 % (4 * num_banks) == 0 the degrees match shared_conflict_degree on
+  // the real addresses of ANY placement that puts the array in shared
+  // memory (the offset shifts every word by a multiple of num_banks).
+  struct SharedFold {
+    std::vector<std::uint8_t> degree;  // per ordinal (1 for masked-off ops)
+    std::uint64_t conflict_sum = 0;    // sum of (degree - 1), unmasked ops
+    int num_banks = 0;
+  };
+  const SharedFold& shared_fold(int array, int num_banks) const;
+
   // --- skeleton statistics (for cheap per-placement bounds) -----------------
   // Executed warp instructions excluding addressing-mode inserts and staging
   // preambles (i.e. the placement-invariant part of insts_executed).
@@ -140,6 +227,19 @@ class TraceSkeleton {
   // Lazily-built device address pools, two per array (linear, block-linear).
   mutable std::vector<std::vector<AddrBlock>> device_pools_;
   mutable std::unique_ptr<std::once_flag[]> pool_once_;
+  // SoA replay tables (built in the constructor from the proto stream).
+  std::vector<MemRecord> mem_rec_;            // all warps, concatenated
+  std::vector<std::uint32_t> mem_rec_begin_;  // per-warp ranges, size warps+1
+  std::vector<std::uint32_t> inv_ops_;        // per warp
+  std::vector<std::uint32_t> mem_cnt_;        // warps x arrays, row-major
+  InvariantTallies invariants_;
+  // Lazily-built memoized pools (same lifetime discipline as device_pools_).
+  mutable std::vector<LinePool> line_pools_;  // two per array
+  mutable std::unique_ptr<std::once_flag[]> line_once_;
+  mutable std::vector<std::vector<std::uint8_t>> const_words_;  // per array
+  mutable std::unique_ptr<std::once_flag[]> const_once_;
+  mutable std::vector<SharedFold> shared_folds_;  // per array
+  mutable std::unique_ptr<std::once_flag[]> shared_once_;
 };
 
 class TraceMaterializer {
@@ -150,6 +250,8 @@ class TraceMaterializer {
   const MemoryLayout& layout() const { return layout_; }
   const KernelInfo& kernel() const { return *kernel_; }
   const DataPlacement& placement() const { return placement_; }
+  // Arrays needing the copy-in preamble (placed shared, default off-chip).
+  std::span<const int> staged_arrays() const { return staged_arrays_; }
 
   // Lower one warp's recorded DSL stream. Appends to `out`.
   void lower(const WarpCtx& ctx, const std::vector<DslOp>& ops,

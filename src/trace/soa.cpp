@@ -1,0 +1,316 @@
+#include "trace/soa.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/fault_injection.hpp"
+#include "isa/addressing.hpp"
+#include "sim/coalesce.hpp"
+
+namespace gpuhms {
+
+void SoaLowering::bind(const TraceMaterializer& mat,
+                       const TraceSkeleton& skeleton, const GpuArch& arch) {
+  GPUHMS_CHECK_MSG(supports(arch), "SoA replay unsupported for this arch");
+  mat_ = &mat;
+  skeleton_ = &skeleton;
+  arch_ = &arch;
+  tick_base_ = 0;
+  tallies_ = SoaTallies{};
+  const KernelInfo& k = mat.kernel();
+  const std::size_t num_arrays = k.arrays.size();
+  space_.resize(num_arrays);
+  ai_.resize(num_arrays);
+  line_begin_.assign(num_arrays, nullptr);
+  line_data_.assign(num_arrays, nullptr);
+  words_.assign(num_arrays, nullptr);
+  const TraceSkeleton::InvariantTallies& inv = skeleton.invariants();
+  const std::span<const std::uint64_t> mem_tot = skeleton.mem_ops_per_array();
+  for (std::size_t a = 0; a < num_arrays; ++a) {
+    const int array = static_cast<int>(a);
+    const MemSpace s = mat.placement().of(array);
+    space_[a] = static_cast<std::uint8_t>(s);
+    const int ai = addr_calc_instructions(s, k.arrays[a].dtype);
+    ai_[a] = static_cast<std::uint8_t>(ai);
+    if (s == MemSpace::Shared) {
+      // Shared body ops never reach the scheduled stream: every counter they
+      // touch is placement-invariant per array, so the whole space folds to
+      // three adds per candidate.
+      const TraceSkeleton::SharedFold& fold =
+          skeleton.shared_fold(array, arch.shared_banks);
+      tallies_.shared_requests += inv.unmasked[a];
+      tallies_.shared_load_requests += inv.unmasked_loads[a];
+      tallies_.shared_conflicts += fold.conflict_sum;
+    } else if (mem_tot[a] > 0) {
+      const bool block_linear = s == MemSpace::Texture2D;
+      const TraceSkeleton::LinePool& lp =
+          skeleton.line_pool(array, block_linear, mat.layout(),
+                             arch.cache_line);
+      line_begin_[a] = lp.begin.data();
+      line_data_[a] = lp.lines.data();
+      if (s == MemSpace::Constant)
+        words_[a] = skeleton.const_words_pool(array, mat.layout()).data();
+    }
+    // Dependency folds mirroring the lowering rules: with addressing inserts
+    // (ai > 0) every memory op of the array consumes its address, otherwise
+    // it keeps its DSL dependency; a memory op is chain-broken by a
+    // dependent successor, which for a successor memory op only happens when
+    // that op lowers without inserts.
+    tallies_.dep_breaks += ai > 0 ? mem_tot[a] : inv.mem_uses_prev[a];
+    if (ai == 0) tallies_.mem_chain_breaks += inv.chain_mem_up[a];
+    tallies_.addr_calc_insts += mem_tot[a] * static_cast<std::uint64_t>(ai);
+  }
+  tallies_.dep_breaks += inv.dep_compute;
+  tallies_.mem_chain_breaks += inv.chain_comp_up;
+  tallies_.sync_insts = inv.sync_protos;
+  tallies_.mem_insts = inv.mem_protos;
+  tallies_.load_insts = inv.load_protos;
+}
+
+SoaWave SoaLowering::lower_wave(std::int64_t block_begin,
+                                std::int64_t block_end) {
+  arena_.reset();
+  const KernelInfo& k = mat_->kernel();
+  const std::size_t wpb = static_cast<std::size_t>(k.warps_per_block());
+  const std::size_t w0 = static_cast<std::size_t>(block_begin) * wpb;
+  const std::size_t w1 = static_cast<std::size_t>(block_end) * wpb;
+  const std::size_t warp_count = w1 - w0;
+  const std::size_t num_arrays = k.arrays.size();
+  SoaWave wave;
+  if (warp_count == 0) return wave;
+
+  // Capacity bound: every skeleton memory record plus one staged global load
+  // per (warp, staging iteration).
+  std::size_t bound = skeleton_->mem_record_count(w0, w1);
+  const bool staged = !mat_->staged_arrays().empty();
+  if (staged) {
+    const std::int64_t lanes_per_block =
+        static_cast<std::int64_t>(wpb) * kWarpSize;
+    std::size_t pre_iters = 0;
+    for (int a : mat_->staged_arrays()) {
+      const std::int64_t slice = mat_->layout().shared_slice_elems(a);
+      pre_iters += static_cast<std::size_t>(
+          (slice + lanes_per_block - 1) / lanes_per_block);
+    }
+    bound += warp_count * pre_iters;
+  }
+
+  // Unscheduled (warp-major) record arrays.
+  std::uint32_t* pc = arena_.alloc<std::uint32_t>(bound);
+  std::uint8_t* spc = arena_.alloc<std::uint8_t>(bound);
+  std::uint8_t* str = arena_.alloc<std::uint8_t>(bound);
+  std::uint16_t* sms = arena_.alloc<std::uint16_t>(bound);
+  const std::uint64_t** lin = arena_.alloc<const std::uint64_t*>(bound);
+  std::uint16_t* linn = arena_.alloc<std::uint16_t>(bound);
+  std::uint8_t* wrd = arena_.alloc<std::uint8_t>(bound);
+  std::uint32_t* rec_end = arena_.alloc<std::uint32_t>(warp_count);
+  std::uint32_t* ns = arena_.alloc<std::uint32_t>(warp_count);
+
+  std::size_t n = 0;
+  std::uint32_t max_ops = 0;
+  const std::int64_t num_sms = arch_->num_sms;
+  for (std::size_t wi = 0; wi < warp_count; ++wi) {
+    if (GPUHMS_FAULT_POINT("trace.lower"))
+      throw InjectedFault("trace.lower: injected failure lowering warp trace");
+    const std::size_t gw = w0 + wi;
+    const WarpCtx& ctx = skeleton_->warp(gw).ctx;
+    const std::uint16_t warp_sm =
+        static_cast<std::uint16_t>(ctx.block % num_sms);
+    std::uint32_t preamble_len = 0;
+    if (staged) {
+      // Rare, placement-dependent and cold: transcribe the TraceOp emitter
+      // instead of duplicating its logic, folding counters inline. A memory
+      // op here is never last (the preamble ends with a Sync), so the
+      // chain-break probe of the successor is always in range.
+      scratch_.clear();
+      mat_->staging_preamble(ctx, scratch_);
+      preamble_len = static_cast<std::uint32_t>(scratch_.size());
+      for (std::size_t i = 0; i < scratch_.size(); ++i) {
+        const TraceOp& op = scratch_[i];
+        if (op.uses_prev) ++tallies_.dep_breaks;
+        switch (op.cls) {
+          case OpClass::Load:
+          case OpClass::Store: {
+            ++tallies_.mem_insts;
+            const bool is_store = op.cls == OpClass::Store;
+            if (!is_store) ++tallies_.load_insts;
+            if (scratch_[i + 1].uses_prev) ++tallies_.mem_chain_breaks;
+            if (op.active_mask == 0) break;
+            if (op.space == MemSpace::Shared) {
+              ++tallies_.shared_requests;
+              if (!is_store) ++tallies_.shared_load_requests;
+              const int degree = shared_conflict_degree(
+                  op.active_mask, op.addr.data(), arch_->shared_banks);
+              tallies_.shared_conflicts +=
+                  static_cast<std::uint64_t>(degree - 1);
+            } else {
+              std::uint64_t buf[kWarpSize];
+              const int cnt = coalesce_lines_buf(
+                  op.active_mask, op.addr.data(), arch_->cache_line, buf);
+              std::uint64_t* stable =
+                  arena_.alloc<std::uint64_t>(static_cast<std::size_t>(cnt));
+              std::copy(buf, buf + cnt, stable);
+              ++tallies_.global_requests;
+              tallies_.global_transactions += static_cast<std::uint64_t>(cnt);
+              tallies_.replay_global_divergence +=
+                  static_cast<std::uint64_t>(cnt - 1);
+              if (!is_store)
+                tallies_.offchip_load_transactions +=
+                    static_cast<std::uint64_t>(cnt);
+              pc[n] = static_cast<std::uint32_t>(i);
+              spc[n] = static_cast<std::uint8_t>(MemSpace::Global);
+              str[n] = is_store;
+              sms[n] = warp_sm;
+              lin[n] = stable;
+              linn[n] = static_cast<std::uint16_t>(cnt);
+              wrd[n] = 0;
+              ++n;
+            }
+            break;
+          }
+          case OpClass::Sync:
+            ++tallies_.sync_insts;
+            break;
+          default:
+            if (op.is_addr_calc) ++tallies_.addr_calc_insts;
+            break;
+        }
+      }
+    }
+
+    // Expanded op count of the warp under this placement.
+    std::uint32_t extra = 0;
+    for (std::size_t a = 0; a < num_arrays; ++a)
+      extra += skeleton_->mem_count(gw, a) * ai_[a];
+    const std::uint32_t warp_ops =
+        preamble_len + skeleton_->invariant_ops(gw) + extra;
+    ns[wi] = warp_ops;
+    max_ops = std::max(max_ops, warp_ops);
+    tallies_.insts_executed += warp_ops;
+
+    // Body walk: only off-chip, unmasked records survive into the scheduled
+    // stream; everything else already folded. `run` carries the placement-
+    // dependent addressing inserts, inclusive of the current op's own.
+    std::uint32_t run = 0;
+    for (const TraceSkeleton::MemRecord& r : skeleton_->mem_records(gw)) {
+      const std::size_t a = static_cast<std::size_t>(r.array);
+      run += ai_[a];
+      const MemSpace s = static_cast<MemSpace>(space_[a]);
+      if (s == MemSpace::Shared) continue;
+      if (r.active_mask == 0) continue;
+      const std::uint32_t b = line_begin_[a][r.ordinal];
+      const std::uint32_t cnt = line_begin_[a][r.ordinal + 1] - b;
+      switch (s) {
+        case MemSpace::Global:
+          ++tallies_.global_requests;
+          tallies_.global_transactions += cnt;
+          tallies_.replay_global_divergence += cnt - 1;
+          if (!r.is_store) tallies_.offchip_load_transactions += cnt;
+          break;
+        case MemSpace::Texture1D:
+        case MemSpace::Texture2D:
+          ++tallies_.tex_requests;
+          tallies_.tex_transactions += cnt;
+          tallies_.offchip_load_transactions += cnt;
+          break;
+        case MemSpace::Constant:
+          ++tallies_.const_requests;
+          tallies_.replay_const_divergence +=
+              static_cast<std::uint64_t>(words_[a][r.ordinal]) - 1;
+          tallies_.offchip_load_transactions += cnt;
+          break;
+        default:
+          break;
+      }
+      pc[n] = preamble_len + r.inv_prefix + run;
+      spc[n] = space_[a];
+      str[n] = r.is_store;
+      sms[n] = warp_sm;
+      lin[n] = line_data_[a] + b;
+      linn[n] = static_cast<std::uint16_t>(cnt);
+      wrd[n] = s == MemSpace::Constant ? words_[a][r.ordinal] : 0;
+      ++n;
+    }
+    rec_end[wi] = static_cast<std::uint32_t>(n);
+  }
+
+  // Closed-form round-robin schedule. Round r issues one op from every warp
+  // still alive (ns > r), warps in ascending order, so the tick of op
+  // (warp wi, round pc) is
+  //   base + sum_{r < pc} alive(r) + |{w' < wi alive at pc}| + 1.
+  const std::size_t rounds = max_ops;
+  std::uint64_t* cum = arena_.alloc<std::uint64_t>(rounds + 1);
+  std::uint32_t* hist = arena_.alloc<std::uint32_t>(rounds + 1);
+  std::fill(hist, hist + rounds + 1, 0u);
+  for (std::size_t wi = 0; wi < warp_count; ++wi) ++hist[ns[wi]];
+  cum[0] = 0;
+  std::size_t done = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    done += hist[r];
+    cum[r + 1] = cum[r] + (warp_count - done);
+  }
+
+  // Fenwick tree over finish rounds: processing warps in ascending order,
+  // prefix(pc + 1) = |{w' < wi : ns[w'] <= pc}| = warps already finished at
+  // the record's round, so rank = wi - prefix.
+  const std::size_t fen_len = rounds + 2;
+  std::uint32_t* fen = arena_.alloc<std::uint32_t>(fen_len);
+  std::fill(fen, fen + fen_len, 0u);
+  std::uint64_t* tick = arena_.alloc<std::uint64_t>(n);
+  std::size_t i = 0;
+  for (std::size_t wi = 0; wi < warp_count; ++wi) {
+    for (; i < rec_end[wi]; ++i) {
+      const std::uint32_t opc = pc[i];
+      std::uint32_t finished = 0;
+      for (std::uint32_t p = opc + 1; p > 0; p -= p & (~p + 1u))
+        finished += fen[p];
+      tick[i] = tick_base_ + cum[opc] + (wi - finished) + 1;
+    }
+    for (std::uint32_t p = ns[wi] + 1; p < fen_len; p += p & (~p + 1u))
+      ++fen[p];
+  }
+  tick_base_ += cum[rounds];
+
+  // Counting sort by pc (stable, warp-major input): emission order becomes
+  // ascending (round, warp) — exactly the legacy interleaving, and strictly
+  // increasing in tick.
+  std::uint32_t* start = arena_.alloc<std::uint32_t>(rounds + 1);
+  std::fill(start, start + rounds + 1, 0u);
+  for (std::size_t j = 0; j < n; ++j) ++start[pc[j]];
+  std::uint32_t acc = 0;
+  for (std::size_t r = 0; r <= rounds; ++r) {
+    const std::uint32_t c = start[r];
+    start[r] = acc;
+    acc += c;
+  }
+  std::uint8_t* spc2 = arena_.alloc<std::uint8_t>(n);
+  std::uint8_t* str2 = arena_.alloc<std::uint8_t>(n);
+  std::uint16_t* sms2 = arena_.alloc<std::uint16_t>(n);
+  std::uint64_t* tick2 = arena_.alloc<std::uint64_t>(n);
+  const std::uint64_t** lin2 = arena_.alloc<const std::uint64_t*>(n);
+  std::uint16_t* linn2 = arena_.alloc<std::uint16_t>(n);
+  std::uint8_t* wrd2 = arena_.alloc<std::uint8_t>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t d = start[pc[j]]++;
+    spc2[d] = spc[j];
+    str2[d] = str[j];
+    sms2[d] = sms[j];
+    tick2[d] = tick[j];
+    lin2[d] = lin[j];
+    linn2[d] = linn[j];
+    wrd2[d] = wrd[j];
+  }
+
+  wave.mem_n = n;
+  wave.space = spc2;
+  wave.is_store = str2;
+  wave.sm = sms2;
+  wave.tick = tick2;
+  wave.lines = lin2;
+  wave.lines_n = linn2;
+  wave.words = wrd2;
+  wave.ops = cum[rounds];
+  return wave;
+}
+
+}  // namespace gpuhms

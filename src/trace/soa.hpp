@@ -1,0 +1,119 @@
+// Data-oriented (struct-of-arrays) lowering of the memoized trace skeleton.
+//
+// The per-candidate replay cost of the compact path is dominated by walking
+// every expanded warp instruction through a virtual-ish per-op dispatch, even
+// though almost all of that stream is placement-invariant. This engine
+// exploits the invariance structure instead:
+//
+//   * compute runs, syncs and addressing inserts never materialize — their
+//     counts fold into per-warp totals and the pc arithmetic of the few ops
+//     that do (see TraceSkeleton::MemRecord);
+//   * coalesced line lists and constant-divergence word counts are memoized
+//     per (array, layout) in the skeleton — device allocations are
+//     placement-fixed, so they are shared by every candidate of a search;
+//   * shared-memory ops fold away entirely: their bank-conflict degrees are
+//     placement-invariant (TraceSkeleton::SharedFold), so a shared-placed
+//     array costs three counter adds per *candidate*, not per op;
+//   * the round-robin schedule's issue tick of every surviving record is
+//     computed in closed form from the per-warp op counts (an alive-warp
+//     prefix sum plus a Fenwick rank over finish rounds), then the records
+//     are counting-sorted into issue order — no per-round scan.
+//
+// What remains per candidate is a flat, branch-light pass over the off-chip
+// memory records only; the stateful cache/row-buffer walk consumes the
+// resulting SoaWave in issue order and is guaranteed to observe the same
+// (line, tick, sm, is_store) sequence the legacy scalar path produces, which
+// is what makes the two paths bit-identical.
+//
+// All scratch lives in an Arena that is reset per wave: after the first wave
+// of the first candidate, lowering performs zero heap allocations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "trace/generator.hpp"
+
+namespace gpuhms {
+
+// One resident wave, lowered and scheduled: parallel arrays over the
+// off-chip memory records in issue (tick) order. Pointers reference the
+// engine's arena and stay valid until the next lower_wave call.
+struct SoaWave {
+  std::size_t mem_n = 0;
+  const std::uint8_t* space = nullptr;    // MemSpace of each record
+  const std::uint8_t* is_store = nullptr;
+  const std::uint16_t* sm = nullptr;      // SM owning the warp's block
+  const std::uint64_t* tick = nullptr;    // rr-schedule issue tick
+  const std::uint64_t* const* lines = nullptr;  // coalesced line list
+  const std::uint16_t* lines_n = nullptr;
+  const std::uint8_t* words = nullptr;    // constant-space distinct words
+  std::uint64_t ops = 0;  // expanded op count of the wave (tick span)
+};
+
+// Candidate-level counters accumulated analytically by bind()/lower_wave(),
+// mirroring what the legacy rr_schedule/mem_op pair tallies op by op.
+struct SoaTallies {
+  std::uint64_t insts_executed = 0;
+  std::uint64_t addr_calc_insts = 0;
+  std::uint64_t mem_insts = 0;
+  std::uint64_t load_insts = 0;
+  std::uint64_t sync_insts = 0;
+  std::uint64_t dep_breaks = 0;
+  std::uint64_t mem_chain_breaks = 0;
+  std::uint64_t global_requests = 0;
+  std::uint64_t global_transactions = 0;
+  std::uint64_t replay_global_divergence = 0;
+  std::uint64_t tex_requests = 0;
+  std::uint64_t tex_transactions = 0;
+  std::uint64_t const_requests = 0;
+  std::uint64_t replay_const_divergence = 0;
+  std::uint64_t offchip_load_transactions = 0;
+  std::uint64_t shared_requests = 0;
+  std::uint64_t shared_load_requests = 0;
+  std::uint64_t shared_conflicts = 0;
+};
+
+class SoaLowering {
+ public:
+  // The shared-conflict fold is exact only when the 128-byte shared base
+  // alignment shifts words by whole bank rotations (true for every shipped
+  // arch: 32 banks). Callers fall back to the legacy path otherwise.
+  static bool supports(const GpuArch& arch) {
+    return arch.shared_banks > 0 && arch.shared_banks <= 64 &&
+           128 % (4 * arch.shared_banks) == 0;
+  }
+
+  // Resolves the placement into per-array dispatch tables and folds every
+  // placement-dependent-but-order-free counter. Call once per candidate,
+  // before the first lower_wave.
+  void bind(const TraceMaterializer& mat, const TraceSkeleton& skeleton,
+            const GpuArch& arch);
+
+  // Lowers and schedules blocks [block_begin, block_end). Waves must be
+  // visited in order (the issue clock carries across waves).
+  SoaWave lower_wave(std::int64_t block_begin, std::int64_t block_end);
+
+  const SoaTallies& tallies() const { return tallies_; }
+  std::size_t arena_high_water_bytes() const {
+    return arena_.high_water_bytes();
+  }
+
+ private:
+  const TraceMaterializer* mat_ = nullptr;
+  const TraceSkeleton* skeleton_ = nullptr;
+  const GpuArch* arch_ = nullptr;
+  Arena arena_;
+  SoaTallies tallies_;
+  std::uint64_t tick_base_ = 0;
+  // Per-array placement-resolved dispatch tables (indexed by array id).
+  std::vector<std::uint8_t> space_;
+  std::vector<std::uint8_t> ai_;  // addressing inserts per op
+  std::vector<const std::uint32_t*> line_begin_;
+  std::vector<const std::uint64_t*> line_data_;
+  std::vector<const std::uint8_t*> words_;
+  std::vector<TraceOp> scratch_;  // staging-preamble transcription buffer
+};
+
+}  // namespace gpuhms

@@ -1,0 +1,106 @@
+// Arena (src/common/arena.hpp): the bump allocator backing the SoA replay
+// engine's per-wave scratch. The properties locked here are exactly what the
+// hot path relies on — aligned pointers, zero-allocation reuse after
+// reset(), pointer stability across growth, and a fault-injectable OOM.
+#include "common/arena.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.hpp"
+
+namespace gpuhms {
+namespace {
+
+bool aligned(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena arena;
+  EXPECT_TRUE(aligned(arena.alloc<std::uint8_t>(3), 1));
+  EXPECT_TRUE(aligned(arena.alloc<std::uint16_t>(5), alignof(std::uint16_t)));
+  EXPECT_TRUE(aligned(arena.alloc<std::uint32_t>(7), alignof(std::uint32_t)));
+  EXPECT_TRUE(aligned(arena.alloc<std::uint64_t>(9), alignof(std::uint64_t)));
+  EXPECT_TRUE(aligned(arena.alloc_bytes(1, 64), 64));
+  EXPECT_TRUE(aligned(arena.alloc_bytes(1, 128), 128));
+}
+
+TEST(Arena, UsedBytesTracksAllocations) {
+  Arena arena;
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  arena.alloc<std::uint64_t>(4);
+  EXPECT_EQ(arena.used_bytes(), 32u);
+  arena.alloc_bytes(0, 8);  // zero-size: valid pointer, no advance
+  EXPECT_EQ(arena.used_bytes(), 32u);
+}
+
+TEST(Arena, ResetReusesCapacityWithoutReallocating) {
+  Arena arena;
+  void* first = arena.alloc_bytes(1024, 8);
+  const std::size_t cap = arena.capacity_bytes();
+  for (int round = 0; round < 16; ++round) {
+    arena.reset();
+    EXPECT_EQ(arena.used_bytes(), 0u);
+    // Same request after reset lands on the same memory: the chunk was kept.
+    EXPECT_EQ(arena.alloc_bytes(1024, 8), first);
+    EXPECT_EQ(arena.capacity_bytes(), cap);
+  }
+}
+
+TEST(Arena, GrowthKeepsEarlierPointersValid) {
+  Arena arena(64);  // tiny first chunk to force growth quickly
+  std::vector<std::uint32_t*> ptrs;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    std::uint32_t* p = arena.alloc<std::uint32_t>(1);
+    *p = i;
+    ptrs.push_back(p);
+  }
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(*ptrs[i], i);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  arena.alloc_bytes(16, 8);
+  std::byte* big =
+      static_cast<std::byte*>(arena.alloc_bytes(4096, 16));
+  std::memset(big, 0xab, 4096);
+  EXPECT_EQ(static_cast<unsigned char>(big[4095]), 0xabu);
+  EXPECT_GE(arena.capacity_bytes(), 4096u + 64u);
+}
+
+TEST(Arena, HighWaterSurvivesReset) {
+  Arena arena;
+  arena.alloc_bytes(512, 8);
+  arena.reset();
+  arena.alloc_bytes(16, 8);
+  EXPECT_GE(arena.high_water_bytes(), 512u);
+  EXPECT_EQ(arena.used_bytes(), 16u);
+}
+
+TEST(Arena, ReleaseDropsCapacity) {
+  Arena arena;
+  arena.alloc_bytes(1024, 8);
+  arena.release();
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  // Still usable afterwards.
+  EXPECT_NE(arena.alloc_bytes(8, 8), nullptr);
+}
+
+TEST(Arena, InjectedAllocationFailureThrowsBadAlloc) {
+  fault::disarm_all();
+  fault::arm("arena.alloc", 1);
+  Arena arena;
+  EXPECT_THROW(arena.alloc_bytes(64, 8), std::bad_alloc);
+  fault::disarm_all();
+  // The arena stays consistent after the failed growth.
+  EXPECT_NE(arena.alloc_bytes(64, 8), nullptr);
+}
+
+}  // namespace
+}  // namespace gpuhms

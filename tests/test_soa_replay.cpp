@@ -1,0 +1,243 @@
+// Differential lock-in for the data-oriented SoA replay engine
+// (src/trace/soa.*): on every skeleton-backed analysis the SoA path must be
+// bit-for-bit identical to the legacy scalar replay — same counters, same
+// per-bank arrival/service statistics (order-sensitive doubles), same
+// predictions. The legacy path is reachable two ways (AnalysisOptions::
+// legacy_replay and the GPUHMS_LEGACY_REPLAY environment variable); both are
+// exercised.
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_arch.hpp"
+#include "model/predictor.hpp"
+#include "model/trace_analysis.hpp"
+#include "test_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+void expect_events_identical(const PlacementEvents& a,
+                             const PlacementEvents& b) {
+  EXPECT_EQ(a.insts_executed, b.insts_executed);
+  EXPECT_EQ(a.addr_calc_insts, b.addr_calc_insts);
+  EXPECT_EQ(a.mem_insts, b.mem_insts);
+  EXPECT_EQ(a.load_insts, b.load_insts);
+  EXPECT_EQ(a.sync_insts, b.sync_insts);
+  EXPECT_EQ(a.replay_global_divergence, b.replay_global_divergence);
+  EXPECT_EQ(a.replay_const_miss, b.replay_const_miss);
+  EXPECT_EQ(a.replay_const_divergence, b.replay_const_divergence);
+  EXPECT_EQ(a.replay_shared_conflict, b.replay_shared_conflict);
+  EXPECT_EQ(a.global_requests, b.global_requests);
+  EXPECT_EQ(a.global_transactions, b.global_transactions);
+  EXPECT_EQ(a.l2_transactions, b.l2_transactions);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+  EXPECT_EQ(a.const_requests, b.const_requests);
+  EXPECT_EQ(a.const_misses, b.const_misses);
+  EXPECT_EQ(a.tex_requests, b.tex_requests);
+  EXPECT_EQ(a.tex_transactions, b.tex_transactions);
+  EXPECT_EQ(a.tex_misses, b.tex_misses);
+  EXPECT_EQ(a.shared_requests, b.shared_requests);
+  EXPECT_EQ(a.shared_conflicts, b.shared_conflicts);
+  EXPECT_EQ(a.dram_requests, b.dram_requests);
+  EXPECT_EQ(a.row_hits, b.row_hits);
+  EXPECT_EQ(a.row_misses, b.row_misses);
+  EXPECT_EQ(a.row_conflicts, b.row_conflicts);
+  EXPECT_EQ(a.offchip_load_transactions, b.offchip_load_transactions);
+  EXPECT_EQ(a.shared_load_requests, b.shared_load_requests);
+  EXPECT_EQ(a.dram_load_requests, b.dram_load_requests);
+  EXPECT_EQ(a.trace_ticks, b.trace_ticks);
+  EXPECT_TRUE(same_bits(a.ilp, b.ilp)) << a.ilp << " vs " << b.ilp;
+  EXPECT_TRUE(same_bits(a.mlp, b.mlp)) << a.mlp << " vs " << b.mlp;
+  EXPECT_TRUE(same_bits(a.warps_per_sm, b.warps_per_sm));
+  ASSERT_EQ(a.banks.size(), b.banks.size());
+  for (std::size_t i = 0; i < a.banks.size(); ++i) {
+    SCOPED_TRACE("bank " + std::to_string(i));
+    EXPECT_EQ(a.banks[i].count, b.banks[i].count);
+    EXPECT_EQ(a.banks[i].interarrival.count(), b.banks[i].interarrival.count());
+    EXPECT_TRUE(same_bits(a.banks[i].interarrival.mean(),
+                          b.banks[i].interarrival.mean()));
+    EXPECT_TRUE(same_bits(a.banks[i].interarrival.variance(),
+                          b.banks[i].interarrival.variance()));
+    EXPECT_EQ(a.banks[i].service.count(), b.banks[i].service.count());
+    EXPECT_TRUE(
+        same_bits(a.banks[i].service.mean(), b.banks[i].service.mean()));
+    EXPECT_TRUE(same_bits(a.banks[i].service.variance(),
+                          b.banks[i].service.variance()));
+  }
+}
+
+// Runs `placement` through the SoA and the legacy scalar replay against the
+// same skeleton and requires bitwise-equal results.
+void expect_soa_matches_legacy(const KernelInfo& k, const DataPlacement& p,
+                               const TraceSkeleton& skel) {
+  const GpuArch& arch = kepler_arch();
+  TraceAnalyzer soa(k, arch);
+  AnalysisOptions legacy_opts;
+  legacy_opts.legacy_replay = true;
+  TraceAnalyzer legacy(k, arch, legacy_opts);
+  const PlacementEvents a = soa.analyze(p, &skel);
+  const PlacementEvents b = legacy.analyze(p, &skel);
+  expect_events_identical(a, b);
+}
+
+// The full seed-workload sweep: every benchmark of both suites, its sample
+// placement plus every figure placement. (Suite name carries "EveryWorkload"
+// so sanitizer binaries can filter the heavy sweep like the other sweeps.)
+TEST(SoaReplayEveryWorkload, MatchesLegacyBitForBit) {
+  std::vector<workloads::BenchmarkCase> cases = workloads::training_suite();
+  for (workloads::BenchmarkCase& c : workloads::evaluation_suite())
+    cases.push_back(std::move(c));
+  for (const workloads::BenchmarkCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    const TraceSkeleton skel(c.kernel);
+    expect_soa_matches_legacy(c.kernel, c.sample, skel);
+    for (const workloads::PlacementTest& t : c.tests) {
+      SCOPED_TRACE(t.id);
+      expect_soa_matches_legacy(c.kernel, t.placement, skel);
+    }
+  }
+}
+
+// Randomized synthetic kernels: irregular masks (including fully
+// predicated-off warps), unsorted and duplicate lane indices, random
+// dependencies and mixed compute/sync streams — the trace shapes the seed
+// workloads are too regular to produce.
+KernelInfo make_random_kernel(std::uint64_t seed) {
+  std::mt19937_64 setup(seed);
+  KernelInfo k;
+  k.name = "soa_synth_" + std::to_string(seed);
+  const int num_arrays = 3 + static_cast<int>(setup() % 3);
+  for (int a = 0; a < num_arrays; ++a) {
+    ArrayDecl d;
+    d.name = "arr" + std::to_string(a);
+    d.dtype = DType::F32;
+    d.elems = 512 + setup() % 1024;
+    d.width = setup() % 2 == 0 ? 32 : 0;
+    d.written = setup() % 3 == 0;
+    d.shared_slice_elems = 128;
+    d.default_space = MemSpace::Global;
+    k.arrays.push_back(d);
+  }
+  k.num_blocks = 6;
+  k.threads_per_block = 64;
+  std::vector<std::uint64_t> elems;
+  std::vector<bool> written;
+  for (const ArrayDecl& d : k.arrays) {
+    elems.push_back(d.elems);
+    written.push_back(d.written);
+  }
+  k.fn = [seed, num_arrays, elems, written](WarpEmitter& e,
+                                            const WarpCtx& ctx) {
+    std::mt19937_64 rng(seed ^ (static_cast<std::uint64_t>(ctx.block) *
+                                    0x9e3779b97f4a7c15ull +
+                                static_cast<std::uint64_t>(ctx.warp_in_block)));
+    const int nops = 8 + static_cast<int>(rng() % 12);
+    for (int j = 0; j < nops; ++j) {
+      switch (rng() % 6) {
+        case 0:
+          e.ialu(1 + static_cast<int>(rng() % 3), rng() % 2 == 0);
+          break;
+        case 1:
+          e.falu(1, rng() % 2 == 0);
+          break;
+        case 2:
+          e.sync();
+          break;
+        default: {
+          const int a = static_cast<int>(rng() % num_arrays);
+          const bool fully_masked = rng() % 13 == 0;
+          const LaneIdx idx = e.by_lane([&](int) -> std::int64_t {
+            if (fully_masked || rng() % 8 == 0) return kInactiveLane;
+            // Unsorted with duplicates: uniform random over the array.
+            return static_cast<std::int64_t>(rng() % elems[a]);
+          });
+          if (written[a] && rng() % 3 == 0) {
+            e.store(a, idx, rng() % 2 == 0);
+          } else {
+            e.load(a, idx, rng() % 2 == 0);
+          }
+          break;
+        }
+      }
+    }
+  };
+  return k;
+}
+
+TEST(SoaReplay, RandomizedSyntheticTracesMatchLegacy) {
+  const GpuArch& arch = kepler_arch();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const KernelInfo k = make_random_kernel(seed);
+    const TraceSkeleton skel(k);
+    std::mt19937_64 rng(seed * 77ull + 5ull);
+    expect_soa_matches_legacy(k, DataPlacement::defaults(k), skel);
+    int tried = 0;
+    for (int cand = 0; cand < 24 && tried < 8; ++cand) {
+      DataPlacement p = DataPlacement::defaults(k);
+      for (int a = 0; a < static_cast<int>(k.arrays.size()); ++a) {
+        const std::vector<MemSpace> spaces = legal_spaces(k, a, arch);
+        p.set(a, spaces[rng() % spaces.size()]);
+      }
+      if (validate_placement(k, p, arch).has_value()) continue;
+      ++tried;
+      SCOPED_TRACE("candidate " + std::to_string(cand));
+      expect_soa_matches_legacy(k, p, skel);
+    }
+    EXPECT_GT(tried, 0);
+  }
+}
+
+// The environment escape hatch must select the same legacy path (and the
+// analyzer must latch it at construction, like the other GPUHMS_* knobs).
+TEST(SoaReplay, LegacyReplayEnvMatchesSoa) {
+  const workloads::BenchmarkCase c = workloads::get_benchmark("matrixmul");
+  const TraceSkeleton skel(c.kernel);
+  const GpuArch& arch = kepler_arch();
+  TraceAnalyzer soa(c.kernel, arch);
+  const PlacementEvents a = soa.analyze(c.sample, &skel);
+  PlacementEvents b;
+  {
+    testutil::ScopedEnv env("GPUHMS_LEGACY_REPLAY", "1");
+    TraceAnalyzer legacy(c.kernel, arch);
+    b = legacy.analyze(c.sample, &skel);
+  }
+  expect_events_identical(a, b);
+}
+
+// End-to-end: predictions (the models consume the events wholesale) must be
+// bit-identical across the two replay engines.
+TEST(SoaReplay, PredictionsMatchLegacyBitForBit) {
+  const workloads::BenchmarkCase c = workloads::get_benchmark("matrixmul");
+  Predictor pred(c.kernel, kepler_arch());
+  pred.profile_sample(c.sample);
+  pred.memoize_trace();
+  std::vector<Prediction> soa;
+  for (const workloads::PlacementTest& t : c.tests)
+    soa.push_back(pred.predict(t.placement));
+  testutil::ScopedEnv env("GPUHMS_LEGACY_REPLAY", "1");
+  Predictor legacy_pred(c.kernel, kepler_arch());
+  legacy_pred.profile_sample(c.sample);
+  legacy_pred.memoize_trace();
+  for (std::size_t i = 0; i < c.tests.size(); ++i) {
+    SCOPED_TRACE(c.tests[i].id);
+    const Prediction l = legacy_pred.predict(c.tests[i].placement);
+    EXPECT_TRUE(same_bits(soa[i].total_cycles, l.total_cycles));
+    EXPECT_TRUE(same_bits(soa[i].t_comp, l.t_comp));
+    EXPECT_TRUE(same_bits(soa[i].t_mem, l.t_mem));
+    EXPECT_TRUE(same_bits(soa[i].t_overlap, l.t_overlap));
+    EXPECT_TRUE(same_bits(soa[i].amat, l.amat));
+  }
+}
+
+}  // namespace
+}  // namespace gpuhms
