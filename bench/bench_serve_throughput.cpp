@@ -8,10 +8,12 @@
 //
 // Usage: ./bench/bench_serve_throughput [placements-per-kernel] [repeats]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kernel/placement.hpp"
@@ -25,6 +27,11 @@ namespace {
 // Conservative: measured warm/cold ratios are >20x (a warm hit is an LRU
 // lookup plus JSON assembly; a cold miss runs the whole Eq. 1 model).
 constexpr double kMinWarmSpeedup = 3.0;
+
+// Graceful-drain ceiling: from begin_drain() to drained() (zero inflight)
+// under concurrent client load. Requests are short (predicts), so a drain
+// measured in seconds would mean the shed path is broken.
+constexpr double kMaxDrainMs = 2000.0;
 
 double now_ms() {
   return std::chrono::duration<double, std::milli>(
@@ -63,6 +70,43 @@ double time_line_at_a_time(serve::PredictionService& service,
   const double t0 = now_ms();
   for (const std::string& line : lines) (void)service.handle_line(line);
   return now_ms() - t0;
+}
+
+// Drain latency under load: client threads hammer a warm service, the main
+// thread flips begin_drain() mid-stream and measures how long until the
+// service reports drained() (no inflight work; later requests are shed with
+// structured UNAVAILABLE responses, never dropped).
+double measure_drain_latency_ms(const std::vector<std::string>& lines) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  (void)service.handle_line(lines.front());  // warm the kernel cache
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); !stop.load();
+           i = (i + 1) % lines.size())
+        (void)service.handle_line(lines[i]), served.fetch_add(1);
+    });
+  }
+  while (served.load() < 64) std::this_thread::yield();  // mid-load, not idle
+
+  const double t0 = now_ms();
+  service.begin_drain();
+  while (!service.drained()) std::this_thread::yield();
+  const double drain_ms = now_ms() - t0;
+
+  stop.store(true);
+  for (std::thread& c : clients) c.join();
+  const serve::ServeStats stats = service.stats();
+  if (stats.responses != stats.requests) {
+    std::fprintf(stderr, "FAIL: drain lost responses (%llu of %llu)\n",
+                 static_cast<unsigned long long>(stats.responses),
+                 static_cast<unsigned long long>(stats.requests));
+    std::exit(1);
+  }
+  return drain_ms;
 }
 
 }  // namespace
@@ -117,6 +161,11 @@ int main(int argc, char** argv) {
     warm_line_ms = std::min(warm_line_ms,
                             time_line_at_a_time(warm_service, lines));
 
+  // Graceful drain under load (best of repeats; jitter-prone by nature).
+  double drain_ms = 1e300;
+  for (int r = 0; r < repeats; ++r)
+    drain_ms = std::min(drain_ms, measure_drain_latency_ms(lines));
+
   const double n = static_cast<double>(lines.size());
   const double speedup = cold_ms / warm_ms;
   std::printf("  %-22s %10s %14s\n", "phase", "wall ms", "requests/sec");
@@ -128,6 +177,8 @@ int main(int argc, char** argv) {
               n / (warm_line_ms / 1000.0));
   std::printf("\ncached-hit speedup: %.1fx (floor %.1fx)\n", speedup,
               kMinWarmSpeedup);
+  std::printf("drain latency under load: %.2f ms (ceiling %.0f ms)\n",
+              drain_ms, kMaxDrainMs);
 
   std::FILE* json = std::fopen("BENCH_serve.json", "w");
   if (!json) {
@@ -144,12 +195,14 @@ int main(int argc, char** argv) {
                "  \"warm_requests_per_sec\": %.1f,\n"
                "  \"cached_hit_speedup\": %.2f,\n"
                "  \"speedup_floor\": %.1f,\n"
+               "  \"drain_latency_ms\": %.3f,\n"
+               "  \"drain_latency_ceiling_ms\": %.1f,\n"
                "  \"prediction_cache_hits\": %llu,\n"
                "  \"prediction_cache_misses\": %llu\n"
                "}\n",
                lines.size(), cold_ms, warm_ms, warm_line_ms,
                n / (cold_ms / 1000.0), n / (warm_ms / 1000.0), speedup,
-               kMinWarmSpeedup,
+               kMinWarmSpeedup, drain_ms, kMaxDrainMs,
                static_cast<unsigned long long>(warm_stats.prediction_cache.hits),
                static_cast<unsigned long long>(
                    warm_stats.prediction_cache.misses));
@@ -160,6 +213,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: cached-hit speedup %.2fx is below the %.1fx floor\n",
                  speedup, kMinWarmSpeedup);
+    return 1;
+  }
+  if (drain_ms > kMaxDrainMs) {
+    std::fprintf(stderr,
+                 "FAIL: drain latency %.2f ms exceeds the %.0f ms ceiling\n",
+                 drain_ms, kMaxDrainMs);
     return 1;
   }
   return 0;

@@ -11,18 +11,27 @@
 //   {"id":1,"op":"predict","benchmark":"spmv","placement":"G,G,G,G"}
 //   {"id":1,"op":"predict","ok":true,...}
 //
-// The daemon exits after a {"op":"shutdown"} request or EOF on stdin.
+// The daemon exits after a {"op":"shutdown"} request, EOF on stdin, or a
+// SIGTERM/SIGINT — the signals trigger a graceful drain (DESIGN §13): stop
+// accepting work, answer everything already received (new requests get a
+// structured retryable UNAVAILABLE — one response per request line, never a
+// dropped one), flush metrics to stderr, exit 0. A drain that cannot finish
+// within --drain-timeout-ms forces exit code 3.
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -65,7 +74,9 @@ void print_help() {
       "Long-running placement prediction/search daemon. Reads one JSON\n"
       "request per line, writes one JSON response per line, in order.\n"
       "Ops: predict, predict_batch, search (algo=bnb|exhaustive|beam),\n"
-      "metrics, shutdown. Protocol grammar: DESIGN.md section 11.\n"
+      "metrics, health, shutdown. Protocol grammar: DESIGN.md section 11.\n"
+      "SIGTERM/SIGINT drain gracefully: in-flight requests finish, new ones\n"
+      "are shed with a retryable UNAVAILABLE, no response is ever lost.\n"
       "\n"
       "flags:\n"
       "  --socket=PATH        listen on a Unix domain socket instead of\n"
@@ -80,6 +91,14 @@ void print_help() {
       "  --kernel-cache=N     profiled-kernel LRU capacity (default 16)\n"
       "  --prediction-cache=N memoized-prediction LRU capacity (default 4096)\n"
       "  --max-inflight=N     concurrent requests admitted (default 64)\n"
+      "  --watchdog-ms=N      cancel searches running longer than N ms via\n"
+      "                       their cooperative token (anytime best-so-far\n"
+      "                       response, never a hung request; default off)\n"
+      "  --idem-cache=N       idempotency-replay cache capacity: retried\n"
+      "                       requests carrying an 'idem' fingerprint replay\n"
+      "                       their original response bytes (default 1024)\n"
+      "  --drain-timeout-ms=N bound on the SIGTERM/SIGINT graceful drain;\n"
+      "                       exceeded -> forced exit code 3 (default 5000)\n"
       "  --help               this text\n"
       "\n"
       "environment:\n"
@@ -89,45 +108,205 @@ void print_help() {
       "                       registry (the metrics op works regardless)\n");
 }
 
-// One connection: line-buffered reads, one response line per request.
-void serve_connection(int fd, serve::PredictionService& service) {
-  std::string buf;
-  char chunk[4096];
-  std::vector<std::string> lines;
-  while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n <= 0) break;
-    buf.append(chunk, static_cast<std::size_t>(n));
-    // Handle every complete line received so far as one pipelined batch
-    // (same-kernel predicts coalesce into one batch prediction).
-    lines.clear();
-    std::size_t start = 0;
-    for (std::size_t nl = buf.find('\n'); nl != std::string::npos;
-         nl = buf.find('\n', start)) {
-      lines.push_back(buf.substr(start, nl - start));
-      start = nl + 1;
+// --- signal plumbing ---------------------------------------------------------
+// Classic self-pipe: the handler only touches a sig_atomic_t-ish flag and
+// write(2) (both async-signal-safe); the serving loops poll the pipe's read
+// end so a signal wakes a blocked poll immediately. No SA_RESTART, so
+// blocked read(2) calls return EINTR promptly too.
+int g_signal_pipe[2] = {-1, -1};
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t r = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void install_signal_handlers() {
+  if (::pipe(g_signal_pipe) != 0)
+    die("pipe(): " + std::string(std::strerror(errno)));
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  if (::sigaction(SIGTERM, &sa, nullptr) != 0 ||
+      ::sigaction(SIGINT, &sa, nullptr) != 0)
+    die("sigaction(): " + std::string(std::strerror(errno)));
+}
+
+// Full write with EINTR handling; false means the peer is gone and the
+// responses cannot be delivered.
+bool write_all(int fd, const std::string& out) {
+  std::size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t w = ::write(fd, out.data() + written, out.size() - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
     }
-    buf.erase(0, start);
+    written += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Splits the complete lines out of `buf` (which keeps any partial tail).
+std::vector<std::string> take_lines(std::string& buf) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t nl = buf.find('\n'); nl != std::string::npos;
+       nl = buf.find('\n', start)) {
+    lines.push_back(buf.substr(start, nl - start));
+    start = nl + 1;
+  }
+  buf.erase(0, start);
+  return lines;
+}
+
+void log_drain_stats(const serve::PredictionService& service, int sig) {
+  const serve::ServeStats s = service.stats();
+  std::fprintf(stderr,
+               "gpuhms_serve: drained after signal %d: requests=%llu "
+               "responses=%llu errors=%llu shed_draining=%llu "
+               "watchdog_cancels=%llu idem_hits=%llu\n",
+               sig, static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.responses),
+               static_cast<unsigned long long>(s.errors),
+               static_cast<unsigned long long>(s.shed_draining),
+               static_cast<unsigned long long>(s.watchdog_cancels),
+               static_cast<unsigned long long>(s.idem_hits));
+}
+
+// --- stdio mode --------------------------------------------------------------
+// Single-threaded fd loop (instead of run_stdio_loop) so a signal can wake
+// the blocking read via the self-pipe. A signal drains: every COMPLETE line
+// already received still gets its response (shed with UNAVAILABLE once
+// draining flips), then one structured shutdown line is emitted and the
+// process exits 0. A partial trailing line was never a complete request and
+// is dropped by construction.
+int run_stdio_server(serve::PredictionService& service) {
+  std::string buf;
+  char chunk[1 << 16];
+  bool eof = false;
+  while (!eof && !service.stopped() && g_signal.load() == 0) {
+    pollfd pfds[2] = {{STDIN_FILENO, POLLIN, 0},
+                      {g_signal_pipe[0], POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      die("poll(): " + std::string(std::strerror(errno)));
+    }
+    if (pfds[1].revents != 0) break;  // signal: drain below
+    if ((pfds[0].revents & (POLLIN | POLLHUP)) == 0) continue;
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die("read(stdin): " + std::string(std::strerror(errno)));
+    }
+    if (n == 0)
+      eof = true;
+    else
+      buf.append(chunk, static_cast<std::size_t>(n));
+    const std::vector<std::string> lines = take_lines(buf);
     if (lines.empty()) continue;
     std::string out;
     for (const std::string& response : service.handle_pipeline(lines)) {
       out += response;
       out += '\n';
     }
-    std::size_t written = 0;
-    while (written < out.size()) {
-      const ssize_t w = ::write(fd, out.data() + written,
-                                out.size() - written);
-      if (w <= 0) break;
-      written += static_cast<std::size_t>(w);
+    // A failed response write is data loss, not a shrug: exit nonzero with
+    // the errno so callers piping responses to a file notice.
+    if (!write_all(STDOUT_FILENO, out))
+      die("writing responses to stdout failed: " +
+          std::string(std::strerror(errno)));
+  }
+
+  const int sig = g_signal.load();
+  if (sig != 0) {
+    service.begin_drain();
+    // Buffered complete lines arrived before the signal; they are owed a
+    // response each (the service sheds them with retryable UNAVAILABLE).
+    const std::vector<std::string> lines = take_lines(buf);
+    std::string out;
+    if (!lines.empty())
+      for (const std::string& response : service.handle_pipeline(lines)) {
+        out += response;
+        out += '\n';
+      }
+    serve::Json bye = serve::Json::object();
+    bye.set("op", "shutdown");
+    bye.set("ok", true);
+    bye.set("signal", sig);
+    bye.set("draining", true);
+    bye.set("drained", service.drained());
+    out += bye.dump();
+    out += '\n';
+    if (!write_all(STDOUT_FILENO, out))
+      die("writing drain responses to stdout failed: " +
+          std::string(std::strerror(errno)));
+    log_drain_stats(service, sig);
+  }
+  return 0;
+}
+
+// --- socket mode -------------------------------------------------------------
+
+// Open connections, so a drain can shutdown(SHUT_RD) each one: blocked reads
+// return 0, handler threads finish their in-flight pipeline, write its
+// responses, and exit. An fd is removed BEFORE it is closed, so
+// shutdown_all never touches a recycled descriptor.
+struct ConnectionRegistry {
+  std::mutex mu;
+  std::vector<int> fds;
+  std::atomic<std::size_t> active{0};
+
+  void add(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    fds.push_back(fd);
+    active.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void remove(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::erase(fds, fd);
+    active.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  void shutdown_all() {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const int fd : fds) ::shutdown(fd, SHUT_RD);
+  }
+};
+
+// One connection: line-buffered reads, one response line per request.
+void serve_connection(int fd, serve::PredictionService& service) {
+  std::string buf;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    // Handle every complete line received so far as one pipelined batch
+    // (same-kernel predicts coalesce into one batch prediction).
+    const std::vector<std::string> lines = take_lines(buf);
+    if (lines.empty()) continue;
+    std::string out;
+    for (const std::string& response : service.handle_pipeline(lines)) {
+      out += response;
+      out += '\n';
+    }
+    if (!write_all(fd, out)) {
+      std::fprintf(stderr,
+                   "gpuhms_serve: dropping connection: response write "
+                   "failed: %s\n",
+                   std::strerror(errno));
+      break;
     }
     if (service.stopped()) break;
   }
-  ::close(fd);
 }
 
 int run_socket_server(const std::string& path,
-                      serve::PredictionService& service) {
+                      serve::PredictionService& service,
+                      std::size_t drain_timeout_ms) {
   sockaddr_un addr{};
   if (path.size() >= sizeof addr.sun_path)
     die("socket path too long: '" + path + "'");
@@ -143,22 +322,57 @@ int run_socket_server(const std::string& path,
     die("listen(): " + std::string(std::strerror(errno)));
   std::fprintf(stderr, "gpuhms_serve: listening on %s\n", path.c_str());
 
+  ConnectionRegistry registry;
   std::vector<std::thread> handlers;
-  while (!service.stopped()) {
-    // Poll with a timeout so a shutdown handled on a connection thread
-    // unblocks the accept loop within a second.
-    pollfd pfd{listener, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 1000);
+  while (!service.stopped() && g_signal.load() == 0) {
+    // Poll the listener AND the signal pipe (with a timeout so a shutdown
+    // handled on a connection thread unblocks the accept loop too).
+    pollfd pfds[2] = {{listener, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, 1000);
     if (ready < 0 && errno != EINTR)
       die("poll(): " + std::string(std::strerror(errno)));
-    if (ready <= 0) continue;
+    if (g_signal.load() != 0 || pfds[1].revents != 0) break;
+    if (ready <= 0 || (pfds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) continue;
-    handlers.emplace_back(serve_connection, fd, std::ref(service));
+    handlers.emplace_back([fd, &service, &registry] {
+      registry.add(fd);
+      serve_connection(fd, service);
+      registry.remove(fd);
+      ::close(fd);
+    });
   }
-  for (std::thread& t : handlers) t.join();
+  // Stop accepting first: close the listener and unlink the path so new
+  // clients fail fast instead of queueing behind a drain.
   ::close(listener);
   ::unlink(path.c_str());
+
+  const int sig = g_signal.load();
+  if (sig != 0) {
+    std::fprintf(stderr,
+                 "gpuhms_serve: signal %d: draining (%zu connections, "
+                 "timeout %zu ms)\n",
+                 sig, registry.active.load(), drain_timeout_ms);
+    service.begin_drain();
+    registry.shutdown_all();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(drain_timeout_ms);
+    while (registry.active.load(std::memory_order_acquire) > 0 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (registry.active.load(std::memory_order_acquire) > 0) {
+      std::fprintf(stderr,
+                   "gpuhms_serve: drain timed out with %zu connections "
+                   "still active; forcing exit\n",
+                   registry.active.load());
+      std::fflush(stderr);
+      // Handler threads are still running; a normal exit would run static
+      // destructors under them. _Exit skips that — the kernel closes fds.
+      std::_Exit(3);
+    }
+    log_drain_stats(service, sig);
+  }
+  for (std::thread& t : handlers) t.join();
   return 0;
 }
 
@@ -168,6 +382,7 @@ int main(int argc, char** argv) {
   serve::ServeOptions options;
   std::optional<std::string> socket_path;
   std::string arch_name = "kepler";
+  std::size_t drain_timeout_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -191,6 +406,15 @@ int main(int argc, char** argv) {
     } else if (const char* v =
                    flag_value(arg, "--max-inflight", argc, argv, &i)) {
       options.max_inflight = parse_size(v, "--max-inflight");
+    } else if (const char* v =
+                   flag_value(arg, "--watchdog-ms", argc, argv, &i)) {
+      options.watchdog_ms = parse_size(v, "--watchdog-ms");
+    } else if (const char* v =
+                   flag_value(arg, "--idem-cache", argc, argv, &i)) {
+      options.idem_cache_capacity = parse_size(v, "--idem-cache");
+    } else if (const char* v =
+                   flag_value(arg, "--drain-timeout-ms", argc, argv, &i)) {
+      drain_timeout_ms = parse_size(v, "--drain-timeout-ms");
     } else {
       die(std::string("unexpected argument '") + arg + "' (--help lists "
           "the flags)");
@@ -202,17 +426,14 @@ int main(int argc, char** argv) {
   else
     die("unknown --arch '" + arch_name + "': expected kepler or fermi");
 
+  install_signal_handlers();
   if (options.train_overlap)
     std::fprintf(stderr,
                  "gpuhms_serve: training the T_overlap model "
                  "(--train-overlap)...\n");
   serve::PredictionService service(options, *arch);
 
-  if (socket_path) return run_socket_server(*socket_path, service);
-  // Unsynced iostreams so rdbuf()->in_avail() sees buffered request lines —
-  // that's what lets run_stdio_loop coalesce piped same-kernel predicts.
-  std::ios::sync_with_stdio(false);
-  std::cin.tie(nullptr);
-  serve::run_stdio_loop(std::cin, std::cout, service);
-  return 0;
+  if (socket_path)
+    return run_socket_server(*socket_path, service, drain_timeout_ms);
+  return run_stdio_server(service);
 }

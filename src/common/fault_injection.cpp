@@ -104,6 +104,18 @@ bool should_fire(std::string_view site) {
   return true;
 }
 
+std::span<const std::string_view> known_sites() {
+  // Keep in lockstep with the site list in the header comment; the chaos
+  // harness cross-checks this against its per-site scenario table.
+  static constexpr std::string_view kSites[] = {
+      "trace.lower",    "serialize.read", "serialize.write",
+      "queuing.nan",    "queuing.saturate", "pool.task",
+      "serve.parse",    "serve.accept",   "arena.alloc",
+      "journal.write",  "journal.read",
+  };
+  return kSites;
+}
+
 bool arm_from_spec(std::string_view spec) {
   // Validate the whole spec before arming anything: a half-armed malformed
   // spec would fire an unpredictable subset.

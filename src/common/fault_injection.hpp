@@ -22,11 +22,22 @@
 //   pool.task        — throws InjectedFault inside a ThreadPool task body
 //   serve.parse      — PredictionService returns an INTERNAL error response
 //                      instead of parsing the request line
+//   serve.accept     — PredictionService sheds one request at admission with
+//                      an UNAVAILABLE error response (a dropped accept)
 //   arena.alloc      — Arena::grow throws std::bad_alloc instead of
 //                      allocating the next chunk (replay-scratch OOM)
+//   journal.write    — journal::Writer::append fails with DATA_LOSS before
+//                      touching the file (checkpoint write lost)
+//   journal.read     — journal::read_records miscompares one record checksum,
+//                      exercising the torn-tail truncation path
+//
+// Every site name MUST also appear in fault::known_sites() below — the chaos
+// harness (tests/test_chaos.cpp) enumerates that registry and fails if a
+// site has no arming test covering both its fire and no-fire paths.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -65,6 +76,12 @@ bool should_fire(std::string_view site);
 // the listed sites. Returns false (arming nothing) on malformed specs, with
 // a one-line stderr warning.
 bool arm_from_spec(std::string_view spec);
+
+// The central registry of every fault site in the library. Adding a
+// GPUHMS_FAULT_POINT without listing it here fails the fault-site
+// completeness test in tests/test_chaos.cpp — which is the point: every
+// injectable failure must have a test driving both of its paths.
+std::span<const std::string_view> known_sites();
 
 }  // namespace fault
 }  // namespace gpuhms

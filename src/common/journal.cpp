@@ -1,0 +1,225 @@
+#include "common/journal.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/fault_injection.hpp"
+#include "common/hashing.hpp"
+
+namespace gpuhms::journal {
+
+namespace {
+
+std::string errno_string() { return std::strerror(errno); }
+
+void put_u32le(std::uint32_t v, char* out) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_u64le(std::uint64_t v, char* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32le(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64le(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t payload_checksum(std::string_view payload) {
+  return Fnv1a().bytes(payload.data(), payload.size()).digest();
+}
+
+Status write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t w = ::write(fd, data + written, size - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return DataLossError("write failed: " + errno_string());
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Writer::Writer(Writer&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+Writer& Writer::operator=(Writer&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+Writer::~Writer() { close(); }
+
+void Writer::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Writer> Writer::create(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0)
+    return DataLossError("cannot create journal '" + tmp +
+                         "': " + errno_string());
+  Writer w;
+  w.fd_ = fd;
+  w.path_ = path;
+  if (Status st = write_all(fd, kMagic.data(), kMagic.size()); !st.ok())
+    return st.annotate("writing the header of journal '" + tmp + "'");
+  if (::fsync(fd) != 0)
+    return DataLossError("fsync('" + tmp + "') failed: " + errno_string());
+  // The commit point: after the rename the journal is visible at `path` with
+  // its header durable; before it, a crash leaves only the .tmp leftover.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return DataLossError("rename('" + tmp + "' -> '" + path +
+                         "') failed: " + errno_string());
+  return w;
+}
+
+StatusOr<Writer> Writer::open_for_append(const std::string& path,
+                                         std::uint64_t valid_bytes) {
+  if (valid_bytes < kMagic.size())
+    return InvalidArgumentError(
+        "valid_bytes " + std::to_string(valid_bytes) +
+        " is smaller than the journal header of '" + path + "'");
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0)
+    return DataLossError("cannot open journal '" + path +
+                         "': " + errno_string());
+  Writer w;
+  w.fd_ = fd;
+  w.path_ = path;
+  // One atomic syscall repairs a torn tail: everything past the valid prefix
+  // is discarded before the first new append.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0)
+    return DataLossError("ftruncate('" + path + "', " +
+                         std::to_string(valid_bytes) +
+                         ") failed: " + errno_string());
+  if (::lseek(fd, static_cast<off_t>(valid_bytes), SEEK_SET) < 0)
+    return DataLossError("lseek('" + path + "') failed: " + errno_string());
+  return w;
+}
+
+Status Writer::append(std::string_view payload) {
+  if (fd_ < 0)
+    return FailedPreconditionError("journal writer is closed");
+  if (payload.size() > kMaxRecordBytes)
+    return InvalidArgumentError("journal record of " +
+                                std::to_string(payload.size()) +
+                                " bytes exceeds the record size bound");
+  if (GPUHMS_FAULT_POINT("journal.write"))
+    return DataLossError("injected fault at site 'journal.write'");
+  std::string buf;
+  buf.resize(12 + payload.size());
+  put_u32le(static_cast<std::uint32_t>(payload.size()), buf.data());
+  put_u64le(payload_checksum(payload), buf.data() + 4);
+  std::memcpy(buf.data() + 12, payload.data(), payload.size());
+  GPUHMS_RETURN_IF_ERROR(write_all(fd_, buf.data(), buf.size())
+                             .annotate("appending to journal '" + path_ + "'"));
+  if (::fsync(fd_) != 0)
+    return DataLossError("fsync('" + path_ + "') failed: " + errno_string());
+  return OkStatus();
+}
+
+StatusOr<ReadResult> read_records(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return DataLossError("cannot open journal '" + path +
+                         "': " + errno_string());
+  std::string data;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = errno_string();
+      ::close(fd);
+      return DataLossError("cannot read journal '" + path + "': " + err);
+    }
+    if (n == 0) break;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (data.size() < kMagic.size() ||
+      std::string_view(data.data(), kMagic.size()) != kMagic)
+    return DataLossError("'" + path + "' is not a gpuhms journal (bad magic)");
+
+  ReadResult out;
+  std::size_t off = kMagic.size();
+  out.valid_bytes = off;
+  while (off < data.size()) {
+    if (data.size() - off < 12) {
+      out.tail_truncated = true;
+      out.tail_error = "torn record header (" +
+                       std::to_string(data.size() - off) + " of 12 bytes)";
+      break;
+    }
+    const std::uint32_t len = get_u32le(data.data() + off);
+    const std::uint64_t sum = get_u64le(data.data() + off + 4);
+    if (len > kMaxRecordBytes) {
+      out.tail_truncated = true;
+      out.tail_error =
+          "corrupt record length " + std::to_string(len) + " at offset " +
+          std::to_string(off);
+      break;
+    }
+    if (data.size() - off - 12 < len) {
+      out.tail_truncated = true;
+      out.tail_error = "torn record payload (" +
+                       std::to_string(data.size() - off - 12) + " of " +
+                       std::to_string(len) + " bytes)";
+      break;
+    }
+    const std::string_view payload(data.data() + off + 12, len);
+    std::uint64_t computed = payload_checksum(payload);
+    // Deterministic corruption of the checksum comparison: the torn-tail
+    // path runs on demand without a handcrafted broken file.
+    if (GPUHMS_FAULT_POINT("journal.read")) computed = ~computed;
+    if (computed != sum) {
+      out.tail_truncated = true;
+      out.tail_error = "record checksum mismatch at offset " +
+                       std::to_string(off) + " (record " +
+                       std::to_string(out.records.size()) + ")";
+      break;
+    }
+    out.records.emplace_back(payload);
+    off += 12 + len;
+    out.valid_bytes = off;
+  }
+  return out;
+}
+
+bool exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace gpuhms::journal

@@ -12,6 +12,7 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -49,6 +50,9 @@ Status InternalError(std::string message) {
 }
 Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace gpuhms

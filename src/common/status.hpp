@@ -27,6 +27,9 @@ enum class StatusCode {
   kInternal,            // invariant violation surfaced non-fatally (e.g. a
                         // worker exception captured by the thread pool)
   kDataLoss,            // I/O truncation or corruption (trace serialization)
+  kUnavailable,         // the service is transiently unable to take the
+                        // request (draining for shutdown); retrying against
+                        // another instance — or later — is expected to work
 };
 
 // Stable upper-case names ("INVALID_ARGUMENT") used in messages and logs.
@@ -82,6 +85,7 @@ Status DeadlineExceededError(std::string message);
 Status CancelledError(std::string message);
 Status InternalError(std::string message);
 Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
 
 // Value-or-error result for the non-aborting API variants. Accessing value()
 // on an error is an *internal* invariant violation (the caller must test

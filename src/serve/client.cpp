@@ -1,0 +1,106 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/hashing.hpp"
+
+namespace gpuhms::serve {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+// Is this response a retryable rejection? Only the two codes the service
+// uses for transient shed conditions; everything else (INVALID_ARGUMENT,
+// FAILED_PRECONDITION after shutdown, ...) is final.
+bool retryable_rejection(const std::string& response_line) {
+  const StatusOr<Json> parsed = Json::parse(response_line);
+  if (!parsed.ok() || !parsed->is_object()) return false;
+  const Json* ok = parsed->find("ok");
+  if (ok == nullptr || !ok->is_bool() || ok->as_bool()) return false;
+  const Json* error = parsed->find("error");
+  if (error == nullptr || !error->is_object()) return false;
+  const Json* code = error->find("code");
+  if (code == nullptr || !code->is_string()) return false;
+  const std::string& c = code->as_string();
+  return c == "UNAVAILABLE" || c == "RESOURCE_EXHAUSTED";
+}
+
+}  // namespace
+
+Client::Client(Transport transport, ClientOptions options)
+    : transport_(std::move(transport)), options_(std::move(options)) {
+  if (!options_.sleeper)
+    options_.sleeper = [](std::uint64_t ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+}
+
+std::string Client::idempotency_key(const Json& request) {
+  return hex64(
+      Fnv1a().mix(std::string_view(request.dump())).digest());
+}
+
+StatusOr<std::string> Client::call(const Json& request) {
+  Json req = request;
+  // Stamp before the first send so every retry carries the SAME key — that
+  // is what lets the server dedupe a request whose first execution succeeded
+  // but whose response got lost in transit.
+  if (options_.add_idempotency_key && req.find("idem") == nullptr)
+    req.set("idem", idempotency_key(request));
+  const std::string line = req.dump();
+
+  const int max_attempts = std::max(1, options_.max_attempts);
+  Status last_error = OkStatus();
+  std::string last_response;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      const double raw = static_cast<double>(options_.backoff_initial_ms) *
+                         std::pow(options_.backoff_multiplier, attempt - 1);
+      const std::uint64_t ms = static_cast<std::uint64_t>(std::min(
+          raw, static_cast<double>(options_.backoff_cap_ms)));
+      if (ms > 0) options_.sleeper(ms);
+    }
+    ++attempts_;
+    StatusOr<std::string> response = transport_(line);
+    if (!response.ok()) {
+      last_error = response.status();
+      continue;  // transport failure: always retryable (idem key covers it)
+    }
+    if (retryable_rejection(*response)) {
+      last_error = OkStatus();
+      last_response = std::move(*response);
+      continue;
+    }
+    return std::move(*response);
+  }
+  if (!last_error.ok())
+    return last_error.annotate("after " + std::to_string(max_attempts) +
+                               " attempts");
+  return UnavailableError("request still shed after " +
+                          std::to_string(max_attempts) +
+                          " attempts; last response: " + last_response);
+}
+
+StatusOr<Json> Client::call_json(const Json& request) {
+  GPUHMS_ASSIGN_OR_RETURN(std::string line, call(request));
+  StatusOr<Json> parsed = Json::parse(line);
+  if (!parsed.ok())
+    return DataLossError("response line is not valid JSON: " +
+                         parsed.status().message());
+  if (!parsed->is_object())
+    return DataLossError("response line is not a JSON object");
+  return std::move(*parsed);
+}
+
+}  // namespace gpuhms::serve

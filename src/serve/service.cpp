@@ -178,12 +178,23 @@ std::size_t PredictionService::PredictionKeyHash::operator()(
 PredictionService::PredictionService(ServeOptions options)
     : PredictionService(std::move(options), kepler_arch()) {}
 
+// One running watched search: the cancel token the watchdog fires when the
+// deadline passes. shared_ptr-owned so a fire racing a release stays safe.
+struct PredictionService::WatchdogEntry {
+  std::chrono::steady_clock::time_point deadline;
+  std::atomic<bool> cancel{false};
+  bool active = true;
+};
+
 PredictionService::PredictionService(ServeOptions options, const GpuArch& arch)
     : options_(options),
       arch_(arch),
       kernel_cache_(options.kernel_cache_capacity),
       prediction_cache_(options.prediction_cache_capacity),
-      pool_(options.num_threads) {
+      pool_(options.num_threads),
+      idem_cache_(options.idem_cache_capacity) {
+  if (options_.watchdog_ms > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   if (options_.train_overlap) {
     std::vector<TrainingCase> cases;
     const std::vector<workloads::BenchmarkCase> training =
@@ -199,7 +210,65 @@ PredictionService::PredictionService(ServeOptions options, const GpuArch& arch)
   }
 }
 
-PredictionService::~PredictionService() = default;
+PredictionService::~PredictionService() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+void PredictionService::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+  GPUHMS_COUNTER_ADD("serve.drains", 1);
+}
+
+std::shared_ptr<PredictionService::WatchdogEntry>
+PredictionService::watchdog_register() {
+  auto entry = std::make_shared<WatchdogEntry>();
+  entry->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.watchdog_ms);
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_entries_.push_back(entry);
+  }
+  watchdog_cv_.notify_all();
+  return entry;
+}
+
+void PredictionService::watchdog_release(
+    const std::shared_ptr<WatchdogEntry>& entry) {
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  entry->active = false;
+  std::erase(watchdog_entries_, entry);
+}
+
+void PredictionService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    // Sleep until the earliest registered deadline (or a registration /
+    // shutdown notification when the list is empty).
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const auto& e : watchdog_entries_) next = std::min(next, e->deadline);
+    if (next == std::chrono::steady_clock::time_point::max()) {
+      watchdog_cv_.wait(lock);
+      continue;
+    }
+    watchdog_cv_.wait_until(lock, next);
+    if (watchdog_stop_) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& e : watchdog_entries_) {
+      if (e->active && e->deadline <= now &&
+          !e->cancel.exchange(true, std::memory_order_acq_rel)) {
+        watchdog_cancels_.fetch_add(1, std::memory_order_relaxed);
+        GPUHMS_COUNTER_ADD("serve.watchdog_cancels", 1);
+      }
+    }
+  }
+}
 
 StatusOr<PredictionService::KernelEntryPtr> PredictionService::kernel_entry(
     const std::string& benchmark) {
@@ -487,13 +556,20 @@ Json PredictionService::handle_search(const Json& request) {
   // returns its best-so-far placement with deadline_hit set, never an error.
   if (deadline_ms != ~std::uint64_t{0})
     so.deadline = std::chrono::milliseconds(deadline_ms);
+  // Per-request watchdog: register a cancel token for the duration of the
+  // search; a deadline overrun flips it and the anytime contract returns the
+  // best-so-far placement with `cancelled` set — never a hung request.
+  std::shared_ptr<WatchdogEntry> watch;
+  if (options_.watchdog_ms > 0) watch = watchdog_register();
   const StatusOr<SearchResult> result = [&] {
     GPUHMS_SCOPED_PHASE("serve.search_ns");
     std::lock_guard<std::mutex> pool_lock(pool_mu_);
     SearchOptions pooled = so;
     pooled.pool = &pool_;
+    if (watch) pooled.cancel = &watch->cancel;
     return try_search(*entry->predictor, *algo, pooled);
   }();
+  if (watch) watchdog_release(watch);
   if (!result.ok()) return error_response(nullptr, "", result.status());
   searches_.fetch_add(1, std::memory_order_relaxed);
   GPUHMS_COUNTER_ADD("serve.searches", 1);
@@ -537,8 +613,35 @@ Json PredictionService::handle_metrics() const {
   r.set("batched_predicts", s.batched_predicts);
   r.set("batch_calls", s.batch_calls);
   r.set("searches", s.searches);
+  r.set("draining", s.draining);
+  r.set("shed_draining", s.shed_draining);
+  r.set("watchdog_cancels", s.watchdog_cancels);
+  r.set("idem_hits", s.idem_hits);
   r.set("kernel_cache", cache_json(s.kernel_cache));
   r.set("prediction_cache", cache_json(s.prediction_cache));
+  return r;
+}
+
+// Liveness/readiness snapshot for supervisors and the drain path. Unlike
+// `metrics` this includes uptime, which is wall-clock nondeterministic — so
+// it lives under its own verb and stays out of byte-identity tests.
+Json PredictionService::handle_health() const {
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("status", stopped()     ? std::string("stopped")
+                  : draining()  ? std::string("draining")
+                                : std::string("serving"));
+  r.set("uptime_ms",
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count()));
+  r.set("draining", draining());
+  r.set("inflight", inflight_.load(std::memory_order_acquire));
+  r.set("requests", requests_.load(std::memory_order_relaxed));
+  r.set("shed_draining", shed_draining_.load(std::memory_order_relaxed));
+  r.set("watchdog_cancels", watchdog_cancels_.load(std::memory_order_relaxed));
+  r.set("idem_hits", idem_hits_.load(std::memory_order_relaxed));
   return r;
 }
 
@@ -548,6 +651,7 @@ Json PredictionService::handle_request(const Json& request,
   if (op == "predict_batch") return handle_predict_batch(request);
   if (op == "search") return handle_search(request);
   if (op == "metrics") return handle_metrics();
+  if (op == "health") return handle_health();
   if (op == "shutdown") {
     stopped_.store(true, std::memory_order_release);
     Json r = Json::object();
@@ -559,7 +663,7 @@ Json PredictionService::handle_request(const Json& request,
       nullptr, "",
       InvalidArgumentError("unknown op '" + std::string(op) +
                            "': expected predict, predict_batch, search, "
-                           "metrics, or shutdown"));
+                           "metrics, health, or shutdown"));
 }
 
 std::string PredictionService::handle_line(std::string_view line) {
@@ -576,6 +680,8 @@ std::vector<std::string> PredictionService::handle_pipeline(
     Json id;            // echoed verbatim (null when absent/unparseable)
     std::string op;
     std::string benchmark;  // predict ops only, for coalescing
+    std::string idem;       // idempotency fingerprint ("" when absent)
+    std::string raw;        // replayed response bytes (wins over `response`)
     std::optional<Json> response;
   };
   std::vector<ParsedLine> parsed(lines.size());
@@ -623,6 +729,9 @@ std::vector<std::string> PredictionService::handle_pipeline(
       continue;
     }
     pl.op = *op;
+    if (const Json* idem = pl.request.find("idem");
+        idem != nullptr && idem->is_string())
+      pl.idem = idem->as_string();
     if (pl.op == "predict") {
       if (const Json* b = pl.request.find("benchmark");
           b != nullptr && b->is_string())
@@ -639,11 +748,60 @@ std::vector<std::string> PredictionService::handle_pipeline(
       ++i;
       continue;
     }
+    // Idempotency replay: a retried request carrying a previously-served
+    // idem fingerprint gets the ORIGINAL response bytes back without
+    // re-executing — exactly-once visible effects across client retries,
+    // even while draining or shut down (a replay does no model work).
+    if (!pl.idem.empty() && options_.idem_cache_capacity > 0) {
+      if (auto hit = idem_cache_.get(pl.idem)) {
+        idem_hits_.fetch_add(1, std::memory_order_relaxed);
+        GPUHMS_COUNTER_ADD("serve.idem_hits", 1);
+        pl.raw = *hit;
+        ++i;
+        continue;
+      }
+    }
     // Checked at dispatch (not parse) time so a shutdown earlier in this
     // very pipeline already refuses the lines behind it.
     if (stopped_.load(std::memory_order_acquire)) {
       pl.response = error_response(
           &pl.id, pl.op, FailedPreconditionError("service is shut down"));
+      ++i;
+      continue;
+    }
+    // Graceful drain: model work is refused with a retryable UNAVAILABLE
+    // (still one response per line — a drain never drops a response).
+    // Supervision verbs keep working so operators can watch the drain.
+    if (draining_.load(std::memory_order_acquire) && pl.op != "health" &&
+        pl.op != "metrics" && pl.op != "shutdown") {
+      shed_draining_.fetch_add(1, std::memory_order_relaxed);
+      GPUHMS_COUNTER_ADD("serve.shed_draining", 1);
+      pl.response = error_response(
+          &pl.id, pl.op,
+          UnavailableError("service is draining; retry after restart"));
+      ++i;
+      continue;
+    }
+    // Deterministic admission fault site: a shed at accept must degrade to
+    // a structured retryable rejection, never a lost response or a crash.
+    if (GPUHMS_FAULT_POINT("serve.accept")) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      GPUHMS_COUNTER_ADD("serve.rejected", 1);
+      pl.response = error_response(
+          &pl.id, pl.op,
+          UnavailableError("injected fault at site 'serve.accept'"));
+      ++i;
+      continue;
+    }
+    // Supervision verbs bypass admission control: they are cheap in-memory
+    // introspection, and a health poll holding an inflight slot would keep
+    // drained() false for exactly the operator watching the drain finish.
+    if (pl.op == "health" || pl.op == "metrics" || pl.op == "shutdown") {
+      const Json body = handle_request(pl.request, pl.op);
+      Json r = make_response_shell(&pl.id, pl.op);
+      for (const auto& [key, value] : body.members())
+        if (key != "id" && key != "op") r.set(key, value);
+      pl.response = std::move(r);
       ++i;
       continue;
     }
@@ -741,13 +899,26 @@ std::vector<std::string> PredictionService::handle_pipeline(
   std::vector<std::string> out;
   out.reserve(lines.size());
   for (ParsedLine& pl : parsed) {
+    GPUHMS_COUNTER_ADD("serve.responses", 1);
+    if (!pl.raw.empty()) {
+      // Idempotency replay: the cached bytes were an ok:true response.
+      out.push_back(std::move(pl.raw));
+      continue;
+    }
     const Json* ok = pl.response->find("ok");
-    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    const bool is_ok = ok != nullptr && ok->is_bool() && ok->as_bool();
+    if (!is_ok) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       GPUHMS_COUNTER_ADD("serve.errors", 1);
     }
-    GPUHMS_COUNTER_ADD("serve.responses", 1);
-    out.push_back(pl.response->dump());
+    std::string dumped = pl.response->dump();
+    // Memoize successful model-work responses under their idem fingerprint
+    // so client retries replay the exact bytes (drain-safe exactly-once).
+    if (is_ok && !pl.idem.empty() && options_.idem_cache_capacity > 0 &&
+        (pl.op == "predict" || pl.op == "predict_batch" ||
+         pl.op == "search"))
+      idem_cache_.put(pl.idem, dumped);
+    out.push_back(std::move(dumped));
   }
   return out;
 }
@@ -762,6 +933,11 @@ ServeStats PredictionService::stats() const {
   s.batched_predicts = batched_predicts_.load(std::memory_order_relaxed);
   s.batch_calls = batch_calls_.load(std::memory_order_relaxed);
   s.searches = searches_.load(std::memory_order_relaxed);
+  s.draining = draining_.load(std::memory_order_acquire);
+  s.inflight = inflight_.load(std::memory_order_acquire);
+  s.shed_draining = shed_draining_.load(std::memory_order_relaxed);
+  s.watchdog_cancels = watchdog_cancels_.load(std::memory_order_relaxed);
+  s.idem_hits = idem_hits_.load(std::memory_order_relaxed);
   const auto kc = kernel_cache_.stats();
   s.kernel_cache = {kernel_cache_.size(), kernel_cache_.capacity(), kc.hits,
                     kc.misses, kc.evictions};
@@ -788,6 +964,9 @@ void run_stdio_loop(std::istream& in, std::ostream& out,
     for (const std::string& response : service.handle_pipeline(lines))
       out << response << '\n';
     out.flush();
+    // A broken output stream means responses are being lost — stop reading
+    // rather than silently executing requests nobody can hear answered.
+    if (!out) break;
   }
 }
 

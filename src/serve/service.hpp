@@ -27,6 +27,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -34,6 +36,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/lru_cache.hpp"
@@ -70,6 +73,16 @@ struct ServeOptions {
   // construction (seconds of startup; the daemon flag --train-overlap).
   // Off by default so tests and short-lived services start instantly.
   bool train_overlap = false;
+  // Per-request watchdog: searches running longer than this are cancelled
+  // via their cooperative cancel token (the anytime contract turns that into
+  // an OK best-so-far response with `cancelled` set, never a lost response).
+  // 0 disables the watchdog thread entirely.
+  std::size_t watchdog_ms = 0;
+  // Idempotency-replay cache: responses of successful predict/predict_batch/
+  // search requests carrying an "idem" fingerprint are memoized, so a client
+  // retry (serve/client.hpp) returns the original bytes without re-executing.
+  // 0 disables.
+  std::size_t idem_cache_capacity = 1024;
 };
 
 // Point-in-time service counters (exact, independent of GPUHMS_METRICS; the
@@ -83,6 +96,12 @@ struct ServeStats {
   std::uint64_t batched_predicts = 0;  // cache misses coalesced into batch calls
   std::uint64_t batch_calls = 0;       // Predictor::predict_batch invocations
   std::uint64_t searches = 0;
+  // Supervision counters.
+  bool draining = false;
+  std::uint64_t inflight = 0;
+  std::uint64_t shed_draining = 0;    // requests refused while draining
+  std::uint64_t watchdog_cancels = 0; // searches cancelled by the watchdog
+  std::uint64_t idem_hits = 0;        // responses replayed from the idem cache
   struct CacheStats {
     std::size_t size = 0;
     std::size_t capacity = 0;
@@ -124,6 +143,22 @@ class PredictionService {
   // refused with FAILED_PRECONDITION.
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
+  // --- graceful drain --------------------------------------------------------
+  // Flips the service into draining mode: requests already dispatched finish
+  // and get their responses; NEW requests are answered with a structured
+  // UNAVAILABLE rejection (still one response per request line — a drain
+  // never loses or drops a response). Idempotency replays keep working so
+  // retried already-executed requests return their original bytes. The
+  // daemon calls this from its SIGTERM/SIGINT handler path.
+  void begin_drain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  // Requests currently being executed (admitted, response not yet built).
+  std::size_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+  // Drain complete: draining was requested and nothing is in flight.
+  bool drained() const { return draining() && inflight() == 0; }
+
   ServeStats stats() const;
   const ServeOptions& options() const { return options_; }
   const GpuArch& arch() const { return arch_; }
@@ -138,6 +173,13 @@ class PredictionService {
   Json handle_predict_batch(const Json& request);
   Json handle_search(const Json& request);
   Json handle_metrics() const;
+  Json handle_health() const;
+
+  // Watchdog bookkeeping: one registered cancel token per running search.
+  struct WatchdogEntry;
+  std::shared_ptr<WatchdogEntry> watchdog_register();
+  void watchdog_release(const std::shared_ptr<WatchdogEntry>& entry);
+  void watchdog_loop();
 
   StatusOr<KernelEntryPtr> kernel_entry(const std::string& benchmark);
   // Answers each (entry, placement) pair, coalescing cache misses into one
@@ -163,9 +205,23 @@ class PredictionService {
   std::mutex build_mu_;  // serializes kernel-entry construction (profiling)
 
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<std::uint64_t> requests_{0}, errors_{0}, rejected_{0},
       predictions_{0}, batched_predicts_{0}, batch_calls_{0}, searches_{0};
+  std::atomic<std::uint64_t> shed_draining_{0}, watchdog_cancels_{0},
+      idem_hits_{0};
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+
+  // Idempotency replay: idem fingerprint -> the exact response bytes served.
+  LruCache<std::string, std::string> idem_cache_;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::vector<std::shared_ptr<WatchdogEntry>> watchdog_entries_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 };
 
 // Drives a PredictionService over std::istream/std::ostream: reads

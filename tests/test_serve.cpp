@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "kernel/placement.hpp"
+#include "serve/client.hpp"
 #include "serve/json.hpp"
 #include "serve/service.hpp"
 #include "test_util.hpp"
@@ -304,6 +305,220 @@ TEST(Serve, Pipeline100MixedRequestsDeterministicAcrossThreadCounts) {
   const std::vector<std::string> t16 = run_pipeline_with_threads("16");
   EXPECT_EQ(t1, t4);
   EXPECT_EQ(t1, t16);
+}
+
+// --- supervision: health, drain, idempotent replay, watchdog -----------------
+
+TEST(Serve, HealthVerbReportsLifecycleAndSurvivesDrain) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  const serve::Json fresh =
+      parse_ok(service.handle_line(R"({"id":7,"op":"health"})"));
+  EXPECT_TRUE(fresh.find("ok")->as_bool());
+  EXPECT_EQ(fresh.find("status")->as_string(), "serving");
+  EXPECT_FALSE(fresh.find("draining")->as_bool());
+  EXPECT_GE(fresh.find("uptime_ms")->as_number(), 0.0);
+  EXPECT_EQ(fresh.find("inflight")->as_number(), 0.0);
+
+  service.begin_drain();
+  // Model work is shed with a retryable rejection...
+  expect_error(service.handle_line(predict_line(1, "triad", "G,G,G")),
+               "UNAVAILABLE");
+  // ...but supervision verbs keep answering so operators can watch.
+  const serve::Json draining =
+      parse_ok(service.handle_line(R"({"op":"health"})"));
+  EXPECT_EQ(draining.find("status")->as_string(), "draining");
+  EXPECT_TRUE(draining.find("draining")->as_bool());
+  EXPECT_GT(draining.find("shed_draining")->as_number(), 0.0);
+  const serve::Json metrics =
+      parse_ok(service.handle_line(R"({"op":"metrics"})"));
+  EXPECT_TRUE(metrics.find("ok")->as_bool());
+  EXPECT_TRUE(service.drained());
+}
+
+TEST(Serve, IdempotentReplayIsByteIdenticalAndWorksWhileDraining) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  const std::string line =
+      R"({"id":5,"op":"predict","benchmark":"triad",)"
+      R"("placement":"G,G,G","idem":"req-5-fingerprint"})";
+  const std::string first = service.handle_line(line);
+  ASSERT_TRUE(parse_ok(first).find("ok")->as_bool());
+  EXPECT_EQ(service.stats().idem_hits, 0u);
+
+  const std::string replay = service.handle_line(line);
+  EXPECT_EQ(replay, first);  // the ORIGINAL bytes, not a recomputation
+  EXPECT_EQ(service.stats().idem_hits, 1u);
+
+  // The drain-safe retry story: a client retrying an executed request gets
+  // its response back even though fresh work is being shed.
+  service.begin_drain();
+  EXPECT_EQ(service.handle_line(line), first);
+  EXPECT_EQ(service.stats().idem_hits, 2u);
+  expect_error(service.handle_line(
+                   R"({"id":6,"op":"predict","benchmark":"triad",)"
+                   R"("placement":"G,G,G","idem":"never-executed"})"),
+               "UNAVAILABLE");
+}
+
+TEST(Serve, WatchdogCancelsRunawaySearchesAndSparesFastOnes) {
+  {
+    // A generous watchdog never fires on a small search.
+    serve::ServeOptions options;
+    options.watchdog_ms = 60000;
+    serve::PredictionService service{options};
+    const serve::Json r = parse_ok(service.handle_line(
+        R"({"op":"search","benchmark":"triad","algo":"exhaustive","cap":64})"));
+    ASSERT_TRUE(r.find("ok")->as_bool());
+    EXPECT_FALSE(r.find("cancelled")->as_bool());
+    EXPECT_EQ(service.stats().watchdog_cancels, 0u);
+  }
+  // A 1 ms watchdog against full-cap searches: the runaway is cancelled via
+  // the cancel token and still answers with the anytime best-so-far. A few
+  // attempts absorb scheduler jitter without ever making the test flaky.
+  serve::ServeOptions options;
+  options.watchdog_ms = 1;
+  serve::PredictionService service{options};
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const serve::Json r = parse_ok(service.handle_line(
+        R"({"op":"search","benchmark":"cfd","algo":"exhaustive",)"
+        R"("cap":65536})"));
+    ASSERT_TRUE(r.find("ok")->as_bool());  // cancelled or not: a real answer
+    EXPECT_FALSE(r.find("placement")->as_string().empty());
+    if (service.stats().watchdog_cancels > 0) break;
+  }
+  EXPECT_GT(service.stats().watchdog_cancels, 0u)
+      << "no search ever outlived the 1 ms watchdog";
+}
+
+// --- the retrying client -----------------------------------------------------
+
+serve::Json client_request(int id) {
+  serve::Json req = serve::Json::object();
+  req.set("id", serve::Json(id));
+  req.set("op", serve::Json("predict"));
+  req.set("benchmark", serve::Json("triad"));
+  req.set("placement", serve::Json("G,G,G"));
+  return req;
+}
+
+TEST(ServeClient, StampsAStableIdempotencyKey) {
+  const std::string k1 = serve::Client::idempotency_key(client_request(1));
+  const std::string k2 = serve::Client::idempotency_key(client_request(1));
+  const std::string other = serve::Client::idempotency_key(client_request(2));
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, other);
+
+  std::vector<std::string> seen;
+  serve::ClientOptions copt;
+  copt.sleeper = [](std::uint64_t) {};
+  serve::Client client(
+      [&](const std::string& line) -> StatusOr<std::string> {
+        seen.push_back(line);
+        return std::string(R"({"id":1,"ok":true})");
+      },
+      copt);
+  ASSERT_TRUE(client.call(client_request(1)).ok());
+  ASSERT_EQ(seen.size(), 1u);
+  const serve::Json sent = parse_ok(seen[0]);
+  ASSERT_NE(sent.find("idem"), nullptr) << seen[0];
+  EXPECT_EQ(sent.find("idem")->as_string(), k1);
+}
+
+TEST(ServeClient, RetriesShedsWithExponentialBackoffThenSucceeds) {
+  int calls = 0;
+  std::vector<std::uint64_t> naps;
+  serve::ClientOptions copt;
+  copt.max_attempts = 4;
+  copt.sleeper = [&](std::uint64_t ms) { naps.push_back(ms); };
+  serve::Client client(
+      [&](const std::string&) -> StatusOr<std::string> {
+        if (++calls <= 2)
+          return std::string(
+              R"({"id":1,"ok":false,"error":{"code":"UNAVAILABLE",)"
+              R"("message":"draining"}})");
+        return std::string(R"({"id":1,"ok":true})");
+      },
+      copt);
+  const auto r = client.call(client_request(1));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(client.attempts(), 3u);
+  EXPECT_EQ(client.retries(), 2u);
+  EXPECT_EQ(naps, (std::vector<std::uint64_t>{5, 10}));  // 5 * 2^k, capped
+}
+
+TEST(ServeClient, ExhaustedRetriesSurfaceTheLastOutcome) {
+  serve::ClientOptions copt;
+  copt.max_attempts = 2;
+  copt.sleeper = [](std::uint64_t) {};
+  // Permanent shed: UNAVAILABLE after every retry.
+  serve::Client shed(
+      [](const std::string&) -> StatusOr<std::string> {
+        return std::string(
+            R"({"id":1,"ok":false,"error":{"code":"UNAVAILABLE",)"
+            R"("message":"draining"}})");
+      },
+      copt);
+  const auto r1 = shed.call(client_request(1));
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r1.status().message().find("2 attempts"), std::string::npos)
+      << r1.status().to_string();
+
+  // Permanent transport failure: the last error comes back annotated.
+  serve::Client broken(
+      [](const std::string&) -> StatusOr<std::string> {
+        return InternalError("connection reset");
+      },
+      copt);
+  const auto r2 = broken.call(client_request(1));
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r2.status().to_string().find("connection reset"),
+            std::string::npos);
+}
+
+TEST(ServeClient, NonRetryableErrorsReturnImmediately) {
+  int calls = 0;
+  serve::ClientOptions copt;
+  copt.sleeper = [](std::uint64_t) {};
+  serve::Client client(
+      [&](const std::string&) -> StatusOr<std::string> {
+        ++calls;
+        return std::string(
+            R"({"id":1,"ok":false,"error":{"code":"INVALID_ARGUMENT",)"
+            R"("message":"bad placement"}})");
+      },
+      copt);
+  const auto r = client.call(client_request(1));
+  ASSERT_TRUE(r.ok());  // a definitive rejection IS the response
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(client.retries(), 0u);
+}
+
+TEST(ServeClient, EndToEndReplayThroughARealService) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  int failures_left = 1;
+  serve::ClientOptions copt;
+  copt.sleeper = [](std::uint64_t) {};
+  // A transport that eats the first response AFTER the server executed it —
+  // the classic ambiguous failure. The retry must replay, not re-run.
+  serve::Client client(
+      [&](const std::string& line) -> StatusOr<std::string> {
+        const std::string response = service.handle_line(line);
+        if (failures_left > 0) {
+          --failures_left;
+          return UnavailableError("connection reset mid-response");
+        }
+        return response;
+      },
+      copt);
+  const auto r = client.call_json(client_request(9));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(r->find("ok")->as_bool());
+  EXPECT_EQ(r->find("id")->as_number(), 9.0);
+  const serve::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);   // the wire saw two sends...
+  EXPECT_EQ(stats.idem_hits, 1u);  // ...but the second was a byte replay
 }
 
 }  // namespace

@@ -211,5 +211,82 @@ TEST(ServeSoak, TinyInflightLimitShedsLoadWithStructuredRejections) {
   EXPECT_EQ(service.stats().rejected, rejected_count.load());
 }
 
+// The supervision story under load: a drain begins while eight clients are
+// mid-hammer. Every request still gets exactly one response — ok before the
+// drain, a structured UNAVAILABLE shed after — none lost, none misrouted,
+// and the service settles into drained() (zero inflight) once the clients
+// stop. This is the in-process half of the gpuhms_serve SIGTERM contract.
+TEST(ServeSoak, DrainMidSoakLosesNoResponses) {
+  serve::ServeOptions options;
+  options.prediction_cache_capacity = 48;
+  options.kernel_cache_capacity = 4;
+  serve::PredictionService service(options);
+
+  constexpr int kPerThread = 200;
+  std::atomic<std::uint64_t> sent{0}, ok_count{0}, shed_count{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int k = 0; k < kPerThread && !failed.load(); ++k) {
+        const std::uint64_t seq = sent.fetch_add(1);
+        // One thread flips the drain switch mid-stream; traffic continues.
+        if (seq == static_cast<std::uint64_t>(kThreads) * kPerThread / 2)
+          service.begin_drain();
+        const int id = t * 1000000 + k;
+        const std::string response = service.handle_line(
+            "{\"id\":" + std::to_string(id) +
+            ",\"op\":\"predict\",\"benchmark\":\"triad\"," +
+            "\"placement\":\"G,G,G\"}");
+        const StatusOr<serve::Json> parsed = serve::Json::parse(response);
+        if (!parsed.ok()) {
+          ADD_FAILURE() << "malformed response: " << response;
+          failed.store(true);
+          return;
+        }
+        const serve::Json* rid = parsed->find("id");
+        if (rid == nullptr || !rid->is_number() ||
+            rid->as_number() != static_cast<double>(id)) {
+          ADD_FAILURE() << "misrouted response for id " << id << ": "
+                        << response;
+          failed.store(true);
+          return;
+        }
+        if (parsed->find("ok")->as_bool()) {
+          ok_count.fetch_add(1);
+        } else {
+          const serve::Json* error = parsed->find("error");
+          if (error == nullptr ||
+              error->find("code")->as_string() != "UNAVAILABLE") {
+            ADD_FAILURE() << "unexpected failure: " << response;
+            failed.store(true);
+            return;
+          }
+          shed_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  ASSERT_FALSE(failed.load());
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(ok_count.load() + shed_count.load(), total);
+  EXPECT_GT(ok_count.load(), 0u);    // pre-drain traffic was served
+  EXPECT_GT(shed_count.load(), 0u);  // the drain actually shed traffic
+  const serve::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, total);
+  EXPECT_EQ(stats.responses, total);  // exactly one response per request
+  EXPECT_TRUE(stats.draining);
+  EXPECT_EQ(stats.shed_draining, shed_count.load());
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_TRUE(service.drained());
+  // Supervisors can still probe a draining instance.
+  const std::string health = service.handle_line(R"({"op":"health"})");
+  EXPECT_NE(health.find("\"status\":\"draining\""), std::string::npos)
+      << health;
+}
+
 }  // namespace
 }  // namespace gpuhms
