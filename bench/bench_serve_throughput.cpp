@@ -1,10 +1,15 @@
 // Serving-layer throughput: requests/sec through PredictionService for a
 // cold cache (every predict runs the full model) versus a warm cache (every
-// predict answers from the prediction LRU), plus the pipelined batch path.
+// predict answers from the prediction cache), plus the pipelined batch path
+// and a multithreaded warm-hit sweep (1..16 client threads on handle_line).
 // Self-asserting: the warm phase must beat the cold phase by at least
-// kMinWarmSpeedup or the bench exits nonzero — a cache that stops caching is
-// a perf regression this binary exists to catch. Emits BENCH_serve.json in
-// the working directory for the perf trajectory.
+// kMinWarmSpeedup, every multithreaded warm response must be byte-identical
+// to the single-threaded reference, and the 1->16-thread scaling of the
+// default (sharded, DESIGN §14) cache must clear a hardware-aware floor —
+// 4x on >=16 cores, pro-rated by min(16, cores) below that, never under the
+// no-collapse 0.3x (this container is single-core; the floor applied is
+// recorded in the JSON). Emits BENCH_serve.json in the working directory
+// for the perf trajectory.
 //
 // Usage: ./bench/bench_serve_throughput [placements-per-kernel] [repeats]
 #include <algorithm>
@@ -70,6 +75,48 @@ double time_line_at_a_time(serve::PredictionService& service,
   const double t0 = now_ms();
   for (const std::string& line : lines) (void)service.handle_line(line);
   return now_ms() - t0;
+}
+
+// Warm-hit scaling: `threads` client threads split the (already cached)
+// request lines between them and hammer handle_line. Every response must be
+// byte-identical to the single-threaded reference for the same line — the
+// concurrency must never leak into the bytes. Returns the wall time.
+double time_warm_multithread(serve::PredictionService& service,
+                             const std::vector<std::string>& lines,
+                             const std::vector<std::string>& reference,
+                             int threads) {
+  // Enough rounds over the request set that per-thread work dwarfs thread
+  // spawn cost — otherwise the 16-thread point measures pthread_create.
+  const std::size_t rounds =
+      lines.size() >= 4096 ? 1 : (4096 + lines.size() - 1) / lines.size();
+  const std::size_t total = lines.size() * rounds;
+  std::atomic<bool> corrupt{false};
+  std::vector<std::thread> workers;
+  const double t0 = now_ms();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < total;
+           i += static_cast<std::size_t>(threads)) {
+        const std::size_t line = i % lines.size();
+        if (service.handle_line(lines[line]) != reference[line]) {
+          corrupt.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall = now_ms() - t0;
+  if (corrupt.load()) {
+    std::fprintf(stderr,
+                 "FAIL: a warm response diverged from the single-threaded "
+                 "reference (%d threads)\n",
+                 threads);
+    std::exit(1);
+  }
+  // Normalized to one pass over `lines`, so callers can keep computing
+  // requests/sec as lines.size() / (wall / 1000) regardless of rounds.
+  return wall / static_cast<double>(rounds);
 }
 
 // Drain latency under load: client threads hammer a warm service, the main
@@ -161,6 +208,23 @@ int main(int argc, char** argv) {
     warm_line_ms = std::min(warm_line_ms,
                             time_line_at_a_time(warm_service, lines));
 
+  // Warm-hit scaling sweep: 1..16 client threads on handle_line, every
+  // response checked against the single-threaded warm reference bytes.
+  const int kThreadPoints[] = {1, 2, 4, 8, 16};
+  double warm_mt_ms[5];
+  for (std::size_t p = 0; p < 5; ++p) {
+    warm_mt_ms[p] = 1e300;
+    for (int r = 0; r < repeats; ++r)
+      warm_mt_ms[p] = std::min(
+          warm_mt_ms[p], time_warm_multithread(warm_service, lines,
+                                               warm_responses,
+                                               kThreadPoints[p]));
+  }
+  const double mt_scaling = warm_mt_ms[0] / warm_mt_ms[4];
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double achievable = hw >= 16 ? 16.0 : static_cast<double>(hw);
+  const double mt_floor = achievable / 4.0 > 0.3 ? achievable / 4.0 : 0.3;
+
   // Graceful drain under load (best of repeats; jitter-prone by nature).
   double drain_ms = 1e300;
   for (int r = 0; r < repeats; ++r)
@@ -175,8 +239,15 @@ int main(int argc, char** argv) {
               n / (warm_ms / 1000.0));
   std::printf("  %-22s %10.2f %14.1f\n", "warm (line-at-a-time)", warm_line_ms,
               n / (warm_line_ms / 1000.0));
+  for (std::size_t p = 0; p < 5; ++p)
+    std::printf("  warm (%2d threads)      %10.2f %14.1f\n", kThreadPoints[p],
+                warm_mt_ms[p], n / (warm_mt_ms[p] / 1000.0));
   std::printf("\ncached-hit speedup: %.1fx (floor %.1fx)\n", speedup,
               kMinWarmSpeedup);
+  std::printf("warm-hit scaling 1->16 threads: %.2fx (floor %.2fx, "
+              "%u hardware threads, cache_backend %s)\n",
+              mt_scaling, mt_floor, hw,
+              to_string(warm_service.options().cache_backend));
   std::printf("drain latency under load: %.2f ms (ceiling %.0f ms)\n",
               drain_ms, kMaxDrainMs);
 
@@ -198,14 +269,29 @@ int main(int argc, char** argv) {
                "  \"drain_latency_ms\": %.3f,\n"
                "  \"drain_latency_ceiling_ms\": %.1f,\n"
                "  \"prediction_cache_hits\": %llu,\n"
-               "  \"prediction_cache_misses\": %llu\n"
+               "  \"prediction_cache_misses\": %llu,\n"
+               "  \"cache_backend\": \"%s\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"warm_mt_requests_per_sec\": {\n"
+               "    \"threads_1\": %.1f,\n"
+               "    \"threads_2\": %.1f,\n"
+               "    \"threads_4\": %.1f,\n"
+               "    \"threads_8\": %.1f,\n"
+               "    \"threads_16\": %.1f\n"
+               "  },\n"
+               "  \"warm_mt_scaling_1_to_16\": %.3f,\n"
+               "  \"warm_mt_scaling_floor_applied\": %.3f\n"
                "}\n",
                lines.size(), cold_ms, warm_ms, warm_line_ms,
                n / (cold_ms / 1000.0), n / (warm_ms / 1000.0), speedup,
                kMinWarmSpeedup, drain_ms, kMaxDrainMs,
                static_cast<unsigned long long>(warm_stats.prediction_cache.hits),
                static_cast<unsigned long long>(
-                   warm_stats.prediction_cache.misses));
+                   warm_stats.prediction_cache.misses),
+               to_string(warm_service.options().cache_backend), hw,
+               n / (warm_mt_ms[0] / 1000.0), n / (warm_mt_ms[1] / 1000.0),
+               n / (warm_mt_ms[2] / 1000.0), n / (warm_mt_ms[3] / 1000.0),
+               n / (warm_mt_ms[4] / 1000.0), mt_scaling, mt_floor);
   std::fclose(json);
   std::printf("wrote BENCH_serve.json\n");
 
@@ -219,6 +305,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: drain latency %.2f ms exceeds the %.0f ms ceiling\n",
                  drain_ms, kMaxDrainMs);
+    return 1;
+  }
+  if (mt_scaling < mt_floor) {
+    std::fprintf(stderr,
+                 "FAIL: warm-hit 1->16 scaling %.2fx is below the %.2fx "
+                 "floor for this hardware (%u threads)\n",
+                 mt_scaling, mt_floor, hw);
     return 1;
   }
   return 0;

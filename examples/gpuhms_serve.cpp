@@ -88,8 +88,11 @@ void print_help() {
       "                       absolute predictions)\n"
       "  --threads=N          worker threads for batch prediction/search\n"
       "                       (default: GPUHMS_THREADS or hardware)\n"
-      "  --kernel-cache=N     profiled-kernel LRU capacity (default 16)\n"
-      "  --prediction-cache=N memoized-prediction LRU capacity (default 4096)\n"
+      "  --kernel-cache=N     profiled-kernel cache capacity (default 16)\n"
+      "  --prediction-cache=N memoized-prediction cache capacity (default 4096)\n"
+      "  --legacy-cache       serve from the mutex-guarded LRU caches instead\n"
+      "                       of the sharded wait-free caches (DESIGN sec 14;\n"
+      "                       responses are byte-identical either way)\n"
       "  --max-inflight=N     concurrent requests admitted (default 64)\n"
       "  --watchdog-ms=N      cancel searches running longer than N ms via\n"
       "                       their cooperative token (anytime best-so-far\n"
@@ -104,6 +107,7 @@ void print_help() {
       "environment:\n"
       "  GPUHMS_THREADS       default worker-thread count (responses are\n"
       "                       bit-identical for any value)\n"
+      "  GPUHMS_LEGACY_CACHE  =1 is the env spelling of --legacy-cache\n"
       "  GPUHMS_METRICS       =1 mirrors serve.* counters into the obs\n"
       "                       registry (the metrics op works regardless)\n");
 }
@@ -391,6 +395,8 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--train-overlap") == 0) {
       options.train_overlap = true;
+    } else if (std::strcmp(arg, "--legacy-cache") == 0) {
+      options.cache_backend = CacheBackend::kLegacyLru;
     } else if (const char* v = flag_value(arg, "--socket", argc, argv, &i)) {
       socket_path = v;
     } else if (const char* v = flag_value(arg, "--arch", argc, argv, &i)) {

@@ -1,0 +1,360 @@
+// Sharded, open-addressing concurrent cache with wait-free reads.
+//
+// The serve warm path is where millions-of-users traffic lives, and under
+// LruCache every one of those requests serializes on a single mutex — at
+// high hit rates the lock, not the model, is the bottleneck (ROADMAP:
+// "Lock-free epoch-reclaimed caches for the serve hot path"). This cache
+// removes the reader lock entirely:
+//
+//   * The key space is split across up to kMaxShards power-of-two shards by
+//     the high bits of the key hash (the serving layer's keys are already
+//     FNV-1a fingerprint strings, so the hash is cheap and well mixed; a
+//     final splitmix64 step protects weak std::hash specializations).
+//   * Each shard is a fixed open-addressing table of atomic<Node*> slots at
+//     <= 50% load. get() probes linearly with acquire loads, compares the
+//     stored 64-bit hash then the key, and copies the value out — no lock,
+//     no CAS, no retry loop: a bounded probe, wait-free.
+//   * Writers (put) take one per-shard mutex, so two shards never contend
+//     and readers never wait for a writer. Replaced and evicted nodes are
+//     retired to a per-cache epoch::Domain (common/epoch.hpp) instead of
+//     freed, so a reader mid-copy never sees its node die.
+//   * Eviction is CLOCK (second-chance): every node carries a reference bit
+//     that get() sets; the shard's clock hand clears bits until it finds a
+//     node with the bit already clear and evicts that. This approximates
+//     LRU without the recency list that forced LruCache to take a lock on
+//     *reads*. Evicted slots become tombstones (probe chains stay intact);
+//     inserts reuse the first tombstone on their probe path, so tombstones
+//     never exceed the table and probes stay bounded.
+//
+// Semantics preserved from LruCache (the contract test_concurrent_cache.cpp
+// diffs): capacity is a hard bound enforced per shard (the per-shard caps
+// sum to exactly `capacity`, so the global bound holds at every observation
+// point); capacity 0 disables the cache; put() of an existing key replaces
+// the value (an update, not an insert); get() returns a copy. What changes
+// is only the eviction *choice* — CLOCK may keep a different entry than
+// strict LRU. The serving layer's responses are derived from deterministic
+// predictions, so a different eviction victim can change hit counts but
+// never a single response byte (DESIGN §14).
+//
+// Stats are per-shard cache-line-padded atomics; stats() sums them with a
+// per-counter atomic read, so every counter in a snapshot is monotone
+// across repeated snapshots (C++ read-read coherence) — the property the
+// serve metrics verb promises and test_serve_soak's monotonicity regression
+// locks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/epoch.hpp"
+#include "common/lru_cache.hpp"
+
+namespace gpuhms {
+
+// Backend-independent counter snapshot shared by both cache implementations
+// (LruCache::Stats is the legacy spelling; BoundedCache converts).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t evictions = 0;
+};
+
+// Shard-count / table-geometry policy, exposed for tests and DESIGN §14:
+// the largest power of two <= min(kMaxShards, capacity / kMinShardCap), at
+// least 1 — so a shard always owns >= kMinShardCap entries (8) and the
+// CLOCK approximation has room to breathe before sharding fans out.
+std::size_t concurrent_cache_shards(std::size_t capacity);
+
+// Final mixing step applied to the Hash functor's result; splitmix64's
+// finalizer, so identity std::hash<int> still spreads across shards.
+std::uint64_t concurrent_cache_mix(std::uint64_t h);
+
+// GPUHMS_LEGACY_CACHE=1 selects the mutex-guarded LruCache backend
+// process-wide (the differential escape hatch, same spelling as
+// GPUHMS_LEGACY_REPLAY; "" and "0" leave the sharded cache on).
+enum class CacheBackend { kSharded, kLegacyLru };
+CacheBackend cache_backend_from_env();
+const char* to_string(CacheBackend backend);
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ConcurrentCache {
+ public:
+  explicit ConcurrentCache(std::size_t capacity)
+      : capacity_(capacity), shards_(concurrent_cache_shards(capacity)) {
+    shard_storage_.reserve(shards_);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      const std::size_t cap =
+          capacity / shards_ + (s < capacity % shards_ ? 1 : 0);
+      shard_storage_.push_back(std::make_unique<Shard>(cap));
+    }
+  }
+
+  ~ConcurrentCache() {
+    // Precondition (same as any destructor): no concurrent access. Nodes
+    // still in the tables are freed directly; limbo drains via ~Domain.
+    for (auto& shard : shard_storage_)
+      for (auto& slot : shard->slots) {
+        Node* n = slot.load(std::memory_order_relaxed);
+        if (is_node(n)) delete n;
+      }
+  }
+
+  ConcurrentCache(const ConcurrentCache&) = delete;
+  ConcurrentCache& operator=(const ConcurrentCache&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_shards() const { return shards_; }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shard_storage_)
+      total += shard->count.load(std::memory_order_acquire);
+    return total;
+  }
+
+  // Wait-free: one bounded probe of the key's shard, no lock, no retry.
+  std::optional<V> get(const K& key) {
+    if (capacity_ == 0) {
+      shard_storage_[0]->hits_misses[1].fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const std::uint64_t h = mixed_hash(key);
+    Shard& shard = *shard_storage_[shard_index(h)];
+    const std::size_t mask = shard.slots.size() - 1;
+    epoch::Domain::Guard guard = epoch_.pin();
+    std::size_t i = probe_start(h, mask);
+    for (std::size_t step = 0; step < shard.slots.size(); ++step) {
+      Node* n = shard.slots[i].load(std::memory_order_acquire);
+      if (n == nullptr) break;  // end of probe chain
+      if (is_node(n) && n->hash == h && n->key == key) {
+        n->referenced.store(1, std::memory_order_relaxed);  // CLOCK touch
+        V value = n->value;  // copied under the epoch guard; node immutable
+        shard.hits_misses[0].fetch_add(1, std::memory_order_relaxed);
+        return value;
+      }
+      i = (i + 1) & mask;
+    }
+    shard.hits_misses[1].fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  // Insert or replace; evicts one CLOCK victim when the shard is full. Only
+  // writers take the (per-shard) lock — a put never delays a get.
+  void put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    const std::uint64_t h = mixed_hash(key);
+    Shard& shard = *shard_storage_[shard_index(h)];
+    if (shard.cap == 0) return;  // unreachable under the sharding policy
+    const std::size_t mask = shard.slots.size() - 1;
+    {
+      std::lock_guard<std::mutex> lock(shard.write_mu);
+      // Probe for the key, remembering the first tombstone for reuse.
+      std::size_t insert_at = shard.slots.size();  // sentinel: none yet
+      std::size_t i = probe_start(h, mask);
+      std::size_t existing = shard.slots.size();
+      for (std::size_t step = 0; step < shard.slots.size(); ++step) {
+        Node* n = shard.slots[i].load(std::memory_order_relaxed);
+        if (n == nullptr) {
+          if (insert_at == shard.slots.size()) insert_at = i;
+          break;
+        }
+        if (n == tombstone()) {
+          if (insert_at == shard.slots.size()) insert_at = i;
+        } else if (n->hash == h && n->key == key) {
+          existing = i;
+          break;
+        }
+        i = (i + 1) & mask;
+      }
+      if (existing != shard.slots.size()) {
+        // Replace in place: publish a fresh immutable node, retire the old.
+        Node* old = shard.slots[existing].load(std::memory_order_relaxed);
+        Node* fresh = new Node{h, key, std::move(value)};
+        shard.slots[existing].store(fresh, std::memory_order_release);
+        retire_node(old);
+        shard.updates.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        if (shard.count.load(std::memory_order_relaxed) >= shard.cap) {
+          const std::size_t freed = evict_clock(shard, mask);
+          // The victim's tombstone may sit on our probe path earlier than
+          // the slot we found; preferring it keeps chains short.
+          if (insert_at == shard.slots.size()) insert_at = freed;
+        }
+        if (insert_at == shard.slots.size()) {
+          // Table saturated with live nodes + tombstones and no eviction
+          // ran (cap 0 shard): drop the insert, mirroring LruCache's
+          // capacity-0 no-op.
+          return;
+        }
+        Node* fresh = new Node{h, key, std::move(value)};
+        shard.slots[insert_at].store(fresh, std::memory_order_release);
+        shard.count.fetch_add(1, std::memory_order_release);
+        shard.inserts.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Outside the shard lock: advance the epoch and free quiescent nodes.
+    epoch_.collect();
+  }
+
+  CacheCounters stats() const {
+    CacheCounters c;
+    for (const auto& shard : shard_storage_) {
+      c.hits += shard->hits_misses[0].load(std::memory_order_relaxed);
+      c.misses += shard->hits_misses[1].load(std::memory_order_relaxed);
+      c.inserts += shard->inserts.load(std::memory_order_relaxed);
+      c.updates += shard->updates.load(std::memory_order_relaxed);
+      c.evictions += shard->evictions.load(std::memory_order_relaxed);
+    }
+    return c;
+  }
+
+  void clear() {
+    for (auto& shard : shard_storage_) {
+      std::lock_guard<std::mutex> lock(shard->write_mu);
+      for (auto& slot : shard->slots) {
+        Node* n = slot.load(std::memory_order_relaxed);
+        if (is_node(n)) retire_node(n);
+        slot.store(nullptr, std::memory_order_release);
+      }
+      shard->count.store(0, std::memory_order_release);
+    }
+    epoch_.collect();
+  }
+
+  // Test hooks.
+  epoch::Domain& epoch_domain() { return epoch_; }
+  std::size_t shard_capacity(std::size_t s) const {
+    return shard_storage_[s]->cap;
+  }
+
+ private:
+  struct Node {
+    const std::uint64_t hash;
+    const K key;
+    const V value;
+    // CLOCK reference bit: set on every hit, cleared by the sweeping hand.
+    std::atomic<std::uint32_t> referenced{1};
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t cap_in) : cap(cap_in) {
+      std::size_t table = 8;
+      while (table < cap_in * 2) table <<= 1;  // <= 50% load factor
+      slots = std::vector<std::atomic<Node*>>(table);
+    }
+    std::size_t cap;
+    std::vector<std::atomic<Node*>> slots;
+    std::mutex write_mu;
+    std::size_t hand = 0;  // CLOCK position, guarded by write_mu
+    std::atomic<std::size_t> count{0};
+    // Counters: padded to their own line so reader hits on one shard never
+    // false-share with another shard's bookkeeping.
+    alignas(64) std::atomic<std::uint64_t> hits_misses[2] = {};
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> updates{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  static Node* tombstone() {
+    return reinterpret_cast<Node*>(static_cast<std::uintptr_t>(1));
+  }
+  static bool is_node(Node* n) { return n != nullptr && n != tombstone(); }
+
+  std::uint64_t mixed_hash(const K& key) const {
+    return concurrent_cache_mix(static_cast<std::uint64_t>(Hash{}(key)));
+  }
+  std::size_t shard_index(std::uint64_t h) const {
+    // High bits pick the shard so the low-ish probe bits stay independent.
+    return static_cast<std::size_t>(h >> 48) & (shards_ - 1);
+  }
+  static std::size_t probe_start(std::uint64_t h, std::size_t mask) {
+    return static_cast<std::size_t>(h) & mask;
+  }
+
+  void retire_node(Node* n) {
+    epoch_.retire(n, [](void* p) { delete static_cast<Node*>(p); });
+  }
+
+  // CLOCK sweep under the shard lock: clear reference bits until a node
+  // with the bit already clear appears; evict it, leaving a tombstone.
+  // Returns the freed slot index. Terminates within two sweeps: the first
+  // pass clears every bit it crosses, so the second pass finds a victim.
+  std::size_t evict_clock(Shard& shard, std::size_t mask) {
+    for (std::size_t step = 0; step <= 2 * shard.slots.size(); ++step) {
+      const std::size_t i = shard.hand;
+      shard.hand = (shard.hand + 1) & mask;
+      Node* n = shard.slots[i].load(std::memory_order_relaxed);
+      if (!is_node(n)) continue;
+      if (n->referenced.exchange(0, std::memory_order_relaxed) == 0) {
+        shard.slots[i].store(tombstone(), std::memory_order_release);
+        shard.count.fetch_sub(1, std::memory_order_release);
+        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+        retire_node(n);
+        return i;
+      }
+    }
+    return shard.slots.size();  // unreachable while count > 0
+  }
+
+  const std::size_t capacity_;
+  const std::size_t shards_;
+  std::vector<std::unique_ptr<Shard>> shard_storage_;
+  epoch::Domain epoch_;
+};
+
+// The serving layer's cache handle: one of the two backends, chosen at
+// construction (ServeOptions::cache_backend, defaulted from the
+// GPUHMS_LEGACY_CACHE env var). Both backends share the bounded-capacity
+// contract and the CacheCounters observability surface, so the service and
+// its tests are backend-agnostic — exactly what lets the differential
+// battery diff them.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class BoundedCache {
+ public:
+  BoundedCache(std::size_t capacity, CacheBackend backend)
+      : backend_(backend) {
+    if (backend_ == CacheBackend::kLegacyLru)
+      legacy_ = std::make_unique<LruCache<K, V, Hash>>(capacity);
+    else
+      sharded_ = std::make_unique<ConcurrentCache<K, V, Hash>>(capacity);
+  }
+
+  CacheBackend backend() const { return backend_; }
+  std::size_t capacity() const {
+    return legacy_ ? legacy_->capacity() : sharded_->capacity();
+  }
+  std::size_t size() const {
+    return legacy_ ? legacy_->size() : sharded_->size();
+  }
+  std::optional<V> get(const K& key) {
+    return legacy_ ? legacy_->get(key) : sharded_->get(key);
+  }
+  void put(const K& key, V value) {
+    if (legacy_)
+      legacy_->put(key, std::move(value));
+    else
+      sharded_->put(key, std::move(value));
+  }
+  CacheCounters stats() const {
+    if (!legacy_) return sharded_->stats();
+    const auto s = legacy_->stats();
+    return {s.hits, s.misses, s.inserts, s.updates, s.evictions};
+  }
+
+ private:
+  CacheBackend backend_;
+  std::unique_ptr<LruCache<K, V, Hash>> legacy_;
+  std::unique_ptr<ConcurrentCache<K, V, Hash>> sharded_;
+};
+
+}  // namespace gpuhms

@@ -1,0 +1,94 @@
+#include "common/epoch.hpp"
+
+#include <functional>
+#include <thread>
+
+namespace gpuhms::epoch {
+
+Domain::~Domain() {
+  // Caller guarantees quiescence; tags are irrelevant now.
+  for (const Retired& r : limbo_) r.deleter(r.p);
+  limbo_.clear();
+}
+
+Domain::Guard::~Guard() {
+  if (slot_ != nullptr) slot_->store(Domain::kIdle, std::memory_order_seq_cst);
+}
+
+Domain::Guard Domain::pin() {
+  // Claim a slot, then publish the current epoch and verify it did not move
+  // while the store was in flight. The verify loop is what lets collect()
+  // trust a scan: once it exits, either the collector saw this slot pinned
+  // at the current epoch, or the pin happened entirely after the advance —
+  // both keep the two-epoch grace argument intact.
+  const std::uint64_t tid_seed =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (int spin = 0;; ++spin) {
+    for (int i = 0; i < kSlots; ++i) {
+      Slot& slot = slots_[(tid_seed + static_cast<std::uint64_t>(i)) %
+                          static_cast<std::uint64_t>(kSlots)];
+      std::uint64_t idle = kIdle;
+      std::uint64_t e = global_.load(std::memory_order_seq_cst);
+      if (!slot.epoch.compare_exchange_strong(idle, e,
+                                              std::memory_order_seq_cst))
+        continue;  // someone else holds this slot
+      for (;;) {
+        const std::uint64_t g = global_.load(std::memory_order_seq_cst);
+        if (g == e) return Guard(&slot.epoch);
+        e = g;
+        slot.epoch.store(e, std::memory_order_seq_cst);
+      }
+    }
+    // All kSlots claimed: more concurrent readers than slots. Guards are
+    // probe-length critical sections, so yield and retry.
+    std::this_thread::yield();
+    (void)spin;
+  }
+}
+
+void Domain::retire(void* p, void (*deleter)(void*)) {
+  const std::uint64_t tag = global_.load(std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  limbo_.push_back({p, deleter, tag});
+}
+
+bool Domain::try_advance() {
+  const std::uint64_t g = global_.load(std::memory_order_seq_cst);
+  for (const Slot& slot : slots_) {
+    const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e != g) return false;  // a reader lags: no advance
+  }
+  std::uint64_t expected = g;
+  global_.compare_exchange_strong(expected, g + 1,
+                                  std::memory_order_seq_cst);
+  return true;
+}
+
+std::size_t Domain::collect() {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  if (limbo_.empty()) {
+    (void)try_advance();
+    return 0;
+  }
+  (void)try_advance();
+  const std::uint64_t g = global_.load(std::memory_order_seq_cst);
+  std::size_t freed = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < limbo_.size(); ++i) {
+    if (limbo_[i].tag + 2 <= g) {
+      limbo_[i].deleter(limbo_[i].p);
+      ++freed;
+    } else {
+      limbo_[keep++] = limbo_[i];
+    }
+  }
+  limbo_.resize(keep);
+  return freed;
+}
+
+std::size_t Domain::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+}  // namespace gpuhms::epoch

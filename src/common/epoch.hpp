@@ -1,0 +1,124 @@
+// Epoch-based memory reclamation for read-mostly concurrent structures.
+//
+// The serving layer's sharded cache (common/concurrent_cache.hpp) lets
+// readers probe its tables without taking any lock; the writer that evicts
+// or replaces an entry therefore cannot free the old node immediately — a
+// reader may still be copying its value out. epoch::Domain is the classic
+// three-epoch deferred-reclamation protocol (Fraser-style, the scheme the
+// ROADMAP's libttak epoch.c exemplar implements) packaged per structure:
+//
+//   * Readers pin() before touching shared nodes and let the returned Guard
+//     unpin on scope exit. Pinning claims one of kSlots cache-line-padded
+//     slots and publishes the current global epoch there; the claim is a
+//     single CAS (lock-free; it retries only against other threads grabbing
+//     the same slot or a concurrent epoch advance, never against a lock
+//     holder — readers never block on eviction).
+//   * Writers retire() unlinked nodes instead of deleting them. Each retired
+//     node is tagged with the global epoch at retire time and parked in a
+//     limbo list.
+//   * collect() (called opportunistically by writers, and by tests) tries to
+//     advance the global epoch — legal only when every pinned slot has
+//     caught up to it — and then frees limbo nodes whose tag is at least two
+//     epochs behind. Two epochs is exactly the grace period that makes this
+//     safe: a reader pinned at epoch e can hold references only to nodes
+//     unlinked at epoch e-1 or later (sequential consistency of the
+//     pin-verify loop rules out older ones), and any node unlinked at e' >=
+//     e-1 needs the global epoch to reach e'+2 >= e+1... which requires an
+//     advance past e, which the pinned reader blocks. See DESIGN §14 for
+//     the full argument.
+//
+// All epoch bookkeeping uses seq_cst atomics: the pin loop's store-then-
+// verify and the collector's slot scan form the happens-before edges that
+// make the deferred frees race-free (ThreadSanitizer sees the same edges,
+// so the TSan battery genuinely checks this protocol, not a suppression).
+//
+// A Domain supports at most kSlots concurrently pinned guards; pin() spins
+// (yielding) when all slots are claimed. Guards are short (one cache probe),
+// so with the default 64 slots this is unreachable below 64 simultaneous
+// reader threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gpuhms::epoch {
+
+class Domain {
+ public:
+  static constexpr int kSlots = 64;
+  // Slot value meaning "no reader here"; real epochs start at 2 and only
+  // ever grow, so 0 is never a legal pinned epoch.
+  static constexpr std::uint64_t kIdle = 0;
+
+  Domain() = default;
+  // Precondition: no guard is live and no concurrent retire/collect runs.
+  // Frees everything still in limbo, epoch tags ignored.
+  ~Domain();
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  // RAII pin: the domain will not free any node retired at or after the
+  // epoch this guard observed until the guard is destroyed.
+  class Guard {
+   public:
+    Guard(Guard&& other) noexcept : slot_(other.slot_) {
+      other.slot_ = nullptr;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard();
+
+   private:
+    friend class Domain;
+    explicit Guard(std::atomic<std::uint64_t>* slot) : slot_(slot) {}
+    std::atomic<std::uint64_t>* slot_;
+  };
+
+  Guard pin();
+
+  // Hand `p` to the domain; `deleter(p)` runs once no reader pinned at
+  // retire time can still hold it. Thread-safe against everything except
+  // the destructor.
+  void retire(void* p, void (*deleter)(void*));
+
+  // Try to advance the epoch and free quiescent limbo nodes. Returns the
+  // number of nodes freed. Safe to call from any thread at any time; a
+  // pinned guard (including the caller's own) simply bounds what can be
+  // freed. Two collect() calls after the last guard dropped are always
+  // enough to drain every retired node (each call advances at most one
+  // epoch; a node needs its tag + 2 <= global).
+  std::size_t collect();
+
+  // Nodes retired but not yet freed (test/introspection hook).
+  std::size_t limbo_size() const;
+
+  // Current global epoch (test hook; starts at 2, monotone).
+  std::uint64_t global_epoch() const {
+    return global_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+    std::uint64_t tag;
+  };
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+  };
+
+  // Advance global by one iff every pinned slot already equals it.
+  bool try_advance();
+
+  std::atomic<std::uint64_t> global_{2};
+  Slot slots_[kSlots];
+  mutable std::mutex limbo_mu_;
+  std::vector<Retired> limbo_;
+};
+
+}  // namespace gpuhms::epoch

@@ -189,10 +189,11 @@ struct PredictionService::WatchdogEntry {
 PredictionService::PredictionService(ServeOptions options, const GpuArch& arch)
     : options_(options),
       arch_(arch),
-      kernel_cache_(options.kernel_cache_capacity),
-      prediction_cache_(options.prediction_cache_capacity),
+      kernel_cache_(options.kernel_cache_capacity, options.cache_backend),
+      prediction_cache_(options.prediction_cache_capacity,
+                        options.cache_backend),
       pool_(options.num_threads),
-      idem_cache_(options.idem_cache_capacity) {
+      idem_cache_(options.idem_cache_capacity, options.cache_backend) {
   if (options_.watchdog_ms > 0)
     watchdog_ = std::thread([this] { watchdog_loop(); });
   if (options_.train_overlap) {
@@ -602,6 +603,8 @@ Json PredictionService::handle_metrics() const {
     o.set("capacity", c.capacity);
     o.set("hits", c.hits);
     o.set("misses", c.misses);
+    o.set("inserts", c.inserts);
+    o.set("updates", c.updates);
     o.set("evictions", c.evictions);
     return o;
   };
@@ -617,8 +620,10 @@ Json PredictionService::handle_metrics() const {
   r.set("shed_draining", s.shed_draining);
   r.set("watchdog_cancels", s.watchdog_cancels);
   r.set("idem_hits", s.idem_hits);
+  r.set("cache_backend", s.cache_backend);
   r.set("kernel_cache", cache_json(s.kernel_cache));
   r.set("prediction_cache", cache_json(s.prediction_cache));
+  r.set("idem_cache", cache_json(s.idem_cache));
   return r;
 }
 
@@ -938,13 +943,21 @@ ServeStats PredictionService::stats() const {
   s.shed_draining = shed_draining_.load(std::memory_order_relaxed);
   s.watchdog_cancels = watchdog_cancels_.load(std::memory_order_relaxed);
   s.idem_hits = idem_hits_.load(std::memory_order_relaxed);
-  const auto kc = kernel_cache_.stats();
-  s.kernel_cache = {kernel_cache_.size(), kernel_cache_.capacity(), kc.hits,
-                    kc.misses, kc.evictions};
-  const auto pc = prediction_cache_.stats();
-  s.prediction_cache = {prediction_cache_.size(),
-                        prediction_cache_.capacity(), pc.hits, pc.misses,
-                        pc.evictions};
+  // Cache snapshots: every counter is one atomic read (per shard, summed),
+  // so each is individually exact and — counters being monotone — a later
+  // snapshot never shows a smaller total than an earlier one, even taken
+  // concurrently with traffic (the serve.cache.* monotonicity contract,
+  // locked by test_serve_soak's MetricsTotalsMonotoneDuringSoak).
+  auto cache_stats = [](const auto& cache) {
+    const CacheCounters c = cache.stats();
+    return ServeStats::CacheStats{cache.size(),  cache.capacity(), c.hits,
+                                  c.misses,      c.inserts,        c.updates,
+                                  c.evictions};
+  };
+  s.kernel_cache = cache_stats(kernel_cache_);
+  s.prediction_cache = cache_stats(prediction_cache_);
+  s.idem_cache = cache_stats(idem_cache_);
+  s.cache_backend = to_string(options_.cache_backend);
   return s;
 }
 

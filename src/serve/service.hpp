@@ -7,12 +7,15 @@
 // newline-delimited JSON (protocol grammar in DESIGN §11) over any byte
 // stream, layered on the existing Predictor/search engine with
 //
-//   * a bounded LRU cache of *kernel entries* — the expensive per-kernel
+//   * a bounded cache of *kernel entries* — the expensive per-kernel
 //     state: a profiled Predictor plus its lowered TraceSkeleton — keyed by
 //     benchmark name, fingerprinted structurally (common/hashing.hpp);
-//   * a bounded LRU cache of memoized Predictions keyed by
+//   * a bounded cache of memoized Predictions keyed by
 //     (kernel fingerprint, arch fingerprint, placement) so repeated predicts
-//     are a map lookup, not a trace replay;
+//     are a map lookup, not a trace replay. Both caches (and the idem-replay
+//     cache) default to the sharded wait-free implementation of DESIGN §14,
+//     so warm hits from concurrent clients never serialize on a cache lock;
+//     GPUHMS_LEGACY_CACHE=1 restores the PR 5 mutex LruCache byte-for-byte;
 //   * request batching: predict_batch requests (and pipelined runs of
 //     same-kernel predicts, see handle_pipeline) coalesce their cache misses
 //     into ONE Predictor::predict_batch call on the shared ThreadPool;
@@ -39,7 +42,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/lru_cache.hpp"
+#include "common/concurrent_cache.hpp"
 #include "common/thread_pool.hpp"
 #include "model/search.hpp"
 #include "serve/json.hpp"
@@ -83,6 +86,12 @@ struct ServeOptions {
   // retry (serve/client.hpp) returns the original bytes without re-executing.
   // 0 disables.
   std::size_t idem_cache_capacity = 1024;
+  // Cache implementation for all three serve caches (kernel entries,
+  // predictions, idempotency replays): the sharded wait-free cache (DESIGN
+  // §14) by default, or the PR 5 mutex LruCache when GPUHMS_LEGACY_CACHE=1
+  // is set / --legacy-cache is passed. Responses are byte-identical across
+  // backends — only warm-hit scalability differs (BENCH_cache.json).
+  CacheBackend cache_backend = cache_backend_from_env();
 };
 
 // Point-in-time service counters (exact, independent of GPUHMS_METRICS; the
@@ -107,10 +116,15 @@ struct ServeStats {
     std::size_t capacity = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t updates = 0;
     std::uint64_t evictions = 0;
   };
   CacheStats kernel_cache;
   CacheStats prediction_cache;
+  CacheStats idem_cache;
+  // Which cache implementation the service runs ("sharded"/"legacy_lru").
+  std::string cache_backend;
 };
 
 // Thread-safe: any number of client threads may call handle_line /
@@ -193,12 +207,12 @@ class PredictionService {
   const GpuArch arch_;  // copied: cached entries must outlive the caller's ref
   ToverlapModel overlap_;
 
-  LruCache<std::string, KernelEntryPtr> kernel_cache_;
+  BoundedCache<std::string, KernelEntryPtr> kernel_cache_;
   struct PredictionKeyHash {
     std::size_t operator()(const std::string& k) const;
   };
   // Key: "<kernel fp hex>|<arch fp hex>|<model fp hex>|<placement>".
-  LruCache<std::string, Prediction, PredictionKeyHash> prediction_cache_;
+  BoundedCache<std::string, Prediction, PredictionKeyHash> prediction_cache_;
 
   ThreadPool pool_;
   std::mutex pool_mu_;   // parallel_for admits one job at a time
@@ -215,7 +229,7 @@ class PredictionService {
       std::chrono::steady_clock::now();
 
   // Idempotency replay: idem fingerprint -> the exact response bytes served.
-  LruCache<std::string, std::string> idem_cache_;
+  BoundedCache<std::string, std::string> idem_cache_;
 
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;

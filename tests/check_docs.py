@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency check (ctest -L docs).
 
-Two guarantees:
+Three guarantees:
   1. Every relative markdown link `[text](path)` in the repo's *.md files
      resolves to an existing file or directory (anchors and absolute URLs
      are skipped).
@@ -9,6 +9,10 @@ Two guarantees:
      token that looks like a repo path (src/..., tests/..., bench/...,
      examples/..., docs/...) must name a real file, so the equation-to-code
      map cannot silently rot as code moves.
+  3. README.md's "Test labels & coverage" list is complete: every ctest
+     label registered via LABELS in tests/CMakeLists.txt must appear in
+     README.md spelled `-L <label>`, so a new label cannot ship
+     undocumented.
 
 Usage: check_docs.py [repo_root]   (default: parent of this script's dir)
 Exit 0 when clean, 1 with a per-problem report otherwise.
@@ -79,6 +83,36 @@ def check_model_map(root):
     return problems
 
 
+# `LABELS robustness`, `LABELS "serve;soak;concurrency"`, and the
+# `set(_san_... LABELS ...)`-free set_tests_properties spellings all reduce
+# to: the token(s) after a LABELS keyword, optionally quoted, ';'-separated.
+LABELS_RE = re.compile(r"\bLABELS\s+\"?([A-Za-z0-9;_-]+)\"?")
+
+
+def check_readme_labels(root):
+    problems = []
+    cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
+    readme_path = os.path.join(root, "README.md")
+    if not os.path.exists(cmake_path) or not os.path.exists(readme_path):
+        return ["tests/CMakeLists.txt or README.md is missing"]
+    with open(cmake_path, encoding="utf-8") as f:
+        cmake = f.read()
+    labels = set()
+    for group in LABELS_RE.findall(cmake):
+        labels.update(l for l in group.split(";") if l)
+    if not labels:
+        return ["tests/CMakeLists.txt: no LABELS found (regex rot?)"]
+    with open(readme_path, encoding="utf-8") as f:
+        readme = f.read()
+    for label in sorted(labels):
+        if f"-L {label}" not in readme:
+            problems.append(
+                f"README.md: ctest label '{label}' (registered in "
+                f"tests/CMakeLists.txt) is not documented — add a "
+                f"`ctest -L {label}` entry to 'Test labels & coverage'")
+    return problems
+
+
 def main():
     root = os.path.abspath(
         sys.argv[1] if len(sys.argv) > 1
@@ -88,6 +122,7 @@ def main():
     for md in md_files:
         problems.extend(check_links(md, root))
     problems.extend(check_model_map(root))
+    problems.extend(check_readme_labels(root))
 
     if problems:
         print(f"docs check FAILED ({len(problems)} problem(s)):")
@@ -95,7 +130,8 @@ def main():
             print("  " + p)
         return 1
     print(f"docs check OK: {len(md_files)} markdown files, all relative "
-          "links resolve, MODEL_MAP references exist")
+          "links resolve, MODEL_MAP references exist, every ctest label "
+          "is documented")
     return 0
 
 

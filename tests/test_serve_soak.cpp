@@ -288,5 +288,79 @@ TEST(ServeSoak, DrainMidSoakLosesNoResponses) {
       << health;
 }
 
+// Regression for the cache-counter snapshot race (DESIGN §14): every
+// serve.cache.* total must be monotone non-decreasing across successive
+// snapshots taken WHILE traffic runs. Before the sharded cache, a snapshot
+// could interleave with an update and read a mix of old and new counters;
+// per-counter atomic reads (and LruCache's lock) now guarantee each counter
+// never appears to go backwards. Observer threads hammer both the stats()
+// accessor and the metrics verb against concurrent predict traffic.
+TEST(ServeSoak, MetricsTotalsMonotoneDuringSoak) {
+  serve::ServeOptions options;
+  options.prediction_cache_capacity = 12;  // << triad's placement count:
+  options.kernel_cache_capacity = 4;       // eviction counters move too
+  serve::PredictionService service(options);
+
+  const std::vector<std::string> placements =
+      legal_placement_strings("triad", 48);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int k = 0; k < kRequestsPerThread && !stop.load(); ++k) {
+        service.handle_line(
+            "{\"id\":" + std::to_string(t * 1000000 + k) +
+            ",\"op\":\"predict\",\"benchmark\":\"triad\",\"placement\":\"" +
+            placements[static_cast<std::size_t>(k * 7 + t * 3) %
+                       placements.size()] +
+            "\"}");
+      }
+    });
+  }
+
+  auto cache_monotone = [](const serve::ServeStats::CacheStats& prev,
+                           const serve::ServeStats::CacheStats& now) {
+    return now.hits >= prev.hits && now.misses >= prev.misses &&
+           now.inserts >= prev.inserts && now.updates >= prev.updates &&
+           now.evictions >= prev.evictions;
+  };
+  std::vector<std::thread> observers;
+  for (int o = 0; o < 2; ++o) {
+    observers.emplace_back([&] {
+      serve::ServeStats prev;
+      while (!stop.load()) {
+        // Exercise the metrics verb too (same snapshot path, plus the JSON
+        // dump), then compare structured snapshots for monotonicity.
+        service.handle_line(R"({"op":"metrics"})");
+        const serve::ServeStats now = service.stats();
+        if (!cache_monotone(prev.prediction_cache, now.prediction_cache) ||
+            !cache_monotone(prev.kernel_cache, now.kernel_cache) ||
+            !cache_monotone(prev.idem_cache, now.idem_cache) ||
+            now.requests < prev.requests || now.responses < prev.responses) {
+          ADD_FAILURE() << "a serve.cache.* total went backwards between "
+                           "snapshots (prediction hits "
+                        << prev.prediction_cache.hits << " -> "
+                        << now.prediction_cache.hits << ", misses "
+                        << prev.prediction_cache.misses << " -> "
+                        << now.prediction_cache.misses << ")";
+          failed.store(true);
+          return;
+        }
+        prev = now;
+      }
+    });
+  }
+
+  for (std::thread& c : clients) c.join();
+  stop.store(true);
+  for (std::thread& o : observers) o.join();
+  ASSERT_FALSE(failed.load());
+  const serve::ServeStats stats = service.stats();
+  EXPECT_GT(stats.prediction_cache.hits + stats.prediction_cache.misses, 0u);
+  EXPECT_GT(stats.prediction_cache.evictions, 0u);  // churn really happened
+}
+
 }  // namespace
 }  // namespace gpuhms
