@@ -36,11 +36,12 @@
 // predictions, so a different eviction victim can change hit counts but
 // never a single response byte (DESIGN §14).
 //
-// Stats are per-shard cache-line-padded atomics; stats() sums them with a
-// per-counter atomic read, so every counter in a snapshot is monotone
-// across repeated snapshots (C++ read-read coherence) — the property the
-// serve metrics verb promises and test_serve_soak's monotonicity regression
-// locks.
+// Stats are per-shard atomics, with the reader-hot hit/miss pair and the
+// writer-side insert/update/eviction group each padded onto their own
+// cache line; stats() sums them with a per-counter atomic read, so every
+// counter in a snapshot is monotone across repeated snapshots (C++
+// read-read coherence) — the property the serve metrics verb promises and
+// test_serve_soak's monotonicity regression locks.
 #pragma once
 
 #include <atomic>
@@ -124,7 +125,7 @@ class ConcurrentCache {
   // Wait-free: one bounded probe of the key's shard, no lock, no retry.
   std::optional<V> get(const K& key) {
     if (capacity_ == 0) {
-      shard_storage_[0]->hits_misses[1].fetch_add(1,
+      shard_storage_[0]->reads.hits_misses[1].fetch_add(1,
                                                   std::memory_order_relaxed);
       return std::nullopt;
     }
@@ -139,12 +140,12 @@ class ConcurrentCache {
       if (is_node(n) && n->hash == h && n->key == key) {
         n->referenced.store(1, std::memory_order_relaxed);  // CLOCK touch
         V value = n->value;  // copied under the epoch guard; node immutable
-        shard.hits_misses[0].fetch_add(1, std::memory_order_relaxed);
+        shard.reads.hits_misses[0].fetch_add(1, std::memory_order_relaxed);
         return value;
       }
       i = (i + 1) & mask;
     }
-    shard.hits_misses[1].fetch_add(1, std::memory_order_relaxed);
+    shard.reads.hits_misses[1].fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
 
@@ -158,6 +159,11 @@ class ConcurrentCache {
     const std::size_t mask = shard.slots.size() - 1;
     {
       std::lock_guard<std::mutex> lock(shard.write_mu);
+      // Pin across unlink + retire (epoch.hpp's retire() contract): the
+      // pin caps the global epoch for the duration, so the retire tag can
+      // never lag the unlink's visibility — the three-epoch grace argument
+      // leans on exactly this.
+      epoch::Domain::Guard guard = epoch_.pin();
       // Probe for the key, remembering the first tombstone for reuse.
       std::size_t insert_at = shard.slots.size();  // sentinel: none yet
       std::size_t i = probe_start(h, mask);
@@ -182,7 +188,7 @@ class ConcurrentCache {
         Node* fresh = new Node{h, key, std::move(value)};
         shard.slots[existing].store(fresh, std::memory_order_release);
         retire_node(old);
-        shard.updates.fetch_add(1, std::memory_order_relaxed);
+        shard.writes.updates.fetch_add(1, std::memory_order_relaxed);
       } else {
         if (shard.count.load(std::memory_order_relaxed) >= shard.cap) {
           const std::size_t freed = evict_clock(shard, mask);
@@ -199,21 +205,21 @@ class ConcurrentCache {
         Node* fresh = new Node{h, key, std::move(value)};
         shard.slots[insert_at].store(fresh, std::memory_order_release);
         shard.count.fetch_add(1, std::memory_order_release);
-        shard.inserts.fetch_add(1, std::memory_order_relaxed);
+        shard.writes.inserts.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    // Outside the shard lock: advance the epoch and free quiescent nodes.
-    epoch_.collect();
+    // Outside the shard lock and the pin: amortized epoch maintenance.
+    maybe_collect();
   }
 
   CacheCounters stats() const {
     CacheCounters c;
     for (const auto& shard : shard_storage_) {
-      c.hits += shard->hits_misses[0].load(std::memory_order_relaxed);
-      c.misses += shard->hits_misses[1].load(std::memory_order_relaxed);
-      c.inserts += shard->inserts.load(std::memory_order_relaxed);
-      c.updates += shard->updates.load(std::memory_order_relaxed);
-      c.evictions += shard->evictions.load(std::memory_order_relaxed);
+      c.hits += shard->reads.hits_misses[0].load(std::memory_order_relaxed);
+      c.misses += shard->reads.hits_misses[1].load(std::memory_order_relaxed);
+      c.inserts += shard->writes.inserts.load(std::memory_order_relaxed);
+      c.updates += shard->writes.updates.load(std::memory_order_relaxed);
+      c.evictions += shard->writes.evictions.load(std::memory_order_relaxed);
     }
     return c;
   }
@@ -221,6 +227,8 @@ class ConcurrentCache {
   void clear() {
     for (auto& shard : shard_storage_) {
       std::lock_guard<std::mutex> lock(shard->write_mu);
+      // Same pin-across-unlink+retire contract as put().
+      epoch::Domain::Guard guard = epoch_.pin();
       for (auto& slot : shard->slots) {
         Node* n = slot.load(std::memory_order_relaxed);
         if (is_node(n)) retire_node(n);
@@ -257,12 +265,20 @@ class ConcurrentCache {
     std::mutex write_mu;
     std::size_t hand = 0;  // CLOCK position, guarded by write_mu
     std::atomic<std::size_t> count{0};
-    // Counters: padded to their own line so reader hits on one shard never
-    // false-share with another shard's bookkeeping.
-    alignas(64) std::atomic<std::uint64_t> hits_misses[2] = {};
-    std::atomic<std::uint64_t> inserts{0};
-    std::atomic<std::uint64_t> updates{0};
-    std::atomic<std::uint64_t> evictions{0};
+    // The reader-hot hit/miss pair and the writer-side counter group each
+    // get their own cache line (both structs are 64-byte aligned AND
+    // 64-byte sized), so a reader's hit update never false-shares with
+    // put()'s bookkeeping — or with another shard's counters.
+    struct alignas(64) ReadCounters {
+      std::atomic<std::uint64_t> hits_misses[2] = {};
+    };
+    struct alignas(64) WriteCounters {
+      std::atomic<std::uint64_t> inserts{0};
+      std::atomic<std::uint64_t> updates{0};
+      std::atomic<std::uint64_t> evictions{0};
+    };
+    ReadCounters reads;
+    WriteCounters writes;
   };
 
   static Node* tombstone() {
@@ -285,6 +301,16 @@ class ConcurrentCache {
     epoch_.retire(n, [](void* p) { delete static_cast<Node*>(p); });
   }
 
+  // Amortized reclamation: collect() serializes every shard's writers on
+  // the domain-wide limbo mutex, so rather than paying that on each put,
+  // only the put that sees a full batch of retired nodes collects. Limbo
+  // therefore carries at most ~kCollectBatch nodes per quiescent cache
+  // (bounded memory), while the common put touches no global state.
+  static constexpr std::size_t kCollectBatch = 64;
+  void maybe_collect() {
+    if (epoch_.limbo_size() >= kCollectBatch) epoch_.collect();
+  }
+
   // CLOCK sweep under the shard lock: clear reference bits until a node
   // with the bit already clear appears; evict it, leaving a tombstone.
   // Returns the freed slot index. Terminates within two sweeps: the first
@@ -298,7 +324,7 @@ class ConcurrentCache {
       if (n->referenced.exchange(0, std::memory_order_relaxed) == 0) {
         shard.slots[i].store(tombstone(), std::memory_order_release);
         shard.count.fetch_sub(1, std::memory_order_release);
-        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+        shard.writes.evictions.fetch_add(1, std::memory_order_relaxed);
         retire_node(n);
         return i;
       }

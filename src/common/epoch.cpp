@@ -20,7 +20,7 @@ Domain::Guard Domain::pin() {
   // while the store was in flight. The verify loop is what lets collect()
   // trust a scan: once it exits, either the collector saw this slot pinned
   // at the current epoch, or the pin happened entirely after the advance —
-  // both keep the two-epoch grace argument intact.
+  // both keep the three-epoch grace argument intact.
   const std::uint64_t tid_seed =
       std::hash<std::thread::id>{}(std::this_thread::get_id());
   for (int spin = 0;; ++spin) {
@@ -50,6 +50,7 @@ void Domain::retire(void* p, void (*deleter)(void*)) {
   const std::uint64_t tag = global_.load(std::memory_order_seq_cst);
   std::lock_guard<std::mutex> lock(limbo_mu_);
   limbo_.push_back({p, deleter, tag});
+  limbo_count_.store(limbo_.size(), std::memory_order_relaxed);
 }
 
 bool Domain::try_advance() {
@@ -65,30 +66,33 @@ bool Domain::try_advance() {
 }
 
 std::size_t Domain::collect() {
-  std::lock_guard<std::mutex> lock(limbo_mu_);
-  if (limbo_.empty()) {
-    (void)try_advance();
-    return 0;
-  }
   (void)try_advance();
-  const std::uint64_t g = global_.load(std::memory_order_seq_cst);
-  std::size_t freed = 0;
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < limbo_.size(); ++i) {
-    if (limbo_[i].tag + 2 <= g) {
-      limbo_[i].deleter(limbo_[i].p);
-      ++freed;
-    } else {
-      limbo_[keep++] = limbo_[i];
+  // Move the quiescent entries out under the lock, run their deleters
+  // after releasing it: a slow destructor must not stall other writers'
+  // retire()/collect() calls on the domain-wide mutex. Concurrent collects
+  // move disjoint sets out, so no node can be freed twice.
+  std::vector<Retired> ready;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    if (limbo_.empty()) return 0;
+    const std::uint64_t g = global_.load(std::memory_order_seq_cst);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < limbo_.size(); ++i) {
+      if (limbo_[i].tag + 3 <= g) {
+        ready.push_back(limbo_[i]);
+      } else {
+        limbo_[keep++] = limbo_[i];
+      }
     }
+    limbo_.resize(keep);
+    limbo_count_.store(keep, std::memory_order_relaxed);
   }
-  limbo_.resize(keep);
-  return freed;
+  for (const Retired& r : ready) r.deleter(r.p);
+  return ready.size();
 }
 
 std::size_t Domain::limbo_size() const {
-  std::lock_guard<std::mutex> lock(limbo_mu_);
-  return limbo_.size();
+  return limbo_count_.load(std::memory_order_relaxed);
 }
 
 }  // namespace gpuhms::epoch

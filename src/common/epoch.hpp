@@ -13,19 +13,25 @@
 //     single CAS (lock-free; it retries only against other threads grabbing
 //     the same slot or a concurrent epoch advance, never against a lock
 //     holder — readers never block on eviction).
-//   * Writers retire() unlinked nodes instead of deleting them. Each retired
-//     node is tagged with the global epoch at retire time and parked in a
-//     limbo list.
+//   * Writers retire() unlinked nodes instead of deleting them, holding a
+//     pin of their own across the unlink *and* the retire (the cache's
+//     put()/clear() hold one Guard over both). Each retired node is tagged
+//     with the global epoch at retire time and parked in a limbo list; the
+//     writer's pin caps the global epoch at pin+1 for the duration, so the
+//     tag can never lag the writer's pin epoch.
 //   * collect() (called opportunistically by writers, and by tests) tries to
 //     advance the global epoch — legal only when every pinned slot has
-//     caught up to it — and then frees limbo nodes whose tag is at least two
-//     epochs behind. Two epochs is exactly the grace period that makes this
-//     safe: a reader pinned at epoch e can hold references only to nodes
-//     unlinked at epoch e-1 or later (sequential consistency of the
-//     pin-verify loop rules out older ones), and any node unlinked at e' >=
-//     e-1 needs the global epoch to reach e'+2 >= e+1... which requires an
-//     advance past e, which the pinned reader blocks. See DESIGN §14 for
-//     the full argument.
+//     caught up to it (a slot may equal the current epoch, but never lag
+//     it) — and then frees limbo nodes whose tag is at least THREE epochs
+//     behind. Three epochs is the grace period that makes this safe: for
+//     the global epoch to have reached a reader's pin epoch e, every writer
+//     pinned at <= e-2 had to unpin first, and that unpin/slot-scan edge
+//     publishes those writers' unlinks to every later pin — so a reader
+//     pinned at e can hold a stale reference only to a node unlinked by a
+//     writer pinned at e-1 or later. Such a node's tag is >= e-1, freeing
+//     it needs the global epoch to reach (e-1)+3 = e+2, and the pinned
+//     reader blocks any advance past e+1. See DESIGN §14 for the full
+//     argument.
 //
 // All epoch bookkeeping uses seq_cst atomics: the pin loop's store-then-
 // verify and the collector's slot scan form the happens-before edges that
@@ -83,18 +89,25 @@ class Domain {
 
   // Hand `p` to the domain; `deleter(p)` runs once no reader pinned at
   // retire time can still hold it. Thread-safe against everything except
-  // the destructor.
+  // the destructor. Contract: a caller that unlinked `p` from a structure
+  // readers still traverse must hold a Guard across the unlink and this
+  // call — that is what bounds how far the tag can lag the unlink's
+  // visibility (see the grace-period argument above).
   void retire(void* p, void (*deleter)(void*));
 
   // Try to advance the epoch and free quiescent limbo nodes. Returns the
-  // number of nodes freed. Safe to call from any thread at any time; a
-  // pinned guard (including the caller's own) simply bounds what can be
-  // freed. Two collect() calls after the last guard dropped are always
+  // number of nodes freed. Deleters run after the domain's limbo mutex is
+  // released, so a slow value destructor never stalls concurrent
+  // retire()/collect() callers. Safe to call from any thread at any time;
+  // a pinned guard (including the caller's own) simply bounds what can be
+  // freed. Three collect() calls after the last guard dropped are always
   // enough to drain every retired node (each call advances at most one
-  // epoch; a node needs its tag + 2 <= global).
+  // epoch; a node needs its tag + 3 <= global).
   std::size_t collect();
 
-  // Nodes retired but not yet freed (test/introspection hook).
+  // Nodes retired but not yet freed (test/introspection hook). Lock-free
+  // atomic read: exact at quiescence, a point-in-time approximation while
+  // retires/collects are in flight.
   std::size_t limbo_size() const;
 
   // Current global epoch (test hook; starts at 2, monotone).
@@ -119,6 +132,9 @@ class Domain {
   Slot slots_[kSlots];
   mutable std::mutex limbo_mu_;
   std::vector<Retired> limbo_;
+  // Mirrors limbo_.size() (updated under limbo_mu_) so limbo_size() — the
+  // check writers use to amortize collect() — never touches the mutex.
+  std::atomic<std::size_t> limbo_count_{0};
 };
 
 }  // namespace gpuhms::epoch

@@ -59,12 +59,14 @@ TEST(Epoch, NoReclaimWhileReaderHoldsAnEpoch) {
     domain.retire(&freed, count_free);
     EXPECT_EQ(domain.limbo_size(), 1u);
     // However hard the collector tries, a node retired while this guard is
-    // pinned must not be freed: the guard blocks the second epoch advance.
+    // pinned must not be freed: the guard caps the global epoch at pin + 1
+    // and the node needs its tag + 3.
     for (int i = 0; i < 10; ++i) domain.collect();
     EXPECT_EQ(freed.load(), 0);
     EXPECT_EQ(domain.limbo_size(), 1u);
   }
-  // Quiescent: two collects are always enough (one advance each).
+  // Quiescent: three collects are always enough (one advance each).
+  domain.collect();
   domain.collect();
   domain.collect();
   EXPECT_EQ(freed.load(), 1);
@@ -79,6 +81,7 @@ TEST(Epoch, DeferredFreesDrainAfterQuiescence) {
     { epoch::Domain::Guard guard = domain.pin(); }  // pin/unpin churn
     domain.collect();
     domain.collect();
+    domain.collect();
     EXPECT_EQ(freed.load(), (round + 1) * 100);
     EXPECT_EQ(domain.limbo_size(), 0u);
   }
@@ -89,18 +92,22 @@ TEST(Epoch, ReaderPinnedAtRetireTimeBlocksOnlyItsGeneration) {
   std::atomic<int> freed_old{0}, freed_new{0};
   // Retire A with no reader; advance until A is one epoch from freeable.
   domain.retire(&freed_old, count_free);
-  domain.collect();  // advance once; A not yet freeable
+  domain.collect();  // advance once
+  domain.collect();  // advance twice; A one epoch from freeable
   {
     epoch::Domain::Guard guard = domain.pin();  // pinned at current epoch
     domain.retire(&freed_new, count_free);      // B retired under the pin
-    // A predates the pin by a full epoch: sequential consistency says this
-    // reader can no longer observe A, so the collector may free it...
+    // A predates the pin by two full epochs: the advance chain that let
+    // the epoch get here already published A's unlink to this reader, so
+    // the collector may free A (the pin allows one advance, to pin + 1)...
     domain.collect();
     EXPECT_EQ(freed_old.load(), 1);
-    // ...but B, retired at (or after) the pinned epoch, must survive.
+    // ...but B, retired at (or just after) the pinned epoch, must survive:
+    // the guard caps the global epoch at pin + 1 and B needs pin + 3.
     for (int i = 0; i < 5; ++i) domain.collect();
     EXPECT_EQ(freed_new.load(), 0);
   }
+  domain.collect();
   domain.collect();
   domain.collect();
   EXPECT_EQ(freed_new.load(), 1);
@@ -290,8 +297,9 @@ TEST(ConcurrentCache, RandomConcurrentSchedulesKeepInvariants) {
     const CacheCounters s = cache.stats();
     EXPECT_EQ(s.inserts - s.evictions, cache.size()) << "seed " << seed;
     EXPECT_GT(s.hits, 0u);
-    // Quiescent drain: everything retired during the run frees within two
-    // collects once no reader is pinned.
+    // Quiescent drain: everything retired during the run frees within
+    // three collects once no reader is pinned.
+    cache.epoch_domain().collect();
     cache.epoch_domain().collect();
     cache.epoch_domain().collect();
     EXPECT_EQ(cache.epoch_domain().limbo_size(), 0u) << "seed " << seed;
@@ -353,6 +361,7 @@ TEST(CacheSoak, SixteenThreadsMixedVerbs) {
   const CacheCounters s = cache.stats();
   EXPECT_EQ(s.inserts - s.evictions, cache.size());
   EXPECT_GT(s.evictions, 0u);  // 512 keys over 256 slots: churn happened
+  cache.epoch_domain().collect();
   cache.epoch_domain().collect();
   cache.epoch_domain().collect();
   EXPECT_EQ(cache.epoch_domain().limbo_size(), 0u);
