@@ -11,17 +11,34 @@
 // recorded in the JSON). Emits BENCH_serve.json in the working directory
 // for the perf trajectory.
 //
+// A connection-scaling phase drives the epoll event-loop SocketServer
+// (DESIGN §15) with K mostly-idle Unix-socket connections for K in --conns
+// (default 64,256,1024, capped under the fd soft limit) and measures p50/p99
+// round-trip latency on one active connection. Self-asserting flat-p99
+// envelope: the largest point (when >=256 connections) must stay within
+// kConnP99Factor x the smallest point's p99 plus kConnP99SlackUs — idle
+// connections must cost O(ready events), not O(open fds).
+//
 // Usage: ./bench/bench_serve_throughput [placements-per-kernel] [repeats]
+//            [--conns=64,256,1024]
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "kernel/placement.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "workloads/workloads.hpp"
 
@@ -156,12 +173,149 @@ double measure_drain_latency_ms(const std::vector<std::string>& lines) {
   return drain_ms;
 }
 
+// ---- connection-count scaling over the event-loop socket server ----------
+
+// Flat-p99 envelope: p99 at the largest connection count must stay within
+// factor x the smallest count's p99 plus an absolute slack. The factor is
+// deliberately generous — this asserts the epoll server is O(ready events),
+// not a latency SLO — and the slack absorbs single-core CI scheduler jitter.
+constexpr double kConnP99Factor = 5.0;
+constexpr double kConnP99SlackUs = 2000.0;
+
+struct ConnScalingPoint {
+  int connections = 0;  // open connections during the measurement (incl. active)
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+std::size_t fd_soft_limit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  return static_cast<std::size_t>(rl.rlim_cur);
+}
+
+// One '\n'-terminated round trip on a blocking connected socket.
+bool round_trip(int fd, const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t w =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  char c = 0;
+  for (;;) {  // responses are small; byte-at-a-time keeps this dependency-free
+    const ssize_t r = ::read(fd, &c, 1);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    if (c == '\n') return true;
+  }
+}
+
+// Measures p50/p99 round-trip latency on one active connection while
+// `target_conns - 1` idle connections sit on the same event loop. Uses a
+// fresh warmed service per point so every point measures identical
+// (cache-hit) work. Exits the process on any protocol failure.
+ConnScalingPoint measure_conn_scaling(int target_conns,
+                                      const std::string& request_line,
+                                      int samples) {
+  serve::ServeOptions serve_options;
+  serve::PredictionService service{serve_options};
+  (void)service.handle_line(request_line);  // prime kernel + prediction caches
+
+  serve::ServerOptions server_options;
+  server_options.socket_path = "/tmp/gpuhms_bench_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(target_conns) + ".sock";
+  server_options.listen_backlog = std::max(256, target_conns);
+  serve::SocketServer server{service, server_options};
+  const Status st = server.listen();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAIL: conn-scaling listen: %s\n",
+                 st.to_string().c_str());
+    std::exit(1);
+  }
+  std::thread runner{[&server] { (void)server.run(); }};
+
+  std::vector<int> fds;
+  fds.reserve(static_cast<std::size_t>(target_conns));
+  for (int i = 0; i < target_conns; ++i) {
+    StatusOr<int> fd = serve::connect_unix(server_options.socket_path);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "FAIL: conn-scaling connect %d/%d: %s\n", i,
+                   target_conns, fd.status().to_string().c_str());
+      std::exit(1);
+    }
+    fds.push_back(*fd);
+  }
+  // Every connection must be accepted (not parked in the listen backlog)
+  // before we measure, or the point under-reports its own fd load.
+  while (server.stats().connections_open <
+         static_cast<std::uint64_t>(target_conns))
+    std::this_thread::yield();
+
+  const int active = fds.front();
+  for (int i = 0; i < 32; ++i) {  // warm the server-side session path
+    if (!round_trip(active, request_line)) {
+      std::fprintf(stderr, "FAIL: conn-scaling warmup round trip\n");
+      std::exit(1);
+    }
+  }
+  std::vector<double> lat_us(static_cast<std::size_t>(samples));
+  for (double& sample : lat_us) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!round_trip(active, request_line)) {
+      std::fprintf(stderr, "FAIL: conn-scaling measured round trip\n");
+      std::exit(1);
+    }
+    sample = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
+  }
+
+  for (int fd : fds) ::close(fd);
+  server.stop();  // hard stop: clients are gone, nothing left to flush
+  runner.join();
+
+  ConnScalingPoint point;
+  point.connections = target_conns;
+  std::sort(lat_us.begin(), lat_us.end());
+  point.p50_us = lat_us[lat_us.size() / 2];
+  point.p99_us = lat_us[(lat_us.size() * 99) / 100 < lat_us.size()
+                            ? (lat_us.size() * 99) / 100
+                            : lat_us.size() - 1];
+  return point;
+}
+
+std::vector<int> parse_conns_flag(int argc, char** argv) {
+  std::vector<int> conns = {64, 256, 1024};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--conns=", 8) != 0) continue;
+    conns.clear();
+    const char* p = argv[i] + 8;
+    while (*p) {
+      char* end = nullptr;
+      const long v = std::strtol(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) conns.push_back(static_cast<int>(v));
+      p = (*end == ',') ? end + 1 : end;
+    }
+  }
+  std::sort(conns.begin(), conns.end());
+  return conns;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t per_kernel =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
-  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+      (argc > 1 && argv[1][0] != '-') ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const int repeats =
+      (argc > 2 && argv[2][0] != '-') ? std::atoi(argv[2]) : 3;
+  const std::vector<int> conns_requested = parse_conns_flag(argc, argv);
 
   const std::vector<std::string> lines = build_requests(per_kernel);
   std::printf("serve throughput (%zu requests over 4 kernels, best of %d)\n\n",
@@ -230,6 +384,25 @@ int main(int argc, char** argv) {
   for (int r = 0; r < repeats; ++r)
     drain_ms = std::min(drain_ms, measure_drain_latency_ms(lines));
 
+  // Connection-count scaling over the epoll socket server: K-1 idle
+  // connections plus one active one, p50/p99 round-trip latency on the
+  // active connection. Points that would not fit under the fd soft limit
+  // (with headroom for the process's own fds) are dropped, loudly.
+  const std::size_t fd_limit = fd_soft_limit();
+  const int max_conns =
+      static_cast<int>(fd_limit > 256 ? fd_limit - 256 : fd_limit / 2);
+  std::vector<ConnScalingPoint> conn_points;
+  for (int requested : conns_requested) {
+    if (requested > max_conns) {
+      std::printf("conn-scaling: skipping %d connections (fd soft limit %zu "
+                  "allows at most %d)\n",
+                  requested, fd_limit, max_conns);
+      continue;
+    }
+    conn_points.push_back(
+        measure_conn_scaling(requested, lines.front(), /*samples=*/400));
+  }
+
   const double n = static_cast<double>(lines.size());
   const double speedup = cold_ms / warm_ms;
   std::printf("  %-22s %10s %14s\n", "phase", "wall ms", "requests/sec");
@@ -250,6 +423,14 @@ int main(int argc, char** argv) {
               to_string(warm_service.options().cache_backend));
   std::printf("drain latency under load: %.2f ms (ceiling %.0f ms)\n",
               drain_ms, kMaxDrainMs);
+  if (!conn_points.empty()) {
+    std::printf("\nconnection scaling (event-loop backend, 1 active + K-1 "
+                "idle, %d samples)\n", 400);
+    std::printf("  %-14s %12s %12s\n", "connections", "p50 us", "p99 us");
+    for (const ConnScalingPoint& point : conn_points)
+      std::printf("  %-14d %12.1f %12.1f\n", point.connections, point.p50_us,
+                  point.p99_us);
+  }
 
   std::FILE* json = std::fopen("BENCH_serve.json", "w");
   if (!json) {
@@ -280,8 +461,12 @@ int main(int argc, char** argv) {
                "    \"threads_16\": %.1f\n"
                "  },\n"
                "  \"warm_mt_scaling_1_to_16\": %.3f,\n"
-               "  \"warm_mt_scaling_floor_applied\": %.3f\n"
-               "}\n",
+               "  \"warm_mt_scaling_floor_applied\": %.3f,\n"
+               "  \"fd_soft_limit\": %zu,\n"
+               "  \"server_backend\": \"%s\",\n"
+               "  \"conn_scaling_p99_factor\": %.1f,\n"
+               "  \"conn_scaling_p99_slack_us\": %.1f,\n"
+               "  \"conn_scaling\": [",
                lines.size(), cold_ms, warm_ms, warm_line_ms,
                n / (cold_ms / 1000.0), n / (warm_ms / 1000.0), speedup,
                kMinWarmSpeedup, drain_ms, kMaxDrainMs,
@@ -291,7 +476,17 @@ int main(int argc, char** argv) {
                to_string(warm_service.options().cache_backend), hw,
                n / (warm_mt_ms[0] / 1000.0), n / (warm_mt_ms[1] / 1000.0),
                n / (warm_mt_ms[2] / 1000.0), n / (warm_mt_ms[3] / 1000.0),
-               n / (warm_mt_ms[4] / 1000.0), mt_scaling, mt_floor);
+               n / (warm_mt_ms[4] / 1000.0), mt_scaling, mt_floor, fd_limit,
+               std::string(serve::to_string(serve::ServerBackend::kEventLoop))
+                   .c_str(),
+               kConnP99Factor, kConnP99SlackUs);
+  for (std::size_t i = 0; i < conn_points.size(); ++i)
+    std::fprintf(json,
+                 "%s\n    {\"connections\": %d, \"p50_us\": %.1f, "
+                 "\"p99_us\": %.1f}",
+                 i ? "," : "", conn_points[i].connections,
+                 conn_points[i].p50_us, conn_points[i].p99_us);
+  std::fprintf(json, "%s]\n}\n", conn_points.empty() ? "" : "\n  ");
   std::fclose(json);
   std::printf("wrote BENCH_serve.json\n");
 
@@ -313,6 +508,21 @@ int main(int argc, char** argv) {
                  "floor for this hardware (%u threads)\n",
                  mt_scaling, mt_floor, hw);
     return 1;
+  }
+  // Flat-p99 envelope: only meaningful with at least two points and a
+  // largest point of >=256 connections (the smoke run measures 64 alone).
+  if (conn_points.size() >= 2 && conn_points.back().connections >= 256) {
+    const double bound =
+        kConnP99Factor * conn_points.front().p99_us + kConnP99SlackUs;
+    if (conn_points.back().p99_us > bound) {
+      std::fprintf(stderr,
+                   "FAIL: p99 %.1f us at %d connections exceeds the flat "
+                   "envelope %.1f us (%.1fx p99 at %d connections + %.0f us)\n",
+                   conn_points.back().p99_us, conn_points.back().connections,
+                   bound, kConnP99Factor, conn_points.front().connections,
+                   kConnP99SlackUs);
+      return 1;
+    }
   }
   return 0;
 }

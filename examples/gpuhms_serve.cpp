@@ -1,10 +1,13 @@
 // gpuhms_serve: the long-running prediction/search daemon.
 //
-// Speaks the newline-delimited JSON protocol of DESIGN §11 over stdin/stdout
-// (the default; pipe requests in, read responses out) or over a Unix domain
-// socket (--socket=PATH) where each connection gets its own handler thread
-// against one shared PredictionService — so every client shares the kernel
-// and prediction caches.
+// Speaks the newline-delimited JSON protocol of DESIGN §11 (operator guide:
+// docs/SERVING.md) over stdin/stdout (the default; pipe requests in, read
+// responses out) or over a Unix domain socket (--socket=PATH) served by the
+// epoll event-loop backend of DESIGN §15 — one reactor thread holds every
+// connection, request batches execute on a small worker pool, and all
+// clients share one PredictionService (one kernel/prediction cache).
+// --legacy-threaded restores the PR 5 thread-per-connection loop; responses
+// are byte-identical on either backend.
 //
 // Quickstart (see README "Serving"):
 //   $ ./examples/gpuhms_serve
@@ -24,7 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <mutex>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -32,10 +35,9 @@
 
 #include <poll.h>
 #include <signal.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 
 using namespace gpuhms;
@@ -74,14 +76,25 @@ void print_help() {
       "Long-running placement prediction/search daemon. Reads one JSON\n"
       "request per line, writes one JSON response per line, in order.\n"
       "Ops: predict, predict_batch, search (algo=bnb|exhaustive|beam),\n"
-      "metrics, health, shutdown. Protocol grammar: DESIGN.md section 11.\n"
+      "metrics, health, shutdown. Protocol grammar: DESIGN.md section 11;\n"
+      "full operator and wire-protocol reference: docs/SERVING.md.\n"
       "SIGTERM/SIGINT drain gracefully: in-flight requests finish, new ones\n"
       "are shed with a retryable UNAVAILABLE, no response is ever lost.\n"
       "\n"
       "flags:\n"
       "  --socket=PATH        listen on a Unix domain socket instead of\n"
-      "                       stdin/stdout (one thread per connection, one\n"
-      "                       shared cache). The path is unlinked first.\n"
+      "                       stdin/stdout (epoll event loop, one shared\n"
+      "                       cache). The path is unlinked first.\n"
+      "  --legacy-threaded    socket mode only: serve with the PR 5 thread-\n"
+      "                       per-connection loop instead of the event loop\n"
+      "                       (DESIGN sec 15; responses are byte-identical\n"
+      "                       either way)\n"
+      "  --executor-threads=N event-loop worker threads executing request\n"
+      "                       batches off the reactor (default: hardware,\n"
+      "                       clamped to [1,4])\n"
+      "  --max-write-buffer=N per-connection response-buffer bound in bytes\n"
+      "                       before dispatch stalls on a slow reader\n"
+      "                       (default 262144)\n"
       "  --arch=NAME          kepler (default) or fermi\n"
       "  --train-overlap      fit the Eq. 11 T_overlap model on the Table IV\n"
       "                       training suite at startup (seconds; better\n"
@@ -104,7 +117,7 @@ void print_help() {
       "                       exceeded -> forced exit code 3 (default 5000)\n"
       "  --help               this text\n"
       "\n"
-      "environment:\n"
+      "environment (full list: docs/SERVING.md):\n"
       "  GPUHMS_THREADS       default worker-thread count (responses are\n"
       "                       bit-identical for any value)\n"
       "  GPUHMS_LEGACY_CACHE  =1 is the env spelling of --legacy-cache\n"
@@ -153,19 +166,6 @@ bool write_all(int fd, const std::string& out) {
   return true;
 }
 
-// Splits the complete lines out of `buf` (which keeps any partial tail).
-std::vector<std::string> take_lines(std::string& buf) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  for (std::size_t nl = buf.find('\n'); nl != std::string::npos;
-       nl = buf.find('\n', start)) {
-    lines.push_back(buf.substr(start, nl - start));
-    start = nl + 1;
-  }
-  buf.erase(0, start);
-  return lines;
-}
-
 void log_drain_stats(const serve::PredictionService& service, int sig) {
   const serve::ServeStats s = service.stats();
   std::fprintf(stderr,
@@ -188,7 +188,7 @@ void log_drain_stats(const serve::PredictionService& service, int sig) {
 // process exits 0. A partial trailing line was never a complete request and
 // is dropped by construction.
 int run_stdio_server(serve::PredictionService& service) {
-  std::string buf;
+  serve::LineFramer framer;
   char chunk[1 << 16];
   bool eof = false;
   while (!eof && !service.stopped() && g_signal.load() == 0) {
@@ -209,8 +209,9 @@ int run_stdio_server(serve::PredictionService& service) {
     if (n == 0)
       eof = true;
     else
-      buf.append(chunk, static_cast<std::size_t>(n));
-    const std::vector<std::string> lines = take_lines(buf);
+      framer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    const std::vector<std::string> lines =
+        framer.take_lines(std::numeric_limits<std::size_t>::max());
     if (lines.empty()) continue;
     std::string out;
     for (const std::string& response : service.handle_pipeline(lines)) {
@@ -229,7 +230,8 @@ int run_stdio_server(serve::PredictionService& service) {
     service.begin_drain();
     // Buffered complete lines arrived before the signal; they are owed a
     // response each (the service sheds them with retryable UNAVAILABLE).
-    const std::vector<std::string> lines = take_lines(buf);
+    const std::vector<std::string> lines =
+        framer.take_lines(std::numeric_limits<std::size_t>::max());
     std::string out;
     if (!lines.empty())
       for (const std::string& response : service.handle_pipeline(lines)) {
@@ -253,140 +255,76 @@ int run_stdio_server(serve::PredictionService& service) {
 }
 
 // --- socket mode -------------------------------------------------------------
+// Accept/drain/dispatch live in the library now (serve/server.hpp); the
+// daemon contributes only the signal-to-drain bridge: a watcher thread parks
+// on the self-pipe and calls begin_drain() when a signal lands, so both
+// backends share one drain entry point.
+int run_socket_server(serve::PredictionService& service,
+                      const serve::ServerOptions& server_options) {
+  serve::SocketServer server(service, server_options);
+  const Status st = server.listen();
+  if (!st.ok()) die(st.to_string());
+  std::fprintf(stderr, "gpuhms_serve: listening on %s (%s backend)\n",
+               server_options.socket_path.c_str(),
+               std::string(serve::to_string(server_options.backend)).c_str());
 
-// Open connections, so a drain can shutdown(SHUT_RD) each one: blocked reads
-// return 0, handler threads finish their in-flight pipeline, write its
-// responses, and exit. An fd is removed BEFORE it is closed, so
-// shutdown_all never touches a recycled descriptor.
-struct ConnectionRegistry {
-  std::mutex mu;
-  std::vector<int> fds;
-  std::atomic<std::size_t> active{0};
-
-  void add(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
-    fds.push_back(fd);
-    active.fetch_add(1, std::memory_order_acq_rel);
-  }
-  void remove(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
-    std::erase(fds, fd);
-    active.fetch_sub(1, std::memory_order_acq_rel);
-  }
-  void shutdown_all() {
-    std::lock_guard<std::mutex> lock(mu);
-    for (const int fd : fds) ::shutdown(fd, SHUT_RD);
-  }
-};
-
-// One connection: line-buffered reads, one response line per request.
-void serve_connection(int fd, serve::PredictionService& service) {
-  std::string buf;
-  char chunk[4096];
-  while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    buf.append(chunk, static_cast<std::size_t>(n));
-    // Handle every complete line received so far as one pipelined batch
-    // (same-kernel predicts coalesce into one batch prediction).
-    const std::vector<std::string> lines = take_lines(buf);
-    if (lines.empty()) continue;
-    std::string out;
-    for (const std::string& response : service.handle_pipeline(lines)) {
-      out += response;
-      out += '\n';
+  int done_pipe[2] = {-1, -1};
+  if (::pipe(done_pipe) != 0)
+    die("pipe(): " + std::string(std::strerror(errno)));
+  std::thread watcher([&server, &done_pipe] {
+    for (;;) {
+      pollfd pfds[2] = {{g_signal_pipe[0], POLLIN, 0},
+                        {done_pipe[0], POLLIN, 0}};
+      const int ready = ::poll(pfds, 2, -1);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) return;
+      if (pfds[0].revents != 0) {
+        std::fprintf(stderr,
+                     "gpuhms_serve: signal %d: draining (%llu connections, "
+                     "timeout %zu ms)\n",
+                     g_signal.load(),
+                     static_cast<unsigned long long>(
+                         server.stats().connections_open),
+                     server.options().drain_timeout_ms);
+        server.begin_drain();
+        return;
+      }
+      if (pfds[1].revents != 0) return;  // clean exit: stop watching
     }
-    if (!write_all(fd, out)) {
-      std::fprintf(stderr,
-                   "gpuhms_serve: dropping connection: response write "
-                   "failed: %s\n",
-                   std::strerror(errno));
-      break;
-    }
-    if (service.stopped()) break;
+  });
+  const int rc = server.run();
+  {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t w = ::write(done_pipe[1], &byte, 1);
   }
-}
-
-int run_socket_server(const std::string& path,
-                      serve::PredictionService& service,
-                      std::size_t drain_timeout_ms) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof addr.sun_path)
-    die("socket path too long: '" + path + "'");
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) die("socket(): " + std::string(std::strerror(errno)));
-  ::unlink(path.c_str());
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0)
-    die("bind('" + path + "'): " + std::string(std::strerror(errno)));
-  if (::listen(listener, 16) != 0)
-    die("listen(): " + std::string(std::strerror(errno)));
-  std::fprintf(stderr, "gpuhms_serve: listening on %s\n", path.c_str());
-
-  ConnectionRegistry registry;
-  std::vector<std::thread> handlers;
-  while (!service.stopped() && g_signal.load() == 0) {
-    // Poll the listener AND the signal pipe (with a timeout so a shutdown
-    // handled on a connection thread unblocks the accept loop too).
-    pollfd pfds[2] = {{listener, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
-    const int ready = ::poll(pfds, 2, 1000);
-    if (ready < 0 && errno != EINTR)
-      die("poll(): " + std::string(std::strerror(errno)));
-    if (g_signal.load() != 0 || pfds[1].revents != 0) break;
-    if (ready <= 0 || (pfds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) continue;
-    handlers.emplace_back([fd, &service, &registry] {
-      registry.add(fd);
-      serve_connection(fd, service);
-      registry.remove(fd);
-      ::close(fd);
-    });
-  }
-  // Stop accepting first: close the listener and unlink the path so new
-  // clients fail fast instead of queueing behind a drain.
-  ::close(listener);
-  ::unlink(path.c_str());
+  watcher.join();
+  ::close(done_pipe[0]);
+  ::close(done_pipe[1]);
 
   const int sig = g_signal.load();
-  if (sig != 0) {
+  if (rc == 3) {
     std::fprintf(stderr,
-                 "gpuhms_serve: signal %d: draining (%zu connections, "
-                 "timeout %zu ms)\n",
-                 sig, registry.active.load(), drain_timeout_ms);
-    service.begin_drain();
-    registry.shutdown_all();
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(drain_timeout_ms);
-    while (registry.active.load(std::memory_order_acquire) > 0 &&
-           std::chrono::steady_clock::now() < deadline)
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    if (registry.active.load(std::memory_order_acquire) > 0) {
-      std::fprintf(stderr,
-                   "gpuhms_serve: drain timed out with %zu connections "
-                   "still active; forcing exit\n",
-                   registry.active.load());
-      std::fflush(stderr);
-      // Handler threads are still running; a normal exit would run static
-      // destructors under them. _Exit skips that — the kernel closes fds.
-      std::_Exit(3);
-    }
-    log_drain_stats(service, sig);
+                 "gpuhms_serve: drain timed out with %llu connections still "
+                 "active; forcing exit\n",
+                 static_cast<unsigned long long>(
+                     server.stats().connections_open));
+    std::fflush(stderr);
+    // Worker/handler threads may still be running; a normal exit would run
+    // static destructors under them. _Exit skips that — the kernel closes
+    // the fds.
+    std::_Exit(3);
   }
-  for (std::thread& t : handlers) t.join();
-  return 0;
+  if (sig != 0) log_drain_stats(service, sig);
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   serve::ServeOptions options;
+  serve::ServerOptions server_options;
   std::optional<std::string> socket_path;
   std::string arch_name = "kepler";
-  std::size_t drain_timeout_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -397,12 +335,22 @@ int main(int argc, char** argv) {
       options.train_overlap = true;
     } else if (std::strcmp(arg, "--legacy-cache") == 0) {
       options.cache_backend = CacheBackend::kLegacyLru;
+    } else if (std::strcmp(arg, "--legacy-threaded") == 0) {
+      server_options.backend = serve::ServerBackend::kThreadPerConnection;
     } else if (const char* v = flag_value(arg, "--socket", argc, argv, &i)) {
       socket_path = v;
     } else if (const char* v = flag_value(arg, "--arch", argc, argv, &i)) {
       arch_name = v;
     } else if (const char* v = flag_value(arg, "--threads", argc, argv, &i)) {
       options.num_threads = static_cast<int>(parse_size(v, "--threads"));
+    } else if (const char* v =
+                   flag_value(arg, "--executor-threads", argc, argv, &i)) {
+      server_options.executor_threads =
+          static_cast<int>(parse_size(v, "--executor-threads"));
+    } else if (const char* v =
+                   flag_value(arg, "--max-write-buffer", argc, argv, &i)) {
+      server_options.max_write_buffer_bytes =
+          parse_size(v, "--max-write-buffer");
     } else if (const char* v =
                    flag_value(arg, "--kernel-cache", argc, argv, &i)) {
       options.kernel_cache_capacity = parse_size(v, "--kernel-cache");
@@ -420,7 +368,7 @@ int main(int argc, char** argv) {
       options.idem_cache_capacity = parse_size(v, "--idem-cache");
     } else if (const char* v =
                    flag_value(arg, "--drain-timeout-ms", argc, argv, &i)) {
-      drain_timeout_ms = parse_size(v, "--drain-timeout-ms");
+      server_options.drain_timeout_ms = parse_size(v, "--drain-timeout-ms");
     } else {
       die(std::string("unexpected argument '") + arg + "' (--help lists "
           "the flags)");
@@ -439,7 +387,9 @@ int main(int argc, char** argv) {
                  "(--train-overlap)...\n");
   serve::PredictionService service(options, *arch);
 
-  if (socket_path)
-    return run_socket_server(*socket_path, service, drain_timeout_ms);
+  if (socket_path) {
+    server_options.socket_path = *socket_path;
+    return run_socket_server(service, server_options);
+  }
   return run_stdio_server(service);
 }

@@ -1,0 +1,276 @@
+#include "serve/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include "common/obs.hpp"
+
+namespace gpuhms::serve {
+
+namespace {
+
+Status errno_status(const char* what) {
+  return InternalError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// std::chrono::steady_clock is CLOCK_MONOTONIC on Linux/libstdc++, so a
+// steady_clock time_point converts losslessly into an absolute itimerspec.
+itimerspec to_absolute_itimerspec(std::chrono::steady_clock::time_point tp) {
+  const auto since_epoch = tp.time_since_epoch();
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(
+      since_epoch);
+  auto nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch - secs);
+  itimerspec spec{};
+  spec.it_value.tv_sec = static_cast<time_t>(secs.count());
+  spec.it_value.tv_nsec = static_cast<long>(nanos.count());
+  // A zero it_value disarms the timerfd; a deadline that happens to land on
+  // an exact epoch second still must fire.
+  if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0)
+    spec.it_value.tv_nsec = 1;
+  return spec;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    status_ = errno_status("epoll_create1()");
+    return;
+  }
+  wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wakeup_fd_ < 0) {
+    status_ = errno_status("eventfd()");
+    return;
+  }
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ < 0) {
+    status_ = errno_status("timerfd_create()");
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) != 0) {
+    status_ = errno_status("epoll_ctl(ADD wakeup eventfd)");
+    return;
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = timer_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev) != 0)
+    status_ = errno_status("epoll_ctl(ADD timerfd)");
+}
+
+EventLoop::~EventLoop() {
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
+  if (!status_.ok()) return status_;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers_[fd] = std::make_shared<FdCallback>(std::move(callback));
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers_.erase(fd);
+    return errno_status("epoll_ctl(ADD)");
+  }
+  return OkStatus();
+}
+
+Status EventLoop::modify_fd(int fd, std::uint32_t events) {
+  if (!status_.ok()) return status_;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+    return errno_status("epoll_ctl(MOD)");
+  return OkStatus();
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (!status_.ok()) return;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers_.erase(fd);
+  }
+  // Failure (fd already closed by the kernel) is benign: the registration is
+  // gone either way.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EventLoop::TimerId EventLoop::add_timer(
+    std::chrono::steady_clock::time_point deadline, TimerCallback callback) {
+  TimerId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(timers_mu_);
+    id = next_timer_id_++;
+    timer_heap_.push(PendingTimer{deadline, id});
+    timer_callbacks_[id] = std::move(callback);
+  }
+  // The loop re-arms the timerfd from the heap after every wakeup; waking it
+  // here covers the cross-thread add while it is blocked with a later (or
+  // no) deadline armed.
+  wake();
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  std::lock_guard<std::mutex> lock(timers_mu_);
+  // The heap entry stays; fire_due_timers drops entries whose callback is
+  // gone. O(1) cancel without heap surgery.
+  timer_callbacks_.erase(id);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  post([this] { stop_requested_ = true; });
+}
+
+EventLoop::Counters EventLoop::counters() const {
+  Counters c;
+  c.wakeups = wakeups_.load(std::memory_order_relaxed);
+  c.events_dispatched = events_dispatched_.load(std::memory_order_relaxed);
+  c.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  c.timers_fired = timers_fired_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void EventLoop::wake() {
+  if (wakeup_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // The eventfd is a 64-bit counter: concurrent writes coalesce into one
+  // readable wakeup, and EAGAIN (counter saturated) still leaves it readable.
+  [[maybe_unused]] const ssize_t w =
+      ::write(wakeup_fd_, &one, sizeof one);
+}
+
+void EventLoop::drain_wakeup_fd() {
+  std::uint64_t count = 0;
+  while (::read(wakeup_fd_, &count, sizeof count) > 0) {
+  }
+}
+
+void EventLoop::run_posted_tasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) {
+    task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EventLoop::fire_due_timers() {
+  const auto now = std::chrono::steady_clock::now();
+  for (;;) {
+    TimerCallback callback;
+    {
+      std::lock_guard<std::mutex> lock(timers_mu_);
+      if (timer_heap_.empty() || timer_heap_.top().deadline > now) break;
+      const TimerId id = timer_heap_.top().id;
+      timer_heap_.pop();
+      auto it = timer_callbacks_.find(id);
+      if (it == timer_callbacks_.end()) continue;  // cancelled
+      callback = std::move(it->second);
+      timer_callbacks_.erase(it);
+    }
+    callback();
+    timers_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EventLoop::rearm_timerfd() {
+  itimerspec spec{};  // zero it_value: disarm
+  {
+    std::lock_guard<std::mutex> lock(timers_mu_);
+    // Skip heap entries whose callback was cancelled.
+    while (!timer_heap_.empty() &&
+           !timer_callbacks_.contains(timer_heap_.top().id))
+      timer_heap_.pop();
+    if (!timer_heap_.empty())
+      spec = to_absolute_itimerspec(timer_heap_.top().deadline);
+  }
+  ::timerfd_settime(timer_fd_, TFD_TIMER_ABSTIME, &spec, nullptr);
+}
+
+void EventLoop::run() {
+  if (!status_.ok()) return;
+  stop_requested_ = false;
+  rearm_timerfd();
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status_ = errno_status("epoll_wait()");
+      return;
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    GPUHMS_HISTOGRAM_RECORD("serve.loop.ready_events",
+                            static_cast<std::uint64_t>(n));
+    const auto dispatch_start = std::chrono::steady_clock::now();
+    bool timers_due = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        drain_wakeup_fd();
+        continue;  // tasks run below, after fd dispatch
+      }
+      if (fd == timer_fd_) {
+        std::uint64_t expirations = 0;
+        while (::read(timer_fd_, &expirations, sizeof expirations) > 0) {
+        }
+        timers_due = true;
+        continue;
+      }
+      std::shared_ptr<FdCallback> handler;
+      {
+        std::lock_guard<std::mutex> lock(handlers_mu_);
+        auto it = handlers_.find(fd);
+        if (it != handlers_.end()) handler = it->second;
+      }
+      // The shared_ptr copy keeps the callback alive even if it removes its
+      // own fd (session close) mid-dispatch; a handler removed by an EARLIER
+      // callback in this batch is skipped — its fd may already be recycled.
+      if (handler) {
+        (*handler)(events[i].events);
+        events_dispatched_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    run_posted_tasks();
+    if (timers_due) fire_due_timers();
+    rearm_timerfd();
+    GPUHMS_HISTOGRAM_RECORD(
+        "serve.loop.iteration_ns",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - dispatch_start)
+                .count()));
+  }
+}
+
+}  // namespace gpuhms::serve

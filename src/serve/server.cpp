@@ -1,0 +1,426 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/obs.hpp"
+#include "serve/service.hpp"
+
+namespace gpuhms::serve {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+// Full write with EINTR handling; false means the peer is gone and the
+// responses cannot be delivered (the legacy backend drops the connection).
+// MSG_NOSIGNAL so a hung-up peer is an EPIPE errno, not a SIGPIPE.
+bool write_all(int fd, const std::string& out) {
+  std::size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t w =
+        ::send(fd, out.data() + written, out.size() - written, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string join_responses(const std::vector<std::string>& responses) {
+  std::string out;
+  for (const std::string& response : responses) {
+    out += response;
+    out += '\n';
+  }
+  return out;
+}
+
+int default_executor_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 4u));
+}
+
+}  // namespace
+
+// --- Executor ----------------------------------------------------------------
+
+Executor::Executor(int threads) {
+  if (threads <= 0) threads = default_executor_threads();
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Executor::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained: exit
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+// --- SocketServer ------------------------------------------------------------
+
+std::string_view to_string(ServerBackend backend) {
+  switch (backend) {
+    case ServerBackend::kEventLoop:
+      return "event_loop";
+    case ServerBackend::kThreadPerConnection:
+      return "thread_per_connection";
+  }
+  return "unknown";
+}
+
+SocketServer::SocketServer(PredictionService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() {
+  if (listener_ >= 0) {
+    ::close(listener_);
+    ::unlink(options_.socket_path.c_str());
+  }
+  // Joins any legacy handler still running (a clean run() already joined
+  // them). After a drain timeout (run() == 3) the caller must _Exit instead
+  // of destroying the server: stuck handlers would block this join.
+  for (std::thread& t : legacy_handlers_)
+    if (t.joinable()) t.join();
+  if (legacy_wake_fd_ >= 0) ::close(legacy_wake_fd_);
+}
+
+Status SocketServer::listen() {
+  const std::string& path = options_.socket_path;
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof addr.sun_path)
+    return InvalidArgumentError("socket path '" + path +
+                                "' is empty or too long");
+  listener_ =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listener_ < 0) return errno_status("socket()");
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::bind(listener_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
+    return errno_status("bind('" + path + "')");
+  if (::listen(listener_, options_.listen_backlog) != 0)
+    return errno_status("listen()");
+  return OkStatus();
+}
+
+int SocketServer::run() {
+  if (listener_ < 0) return 1;  // listen() not called or failed
+  if (options_.backend == ServerBackend::kThreadPerConnection)
+    return run_thread_per_connection();
+  return run_event_loop();
+}
+
+void SocketServer::begin_drain() {
+  const bool first = !drain_requested_.exchange(true);
+  if (options_.backend == ServerBackend::kEventLoop) {
+    if (first) loop_.post([this] { initiate_shutdown(/*graceful=*/true); });
+  } else if (legacy_wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w =
+        ::write(legacy_wake_fd_, &one, sizeof one);
+  }
+}
+
+void SocketServer::stop() {
+  hard_stop_.store(true);
+  drain_requested_.store(true);
+  if (options_.backend == ServerBackend::kEventLoop) {
+    loop_.post([this] { initiate_shutdown(/*graceful=*/false); });
+  } else if (legacy_wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w =
+        ::write(legacy_wake_fd_, &one, sizeof one);
+  }
+}
+
+ServerStats SocketServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_open = open_.load(std::memory_order_relaxed);
+  s.backpressure_stalls = stalls_.load(std::memory_order_relaxed);
+  s.write_buffer_high_water = high_water_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- event-loop backend ------------------------------------------------------
+
+int SocketServer::run_event_loop() {
+  if (!loop_.status().ok()) return 1;
+  session_batch_lines_ = options_.max_batch_lines != 0
+                             ? options_.max_batch_lines
+                             : service_.options().max_batch;
+  executor_ = std::make_unique<Executor>(options_.executor_threads);
+  const Status st =
+      loop_.add_fd(listener_, EPOLLIN, [this](std::uint32_t) {
+        on_acceptable();
+      });
+  if (!st.ok()) return 1;
+  // begin_drain()/stop() calls that raced ahead of run() posted their tasks
+  // already; the first loop iteration executes them.
+  loop_.run();
+  if (!loop_.status().ok()) return 1;
+  return timed_out_ ? 3 : 0;
+}
+
+void SocketServer::on_acceptable() {
+  for (;;) {
+    const int fd =
+        ::accept4(listener_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: accepted everything pending. EMFILE/ENFILE: out of fds —
+      // leave the connection queued; a session close frees a descriptor and
+      // the level-triggered listener re-fires.
+      break;
+    }
+    accept_one(fd);
+  }
+}
+
+void SocketServer::accept_one(int fd) {
+  SessionOptions session_options;
+  session_options.max_batch_lines = session_batch_lines_;
+  session_options.max_write_buffer_bytes = options_.max_write_buffer_bytes;
+  auto execute = [this](std::vector<std::string> lines,
+                        std::function<void(std::vector<std::string>)> done) {
+    executor_->submit(
+        [this, lines = std::move(lines), done = std::move(done)]() mutable {
+          std::vector<std::string> responses = service_.handle_pipeline(lines);
+          const bool stopped = service_.stopped();
+          done(std::move(responses));
+          // The batch that answered `shutdown` retires the whole server:
+          // same drain sequence as a signal, entered exactly once.
+          if (stopped && !drain_requested_.exchange(true))
+            loop_.post([this] { initiate_shutdown(/*graceful=*/true); });
+        });
+  };
+  auto session = std::make_shared<Session>(
+      loop_, fd, session_options, service_, std::move(execute),
+      [this](Session* s) { on_session_closed(s); });
+  sessions_.emplace(session.get(), session);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t open = open_.fetch_add(1, std::memory_order_relaxed) + 1;
+  GPUHMS_GAUGE_SET("serve.loop.open_connections", open);
+  // A failed start() already closed the fd and fired on_session_closed.
+  (void)session->start();
+  // A connection accepted after the drain began still gets the graceful
+  // treatment (shed responses, then EOF) instead of hanging open.
+  if (closing_ && !session->closed()) session->begin_drain();
+}
+
+void SocketServer::on_session_closed(Session* session) {
+  stalls_.fetch_add(session->backpressure_stalls(),
+                    std::memory_order_relaxed);
+  std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+  while (session->write_buffer_high_water() > hw &&
+         !high_water_.compare_exchange_weak(
+             hw, session->write_buffer_high_water(),
+             std::memory_order_relaxed)) {
+  }
+  const std::uint64_t open = open_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  GPUHMS_GAUGE_SET("serve.loop.open_connections", open);
+  sessions_.erase(session);
+  if (closing_ && sessions_.empty()) loop_.stop();
+}
+
+void SocketServer::initiate_shutdown(bool graceful) {
+  if (closing_) {
+    if (!graceful) {  // escalate an in-progress drain to a hard stop
+      std::vector<std::shared_ptr<Session>> live;
+      live.reserve(sessions_.size());
+      for (auto& [_, s] : sessions_) live.push_back(s);
+      for (auto& s : live) s->close();
+      loop_.stop();
+    }
+    return;
+  }
+  closing_ = true;
+  close_listener();
+  // Iterate a copy: begin_drain/close can complete a session inline, which
+  // erases it from sessions_ via on_session_closed.
+  std::vector<std::shared_ptr<Session>> live;
+  live.reserve(sessions_.size());
+  for (auto& [_, s] : sessions_) live.push_back(s);
+  if (graceful) {
+    // After a shutdown request the service is already stopped (trailing
+    // lines answer FAILED_PRECONDITION); flipping draining on top would be
+    // a different refusal code than the legacy backend emits.
+    if (!service_.stopped()) service_.begin_drain();
+    for (auto& s : live) s->begin_drain();
+    loop_.add_timer(std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms),
+                    [this] {
+                      timed_out_ = true;
+                      loop_.stop();
+                    });
+  } else {
+    for (auto& s : live) s->close();
+  }
+  if (sessions_.empty()) loop_.stop();
+}
+
+void SocketServer::close_listener() {
+  if (listener_ < 0) return;
+  loop_.remove_fd(listener_);
+  ::close(listener_);
+  ::unlink(options_.socket_path.c_str());
+  listener_ = -1;
+}
+
+// --- legacy thread-per-connection backend ------------------------------------
+
+int SocketServer::run_thread_per_connection() {
+  legacy_wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (legacy_wake_fd_ < 0) return 1;
+  while (!service_.stopped() && !drain_requested_.load()) {
+    pollfd pfds[2] = {{listener_, POLLIN, 0}, {legacy_wake_fd_, POLLIN, 0}};
+    // Finite timeout so a shutdown answered on a handler thread unblocks
+    // this loop within a second even without a wakeup write.
+    const int ready = ::poll(pfds, 2, 1000);
+    if (ready < 0 && errno != EINTR) return 1;
+    if (drain_requested_.load() || pfds[1].revents != 0) break;
+    if (ready <= 0 || (pfds[0].revents & POLLIN) == 0) continue;
+    // The accepted fd does not inherit the listener's O_NONBLOCK: handler
+    // threads use plain blocking reads.
+    const int fd = ::accept4(listener_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(legacy_mu_);
+      legacy_fds_.push_back(fd);
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_.fetch_add(1, std::memory_order_relaxed);
+    legacy_handlers_.emplace_back([this, fd] {
+      legacy_serve_connection(fd);
+      {
+        std::lock_guard<std::mutex> lock(legacy_mu_);
+        std::erase(legacy_fds_, fd);
+      }
+      open_.fetch_sub(1, std::memory_order_relaxed);
+      ::close(fd);
+    });
+  }
+  // Stop accepting first: close the listener and unlink the path so new
+  // clients fail fast instead of queueing behind a drain.
+  ::close(listener_);
+  ::unlink(options_.socket_path.c_str());
+  listener_ = -1;
+
+  const bool graceful_drain = drain_requested_.load() && !hard_stop_.load();
+  if (graceful_drain && !service_.stopped()) service_.begin_drain();
+  // Unblock every handler parked in read(): they answer whatever is already
+  // framed (shed with UNAVAILABLE while draining, FAILED_PRECONDITION once
+  // stopped), flush, and exit. Also covers the shutdown-request path, where
+  // OTHER connections' handlers would otherwise block in read() until their
+  // client hung up.
+  {
+    std::lock_guard<std::mutex> lock(legacy_mu_);
+    for (const int fd : legacy_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  if (graceful_drain) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.drain_timeout_ms);
+    while (open_.load(std::memory_order_acquire) > 0 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (open_.load(std::memory_order_acquire) > 0) return 3;
+  }
+  for (std::thread& t : legacy_handlers_) t.join();
+  legacy_handlers_.clear();
+  return 0;
+}
+
+void SocketServer::legacy_serve_connection(int fd) {
+  LineFramer framer;
+  char chunk[4096];
+  bool stopped_seen = false;
+  while (!stopped_seen) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    framer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    // Handle every complete line received so far as one pipelined batch
+    // (same-kernel predicts coalesce into one batch prediction).
+    const std::vector<std::string> lines =
+        framer.take_lines(std::numeric_limits<std::size_t>::max());
+    if (lines.empty()) continue;
+    if (!write_all(fd, join_responses(service_.handle_pipeline(lines))))
+      return;  // peer gone: responses undeliverable
+    stopped_seen = service_.stopped();
+  }
+  // EOF (or a shutdown answered above): complete lines still framed are owed
+  // a response each — the stopped/draining service sheds them with the same
+  // structured refusals the event-loop backend produces. A partial trailing
+  // line was never a complete request and is dropped by construction.
+  const std::vector<std::string> lines =
+      framer.take_lines(std::numeric_limits<std::size_t>::max());
+  if (!lines.empty())
+    write_all(fd, join_responses(service_.handle_pipeline(lines)));
+}
+
+// --- client-side helper ------------------------------------------------------
+
+StatusOr<int> connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof addr.sun_path)
+    return InvalidArgumentError("socket path '" + path +
+                                "' is empty or too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_status("socket()");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const Status st = errno_status("connect('" + path + "')");
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+}  // namespace gpuhms::serve

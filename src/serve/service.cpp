@@ -753,10 +753,23 @@ std::vector<std::string> PredictionService::handle_pipeline(
       ++i;
       continue;
     }
+    // Checked at dispatch (not parse) time so a shutdown earlier in this
+    // very pipeline already refuses the lines behind it. This check MUST
+    // precede the idempotency replay: whether a replay hits depends on the
+    // cache backend's eviction choices (CLOCK vs strict LRU), so a trailing
+    // line after shutdown would otherwise answer different bytes under
+    // --legacy-cache than under the sharded default. Stopped is stopped —
+    // every backend sheds the same FAILED_PRECONDITION.
+    if (stopped_.load(std::memory_order_acquire)) {
+      pl.response = error_response(
+          &pl.id, pl.op, FailedPreconditionError("service is shut down"));
+      ++i;
+      continue;
+    }
     // Idempotency replay: a retried request carrying a previously-served
     // idem fingerprint gets the ORIGINAL response bytes back without
     // re-executing — exactly-once visible effects across client retries,
-    // even while draining or shut down (a replay does no model work).
+    // even while draining (a replay does no model work).
     if (!pl.idem.empty() && options_.idem_cache_capacity > 0) {
       if (auto hit = idem_cache_.get(pl.idem)) {
         idem_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -765,14 +778,6 @@ std::vector<std::string> PredictionService::handle_pipeline(
         ++i;
         continue;
       }
-    }
-    // Checked at dispatch (not parse) time so a shutdown earlier in this
-    // very pipeline already refuses the lines behind it.
-    if (stopped_.load(std::memory_order_acquire)) {
-      pl.response = error_response(
-          &pl.id, pl.op, FailedPreconditionError("service is shut down"));
-      ++i;
-      continue;
     }
     // Graceful drain: model work is refused with a retryable UNAVAILABLE
     // (still one response per line — a drain never drops a response).

@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
 """Documentation consistency check (ctest -L docs).
 
-Three guarantees:
+Five guarantees:
   1. Every relative markdown link `[text](path)` in the repo's *.md files
-     resolves to an existing file or directory (anchors and absolute URLs
-     are skipped).
-  2. docs/MODEL_MAP.md only references files that exist: every backtick
+     resolves to an existing file or directory (absolute URLs are
+     skipped).
+  2. Every `#fragment` on a markdown link — in-page (`#section`) or
+     cross-file (`FILE.md#section`) — names a real heading in the target
+     file, GitHub-slugged, so a renamed section cannot leave dangling
+     anchors.
+  3. docs/MODEL_MAP.md only references files that exist: every backtick
      token that looks like a repo path (src/..., tests/..., bench/...,
      examples/..., docs/...) must name a real file, so the equation-to-code
      map cannot silently rot as code moves.
-  3. README.md's "Test labels & coverage" list is complete: every ctest
+  4. README.md's "Test labels & coverage" list is complete: every ctest
      label registered via LABELS in tests/CMakeLists.txt must appear in
      README.md spelled `-L <label>`, so a new label cannot ship
      undocumented.
+  5. Every `GPUHMS_*` environment variable read via getenv in src/ or
+     examples/ is documented in README.md or docs/SERVING.md, so an
+     operator knob cannot ship undocumented.
 
 Usage: check_docs.py [repo_root]   (default: parent of this script's dir)
 Exit 0 when clean, 1 with a per-problem report otherwise.
@@ -40,10 +47,49 @@ def find_markdown(root):
                 yield os.path.join(dirpath, name)
 
 
-def check_links(md_path, root):
+def github_slug(heading):
+    """GitHub's heading -> anchor slug: lowercase, drop punctuation except
+    hyphens/underscores, spaces become hyphens. Backticks and links inside
+    the heading contribute their text only."""
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [t](url) -> t
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(md_path):
+    """The set of valid anchor slugs in a markdown file, with GitHub's
+    -1, -2 suffixes for duplicate headings."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence or not line.startswith("#"):
+                continue
+            m = re.match(r"#{1,6}\s+(.*)", line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_links(md_path, root, anchor_cache):
     problems = []
     with open(md_path, encoding="utf-8") as f:
         text = f.read()
+
+    def anchors_of(path):
+        if path not in anchor_cache:
+            anchor_cache[path] = heading_anchors(path)
+        return anchor_cache[path]
+
     in_fence = False
     for lineno, line in enumerate(text.splitlines(), start=1):
         if line.lstrip().startswith("```"):
@@ -52,19 +98,25 @@ def check_links(md_path, root):
         if in_fence:
             continue  # quoted/example content, not our documentation
         for target in LINK_RE.findall(line):
-            if re.match(r"^[a-z]+://", target) or target.startswith("#"):
-                continue  # external URL / in-page anchor
+            if re.match(r"^[a-z]+://", target):
+                continue  # external URL
             if target.startswith("mailto:"):
                 continue
-            path = target.split("#", 1)[0]  # strip fragment
-            if not path:
-                continue
-            resolved = os.path.normpath(
+            path, _, fragment = target.partition("#")
+            resolved = md_path if not path else os.path.normpath(
                 os.path.join(os.path.dirname(md_path), path))
             if not os.path.exists(resolved):
                 problems.append(
                     f"{os.path.relpath(md_path, root)}:{lineno}: "
                     f"broken relative link '{target}'")
+                continue
+            if not fragment or not resolved.endswith(".md"):
+                continue
+            if fragment not in anchors_of(resolved):
+                problems.append(
+                    f"{os.path.relpath(md_path, root)}:{lineno}: "
+                    f"dangling anchor '#{fragment}' — no heading in "
+                    f"{os.path.relpath(resolved, root)} slugs to it")
     return problems
 
 
@@ -113,16 +165,53 @@ def check_readme_labels(root):
     return problems
 
 
+GETENV_RE = re.compile(r'getenv\(\s*"(GPUHMS_[A-Z0-9_]+)"')
+
+
+def check_env_vars(root):
+    """Every GPUHMS_* variable read in src/ or examples/ must be documented
+    in README.md or docs/SERVING.md."""
+    problems = []
+    read_vars = set()
+    for subdir in ("src", "examples"):
+        base = os.path.join(root, subdir)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in filenames:
+                if not name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                    continue
+                with open(os.path.join(dirpath, name),
+                          encoding="utf-8", errors="replace") as f:
+                    read_vars.update(GETENV_RE.findall(f.read()))
+    if not read_vars:
+        return ["no getenv(\"GPUHMS_...\") found in src/ or examples/ "
+                "(regex rot?)"]
+    docs = ""
+    for doc in ("README.md", os.path.join("docs", "SERVING.md")):
+        path = os.path.join(root, doc)
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as f:
+                docs += f.read()
+    for var in sorted(read_vars):
+        if var not in docs:
+            problems.append(
+                f"environment variable '{var}' is read in src/ or "
+                f"examples/ but documented in neither README.md nor "
+                f"docs/SERVING.md")
+    return problems
+
+
 def main():
     root = os.path.abspath(
         sys.argv[1] if len(sys.argv) > 1
         else os.path.join(os.path.dirname(__file__), os.pardir))
     problems = []
     md_files = sorted(find_markdown(root))
+    anchor_cache = {}
     for md in md_files:
-        problems.extend(check_links(md, root))
+        problems.extend(check_links(md, root, anchor_cache))
     problems.extend(check_model_map(root))
     problems.extend(check_readme_labels(root))
+    problems.extend(check_env_vars(root))
 
     if problems:
         print(f"docs check FAILED ({len(problems)} problem(s)):")
@@ -130,8 +219,8 @@ def main():
             print("  " + p)
         return 1
     print(f"docs check OK: {len(md_files)} markdown files, all relative "
-          "links resolve, MODEL_MAP references exist, every ctest label "
-          "is documented")
+          "links and anchors resolve, MODEL_MAP references exist, every "
+          "ctest label and GPUHMS_* env var is documented")
     return 0
 
 

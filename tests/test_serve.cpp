@@ -215,6 +215,42 @@ TEST(Serve, ShutdownHandshakeRefusesLaterRequests) {
   expect_error(service.handle_pipeline(lines).front(), "FAILED_PRECONDITION");
 }
 
+// The stopped check must run BEFORE the idempotency replay: whether a replay
+// hits depends on the cache backend's eviction choices (CLOCK vs strict
+// LRU), so a trailing line that replayed cached bytes after a shutdown could
+// answer different bytes under --legacy-cache than under the sharded
+// default. Locked here: both backends shed the identical FAILED_PRECONDITION
+// for every line behind the shutdown — including a retry of an
+// already-executed idem-keyed request.
+std::vector<std::string> shutdown_trailing_responses(CacheBackend backend) {
+  serve::ServeOptions options;
+  options.cache_backend = backend;
+  serve::PredictionService service{options};
+  const std::string idem_line =
+      R"({"id":1,"op":"predict","benchmark":"triad",)"
+      R"("placement":"G,G,G","idem":"trailing-after-shutdown"})";
+  // Execute once so the idem key is definitely in the replay cache...
+  const std::string first = service.handle_line(idem_line);
+  EXPECT_TRUE(parse_ok(first).find("ok")->as_bool()) << first;
+  // ...then a pipeline whose trailing lines land behind the shutdown.
+  const std::vector<std::string> lines = {R"({"id":2,"op":"shutdown"})",
+                                          idem_line,
+                                          R"({"id":3,"op":"metrics"})"};
+  return service.handle_pipeline(lines);
+}
+
+TEST(Serve, ShutdownTrailingLinesShedIdenticallyOnBothCacheBackends) {
+  const std::vector<std::string> sharded =
+      shutdown_trailing_responses(CacheBackend::kSharded);
+  const std::vector<std::string> legacy =
+      shutdown_trailing_responses(CacheBackend::kLegacyLru);
+  ASSERT_EQ(sharded.size(), 3u);
+  EXPECT_TRUE(parse_ok(sharded[0]).find("stopped")->as_bool()) << sharded[0];
+  expect_error(sharded[1], "FAILED_PRECONDITION");  // NOT an idem replay
+  expect_error(sharded[2], "FAILED_PRECONDITION");
+  EXPECT_EQ(sharded, legacy);  // byte-identical shed on both cache backends
+}
+
 TEST(Serve, StdioLoopAnswersEveryLineInOrderAndStopsOnShutdown) {
   serve::PredictionService service{serve::ServeOptions{}};
   std::istringstream in(predict_line(1, "triad", "G,G,G") + "\n" +
