@@ -37,6 +37,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include "arch/arch_registry.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 
@@ -95,7 +96,10 @@ void print_help() {
       "  --max-write-buffer=N per-connection response-buffer bound in bytes\n"
       "                       before dispatch stalls on a slow reader\n"
       "                       (default 262144)\n"
-      "  --arch=NAME          kepler (default) or fermi\n"
+      "  --arch=NAME          default backend for requests that name no arch:\n"
+      "                       kepler (default), fermi, maxwell, or hbm2\n"
+      "                       (ArchRegistry; requests may override per line\n"
+      "                       with an \"arch\" field)\n"
       "  --train-overlap      fit the Eq. 11 T_overlap model on the Table IV\n"
       "                       training suite at startup (seconds; better\n"
       "                       absolute predictions)\n"
@@ -374,11 +378,10 @@ int main(int argc, char** argv) {
           "the flags)");
     }
   }
-  const GpuArch* arch = nullptr;
-  if (arch_name == "kepler") arch = &kepler_arch();
-  else if (arch_name == "fermi") arch = &fermi_arch();
-  else
-    die("unknown --arch '" + arch_name + "': expected kepler or fermi");
+  const StatusOr<const ArchBackend*> backend =
+      ArchRegistry::builtin().try_find(arch_name);
+  if (!backend.ok()) die(backend.status().to_string());
+  const GpuArch* arch = &(*backend)->arch;
 
   install_signal_handlers();
   if (options.train_overlap)

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/arch_registry.hpp"
 #include "common/journal.hpp"
 #include "common/obs.hpp"
 #include "model/search.hpp"
@@ -99,6 +100,11 @@ void print_help() {
       "                   that the result may be non-optimal.\n"
       "\n"
       "flags:\n"
+      "  --arch=NAME      architecture backend to advise for: kepler\n"
+      "                   (default), fermi, maxwell, or hbm2 (ArchRegistry;\n"
+      "                   an unknown name lists the registered backends).\n"
+      "                   Latencies, bank geometry and the DRAM address map\n"
+      "                   all follow the backend.\n"
       "  --search=MODE    bnb | exhaustive | beam (default: exhaustive).\n"
       "                   bnb covers the FULL m^n space with an admissible\n"
       "                   branch-and-bound (certified optimality gap);\n"
@@ -136,6 +142,7 @@ int main(int argc, char** argv) {
   std::string name = "spmv";
   std::size_t cap = 64;
   std::string search_mode = "exhaustive";
+  std::string arch_name = "kepler";
   std::optional<std::chrono::milliseconds> deadline;
   std::optional<std::string> metrics_out;
   std::optional<std::string> trace_out;
@@ -150,6 +157,8 @@ int main(int argc, char** argv) {
     }
     if (const char* v = flag_value(arg, "--search", argc, argv, &i)) {
       search_mode = v;  // validated below via parse_search_algo
+    } else if (const char* v = flag_value(arg, "--arch", argc, argv, &i)) {
+      arch_name = v;  // validated below via ArchRegistry
     } else if (const char* v =
                    flag_value(arg, "--deadline-ms", argc, argv, &i)) {
       deadline = std::chrono::milliseconds(
@@ -202,9 +211,14 @@ int main(int argc, char** argv) {
     for (const auto& k : known) msg += " " + k;
     die(msg);
   }
-  const GpuArch& arch = kepler_arch();
+  const StatusOr<const ArchBackend*> backend =
+      ArchRegistry::builtin().try_find(arch_name);
+  if (!backend.ok()) die(backend.status().to_string());
+  const GpuArch& arch = (*backend)->arch;
   if (const Status st = validate(arch); !st.ok()) die(st.to_string());
   if (const Status st = validate(bench->kernel); !st.ok()) die(st.to_string());
+  std::printf("arch: %s — %s\n", (*backend)->name.c_str(),
+              (*backend)->summary.c_str());
 
   // Train the T_overlap model (Eq. 11) on the Table IV training suite,
   // excluding the kernel under advisement to keep the demo honest.

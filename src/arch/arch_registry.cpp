@@ -1,0 +1,148 @@
+#include "arch/arch_registry.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace gpuhms {
+
+namespace {
+
+// GM2xx-class profile: shorter ALU pipes, weak double precision, bigger
+// shared memory and L2, and a 12-channel GDDR5 board — 192 banks, which is
+// NOT a power of two, so the 8-bit bank field folds modulo 192. This is the
+// geometry that exercises every fold path beyond the power-of-two default.
+GpuArch maxwell_arch() {
+  GpuArch a;
+  a.num_sms = 16;
+  a.max_blocks_per_sm = 32;
+  a.ialu_lat = 6;
+  a.falu_lat = 6;
+  a.dalu_lat = 32;  // 1/32-rate DP pipe
+  a.sfu_lat = 14;
+  a.avg_inst_lat = 6;
+  a.shared_lat = 34;
+  a.shared_capacity = 96 * 1024;
+  a.l2_capacity = 2048 * 1024;
+  a.cache_hit_lat = 190;
+  a.tex_cache_capacity = 48 * 1024;
+  a.dram_channels = 12;
+  a.banks_per_channel = 16;  // 192 banks total
+  a.dram.pipeline_lat = 300;
+  a.dram.row_hit_service = 32;
+  a.dram.row_miss_service = 390;
+  a.dram.row_conflict_service = 640;
+  a.addr_map.transaction_bits = 7;
+  a.addr_map.bank_bits = {7, 8, 9, 10, 11, 12, 13, 14};  // folded % 192
+  a.addr_map.column_bits = {15, 16, 17, 18};  // 16 x 128 B = 2 KiB row
+  a.addr_map.row_bits = {19, 20, 21, 22, 23, 24, 25, 26,
+                         27, 28, 29, 30, 31, 32, 33, 34};
+  return a;
+}
+
+// HBM2-style stack: 16 channels x 16 banks behind a wide, short bus —
+// lower pipeline latency, small 1 KiB rows, and a permutation-based bank
+// map (bank index XORed with the low row bits) so row-sequential streams
+// rotate over channels instead of thrashing one. shared_banks = 16 models
+// pseudo-channel-pair striping of the on-chip scratchpad, and is the bank
+// count the shared-conflict fold must re-key on (it mis-folded or aborted
+// when the 32-bank constant was compiled in).
+GpuArch hbm2_arch() {
+  GpuArch a;
+  a.num_sms = 24;
+  a.max_blocks_per_sm = 32;
+  a.dalu_lat = 9;  // full-rate DP
+  a.shared_lat = 38;
+  a.shared_banks = 16;
+  a.shared_capacity = 64 * 1024;
+  a.l2_capacity = 4096 * 1024;
+  a.cache_hit_lat = 200;
+  a.dram_channels = 16;
+  a.banks_per_channel = 16;  // 256 banks total
+  a.dram.pipeline_lat = 280;
+  a.dram.row_hit_service = 30;
+  a.dram.row_miss_service = 350;
+  a.dram.row_conflict_service = 560;
+  a.addr_map.transaction_bits = 7;
+  a.addr_map.bank_bits = {7, 8, 9, 10, 11, 12, 13, 14};  // 256 = 2^8, no fold
+  a.addr_map.column_bits = {15, 16, 17};  // 8 x 128 B = 1 KiB row
+  a.addr_map.row_bits = {18, 19, 20, 21, 22, 23, 24, 25, 26,
+                         27, 28, 29, 30, 31, 32, 33, 34, 35};
+  a.addr_map.bank_xor_bits = {18, 19, 20, 21, 22, 23, 24, 25};
+  return a;
+}
+
+}  // namespace
+
+Status ArchRegistry::add(ArchBackend backend) {
+  if (backend.name.empty())
+    return InvalidArgumentError("arch backend name must be non-empty");
+  if (find(backend.name) != nullptr)
+    return InvalidArgumentError("arch backend '" + backend.name +
+                                "' is already registered");
+  Status s = validate(backend.arch);
+  if (!s.ok()) return s.annotate("registering arch '" + backend.name + "'");
+  backends_.push_back(std::move(backend));
+  return OkStatus();
+}
+
+const ArchBackend* ArchRegistry::find(std::string_view name) const {
+  for (const ArchBackend& b : backends_) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+StatusOr<const ArchBackend*> ArchRegistry::try_find(
+    std::string_view name) const {
+  if (const ArchBackend* b = find(name)) return b;
+  std::string known;
+  for (const ArchBackend& b : backends_) {
+    if (!known.empty()) known += ", ";
+    known += b.name;
+  }
+  return InvalidArgumentError("unknown arch '" + std::string(name) +
+                              "' (registered: " + known + ")");
+}
+
+const ArchBackend& ArchRegistry::default_backend() const {
+  GPUHMS_CHECK_MSG(!backends_.empty(),
+                   "default_backend() on an empty ArchRegistry");
+  return backends_.front();
+}
+
+std::vector<std::string> ArchRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const ArchBackend& b : backends_) out.push_back(b.name);
+  return out;
+}
+
+const ArchRegistry& ArchRegistry::builtin() {
+  static const ArchRegistry* registry = [] {
+    auto* r = new ArchRegistry();
+    auto must_add = [&](ArchBackend b) {
+      Status s = r->add(std::move(b));
+      GPUHMS_CHECK_MSG(s.ok(), "builtin arch backend failed validation");
+    };
+    must_add({"kepler",
+              "Kepler/K80-class default: 13 SMs, 8x16-bank GDDR5 (the "
+              "paper's target, bit-identical to the historical path)",
+              kepler_arch()});
+    must_add({"fermi",
+              "Fermi-class preset: 14 smaller SMs, 768 KiB L2, slower DRAM",
+              fermi_arch()});
+    must_add({"maxwell",
+              "Maxwell/GM2xx-class: 16 SMs, short ALU pipes, 12x16-bank "
+              "GDDR5 (192 banks, modulo-folded bank field)",
+              maxwell_arch()});
+    must_add({"hbm2",
+              "HBM2-style stack: 24 SMs, 16x16-bank geometry, 1 KiB rows, "
+              "XOR-swizzled bank map, 16-bank shared striping",
+              hbm2_arch()});
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace gpuhms

@@ -1,0 +1,65 @@
+// Named, pluggable architecture backends (DESIGN §16).
+//
+// A backend bundles everything the model family is parameterized by — SM
+// issue/latency parameters, per-memory-space latencies, and the DRAM
+// address-map strategy (Algorithm 1 variants) — under a stable name that the
+// CLI (`placement_advisor --arch=NAME`), the serve protocol (the request
+// `arch` field), and the cross-arch study (`bench_crossarch`) all resolve
+// through. The built-in registry always contains at least the Kepler/GDDR5
+// default (bit-identical to the historical hardwired path), a Fermi-class
+// preset, a Maxwell-class profile with a non-power-of-two bank geometry, and
+// an HBM2-style stack with an XOR-swizzled channel map.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "common/status.hpp"
+
+namespace gpuhms {
+
+struct ArchBackend {
+  std::string name;     // lookup key, lowercase, stable across releases
+  std::string summary;  // one line for --help / error messages
+  GpuArch arch;
+};
+
+// Ordered collection of named backends. Registration order is presentation
+// order (names(), help text); the first registered backend is the default.
+// Lookup is by exact name. The class itself is not synchronized — builtin()
+// returns an immutable, thread-safe instance, and mutable registries are for
+// single-threaded setup (tests, main()).
+class ArchRegistry {
+ public:
+  // Rejects duplicate names, empty names, and configurations that fail
+  // validate(); on success the backend participates in find()/names().
+  Status add(ArchBackend backend);
+
+  // nullptr when the name is unknown.
+  const ArchBackend* find(std::string_view name) const;
+
+  // INVALID_ARGUMENT listing every registered name when unknown — the serve
+  // layer forwards this message verbatim as its structured error.
+  StatusOr<const ArchBackend*> try_find(std::string_view name) const;
+
+  // The first registered backend (CHECKs that one exists).
+  const ArchBackend& default_backend() const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const { return backends_.size(); }
+
+  // The process-wide immutable registry of built-in backends:
+  //   kepler  — GpuArch{} default, bit-identical to the pre-registry path
+  //   fermi   — the fermi_arch() preset (paper's other architecture)
+  //   maxwell — GM2xx-class SMs, 12-channel GDDR5 (192 banks, modulo-folded)
+  //   hbm2    — HBM2-style stack: 16 channels x 16 banks, 1 KiB rows,
+  //             XOR-swizzled bank map, pseudo-channel-pair shared striping
+  static const ArchRegistry& builtin();
+
+ private:
+  std::vector<ArchBackend> backends_;
+};
+
+}  // namespace gpuhms

@@ -1,6 +1,8 @@
 #include "arch/gpu_arch.hpp"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 namespace gpuhms {
 
@@ -88,6 +90,44 @@ Status validate(const GpuArch& arch) {
   if (arch.dram.row_hit_service < 1 || arch.dram.row_miss_service < 1 ||
       arch.dram.row_conflict_service < 1)
     return field_error("dram", "row-buffer service times must be >= 1");
+
+  // Address-map structure. The full overlap/coverage rules live in the
+  // AddressMapping constructor (dram layer); here we reject what would make
+  // that constructor abort, so try_* entry points stay non-aborting.
+  const AddressMapSpec& m = arch.addr_map;
+  if (m.transaction_bits < 0 || m.transaction_bits > 32)
+    return field_error("addr_map.transaction_bits", "must be in [0, 32]");
+  if (m.row_bits.empty())
+    return field_error("addr_map.row_bits", "must be non-empty");
+  std::vector<int> roles;
+  for (const std::vector<int>* g : {&m.bank_bits, &m.column_bits, &m.row_bits}) {
+    for (int b : *g) {
+      if (b < m.transaction_bits || b > 63)
+        return field_error("addr_map",
+                           "bit " + std::to_string(b) +
+                               " outside [transaction_bits, 63]");
+      roles.push_back(b);
+    }
+  }
+  std::sort(roles.begin(), roles.end());
+  if (std::adjacent_find(roles.begin(), roles.end()) != roles.end())
+    return field_error("addr_map", "an address bit is assigned to two roles");
+  if (!m.bank_xor_bits.empty()) {
+    if (m.bank_xor_bits.size() != m.bank_bits.size())
+      return field_error("addr_map.bank_xor_bits",
+                         "must match bank_bits length when non-empty");
+    if (m.bank_bits.size() >= 31 ||
+        arch.total_banks() != (1 << static_cast<int>(m.bank_bits.size())))
+      return field_error("addr_map.bank_xor_bits",
+                         "XOR swizzle requires total_banks == 2^|bank_bits| "
+                         "(swizzle + modulo folding would alias banks)");
+    for (int b : m.bank_xor_bits) {
+      if (b < m.transaction_bits || b > 63)
+        return field_error("addr_map.bank_xor_bits",
+                           "bit " + std::to_string(b) +
+                               " outside [transaction_bits, 63]");
+    }
+  }
   return OkStatus();
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "arch/mem_space.hpp"
 #include "common/status.hpp"
@@ -32,6 +33,24 @@ struct DramTiming {
   std::uint64_t row_hit_service = 36;
   std::uint64_t row_miss_service = 426;    // activate a closed row
   std::uint64_t row_conflict_service = 692;  // write back open row + activate
+};
+
+// Which physical address bits play which DRAM role (Algorithm 1's output,
+// expressed as data). Interpreted by dram/arch_mapping(); the defaults mirror
+// the Kepler-class GDDR5 layout that kepler_mapping() has always hardwired,
+// so a default-constructed GpuArch decodes bit-identically to the historical
+// path. `bank_xor_bits` optionally XOR-swizzles the bank index with
+// higher-order (row) bits, the permutation-based interleaving HBM-class
+// controllers use to spread row-sequential streams over channels; empty means
+// no swizzle. Swizzled maps require a power-of-two bank count (the XOR is a
+// within-field bijection; combining it with modulo folding would alias).
+struct AddressMapSpec {
+  int transaction_bits = 7;  // 128 B transactions
+  std::vector<int> bank_bits{7, 8, 9, 10, 11, 12, 13};
+  std::vector<int> column_bits{14, 15, 16, 17};
+  std::vector<int> row_bits{18, 19, 20, 21, 22, 23,
+                            24, 25, 26, 27, 28, 29, 30, 31, 32, 33};
+  std::vector<int> bank_xor_bits;  // same length as bank_bits when non-empty
 };
 
 struct GpuArch {
@@ -83,6 +102,10 @@ struct GpuArch {
   int dram_channels = 8;
   int banks_per_channel = 16;
   DramTiming dram;
+  // Byte-address bit roles for this architecture's memory controller
+  // (consumed by dram/arch_mapping(), which folds the decoded bank field
+  // modulo total_banks()).
+  AddressMapSpec addr_map;
 
   int total_banks() const { return dram_channels * banks_per_channel; }
 

@@ -26,6 +26,13 @@ class AddressMapping {
     std::vector<int> bank_bits;    // folded modulo num_banks
     std::vector<int> column_bits;  // column within the open row
     std::vector<int> row_bits;     // row within the bank
+    // Optional permutation-based interleaving: the bank index becomes
+    // extract(bank_bits) XOR extract(bank_xor_bits). XOR bits may reuse
+    // row/column positions (that is the point — row-sequential streams then
+    // rotate over banks) but not bank positions or the transaction offset.
+    // Non-empty requires num_banks == 2^|bank_bits| so the swizzle stays a
+    // bijection; empty decodes exactly as before.
+    std::vector<int> bank_xor_bits;
     int num_banks = 96;
   };
 
@@ -37,6 +44,19 @@ class AddressMapping {
     std::uint64_t column = 0;
   };
   Decoded decode(std::uint64_t addr) const;
+
+  // Builds the canonical (transaction-offset-zero) address whose decode()
+  // yields `d`. Requires d.bank in [0, num_banks) and d.row/d.column within
+  // their field widths (checked). For swizzled maps the bank field is stored
+  // pre-XORed so decode() recovers d.bank exactly. decode(encode(d)) == d for
+  // every mapping; encode(decode(a)) == a additionally requires
+  // invertible() and a transaction offset of zero in `a`.
+  std::uint64_t encode(const Decoded& d) const;
+
+  // True when decode() loses no information outside the transaction offset:
+  // the bank field is not modulo-folded (num_banks == 2^|bank_bits|) and
+  // every bit in [transaction_bits, usable_bits) has a role.
+  bool invertible() const;
 
   int num_banks() const { return fields_.num_banks; }
   const Fields& fields() const { return fields_; }
@@ -55,6 +75,12 @@ class AddressMapping {
 // (7 bits folded % 96 -> single-bit flips always change the bank), column
 // bits 14-17 (16 x 128 B = 2 KiB row), row bits 18-33.
 AddressMapping kepler_mapping(const GpuArch& arch);
+
+// Builds the mapping an architecture declares via GpuArch::addr_map, with
+// the bank field folded modulo arch.total_banks(). For a default-constructed
+// GpuArch this is field-for-field identical to kepler_mapping(); registry
+// backends with HBM-style or swizzled geometries diverge here.
+AddressMapping arch_mapping(const GpuArch& arch);
 
 // Extract the bits of `addr` at `positions` (low position = LSB of result).
 std::uint64_t extract_bits(std::uint64_t addr, const std::vector<int>& positions);

@@ -856,7 +856,7 @@ SearchResult search_exhaustive(const Predictor& predictor, std::size_t cap) {
 SearchResult search_exhaustive(const Predictor& predictor,
                                const SearchOptions& options) {
   const KernelInfo& k = predictor.kernel();
-  const GpuArch& arch = kepler_arch();
+  const GpuArch& arch = predictor.arch();
   const PlacementSpace space = enumerate_placement_space(k, arch, options.cap);
   GPUHMS_CHECK(!space.placements.empty());
   return exhaustive_over(predictor, options, space);
@@ -871,7 +871,7 @@ StatusOr<SearchResult> try_search_exhaustive(const Predictor& predictor,
                "predictor has no profiled sample; call try_profile_sample or "
                "try_set_sample first")
         .annotate(ctx);
-  const GpuArch& arch = kepler_arch();
+  const GpuArch& arch = predictor.arch();
   const PlacementSpace space = enumerate_placement_space(k, arch, options.cap);
   if (space.placements.empty())
     return InvalidArgumentError(
@@ -887,7 +887,7 @@ StatusOr<SearchResult> try_search_exhaustive(const Predictor& predictor,
 
 SearchResult search_greedy(const Predictor& predictor, int max_sweeps) {
   const KernelInfo& k = predictor.kernel();
-  const GpuArch& arch = kepler_arch();
+  const GpuArch& arch = predictor.arch();
   SearchResult r;
   r.placement = predictor.sample_placement();
   r.predicted_cycles = predictor.predict(r.placement).total_cycles;

@@ -23,7 +23,7 @@ bool legacy_replay_env() {
 TraceAnalyzer::TraceAnalyzer(const KernelInfo& kernel, const GpuArch& arch,
                              const AnalysisOptions& opts)
     : kernel_(&kernel), arch_(&arch), opts_(opts),
-      mapping_(kepler_mapping(arch)), l2_(l2_config(arch)) {
+      mapping_(arch_mapping(arch)), l2_(l2_config(arch)) {
   const std::size_t num_sms = static_cast<std::size_t>(arch.num_sms);
   const_caches_.assign(num_sms, SetAssocCache(const_cache_config(arch)));
   tex_caches_.assign(num_sms, SetAssocCache(tex_cache_config(arch)));

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "arch/arch_registry.hpp"
 #include "common/fault_injection.hpp"
 #include "common/hashing.hpp"
 #include "common/obs.hpp"
@@ -58,6 +59,17 @@ StatusOr<std::string> get_string(const Json& req, std::string_view key) {
   if (!v->is_string())
     return InvalidArgumentError("field '" + std::string(key) +
                                 "' must be a string");
+  return v->as_string();
+}
+
+// Optional "arch" member naming an ArchRegistry backend; "" (also the value
+// when absent) selects the service's default arch. Resolution and the
+// unknown-name INVALID_ARGUMENT happen in kernel_entry.
+StatusOr<std::string> get_arch_name(const Json& req) {
+  const Json* v = req.find("arch");
+  if (v == nullptr) return std::string();
+  if (!v->is_string())
+    return InvalidArgumentError("field 'arch' must be a string");
   return v->as_string();
 }
 
@@ -132,6 +144,16 @@ std::uint64_t fingerprint(const GpuArch& arch) {
   h.mix(arch.dram.row_hit_service);
   h.mix(arch.dram.row_miss_service);
   h.mix(arch.dram.row_conflict_service);
+  // Address-map strategy: two archs identical in every scalar but decoding
+  // banks differently must never share a cached Prediction. Lengths are
+  // mixed before elements so {1,2}+{3} and {1}+{2,3} cannot collide.
+  h.mix(arch.addr_map.transaction_bits);
+  for (const std::vector<int>* g :
+       {&arch.addr_map.bank_bits, &arch.addr_map.column_bits,
+        &arch.addr_map.row_bits, &arch.addr_map.bank_xor_bits}) {
+    h.mix(g->size());
+    for (int b : *g) h.mix(b);
+  }
   return h.digest();
 }
 
@@ -155,9 +177,16 @@ std::uint64_t fingerprint(const ModelOptions& options) {
 // shared_ptr keeps an entry alive while in use even after LRU eviction.
 struct PredictionService::KernelEntry {
   workloads::BenchmarkCase bench;
+  // The backend this entry was profiled under: the service default when the
+  // request named no arch, otherwise the resolved registry backend. Owned by
+  // value — the predictor points into it, and the entry outlives the request.
+  GpuArch arch;
+  std::string arch_name;  // "" for the service default
   std::unique_ptr<Predictor> predictor;
   std::shared_ptr<const TraceSkeleton> skeleton;
-  // Prediction-cache key prefix: kernel|arch|model fingerprints.
+  // Prediction-cache key prefix: kernel|arch|model fingerprints. The arch
+  // fingerprint mixes the full address-map spec, so entries for different
+  // backends (even ones differing only in their bank decode) never alias.
   std::string key_prefix;
 };
 
@@ -272,8 +301,12 @@ void PredictionService::watchdog_loop() {
 }
 
 StatusOr<PredictionService::KernelEntryPtr> PredictionService::kernel_entry(
-    const std::string& benchmark) {
-  if (auto hit = kernel_cache_.get(benchmark)) {
+    const std::string& benchmark, const std::string& arch_name) {
+  // Per-(benchmark, arch) cache key. '\n' cannot appear in either component
+  // (benchmark names are identifiers, arch names come from the registry), so
+  // distinct pairs never collide.
+  const std::string cache_key = benchmark + "\n" + arch_name;
+  if (auto hit = kernel_cache_.get(cache_key)) {
     GPUHMS_COUNTER_ADD("serve.kernel_cache_hits", 1);
     return *hit;
   }
@@ -281,7 +314,7 @@ StatusOr<PredictionService::KernelEntryPtr> PredictionService::kernel_entry(
   // simulator substrate (milliseconds), and two clients racing on the same
   // cold benchmark must not both pay it.
   std::lock_guard<std::mutex> build_lock(build_mu_);
-  if (auto hit = kernel_cache_.get(benchmark)) {
+  if (auto hit = kernel_cache_.get(cache_key)) {
     GPUHMS_COUNTER_ADD("serve.kernel_cache_hits", 1);
     return *hit;
   }
@@ -289,6 +322,15 @@ StatusOr<PredictionService::KernelEntryPtr> PredictionService::kernel_entry(
   GPUHMS_SCOPED_PHASE("serve.kernel_build_ns");
 
   auto entry = std::make_shared<KernelEntry>();
+  entry->arch_name = arch_name;
+  if (arch_name.empty()) {
+    entry->arch = arch_;
+  } else {
+    StatusOr<const ArchBackend*> backend =
+        ArchRegistry::builtin().try_find(arch_name);
+    if (!backend.ok()) return backend.status();
+    entry->arch = (*backend)->arch;
+  }
   bool found = false;
   for (auto suite :
        {workloads::training_suite(), workloads::evaluation_suite()}) {
@@ -307,18 +349,18 @@ StatusOr<PredictionService::KernelEntryPtr> PredictionService::kernel_entry(
                                 "evaluation suite)");
 
   const ModelOptions model_options{};
-  entry->predictor = std::make_unique<Predictor>(entry->bench.kernel, arch_,
-                                                 model_options, overlap_);
+  entry->predictor = std::make_unique<Predictor>(
+      entry->bench.kernel, entry->arch, model_options, overlap_);
   GPUHMS_RETURN_IF_ERROR(
       entry->predictor->try_profile_sample(entry->bench.sample)
           .annotate("profiling the sample placement of benchmark '" +
                     benchmark + "'"));
   entry->skeleton = entry->predictor->memoize_trace();
   entry->key_prefix = hex64(fingerprint(entry->bench.kernel)) + "|" +
-                      hex64(fingerprint(arch_)) + "|" +
+                      hex64(fingerprint(entry->arch)) + "|" +
                       hex64(fingerprint(model_options)) + "|";
   KernelEntryPtr published = std::move(entry);
-  kernel_cache_.put(benchmark, published);
+  kernel_cache_.put(cache_key, published);
   return published;
 }
 
@@ -430,9 +472,11 @@ Json error_response(const Json* id, std::string_view op, const Status& st) {
 Json PredictionService::handle_predict(const Json& request) {
   GPUHMS_ASSIGN_OR_RETURN_JSON(std::string benchmark,
                                get_string(request, "benchmark"));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::string arch_name, get_arch_name(request));
   GPUHMS_ASSIGN_OR_RETURN_JSON(std::string placement_str,
                                get_string(request, "placement"));
-  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry, kernel_entry(benchmark));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry,
+                               kernel_entry(benchmark, arch_name));
 
   const std::optional<DataPlacement> placement =
       DataPlacement::from_string(entry->bench.kernel, placement_str);
@@ -443,7 +487,8 @@ Json PredictionService::handle_predict(const Json& request) {
                              "' for benchmark '" + benchmark + "' (" +
                              std::to_string(entry->bench.kernel.arrays.size()) +
                              " arrays; codes G,S,C,T,2T)"));
-  if (Status st = validate(entry->bench.kernel, *placement, arch_); !st.ok())
+  if (Status st = validate(entry->bench.kernel, *placement, entry->arch);
+      !st.ok())
     return error_response(nullptr, "", st);
 
   PendingPredict pending[1] = {{entry, *placement, {}, {}, false}};
@@ -453,6 +498,9 @@ Json PredictionService::handle_predict(const Json& request) {
   Json r = Json::object();
   r.set("ok", true);
   r.set("benchmark", benchmark);
+  // Echoed only when the request named a backend: default-arch responses
+  // stay byte-identical to the pre-registry protocol.
+  if (!arch_name.empty()) r.set("arch", arch_name);
   const Json fields = prediction_json(*entry, *placement, pending[0].result);
   for (const auto& [k, v] : fields.members()) r.set(k, v);
   return r;
@@ -461,6 +509,7 @@ Json PredictionService::handle_predict(const Json& request) {
 Json PredictionService::handle_predict_batch(const Json& request) {
   GPUHMS_ASSIGN_OR_RETURN_JSON(std::string benchmark,
                                get_string(request, "benchmark"));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::string arch_name, get_arch_name(request));
   const Json* placements = request.find("placements");
   if (placements == nullptr || !placements->is_array())
     return error_response(
@@ -477,7 +526,8 @@ Json PredictionService::handle_predict_batch(const Json& request) {
             " placements exceeds max_batch " +
             std::to_string(options_.max_batch)));
   }
-  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry, kernel_entry(benchmark));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry,
+                               kernel_entry(benchmark, arch_name));
 
   std::vector<PendingPredict> pending;
   pending.reserve(placements->size());
@@ -496,7 +546,7 @@ Json PredictionService::handle_predict_batch(const Json& request) {
           InvalidArgumentError("cannot parse placements[" +
                                std::to_string(i) + "] = '" + s.as_string() +
                                "' for benchmark '" + benchmark + "'"));
-    if (Status st = validate(entry->bench.kernel, *p, arch_); !st.ok())
+    if (Status st = validate(entry->bench.kernel, *p, entry->arch); !st.ok())
       return error_response(
           nullptr, "",
           st.annotate("placements[" + std::to_string(i) + "]"));
@@ -508,6 +558,7 @@ Json PredictionService::handle_predict_batch(const Json& request) {
   Json r = Json::object();
   r.set("ok", true);
   r.set("benchmark", benchmark);
+  if (!arch_name.empty()) r.set("arch", arch_name);
   Json results = Json::array();
   for (const PendingPredict& p : pending)
     results.push_back(prediction_json(*entry, p.placement, p.result));
@@ -518,6 +569,7 @@ Json PredictionService::handle_predict_batch(const Json& request) {
 Json PredictionService::handle_search(const Json& request) {
   GPUHMS_ASSIGN_OR_RETURN_JSON(std::string benchmark,
                                get_string(request, "benchmark"));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(std::string arch_name, get_arch_name(request));
   std::string algo_name = "bnb";
   if (request.find("algo") != nullptr) {
     GPUHMS_ASSIGN_OR_RETURN_JSON(algo_name, get_string(request, "algo"));
@@ -547,7 +599,8 @@ Json PredictionService::handle_search(const Json& request) {
     return error_response(
         nullptr, "", InvalidArgumentError("beam_width must be at least 1"));
 
-  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry, kernel_entry(benchmark));
+  GPUHMS_ASSIGN_OR_RETURN_JSON(KernelEntryPtr entry,
+                               kernel_entry(benchmark, arch_name));
 
   SearchOptions so;
   so.cap = static_cast<std::size_t>(cap);
@@ -579,6 +632,7 @@ Json PredictionService::handle_search(const Json& request) {
   Json r = Json::object();
   r.set("ok", true);
   r.set("benchmark", benchmark);
+  if (!arch_name.empty()) r.set("arch", arch_name);
   r.set("algo", std::string(to_string(*algo)));
   r.set("placement", sr.placement.to_string());
   r.set("predicted_cycles", sr.predicted_cycles);
@@ -685,6 +739,7 @@ std::vector<std::string> PredictionService::handle_pipeline(
     Json id;            // echoed verbatim (null when absent/unparseable)
     std::string op;
     std::string benchmark;  // predict ops only, for coalescing
+    std::string arch_name;  // predict ops only ("" = service default)
     std::string idem;       // idempotency fingerprint ("" when absent)
     std::string raw;        // replayed response bytes (wins over `response`)
     std::optional<Json> response;
@@ -741,6 +796,14 @@ std::vector<std::string> PredictionService::handle_pipeline(
       if (const Json* b = pl.request.find("benchmark");
           b != nullptr && b->is_string())
         pl.benchmark = b->as_string();
+      if (const Json* a = pl.request.find("arch")) {
+        if (a->is_string())
+          pl.arch_name = a->as_string();
+        else
+          // Malformed arch field: leave the line un-coalescable so the
+          // single-request path reports the structured INVALID_ARGUMENT.
+          pl.benchmark.clear();
+      }
     }
   }
 
@@ -832,11 +895,13 @@ std::vector<std::string> PredictionService::handle_pipeline(
       std::size_t j = i + 1;
       while (j < lines.size() && !parsed[j].response.has_value() &&
              parsed[j].op == "predict" &&
-             parsed[j].benchmark == pl.benchmark)
+             parsed[j].benchmark == pl.benchmark &&
+             parsed[j].arch_name == pl.arch_name)
         ++j;
       if (j > i + 1) {
         // One shared kernel lookup + one coalesced predict_many for the run.
-        const StatusOr<KernelEntryPtr> entry = kernel_entry(pl.benchmark);
+        const StatusOr<KernelEntryPtr> entry =
+            kernel_entry(pl.benchmark, pl.arch_name);
         std::vector<PendingPredict> pending;
         std::vector<std::size_t> owners;
         for (std::size_t k = i; k < j; ++k) {
@@ -861,7 +926,7 @@ std::vector<std::string> PredictionService::handle_pipeline(
                                      "'"));
             continue;
           }
-          if (Status st = validate((*entry)->bench.kernel, *p, arch_);
+          if (Status st = validate((*entry)->bench.kernel, *p, (*entry)->arch);
               !st.ok()) {
             run.response = error_response(&run.id, run.op, st);
             continue;
@@ -880,6 +945,9 @@ std::vector<std::string> PredictionService::handle_pipeline(
               Json r = make_response_shell(&run.id, run.op);
               r.set("ok", true);
               r.set("benchmark", pl.benchmark);
+              // Mirrors handle_predict: echoed only when the request named
+              // a backend, keeping default responses byte-identical.
+              if (!pl.arch_name.empty()) r.set("arch", pl.arch_name);
               const Json fields =
                   prediction_json(*pending[t].entry, pending[t].placement,
                                   pending[t].result);

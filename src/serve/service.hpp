@@ -9,7 +9,10 @@
 //
 //   * a bounded cache of *kernel entries* — the expensive per-kernel
 //     state: a profiled Predictor plus its lowered TraceSkeleton — keyed by
-//     benchmark name, fingerprinted structurally (common/hashing.hpp);
+//     (benchmark name, arch backend), fingerprinted structurally
+//     (common/hashing.hpp); the optional request `arch` field selects an
+//     ArchRegistry backend per request, and the arch fingerprint in every
+//     prediction-cache key keeps cross-arch entries from ever colliding;
 //   * a bounded cache of memoized Predictions keyed by
 //     (kernel fingerprint, arch fingerprint, placement) so repeated predicts
 //     are a map lookup, not a trace replay. Both caches (and the idem-replay
@@ -195,7 +198,14 @@ class PredictionService {
   void watchdog_release(const std::shared_ptr<WatchdogEntry>& entry);
   void watchdog_loop();
 
-  StatusOr<KernelEntryPtr> kernel_entry(const std::string& benchmark);
+  // Builds (or returns the cached) per-kernel state for `benchmark` under
+  // the named architecture backend: "" selects the service's construction
+  // arch, any other name resolves through ArchRegistry::builtin() (unknown
+  // names are a structured INVALID_ARGUMENT listing the registered
+  // backends). Entries are cached per (benchmark, arch) — the profiled
+  // predictor, skeleton and cache-key prefix are all arch-specific.
+  StatusOr<KernelEntryPtr> kernel_entry(const std::string& benchmark,
+                                        const std::string& arch_name);
   // Answers each (entry, placement) pair, coalescing cache misses into one
   // predict_batch call per distinct kernel. Results align with `pending`.
   Status predict_many(std::span<PendingPredict> pending);

@@ -58,7 +58,7 @@ class Engine {
  public:
   Engine(const GpuArch& arch, const TraceMaterializer& mat, SimOptions opts)
       : arch_(arch), mat_(mat), opts_(opts),
-        gddr_(arch, kepler_mapping(arch), opts.record_interarrivals),
+        gddr_(arch, arch_mapping(arch), opts.record_interarrivals),
         l2_(l2_config(arch)) {}
 
   SimResult run();

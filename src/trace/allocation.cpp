@@ -10,7 +10,7 @@ namespace {
 
 constexpr std::uint64_t kDeviceHeapStart = 1ull << 16;  // skip the null page
 constexpr std::uint64_t kDeviceAlign = 512;
-constexpr std::uint64_t kSharedAlign = 128;
+// kSharedAlign lives in the header (the SoA fold validity check needs it).
 
 std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
   return (v + a - 1) / a * a;

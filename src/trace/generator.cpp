@@ -135,23 +135,49 @@ TraceSkeleton::TraceSkeleton(const KernelInfo& kernel)
     inv_ops_[w] = inv;
     mem_rec_begin_.push_back(static_cast<std::uint32_t>(mem_rec_.size()));
   }
-  line_pools_.resize(num_arrays * 2);
-  line_once_ = std::make_unique<std::once_flag[]>(num_arrays * 2);
   const_words_.resize(num_arrays);
   const_once_ = std::make_unique<std::once_flag[]>(num_arrays);
-  shared_folds_.resize(num_arrays);
-  shared_once_ = std::make_unique<std::once_flag[]>(num_arrays);
+  // line_tables_ / fold_tables_ are found-or-created per arch parameter.
+}
+
+TraceSkeleton::LineTable& TraceSkeleton::line_table(
+    std::size_t line_size) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  for (const std::unique_ptr<LineTable>& t : line_tables_) {
+    if (t->line_size == line_size) return *t;
+  }
+  const std::size_t slots = kernel_->arrays.size() * 2;
+  auto t = std::make_unique<LineTable>();
+  t->line_size = line_size;
+  t->pools.resize(slots);
+  t->once = std::make_unique<std::once_flag[]>(slots);
+  line_tables_.push_back(std::move(t));
+  return *line_tables_.back();
+}
+
+TraceSkeleton::FoldTable& TraceSkeleton::fold_table(int num_banks) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  for (const std::unique_ptr<FoldTable>& t : fold_tables_) {
+    if (t->num_banks == num_banks) return *t;
+  }
+  auto t = std::make_unique<FoldTable>();
+  t->num_banks = num_banks;
+  t->folds.resize(kernel_->arrays.size());
+  t->once = std::make_unique<std::once_flag[]>(kernel_->arrays.size());
+  fold_tables_.push_back(std::move(t));
+  return *fold_tables_.back();
 }
 
 const TraceSkeleton::LinePool& TraceSkeleton::line_pool(
     int array, bool block_linear, const MemoryLayout& layout,
     std::size_t line_size) const {
+  LineTable& table = line_table(line_size);
   const std::size_t slot =
       static_cast<std::size_t>(array) * 2 + (block_linear ? 1 : 0);
-  std::call_once(line_once_[slot], [&] {
+  std::call_once(table.once[slot], [&] {
     const std::span<const AddrBlock> pool =
         device_addr_pool(array, block_linear, layout);
-    LinePool& lp = line_pools_[slot];
+    LinePool& lp = table.pools[slot];
     lp.line_size = line_size;
     lp.begin.reserve(pool.size() + 1);
     lp.begin.push_back(0);
@@ -170,10 +196,7 @@ const TraceSkeleton::LinePool& TraceSkeleton::line_pool(
       lp.begin.push_back(static_cast<std::uint32_t>(lp.lines.size()));
     }
   });
-  const LinePool& lp = line_pools_[slot];
-  GPUHMS_CHECK_MSG(lp.line_size == line_size,
-                   "line_pool memoized under a different cache-line size");
-  return lp;
+  return table.pools[slot];
 }
 
 std::span<const std::uint8_t> TraceSkeleton::const_words_pool(
@@ -197,23 +220,27 @@ std::span<const std::uint8_t> TraceSkeleton::const_words_pool(
 
 const TraceSkeleton::SharedFold& TraceSkeleton::shared_fold(
     int array, int num_banks) const {
+  FoldTable& table = fold_table(num_banks);
   const std::size_t a = static_cast<std::size_t>(array);
-  std::call_once(shared_once_[a], [&] {
+  std::call_once(table.once[a], [&] {
     // Degrees are computed on the slice-local byte offsets. The shared base
-    // offset of every placement is 128-byte aligned (kSharedAlign), so as
-    // long as 128 is a multiple of the bank stride 4 * num_banks, the base
+    // offset of every placement is kSharedAlign-byte aligned, so as long as
+    // kSharedAlign is a multiple of the bank stride 4 * num_banks, the base
     // shifts every word by a whole number of bank rotations: distinctness
     // and bank assignment — hence the conflict degree — match
-    // shared_conflict_degree on the real addresses of any placement.
-    GPUHMS_CHECK_MSG(num_banks > 0 && num_banks <= 64 &&
-                         128 % (4 * num_banks) == 0,
-                     "shared_fold requires 128 % (4 * num_banks) == 0");
+    // shared_conflict_degree on the real addresses of any placement. The
+    // bank count comes from the *active* arch (SoaLowering::supports gates
+    // on the same expression), not a compiled-in constant.
+    GPUHMS_CHECK_MSG(
+        num_banks > 0 && num_banks <= 64 &&
+            kSharedAlign % (4ull * static_cast<unsigned>(num_banks)) == 0,
+        "shared_fold requires kSharedAlign % (4 * num_banks) == 0");
     const ArrayDecl& arr = kernel_->arrays[a];
     const std::int64_t slice =
         static_cast<std::int64_t>(arr.shared_slice_elems ? arr.shared_slice_elems
                                                          : arr.elems);
     const std::int64_t esize = static_cast<std::int64_t>(arr.elem_size());
-    SharedFold& fold = shared_folds_[a];
+    SharedFold& fold = table.folds[a];
     fold.num_banks = num_banks;
     fold.degree.reserve(mem_ops_per_array_[a]);
     std::int64_t addrs[kWarpSize];
@@ -236,10 +263,7 @@ const TraceSkeleton::SharedFold& TraceSkeleton::shared_fold(
       }
     }
   });
-  const SharedFold& fold = shared_folds_[a];
-  GPUHMS_CHECK_MSG(fold.num_banks == num_banks,
-                   "shared_fold memoized under a different bank count");
-  return fold;
+  return table.folds[a];
 }
 
 std::span<const AddrBlock> TraceSkeleton::device_addr_pool(

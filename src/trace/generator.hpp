@@ -171,11 +171,13 @@ class TraceSkeleton {
   };
   const InvariantTallies& invariants() const { return invariants_; }
 
-  // Memoized coalescing results, per (array, layout): the device addresses
-  // of an array are placement-invariant (fixed allocation, Sec. III-E), so
-  // the ascending deduplicated line list of every memory op — exactly what
-  // coalesce_lines produces — is too. Built lazily like the address pools;
-  // `line_size` must match on every call (one architecture per skeleton).
+  // Memoized coalescing results, per (array, layout, line_size): the device
+  // addresses of an array are placement-invariant (fixed allocation,
+  // Sec. III-E), so the ascending deduplicated line list of every memory op —
+  // exactly what coalesce_lines produces — is too. Built lazily like the
+  // address pools, with one table per distinct `line_size`, so a skeleton
+  // shared across architectures (a cross-arch study, or serve answering for
+  // a heterogeneous fleet) memoizes each cache-line geometry independently.
   struct LinePool {
     std::vector<std::uint32_t> begin;  // per ordinal, size mem_ops + 1
     std::vector<std::uint64_t> lines;  // concatenated ascending line lists
@@ -192,10 +194,13 @@ class TraceSkeleton {
 
   // Shared-memory bank-conflict degrees per ordinal plus their fold. The
   // slice-local byte offset of an element is placement-invariant and the
-  // placement-dependent base offset is 128-byte aligned, so when
-  // 128 % (4 * num_banks) == 0 the degrees match shared_conflict_degree on
-  // the real addresses of ANY placement that puts the array in shared
-  // memory (the offset shifts every word by a multiple of num_banks).
+  // placement-dependent base offset is kSharedAlign-byte aligned, so when
+  // kSharedAlign % (4 * num_banks) == 0 the degrees match
+  // shared_conflict_degree on the real addresses of ANY placement that puts
+  // the array in shared memory (the offset shifts every word by a multiple
+  // of num_banks). Memoized per (array, num_banks) — each bank geometry gets
+  // its own fold table, so archs with different shared_banks can share one
+  // skeleton without aliasing each other's degrees.
   struct SharedFold {
     std::vector<std::uint8_t> degree;  // per ordinal (1 for masked-off ops)
     std::uint64_t conflict_sum = 0;    // sum of (degree - 1), unmasked ops
@@ -233,13 +238,30 @@ class TraceSkeleton {
   std::vector<std::uint32_t> inv_ops_;        // per warp
   std::vector<std::uint32_t> mem_cnt_;        // warps x arrays, row-major
   InvariantTallies invariants_;
-  // Lazily-built memoized pools (same lifetime discipline as device_pools_).
-  mutable std::vector<LinePool> line_pools_;  // two per array
-  mutable std::unique_ptr<std::once_flag[]> line_once_;
+  // Lazily-built memoized pools. Constant-word counts are arch-invariant
+  // (4-byte words); line pools and shared folds are keyed by the arch
+  // parameter they depend on (cache-line size / bank count), one table per
+  // distinct value. Tables are found-or-created under memo_mu_ in an
+  // append-only list of unique_ptrs — returned references never move — and
+  // each table's entries build under its own call_once flags, so concurrent
+  // analyzers on different archs never block each other's builds.
+  struct LineTable {
+    std::size_t line_size = 0;
+    std::vector<LinePool> pools;  // two per array
+    std::unique_ptr<std::once_flag[]> once;
+  };
+  struct FoldTable {
+    int num_banks = 0;
+    std::vector<SharedFold> folds;  // per array
+    std::unique_ptr<std::once_flag[]> once;
+  };
+  LineTable& line_table(std::size_t line_size) const;
+  FoldTable& fold_table(int num_banks) const;
+  mutable std::mutex memo_mu_;
+  mutable std::vector<std::unique_ptr<LineTable>> line_tables_;
+  mutable std::vector<std::unique_ptr<FoldTable>> fold_tables_;
   mutable std::vector<std::vector<std::uint8_t>> const_words_;  // per array
   mutable std::unique_ptr<std::once_flag[]> const_once_;
-  mutable std::vector<SharedFold> shared_folds_;  // per array
-  mutable std::unique_ptr<std::once_flag[]> shared_once_;
 };
 
 class TraceMaterializer {

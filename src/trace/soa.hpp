@@ -77,12 +77,16 @@ struct SoaTallies {
 
 class SoaLowering {
  public:
-  // The shared-conflict fold is exact only when the 128-byte shared base
-  // alignment shifts words by whole bank rotations (true for every shipped
-  // arch: 32 banks). Callers fall back to the legacy path otherwise.
+  // The shared-conflict fold is exact only when the kSharedAlign-byte shared
+  // base alignment shifts words by whole bank rotations (true for every
+  // registered backend: 32- and 16-bank archs). Consults the *active* arch's
+  // bank count against the allocator's actual alignment — not a compiled-in
+  // 128 — so a backend with an alignment-incompatible bank count falls back
+  // to the legacy path instead of mis-folding. Callers fall back otherwise.
   static bool supports(const GpuArch& arch) {
     return arch.shared_banks > 0 && arch.shared_banks <= 64 &&
-           128 % (4 * arch.shared_banks) == 0;
+           kSharedAlign % (4ull * static_cast<unsigned>(arch.shared_banks)) ==
+               0;
   }
 
   // Resolves the placement into per-array dispatch tables and folds every

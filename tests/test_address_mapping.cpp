@@ -1,9 +1,11 @@
 #include "dram/address_mapping.hpp"
 
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "arch/arch_registry.hpp"
 #include "common/rng.hpp"
 
 namespace gpuhms {
@@ -148,6 +150,123 @@ TEST(KeplerMapping, DecodeFieldsInRangeForRandomAddresses) {
     EXPECT_LT(d.column, 1ull << m.fields().column_bits.size());
     EXPECT_LT(d.row, 1ull << m.fields().row_bits.size());
   }
+}
+
+// --- registered-geometry properties ------------------------------------------
+// Every ArchRegistry backend declares its own AddressMapSpec; these
+// properties must hold for all of them — including maxwell's non-power-of-two
+// 192-bank fold and hbm2's XOR-swizzled channel map.
+
+// decode(encode(d)) == d for every mapping: encode() is a right inverse on
+// the Decoded domain even when the bank field is modulo-folded or swizzled.
+TEST(AddressMapping, EncodeDecodeRoundTripsForEveryRegisteredGeometry) {
+  for (const std::string& name : ArchRegistry::builtin().names()) {
+    SCOPED_TRACE(name);
+    const GpuArch& arch = ArchRegistry::builtin().find(name)->arch;
+    const AddressMapping m = arch_mapping(arch);
+    Rng rng(0xdeca7 + static_cast<std::uint64_t>(name.size()));
+    for (int trial = 0; trial < 10000; ++trial) {
+      AddressMapping::Decoded d;
+      d.bank = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(m.num_banks())));
+      d.column = rng.next_below(1ull << m.fields().column_bits.size());
+      d.row = rng.next_below(1ull << m.fields().row_bits.size());
+      const std::uint64_t addr = m.encode(d);
+      ASSERT_LT(addr, 1ull << m.usable_bits());
+      const auto back = m.decode(addr);
+      ASSERT_EQ(back.bank, d.bank) << "trial " << trial;
+      ASSERT_EQ(back.column, d.column) << "trial " << trial;
+      ASSERT_EQ(back.row, d.row) << "trial " << trial;
+    }
+  }
+}
+
+// encode(decode(a)) == a additionally requires invertibility (no modulo
+// fold, gap-free bit coverage) and a zero transaction offset. The kepler and
+// hbm2 geometries are invertible; maxwell's 8-bit field folded to 192 banks
+// is not, by design.
+TEST(AddressMapping, DecodeEncodeRoundTripsForInvertibleGeometries) {
+  std::size_t invertible_count = 0;
+  for (const std::string& name : ArchRegistry::builtin().names()) {
+    SCOPED_TRACE(name);
+    const GpuArch& arch = ArchRegistry::builtin().find(name)->arch;
+    const AddressMapping m = arch_mapping(arch);
+    if (!m.invertible()) continue;
+    ++invertible_count;
+    Rng rng(0x1d + static_cast<std::uint64_t>(name.size()));
+    const std::uint64_t txn = 1ull << m.fields().transaction_bits;
+    for (int trial = 0; trial < 10000; ++trial) {
+      // Canonical (offset-zero) addresses only: encode() rebuilds those.
+      const std::uint64_t addr =
+          rng.next_below(1ull << m.usable_bits()) / txn * txn;
+      ASSERT_EQ(m.encode(m.decode(addr)), addr) << "trial " << trial;
+    }
+  }
+  EXPECT_GE(invertible_count, 2u);  // kepler-layout maps + the hbm2 swizzle
+  EXPECT_FALSE(arch_mapping(ArchRegistry::builtin().find("maxwell")->arch)
+                   .invertible());  // 2^8 folded to 192
+}
+
+// Bank-partition exhaustiveness: within one row sweep, decode() reaches
+// every bank of every registered geometry — the modulo fold and the XOR
+// swizzle may permute banks but must not orphan any (an unreachable bank
+// would silently halve the queuing model's parallelism).
+TEST(AddressMapping, EveryRegisteredGeometryReachesAllBanks) {
+  for (const std::string& name : ArchRegistry::builtin().names()) {
+    SCOPED_TRACE(name);
+    const GpuArch& arch = ArchRegistry::builtin().find(name)->arch;
+    const AddressMapping m = arch_mapping(arch);
+    ASSERT_EQ(m.num_banks(), arch.total_banks());
+    const std::uint64_t txn = 1ull << m.fields().transaction_bits;
+    std::set<int> banks;
+    // 2x the bank count of consecutive transactions covers the whole bank
+    // field even under folding (the field is wider than the bank count).
+    for (std::uint64_t line = 0;
+         line < 4ull * static_cast<std::uint64_t>(m.num_banks()); ++line) {
+      const int bank = m.decode(line * txn).bank;
+      ASSERT_GE(bank, 0);
+      ASSERT_LT(bank, m.num_banks());
+      banks.insert(bank);
+    }
+    EXPECT_EQ(banks.size(), static_cast<std::size_t>(m.num_banks()));
+  }
+}
+
+// The hbm2 swizzle is the point of bank_xor_bits: a row-sequential stream
+// (fixed bank field, increasing row) must rotate over banks instead of
+// hammering one — and the swizzle must stay a per-row bijection.
+TEST(AddressMapping, XorSwizzleRotatesRowSequentialStreams) {
+  const GpuArch& hbm2 = ArchRegistry::builtin().find("hbm2")->arch;
+  ASSERT_FALSE(hbm2.addr_map.bank_xor_bits.empty());
+  const AddressMapping swizzled = arch_mapping(hbm2);
+  GpuArch plain = hbm2;
+  plain.addr_map.bank_xor_bits.clear();
+  const AddressMapping unswizzled = arch_mapping(plain);
+
+  const int row_bit = hbm2.addr_map.row_bits.front();
+  std::set<int> swizzled_banks, plain_banks;
+  for (std::uint64_t row = 0; row < 64; ++row) {
+    const std::uint64_t addr = row << row_bit;  // bank field stays zero
+    swizzled_banks.insert(swizzled.decode(addr).bank);
+    plain_banks.insert(unswizzled.decode(addr).bank);
+    // Swizzling permutes banks within a row; row and column are untouched.
+    EXPECT_EQ(swizzled.decode(addr).row, unswizzled.decode(addr).row);
+    EXPECT_EQ(swizzled.decode(addr).column, unswizzled.decode(addr).column);
+  }
+  EXPECT_EQ(plain_banks.size(), 1u);       // no swizzle: one hot bank
+  EXPECT_GT(swizzled_banks.size(), 32u);   // swizzle: spread over channels
+}
+
+TEST(AddressMapping, RejectsXorSwizzleWithFoldedBanks) {
+  AddressMapping::Fields f;
+  f.transaction_bits = 7;
+  f.bank_bits = {7, 8, 9};
+  f.column_bits = {10, 11};
+  f.row_bits = {12, 13, 14};
+  f.bank_xor_bits = {12, 13, 14};
+  f.num_banks = 6;  // != 2^3: fold + XOR would alias
+  EXPECT_DEATH(AddressMapping{std::move(f)},
+               "require num_banks == 2");
 }
 
 TEST(AddressMapping, DecodeStableUnderRandomizedFields) {

@@ -1,0 +1,305 @@
+// ArchRegistry battery (DESIGN §16): registry semantics, the differential
+// golden lock-in of the default backend against the historical hardwired
+// Kepler path, the per-arch memoization keying of shared TraceSkeletons, and
+// the SoA supports()/fold fix that consults the active arch's bank count.
+//
+// Naming note: the exhaustive differential sweeps carry "EveryWorkload" in
+// their test names so the sanitizer rebuilds (which filter -*EveryWorkload*)
+// skip them — they re-run code paths the cheap cases already instrument.
+#include "arch/arch_registry.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dram/address_mapping.hpp"
+#include "model/predictor.hpp"
+#include "model/trace_analysis.hpp"
+#include "trace/generator.hpp"
+#include "trace/soa.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gpuhms {
+namespace {
+
+// --- registry semantics ------------------------------------------------------
+
+TEST(ArchRegistry, BuiltinRegistersTheDocumentedBackends) {
+  const ArchRegistry& r = ArchRegistry::builtin();
+  ASSERT_GE(r.size(), 3u);
+  const std::vector<std::string> names = r.names();
+  EXPECT_EQ(names, (std::vector<std::string>{"kepler", "fermi", "maxwell",
+                                             "hbm2"}));
+  EXPECT_EQ(r.default_backend().name, "kepler");
+  for (const std::string& name : names) {
+    const ArchBackend* b = r.find(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(b->name, name);
+    EXPECT_FALSE(b->summary.empty()) << name;
+    EXPECT_TRUE(validate(b->arch).ok()) << name;
+  }
+}
+
+TEST(ArchRegistry, FindUnknownReturnsNull) {
+  EXPECT_EQ(ArchRegistry::builtin().find("volta"), nullptr);
+  EXPECT_EQ(ArchRegistry::builtin().find(""), nullptr);
+  EXPECT_EQ(ArchRegistry::builtin().find("Kepler"), nullptr);  // exact match
+}
+
+TEST(ArchRegistry, TryFindUnknownListsRegisteredNames) {
+  const auto got = ArchRegistry::builtin().try_find("volta");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  // The serve layer forwards this message verbatim; it must name every
+  // backend so a client can self-correct.
+  for (const std::string& name : ArchRegistry::builtin().names()) {
+    EXPECT_NE(got.status().message().find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ArchRegistry, TryFindKnownReturnsBackend) {
+  const auto got = ArchRegistry::builtin().try_find("hbm2");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->name, "hbm2");
+}
+
+TEST(ArchRegistry, AddRejectsEmptyDuplicateAndInvalid) {
+  ArchRegistry r;
+  EXPECT_EQ(r.add({"", "nameless", GpuArch{}}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(r.add({"a", "first", GpuArch{}}).ok());
+  EXPECT_EQ(r.add({"a", "again", GpuArch{}}).code(),
+            StatusCode::kInvalidArgument);
+  GpuArch bad;
+  bad.addr_map.row_bits.clear();  // fails validate()
+  const Status st = r.add({"b", "broken", bad});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.size(), 1u);  // the rejected backends never registered
+  EXPECT_EQ(r.default_backend().name, "a");
+}
+
+// --- default-backend equivalence with the hardwired path ---------------------
+
+TEST(ArchRegistry, KeplerBackendIsTheHardwiredArch) {
+  const GpuArch& reg = ArchRegistry::builtin().find("kepler")->arch;
+  const GpuArch& hard = kepler_arch();
+  EXPECT_EQ(reg.num_sms, hard.num_sms);
+  EXPECT_EQ(reg.shared_banks, hard.shared_banks);
+  EXPECT_EQ(reg.cache_line, hard.cache_line);
+  EXPECT_EQ(reg.total_banks(), hard.total_banks());
+  EXPECT_EQ(reg.dram.row_hit_service, hard.dram.row_hit_service);
+  EXPECT_EQ(reg.addr_map.transaction_bits, hard.addr_map.transaction_bits);
+  EXPECT_EQ(reg.addr_map.bank_bits, hard.addr_map.bank_bits);
+  EXPECT_EQ(reg.addr_map.column_bits, hard.addr_map.column_bits);
+  EXPECT_EQ(reg.addr_map.row_bits, hard.addr_map.row_bits);
+  EXPECT_EQ(reg.addr_map.bank_xor_bits, hard.addr_map.bank_xor_bits);
+}
+
+TEST(ArchMapping, DefaultDecodesIdenticallyToKeplerMapping) {
+  const AddressMapping legacy = kepler_mapping(kepler_arch());
+  const AddressMapping declared = arch_mapping(kepler_arch());
+  ASSERT_EQ(declared.num_banks(), legacy.num_banks());
+  ASSERT_EQ(declared.usable_bits(), legacy.usable_bits());
+  Rng rng(0xa5c);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::uint64_t addr = rng.next_below(1ull << legacy.usable_bits());
+    const auto a = legacy.decode(addr);
+    const auto b = declared.decode(addr);
+    ASSERT_EQ(a.bank, b.bank) << addr;
+    ASSERT_EQ(a.row, b.row) << addr;
+    ASSERT_EQ(a.column, b.column) << addr;
+  }
+}
+
+// The golden differential: on every seed workload, a predictor built from
+// the registry-resolved default backend produces bit-identical measurements
+// and predictions to one built from the historical kepler_arch() reference.
+// This is the lock-in that lets every other layer switch to the registry.
+TEST(ArchRegistryDifferential, EveryWorkloadPredictsBitIdentical) {
+  const GpuArch& reg = ArchRegistry::builtin().default_backend().arch;
+  for (const auto& c : workloads::evaluation_suite()) {
+    SCOPED_TRACE(c.name);
+    Predictor hard(c.kernel, kepler_arch());
+    Predictor through_registry(c.kernel, reg);
+    hard.profile_sample(c.sample);
+    through_registry.profile_sample(c.sample);
+    // The profiled sample runs the full simulator substrate on each arch.
+    EXPECT_EQ(hard.sample_result().cycles,
+              through_registry.sample_result().cycles);
+    EXPECT_EQ(hard.sample_result().counters.inst_executed,
+              through_registry.sample_result().counters.inst_executed);
+    for (const auto& t : c.tests) {
+      SCOPED_TRACE(t.id);
+      const Prediction a = hard.predict(t.placement);
+      const Prediction b = through_registry.predict(t.placement);
+      EXPECT_EQ(a.total_cycles, b.total_cycles);
+      EXPECT_EQ(a.raw_cycles, b.raw_cycles);
+      EXPECT_EQ(a.t_comp, b.t_comp);
+      EXPECT_EQ(a.t_mem, b.t_mem);
+      EXPECT_EQ(a.t_overlap, b.t_overlap);
+      EXPECT_EQ(a.inst.executed_total, b.inst.executed_total);
+    }
+  }
+}
+
+// --- per-arch memo keying on a shared TraceSkeleton --------------------------
+
+// Regression: line pools and shared folds used to be keyed by slot only,
+// with a trailing CHECK on line_size / num_banks consistency — a skeleton
+// shared across two cache-line or bank geometries crashed on the second.
+// Now each geometry gets its own table; references are stable and distinct.
+TEST(TraceSkeletonMemo, KeysLinePoolsAndFoldsPerGeometry) {
+  const KernelInfo kernel = workloads::make_transpose(64);
+  const TraceSkeleton skeleton(kernel);
+  const TraceMaterializer mat(kernel, DataPlacement::defaults(kernel),
+                              kepler_arch());
+  const MemoryLayout& layout = mat.layout();
+
+  const auto& p128 = skeleton.line_pool(0, false, layout, 128);
+  const auto& p64 = skeleton.line_pool(0, false, layout, 64);
+  EXPECT_EQ(p128.line_size, 128u);
+  EXPECT_EQ(p64.line_size, 64u);
+  // Memoized: asking again returns the same table entries, not rebuilds.
+  EXPECT_EQ(&skeleton.line_pool(0, false, layout, 128), &p128);
+  EXPECT_EQ(&skeleton.line_pool(0, false, layout, 64), &p64);
+  // Halving the line size can only split lines, never merge them.
+  EXPECT_GE(p64.lines.size(), p128.lines.size());
+
+  const auto& fold32 = skeleton.shared_fold(0, 32);
+  const auto& fold16 = skeleton.shared_fold(0, 16);
+  EXPECT_EQ(fold32.num_banks, 32);
+  EXPECT_EQ(fold16.num_banks, 16);
+  EXPECT_EQ(&skeleton.shared_fold(0, 32), &fold32);
+  EXPECT_EQ(&skeleton.shared_fold(0, 16), &fold16);
+  ASSERT_EQ(fold32.degree.size(), fold16.degree.size());
+  // 16 divides 32, so words colliding on a 32-bank machine also collide on a
+  // 16-bank one: per-op degrees are ordered, as is the fold total.
+  for (std::size_t i = 0; i < fold32.degree.size(); ++i) {
+    EXPECT_GE(fold16.degree[i], fold32.degree[i]) << "ordinal " << i;
+  }
+  EXPECT_GE(fold16.conflict_sum, fold32.conflict_sum);
+}
+
+// One skeleton serving analyzers of different archs must not alias their
+// memoized tables: re-analyzing on the first arch after a second arch used
+// the skeleton reproduces the original counters exactly.
+TEST(TraceSkeletonMemo, TwoArchsShareOneSkeletonWithoutAliasing) {
+  const KernelInfo kernel = workloads::make_transpose(64);
+  const DataPlacement placement = DataPlacement::defaults(kernel);
+  const TraceSkeleton skeleton(kernel);
+  const GpuArch& kepler = ArchRegistry::builtin().find("kepler")->arch;
+  const GpuArch& hbm2 = ArchRegistry::builtin().find("hbm2")->arch;
+
+  const PlacementEvents first =
+      analyze_trace(kernel, placement, kepler, {}, &skeleton);
+  const PlacementEvents other =
+      analyze_trace(kernel, placement, hbm2, {}, &skeleton);
+  const PlacementEvents again =
+      analyze_trace(kernel, placement, kepler, {}, &skeleton);
+
+  EXPECT_EQ(first.insts_executed, again.insts_executed);
+  EXPECT_EQ(first.global_transactions, again.global_transactions);
+  EXPECT_EQ(first.shared_requests, again.shared_requests);
+  EXPECT_EQ(first.shared_conflicts, again.shared_conflicts);
+  EXPECT_EQ(first.row_hits, again.row_hits);
+  EXPECT_EQ(first.row_misses, again.row_misses);
+  EXPECT_EQ(first.row_conflicts, again.row_conflicts);
+  EXPECT_EQ(first.trace_ticks, again.trace_ticks);
+  // Sanity: the hbm2 analysis really ran against a different DRAM geometry.
+  EXPECT_EQ(other.insts_executed, first.insts_executed);  // same lowering
+  EXPECT_EQ(static_cast<int>(other.banks.size()), hbm2.total_banks());
+  EXPECT_EQ(static_cast<int>(first.banks.size()), kepler.total_banks());
+}
+
+// --- SoA supports() / fold-validity fix --------------------------------------
+
+TEST(SoaLowering, SupportsConsultsActiveArchBankCount) {
+  EXPECT_TRUE(SoaLowering::supports(kepler_arch()));  // 128 % (4*32) == 0
+  GpuArch a;
+  a.shared_banks = 16;  // the hbm2 geometry: 128 % 64 == 0
+  EXPECT_TRUE(SoaLowering::supports(a));
+  a.shared_banks = 8;
+  EXPECT_TRUE(SoaLowering::supports(a));
+  a.shared_banks = 24;  // 128 % 96 != 0: the fold would misattribute words
+  EXPECT_FALSE(SoaLowering::supports(a));
+  a.shared_banks = 64;  // 128 % 256 != 0: alignment below a full rotation
+  EXPECT_FALSE(SoaLowering::supports(a));
+  a.shared_banks = 0;
+  EXPECT_FALSE(SoaLowering::supports(a));
+}
+
+// The SoA replay must stay bit-identical to the legacy scalar path on every
+// registered backend it claims to support — including the 16-bank hbm2
+// profile whose fold the old compiled-in `banks == 32` check would have
+// refused (and whose degrees differ from the 32-bank fold, see above).
+TEST(SoaReplay, MatchesLegacyOnEveryRegisteredBackend) {
+  const KernelInfo kernel = workloads::make_transpose(64);
+  const TraceSkeleton skeleton(kernel);
+  const DataPlacement base = DataPlacement::defaults(kernel);
+  // Exercise the shared fold: stage the first shared-legal array.
+  DataPlacement staged = base;
+  for (std::size_t a = 0; a < kernel.arrays.size(); ++a) {
+    DataPlacement candidate = base.with(static_cast<int>(a), MemSpace::Shared);
+    if (!validate_placement(kernel, candidate, kepler_arch())) {
+      staged = candidate;
+      break;
+    }
+  }
+  for (const std::string& name : ArchRegistry::builtin().names()) {
+    const GpuArch& arch = ArchRegistry::builtin().find(name)->arch;
+    if (!SoaLowering::supports(arch)) continue;
+    SCOPED_TRACE(name);
+    for (const DataPlacement* placement :
+         std::initializer_list<const DataPlacement*>{&base, &staged}) {
+      AnalysisOptions soa_opts;
+      AnalysisOptions legacy_opts;
+      legacy_opts.legacy_replay = true;
+      const PlacementEvents soa =
+          analyze_trace(kernel, *placement, arch, soa_opts, &skeleton);
+      const PlacementEvents legacy =
+          analyze_trace(kernel, *placement, arch, legacy_opts, &skeleton);
+      EXPECT_EQ(soa.insts_executed, legacy.insts_executed);
+      EXPECT_EQ(soa.addr_calc_insts, legacy.addr_calc_insts);
+      EXPECT_EQ(soa.mem_insts, legacy.mem_insts);
+      EXPECT_EQ(soa.load_insts, legacy.load_insts);
+      EXPECT_EQ(soa.sync_insts, legacy.sync_insts);
+      EXPECT_EQ(soa.replay_global_divergence, legacy.replay_global_divergence);
+      EXPECT_EQ(soa.replay_const_miss, legacy.replay_const_miss);
+      EXPECT_EQ(soa.replay_const_divergence, legacy.replay_const_divergence);
+      EXPECT_EQ(soa.replay_shared_conflict, legacy.replay_shared_conflict);
+      EXPECT_EQ(soa.global_requests, legacy.global_requests);
+      EXPECT_EQ(soa.global_transactions, legacy.global_transactions);
+      EXPECT_EQ(soa.l2_transactions, legacy.l2_transactions);
+      EXPECT_EQ(soa.l2_misses, legacy.l2_misses);
+      EXPECT_EQ(soa.shared_requests, legacy.shared_requests);
+      EXPECT_EQ(soa.shared_conflicts, legacy.shared_conflicts);
+      EXPECT_EQ(soa.row_hits, legacy.row_hits);
+      EXPECT_EQ(soa.row_misses, legacy.row_misses);
+      EXPECT_EQ(soa.row_conflicts, legacy.row_conflicts);
+      EXPECT_EQ(soa.trace_ticks, legacy.trace_ticks);
+    }
+  }
+}
+
+// --- cross-arch prediction smoke (the bench_crossarch contract) --------------
+
+// Distinct backends must actually predict distinctly — otherwise the serve
+// arch field and the cross-arch study would be decorative. Transpose's
+// default placement hits shared memory and DRAM, both of which differ
+// across the three geometries.
+TEST(ArchRegistry, BackendsPredictDistinctly) {
+  const KernelInfo kernel = workloads::make_transpose(64);
+  const DataPlacement sample = DataPlacement::defaults(kernel);
+  std::set<double> totals;
+  for (const char* name : {"kepler", "maxwell", "hbm2"}) {
+    Predictor p(kernel, ArchRegistry::builtin().find(name)->arch);
+    p.profile_sample(sample);
+    totals.insert(p.predict(sample).total_cycles);
+  }
+  EXPECT_EQ(totals.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gpuhms

@@ -9,16 +9,19 @@
 // cache backends. The whole file also compiles into the ThreadSanitizer
 // binary (tests/CMakeLists.txt), where the epoch protocol's happens-before
 // edges are checked for real.
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <optional>
 #include <random>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "arch/arch_registry.hpp"
 #include "common/concurrent_cache.hpp"
 #include "common/epoch.hpp"
 #include "common/lru_cache.hpp"
@@ -410,6 +413,102 @@ TEST(ConcurrentCacheServe, ResponsesByteIdenticalAcrossBackends) {
   ASSERT_EQ(sharded.size(), legacy.size());
   for (std::size_t i = 0; i < sharded.size(); ++i)
     EXPECT_EQ(sharded[i], legacy[i]) << "line " << i;
+}
+
+// --- cross-arch fingerprints and arch-tagged concurrency ---------------------
+
+// Prediction-cache keys embed fingerprint(arch); two backends (or two
+// variants of one backend) colliding there would silently serve one arch's
+// cycles for another. Every registered backend must digest distinctly, and
+// the digest must cover the address map — two archs differing ONLY in
+// addr_map are different machines to the DRAM model.
+TEST(ConcurrentCacheServe, CrossArchFingerprintsNeverAlias) {
+  std::vector<std::pair<std::string, std::uint64_t>> digests;
+  for (const std::string& name : ArchRegistry::builtin().names()) {
+    digests.emplace_back(
+        name, serve::fingerprint(ArchRegistry::builtin().find(name)->arch));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i)
+    for (std::size_t j = i + 1; j < digests.size(); ++j)
+      EXPECT_NE(digests[i].second, digests[j].second)
+          << digests[i].first << " vs " << digests[j].first;
+
+  const GpuArch& base = kepler_arch();
+  // Same SMs, latencies, DRAM timing — only the bit roles move.
+  GpuArch swizzled = base;
+  swizzled.addr_map.bank_xor_bits = {18, 19, 20, 21, 22, 23, 24};
+  ASSERT_TRUE(validate(swizzled).ok());
+  EXPECT_NE(serve::fingerprint(swizzled), serve::fingerprint(base));
+
+  GpuArch swapped = base;
+  std::swap(swapped.addr_map.column_bits.front(),
+            swapped.addr_map.row_bits.front());
+  ASSERT_TRUE(validate(swapped).ok());
+  EXPECT_NE(serve::fingerprint(swapped), serve::fingerprint(base));
+
+  // Same positions, different role order: extract_bits is order-sensitive,
+  // so the digest must be too.
+  GpuArch reordered = base;
+  std::reverse(reordered.addr_map.bank_bits.begin(),
+               reordered.addr_map.bank_bits.end());
+  ASSERT_TRUE(validate(reordered).ok());
+  EXPECT_NE(serve::fingerprint(reordered), serve::fingerprint(base));
+}
+
+// Concurrent clients mixing arch-tagged and untagged requests against ONE
+// service must each read exactly the bytes the quiet sequential service
+// produces — per-arch kernel entries and cache keys may never bleed across
+// threads. Runs under both cache backends (and inside the TSan binary).
+TEST(ConcurrentCacheServe, ConcurrentArchTaggedRequestsAreByteIdentical) {
+  std::vector<std::string> lines;
+  for (const char* arch : {"", "kepler", "maxwell", "hbm2"}) {
+    for (const char* placement : {"G,G,G", "T,G,G", "G,S,G"}) {
+      std::string line = "{\"id\":0,\"op\":\"predict\",\"benchmark\":"
+                         "\"triad\",\"placement\":\"" +
+                         std::string(placement) + "\"";
+      if (arch[0] != '\0') line += ",\"arch\":\"" + std::string(arch) + "\"";
+      line += "}";
+      lines.push_back(std::move(line));
+    }
+  }
+  for (const CacheBackend backend :
+       {CacheBackend::kSharded, CacheBackend::kLegacyLru}) {
+    serve::ServeOptions options;
+    options.cache_backend = backend;
+    std::vector<std::string> expected;
+    {
+      serve::PredictionService reference{options};
+      for (const std::string& line : lines)
+        expected.push_back(reference.handle_line(line));
+    }
+    serve::PredictionService service{options};
+    constexpr int kThreads = 8;
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int rep = 0; rep < 3 && !failed.load(); ++rep) {
+          for (std::size_t i = 0; i < lines.size(); ++i) {
+            // Each thread walks the lines at its own rotation, so builds
+            // of different (benchmark, arch) entries race for real.
+            const std::size_t at = (i + static_cast<std::size_t>(t)) %
+                                   lines.size();
+            const std::string got = service.handle_line(lines[at]);
+            if (got != expected[at]) {
+              ADD_FAILURE() << "thread " << t << " line " << at
+                            << " diverged:\n got: " << got
+                            << "\nwant: " << expected[at];
+              failed.store(true);
+              return;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    ASSERT_FALSE(failed.load()) << to_string(backend);
+  }
 }
 
 TEST(ConcurrentCacheServe, EnvEscapeHatchSelectsLegacyBackend) {

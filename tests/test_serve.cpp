@@ -4,12 +4,14 @@
 // PR acceptance pipeline (100 mixed requests, in order, cache hit-rate > 0).
 #include <cstdio>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "arch/arch_registry.hpp"
 #include "kernel/placement.hpp"
 #include "serve/client.hpp"
 #include "serve/json.hpp"
@@ -529,6 +531,169 @@ TEST(ServeClient, NonRetryableErrorsReturnImmediately) {
   ASSERT_TRUE(r.ok());  // a definitive rejection IS the response
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(client.retries(), 0u);
+}
+
+// --- the arch field ----------------------------------------------------------
+// Requests may name an ArchRegistry backend; entries are cached per
+// (benchmark, arch), the response echoes the arch, and an unnamed arch keeps
+// the historical byte format (no "arch" key) so old clients see no change.
+
+std::string predict_line_arch(int id, const std::string& benchmark,
+                              const std::string& placement,
+                              const std::string& arch) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"op\":\"predict\",\"benchmark\":\"" + benchmark +
+         "\",\"placement\":\"" + placement + "\",\"arch\":\"" + arch + "\"}";
+}
+
+TEST(Serve, ArchFieldSelectsDistinctDeterministicBackends) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  std::set<double> cycles;
+  for (const std::string arch : {"kepler", "maxwell", "hbm2"}) {
+    const std::string line = predict_line_arch(1, "triad", "G,T,G", arch);
+    const std::string first = service.handle_line(line);
+    EXPECT_EQ(service.handle_line(line), first) << arch;  // byte-stable repeat
+    const serve::Json r = parse_ok(first);
+    ASSERT_TRUE(r.find("ok")->as_bool()) << first;
+    ASSERT_NE(r.find("arch"), nullptr) << first;
+    EXPECT_EQ(r.find("arch")->as_string(), arch);
+    cycles.insert(r.find("predicted_cycles")->as_number());
+  }
+  // Three geometries, three predictions: the field is not decorative.
+  EXPECT_EQ(cycles.size(), 3u);
+}
+
+TEST(Serve, ExplicitKeplerEqualsImplicitDefaultNumerically) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  const serve::Json implicit =
+      parse_ok(service.handle_line(predict_line(1, "triad", "G,G,G")));
+  const serve::Json explicit_kepler = parse_ok(
+      service.handle_line(predict_line_arch(1, "triad", "G,G,G", "kepler")));
+  ASSERT_TRUE(implicit.find("ok")->as_bool());
+  ASSERT_TRUE(explicit_kepler.find("ok")->as_bool());
+  EXPECT_EQ(implicit.find("predicted_cycles")->as_number(),
+            explicit_kepler.find("predicted_cycles")->as_number());
+  EXPECT_EQ(implicit.find("t_comp")->as_number(),
+            explicit_kepler.find("t_comp")->as_number());
+  // The unnamed-arch response keeps the pre-registry byte format.
+  EXPECT_EQ(implicit.find("arch"), nullptr);
+  EXPECT_EQ(explicit_kepler.find("arch")->as_string(), "kepler");
+}
+
+TEST(Serve, UnknownOrMalformedArchIsStructuredInvalidArgument) {
+  serve::PredictionService service{serve::ServeOptions{}};
+  const std::string resp =
+      service.handle_line(predict_line_arch(1, "triad", "G,G,G", "volta"));
+  expect_error(resp, "INVALID_ARGUMENT");
+  // The error names the registered backends so a client can self-correct.
+  const std::string message =
+      parse_ok(resp).find("error")->find("message")->as_string();
+  for (const char* name : {"kepler", "fermi", "maxwell", "hbm2"}) {
+    EXPECT_NE(message.find(name), std::string::npos) << message;
+  }
+  // A non-string arch is malformed, including inside a pipeline.
+  expect_error(service.handle_line(
+                   R"({"op":"predict","benchmark":"triad",)"
+                   R"("placement":"G,G,G","arch":42})"),
+               "INVALID_ARGUMENT");
+  const std::vector<std::string> pipeline = {
+      predict_line_arch(0, "triad", "G,G,G", "hbm2"),
+      R"({"id":1,"op":"predict","benchmark":"triad",)"
+      R"("placement":"G,G,G","arch":[1]})",
+  };
+  const std::vector<std::string> responses = service.handle_pipeline(pipeline);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(parse_ok(responses[0]).find("ok")->as_bool());
+  expect_error(responses[1], "INVALID_ARGUMENT");
+  // The service still answers afterwards.
+  EXPECT_TRUE(parse_ok(service.handle_line(predict_line(2, "triad", "G,G,G")))
+                  .find("ok")
+                  ->as_bool());
+}
+
+TEST(Serve, BatchAndSearchHonorTheArchField) {
+  const std::vector<std::string> placements =
+      legal_placement_strings("triad", 6);
+  ASSERT_GE(placements.size(), 3u);
+  serve::PredictionService service{serve::ServeOptions{}};
+  std::string batch_line =
+      R"({"id":1,"op":"predict_batch","benchmark":"triad",)"
+      R"("arch":"hbm2","placements":[)";
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    if (i) batch_line += ",";
+    batch_line += "\"" + placements[i] + "\"";
+  }
+  batch_line += "]}";
+  const serve::Json batch = parse_ok(service.handle_line(batch_line));
+  ASSERT_TRUE(batch.find("ok")->as_bool());
+  EXPECT_EQ(batch.find("arch")->as_string(), "hbm2");
+  const serve::Json* results = batch.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->size(), placements.size());
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const serve::Json single = parse_ok(service.handle_line(predict_line_arch(
+        static_cast<int>(i), "triad", placements[i], "hbm2")));
+    ASSERT_TRUE(single.find("ok")->as_bool());
+    EXPECT_EQ(results->at(i).find("predicted_cycles")->as_number(),
+              single.find("predicted_cycles")->as_number())
+        << placements[i];
+  }
+
+  const serve::Json search = parse_ok(service.handle_line(
+      R"({"id":2,"op":"search","benchmark":"triad","algo":"exhaustive",)"
+      R"("cap":64,"arch":"maxwell"})"));
+  ASSERT_TRUE(search.find("ok")->as_bool());
+  EXPECT_EQ(search.find("arch")->as_string(), "maxwell");
+  const workloads::BenchmarkCase bench = workloads::get_benchmark("triad");
+  const std::optional<DataPlacement> p = DataPlacement::from_string(
+      bench.kernel, search.find("placement")->as_string());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(validate(bench.kernel, *p,
+                       ArchRegistry::builtin().find("maxwell")->arch)
+                  .ok());
+  expect_error(service.handle_line(
+                   R"({"op":"search","benchmark":"triad","arch":"volta"})"),
+               "INVALID_ARGUMENT");
+}
+
+// Arch-tagged traffic must stay byte-stable across thread counts and both
+// cache backends — same bar as the un-tagged mixed pipeline above.
+std::vector<std::string> run_arch_pipeline(const char* threads,
+                                           CacheBackend backend) {
+  testutil::ScopedEnv env("GPUHMS_THREADS", threads);
+  serve::ServeOptions options;
+  options.cache_backend = backend;
+  serve::PredictionService service{options};
+  static const std::vector<std::string> triad =
+      legal_placement_strings("triad", 12);
+  const char* archs[] = {"", "kepler", "maxwell", "hbm2"};
+  std::vector<std::string> lines;
+  for (int i = 0; i < 64; ++i) {
+    const std::string& placement =
+        triad[static_cast<std::size_t>(i / 2) % triad.size()];
+    const char* arch = archs[i % 4];
+    lines.push_back(arch[0] == '\0'
+                        ? predict_line(i, "triad", placement)
+                        : predict_line_arch(i, "triad", placement, arch));
+  }
+  std::vector<std::string> responses = service.handle_pipeline(lines);
+  EXPECT_EQ(responses.size(), lines.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const serve::Json r = parse_ok(responses[i]);
+    EXPECT_TRUE(r.find("ok")->as_bool()) << responses[i];
+    EXPECT_EQ(r.find("id")->as_number(), static_cast<double>(i));
+  }
+  EXPECT_GT(service.stats().prediction_cache.hits, 0u);
+  return responses;
+}
+
+TEST(Serve, ArchPipelineDeterministicAcrossThreadsAndCacheBackends) {
+  const std::vector<std::string> base =
+      run_arch_pipeline("1", CacheBackend::kSharded);
+  EXPECT_EQ(run_arch_pipeline("4", CacheBackend::kSharded), base);
+  EXPECT_EQ(run_arch_pipeline("16", CacheBackend::kSharded), base);
+  EXPECT_EQ(run_arch_pipeline("1", CacheBackend::kLegacyLru), base);
+  EXPECT_EQ(run_arch_pipeline("16", CacheBackend::kLegacyLru), base);
 }
 
 TEST(ServeClient, EndToEndReplayThroughARealService) {
